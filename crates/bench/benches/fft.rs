@@ -1,0 +1,62 @@
+//! Micro-benchmarks of the FFT substrate: the primitive every ILT
+//! iteration is built from (2Nk + 2 transforms per iteration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ilt_fft::{spectral, Complex, Fft2d, FftPlan};
+
+fn signal(n: usize) -> Vec<Complex> {
+    (0..n)
+        .map(|i| Complex::new((i as f64 * 0.13).sin(), (i as f64 * 0.37).cos()))
+        .collect()
+}
+
+fn bench_fft_1d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_1d");
+    for n in [128usize, 256, 512, 1024] {
+        let plan = FftPlan::new(n).expect("plan");
+        let data = signal(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                plan.forward(&mut buf).expect("fft");
+                buf
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fft_2d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_2d");
+    for n in [64usize, 128, 256] {
+        let fft = Fft2d::new(n, n).expect("plan");
+        let data = signal(n * n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                fft.forward(&mut buf).expect("fft");
+                buf
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_spectral_ops(c: &mut Criterion) {
+    let n = 256;
+    let p = 31;
+    let spectrum = signal(n * n);
+    let block = signal(p * p);
+    c.bench_function("spectral_crop_lowfreq", |b| {
+        b.iter(|| spectral::crop_lowfreq(&spectrum, n, p).expect("crop"))
+    });
+    c.bench_function("spectral_embed_lowfreq", |b| {
+        b.iter(|| spectral::embed_lowfreq(&block, p, n).expect("embed"))
+    });
+    c.bench_function("spectral_upsample_s2", |b| {
+        b.iter(|| spectral::upsample_centered(&block, p, 2).expect("upsample"))
+    });
+}
+
+criterion_group!(benches, bench_fft_1d, bench_fft_2d, bench_spectral_ops);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! End-to-end flow benchmarks at the tiny test scale — the relative costs
+//! behind the TAT column of Table 1 (divide-and-conquer vs full-chip vs
+//! multigrid-Schwarz) and the Fig. 7 heal pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ilt_core::flows::{divide_and_conquer, full_chip, multigrid_schwarz, stitch_and_heal};
+use ilt_core::ExperimentConfig;
+use ilt_layout::generate_clip;
+use ilt_litho::{LithoBank, ResistModel};
+use ilt_opt::PixelIlt;
+use ilt_tile::TileExecutor;
+
+fn bench_flows(c: &mut Criterion) {
+    let config = ExperimentConfig::test_tiny();
+    let bank = LithoBank::new(config.optics, ResistModel::m1_default()).expect("bank");
+    let target = generate_clip(&config.generator, 1);
+    let executor = TileExecutor::sequential();
+    let solver = PixelIlt::new();
+
+    c.bench_function("flow_divide_and_conquer_tiny", |b| {
+        b.iter(|| divide_and_conquer(&config, &bank, &target, &solver, &executor).expect("flow"))
+    });
+    c.bench_function("flow_full_chip_tiny", |b| {
+        b.iter(|| full_chip(&config, &bank, &target, &solver).expect("flow"))
+    });
+    c.bench_function("flow_multigrid_schwarz_tiny", |b| {
+        b.iter(|| multigrid_schwarz(&config, &bank, &target, &solver, &executor).expect("flow"))
+    });
+
+    let dnc = divide_and_conquer(&config, &bank, &target, &solver, &executor).expect("flow");
+    c.bench_function("flow_stitch_and_heal_tiny", |b| {
+        b.iter(|| {
+            stitch_and_heal(&config, &bank, &target, &dnc.mask, &solver, &executor).expect("flow")
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_flows
+}
+criterion_main!(benches);

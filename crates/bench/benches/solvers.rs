@@ -1,0 +1,68 @@
+//! Benchmarks of the two single-tile solvers at matched iteration budgets,
+//! plus the signed-distance reinitialisation the level-set solver pays for
+//! — explaining the TAT gap between the GLS-ILT and Multi-level-ILT
+//! columns of Table 1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ilt_grid::{Grid, Rect};
+use ilt_litho::{LithoBank, OpticsConfig, ResistModel};
+use ilt_opt::{
+    signed_distance, LevelSetIlt, PixelIlt, PixelIltConfig, SolveContext, SolveRequest, TileSolver,
+};
+
+fn bench_solvers(c: &mut Criterion) {
+    let bank = LithoBank::new(OpticsConfig::test_small(), ResistModel::m1_default()).expect("bank");
+    let n = bank.config().base_n;
+    // Hand-drawn target: two wires and a stub (the generator needs larger
+    // clips than the 64-pixel test grid).
+    let mut target = Grid::new(n, n, 0.0);
+    target.fill_rect(Rect::new(10, 14, 54, 24), 1.0);
+    target.fill_rect(Rect::new(10, 38, 40, 48), 1.0);
+    target.fill_rect(Rect::new(46, 38, 54, 48), 1.0);
+    let ctx = SolveContext {
+        bank: &bank,
+        n,
+        scale: 1,
+    };
+    let iterations = 10;
+
+    c.bench_function("pixel_ilt_10iter_64", |b| {
+        let solver = PixelIlt::with_config(PixelIltConfig::single_level());
+        b.iter(|| {
+            solver
+                .solve(&ctx, &SolveRequest::new(&target, &target, iterations))
+                .expect("solve")
+        })
+    });
+    c.bench_function("multi_level_ilt_10iter_64", |b| {
+        let solver = PixelIlt::new();
+        b.iter(|| {
+            solver
+                .solve(&ctx, &SolveRequest::new(&target, &target, iterations))
+                .expect("solve")
+        })
+    });
+    c.bench_function("gls_ilt_10iter_64", |b| {
+        let solver = LevelSetIlt::new();
+        b.iter(|| {
+            solver
+                .solve(&ctx, &SolveRequest::new(&target, &target, iterations))
+                .expect("solve")
+        })
+    });
+    c.bench_function("signed_distance_64", |b| {
+        let bits = target.threshold(0.5);
+        b.iter(|| signed_distance(&bits))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_solvers
+}
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. weighted-smoothing band (Eq. 13) vs hard RAS restriction;
+//! 2. coarse-grid initialisation (s = 2) vs fine-only Schwarz stages;
+//! 3. number of fine-grid Schwarz stages at a fixed iteration budget;
+//! 4. refine pass on/off;
+//! 5. SOCS kernel-count truncation vs simulation error.
+//!
+//! ```text
+//! cargo run --release -p ilt-bench --bin ablations
+//! ```
+
+use ilt_bench::HarnessOptions;
+use ilt_core::experiment::inspect_detailed;
+use ilt_core::flows::multigrid_schwarz;
+use ilt_grid::Grid;
+use ilt_layout::suite_of_size;
+use ilt_litho::{Corner, KernelSet, LithoSimulator};
+use ilt_opt::PixelIlt;
+use ilt_tile::Partition;
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    let bank = opts.bank();
+    let executor = opts.executor();
+    let clip = suite_of_size(&opts.config.generator, 1).remove(0);
+    let inspection = bank
+        .system(opts.config.clip, opts.config.inspection_scale())
+        .expect("inspection");
+    let partition =
+        Partition::new(clip.size(), clip.size(), opts.config.partition).expect("partition");
+    let lines = partition.stitch_lines();
+    let solver = PixelIlt::new();
+
+    let run = |label: &str, config: &ilt_core::ExperimentConfig| {
+        let flow =
+            multigrid_schwarz(config, &bank, &clip.target, &solver, &executor).expect("flow");
+        let (q, r) = inspect_detailed(config, &inspection, &lines, &clip.target, &flow.mask)
+            .expect("inspect");
+        println!(
+            "{label:<34} L2 {:6}  PVB {:6}  stitch {:8.1}  TAT {:6.2}s",
+            q.l2, q.pvband, r.total, flow.wall_seconds
+        );
+    };
+
+    println!("== ablation 1: blend band D (0 = default overlap/4) ==");
+    for band in [2usize, 8, 0, 32] {
+        let mut cfg = opts.config.clone();
+        cfg.blend_band = band;
+        run(&format!("band D = {band}"), &cfg);
+    }
+
+    println!("== ablation 2: coarse-grid initialisation ==");
+    for s_max in [1usize, 2] {
+        let mut cfg = opts.config.clone();
+        cfg.s_max = s_max;
+        run(&format!("s_max = {s_max}"), &cfg);
+    }
+
+    println!("== ablation 3: fine-stage count at a fixed 40-iteration budget ==");
+    for stages in [1usize, 2, 4] {
+        let mut cfg = opts.config.clone();
+        cfg.schedule.fine_stages = stages;
+        run(&format!("{stages} stage(s)"), &cfg);
+    }
+
+    println!("== ablation 4: refine pass ==");
+    for refine in [0usize, 4, 8] {
+        let mut cfg = opts.config.clone();
+        cfg.schedule.refine_iterations = refine;
+        run(&format!("refine {refine} iterations"), &cfg);
+    }
+
+    println!("== ablation 5: SOCS kernel truncation vs simulation error ==");
+    let mut full_optics = opts.config.optics;
+    full_optics.kernel_count = 1000;
+    let reference_set = KernelSet::build(&full_optics, false).expect("kernels");
+    let n = opts.config.optics.base_n;
+    let mask = suite_of_size(&opts.config.generator, 1).remove(0).target;
+    let mask = Grid::from_fn(n, n, |x, y| if mask.get(x, y) != 0 { 1.0 } else { 0.0 });
+    let reference_sim = LithoSimulator::new(n, reference_set.clone()).expect("sim");
+    let reference = reference_sim.aerial_image(&mask).expect("sim");
+    println!("reference: all {} kernels", reference_set.len());
+    for k in [1usize, 2, 4, 6, 8, 12] {
+        if k > reference_set.len() {
+            break;
+        }
+        let sim = LithoSimulator::new(n, reference_set.truncate(k)).expect("sim");
+        let aerial = sim.aerial_image(&mask).expect("sim");
+        let mut worst: f64 = 0.0;
+        let mut total = 0.0;
+        for (a, b) in aerial.as_slice().iter().zip(reference.as_slice()) {
+            let d = (a - b).abs();
+            worst = worst.max(d);
+            total += d;
+        }
+        println!(
+            "  {k:2} kernels: max |dI| {:.4}, mean |dI| {:.5}",
+            worst,
+            total / aerial.len() as f64
+        );
+    }
+    // Print-through effect of truncation at the resist.
+    let resist = bank.resist();
+    let reference_print = resist.print(&reference);
+    for k in [2usize, 4, 6] {
+        let sim = LithoSimulator::new(n, reference_set.truncate(k)).expect("sim");
+        let aerial = sim.aerial_image(&mask).expect("sim");
+        let print = resist.print(&aerial);
+        println!(
+            "  {k:2} kernels: printed-pixel deviation {} px (corner {:?})",
+            print.xor_count(&reference_print),
+            Corner::Nominal
+        );
+    }
+}

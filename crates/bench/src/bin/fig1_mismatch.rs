@@ -1,0 +1,65 @@
+//! Regenerates **Fig. 1**: severe mismatch of main features and SRAFs on a
+//! tile boundary under traditional divide-and-conquer.
+//!
+//! Prints the worst stitch-line intersections and dumps PGM images of the
+//! full divide-and-conquer mask plus a zoom of the worst crossing.
+//!
+//! ```text
+//! cargo run --release -p ilt-bench --bin fig1_mismatch
+//! ```
+
+use ilt_bench::HarnessOptions;
+use ilt_core::flows::divide_and_conquer;
+use ilt_grid::io::{write_bit_pgm, write_pgm};
+use ilt_grid::Rect;
+use ilt_layout::suite_of_size;
+use ilt_metrics::stitch_loss;
+use ilt_opt::PixelIlt;
+use ilt_tile::Partition;
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    let bank = opts.bank();
+    let executor = opts.executor();
+    let clip = suite_of_size(&opts.config.generator, 1).remove(0);
+    let partition =
+        Partition::new(clip.size(), clip.size(), opts.config.partition).expect("partition");
+
+    println!("Fig. 1 reproduction: boundary mismatch under divide-and-conquer");
+    let solver = PixelIlt::new();
+    let dnc = divide_and_conquer(&opts.config, &bank, &clip.target, &solver, &executor)
+        .expect("divide-and-conquer failed");
+    let binary = dnc.mask.threshold(0.5);
+    let report = stitch_loss(&binary, &partition.stitch_lines(), &opts.config.stitch);
+
+    let mut worst = report.intersections.clone();
+    worst.sort_by(|a, b| b.loss.partial_cmp(&a.loss).expect("finite"));
+    println!(
+        "{} crossings on {} stitch lines, total stitch loss {:.1}",
+        report.intersections.len(),
+        partition.stitch_lines().len(),
+        report.total
+    );
+    for i in worst.iter().take(5) {
+        println!("  crossing at ({:4}, {:4}): loss {:8.2}", i.x, i.y, i.loss);
+    }
+
+    write_pgm(opts.artifact("fig1_dnc_mask.pgm"), &dnc.mask).expect("write mask");
+    write_bit_pgm(opts.artifact("fig1_dnc_mask_binary.pgm"), &binary).expect("write binary");
+    if let Some(w) = worst.first() {
+        let zoom_rect = Rect::new(
+            w.x as i64 - 32,
+            w.y as i64 - 32,
+            w.x as i64 + 32,
+            w.y as i64 + 32,
+        )
+        .intersect(dnc.mask.bounds())
+        .expect("zoom window inside clip");
+        let zoom = dnc.mask.crop(zoom_rect);
+        write_pgm(opts.artifact("fig1_worst_crossing.pgm"), &zoom).expect("write zoom");
+        println!(
+            "wrote {} (zoom of the worst crossing)",
+            opts.artifact("fig1_worst_crossing.pgm").display()
+        );
+    }
+}

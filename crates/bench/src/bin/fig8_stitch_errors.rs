@@ -1,0 +1,75 @@
+//! Regenerates **Fig. 8**: locations where the per-crossing stitch error
+//! exceeds the threshold (the paper uses 20), comparing the traditional
+//! divide-and-conquer flow with the multigrid-Schwarz flow.
+//!
+//! ```text
+//! cargo run --release -p ilt-bench --bin fig8_stitch_errors
+//! ```
+
+use ilt_bench::HarnessOptions;
+use ilt_core::flows::{divide_and_conquer, multigrid_schwarz};
+use ilt_grid::io::write_bit_pgm;
+use ilt_layout::suite_of_size;
+use ilt_metrics::{stitch_loss, StitchReport};
+use ilt_opt::PixelIlt;
+use ilt_tile::Partition;
+
+/// The paper flags crossings with stitch error above 20.
+const ERROR_THRESHOLD: f64 = 20.0;
+
+fn describe(name: &str, report: &StitchReport) {
+    let errors = report.errors_above(ERROR_THRESHOLD);
+    println!(
+        "{name}: {} crossings, {} with error > {ERROR_THRESHOLD}, total loss {:.2}",
+        report.intersections.len(),
+        errors.len(),
+        report.total
+    );
+    for e in &errors {
+        println!("    error at ({:4}, {:4}): {:8.2}", e.x, e.y, e.loss);
+    }
+}
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    let bank = opts.bank();
+    let executor = opts.executor();
+    let clip = suite_of_size(&opts.config.generator, 1).remove(0);
+    let partition =
+        Partition::new(clip.size(), clip.size(), opts.config.partition).expect("partition");
+    let lines = partition.stitch_lines();
+    let solver = PixelIlt::new();
+
+    println!("Fig. 8 reproduction: stitch-error locations, traditional vs ours");
+    let dnc = divide_and_conquer(&opts.config, &bank, &clip.target, &solver, &executor)
+        .expect("divide-and-conquer failed");
+    let ours = multigrid_schwarz(&opts.config, &bank, &clip.target, &solver, &executor)
+        .expect("multigrid-schwarz failed");
+
+    let dnc_bits = dnc.mask.threshold(0.5);
+    let ours_bits = ours.mask.threshold(0.5);
+    let dnc_report = stitch_loss(&dnc_bits, &lines, &opts.config.stitch);
+    let ours_report = stitch_loss(&ours_bits, &lines, &opts.config.stitch);
+    describe("traditional divide-and-conquer", &dnc_report);
+    describe("multigrid-Schwarz (ours)", &ours_report);
+
+    let dnc_errors = dnc_report.errors_above(ERROR_THRESHOLD).len();
+    let ours_errors = ours_report.errors_above(ERROR_THRESHOLD).len();
+    println!(
+        "flagged crossings: {} -> {} ({})",
+        dnc_errors,
+        ours_errors,
+        if ours_errors <= dnc_errors {
+            "improved, matching Fig. 8"
+        } else {
+            "NOT improved — investigate"
+        }
+    );
+
+    write_bit_pgm(opts.artifact("fig8_traditional.pgm"), &dnc_bits).expect("write");
+    write_bit_pgm(opts.artifact("fig8_ours.pgm"), &ours_bits).expect("write");
+    println!(
+        "wrote fig8_{{traditional,ours}}.pgm in {}",
+        opts.out_dir.display()
+    );
+}

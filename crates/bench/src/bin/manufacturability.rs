@@ -1,0 +1,72 @@
+//! Extension study: manufacturability of the assembled masks.
+//!
+//! The paper motivates the stitch problem with MRC: "such discontinuities
+//! can violate the manufacturability rule check". This harness measures it
+//! directly — mask-rule violations (width/space/area) per flow, how many of
+//! them sit within one overlap of a stitch line, and the per-gauge edge
+//! placement error of the prints.
+//!
+//! ```text
+//! cargo run --release -p ilt-bench --bin manufacturability
+//! ```
+
+use ilt_bench::HarnessOptions;
+use ilt_core::flows::{divide_and_conquer, full_chip, multigrid_schwarz};
+use ilt_layout::suite_of_size;
+use ilt_litho::Corner;
+use ilt_metrics::{check_mask, edge_placement_error, EpeConfig, MrcRules};
+use ilt_opt::PixelIlt;
+use ilt_tile::Partition;
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    let bank = opts.bank();
+    let executor = opts.executor();
+    let clip = suite_of_size(&opts.config.generator, 1).remove(0);
+    let inspection = bank
+        .system(opts.config.clip, opts.config.inspection_scale())
+        .expect("inspection");
+    let partition =
+        Partition::new(clip.size(), clip.size(), opts.config.partition).expect("partition");
+    let lines = partition.stitch_lines();
+    let solver = PixelIlt::new();
+    let rules = MrcRules::m1_default();
+    let epe_cfg = EpeConfig::m1_default();
+    let near = opts.config.partition.overlap / 2;
+
+    println!(
+        "Manufacturability on {} (MRC rules: width {}, space {}, area {}):",
+        clip.name, rules.min_width, rules.min_space, rules.min_area
+    );
+    println!(
+        "{:<22} {:>8} {:>14} {:>10} {:>9} {:>8}",
+        "method", "MRC", "MRC-near-line", "EPE-mean", "EPE-max", "EPE-viol"
+    );
+
+    let report = |name: &str, mask: &ilt_grid::RealGrid| {
+        let bits = mask.threshold(0.5);
+        let mrc = check_mask(&bits, &rules);
+        let near_line = mrc.near_lines(&lines, near).len();
+        let printed = inspection
+            .print(&bits.to_real(), Corner::Nominal)
+            .expect("print");
+        let epe = edge_placement_error(&clip.target, &printed, &epe_cfg);
+        println!(
+            "{name:<22} {:>8} {:>14} {:>10.3} {:>9} {:>8}",
+            mrc.count(),
+            near_line,
+            epe.mean_abs,
+            epe.max_abs,
+            epe.violations
+        );
+    };
+
+    let dnc =
+        divide_and_conquer(&opts.config, &bank, &clip.target, &solver, &executor).expect("dnc");
+    report("divide-and-conquer", &dnc.mask);
+    let ours =
+        multigrid_schwarz(&opts.config, &bank, &clip.target, &solver, &executor).expect("ours");
+    report("multigrid-Schwarz", &ours.mask);
+    let full = full_chip(&opts.config, &bank, &clip.target, &solver).expect("full");
+    report("full-chip reference", &full.mask);
+}

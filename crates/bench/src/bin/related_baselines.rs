@@ -1,0 +1,84 @@
+//! Extension study: the two related-work boundary treatments the paper's
+//! introduction discusses — overlap-error selection \[5\] and stitch-and-heal
+//! \[6\] — compared against plain divide-and-conquer, the multigrid-Schwarz
+//! flow, and the full-chip reference, on the same clip.
+//!
+//! ```text
+//! cargo run --release -p ilt-bench --bin related_baselines
+//! ```
+
+use ilt_bench::HarnessOptions;
+use ilt_core::experiment::inspect_detailed;
+use ilt_core::flows::{
+    divide_and_conquer, full_chip, multigrid_schwarz, overlap_select, stitch_and_heal,
+};
+use ilt_layout::suite_of_size;
+use ilt_metrics::stitch_loss;
+use ilt_opt::PixelIlt;
+use ilt_tile::Partition;
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    let bank = opts.bank();
+    let executor = opts.executor();
+    let clip = suite_of_size(&opts.config.generator, 1).remove(0);
+    let inspection = bank
+        .system(opts.config.clip, opts.config.inspection_scale())
+        .expect("inspection");
+    let partition =
+        Partition::new(clip.size(), clip.size(), opts.config.partition).expect("partition");
+    let lines = partition.stitch_lines();
+    let solver = PixelIlt::new();
+
+    println!("Boundary-treatment comparison on {}:", clip.name);
+    println!(
+        "{:<22} {:>7} {:>8} {:>10} {:>8}",
+        "method", "L2", "PVBand", "stitch", "TAT(s)"
+    );
+
+    let report = |name: &str, flow: &ilt_core::flows::FlowResult| {
+        let (q, r) = inspect_detailed(&opts.config, &inspection, &lines, &clip.target, &flow.mask)
+            .expect("inspect");
+        println!(
+            "{name:<22} {:>7} {:>8} {:>10.1} {:>8.2}",
+            q.l2, q.pvband, r.total, flow.wall_seconds
+        );
+    };
+
+    let dnc =
+        divide_and_conquer(&opts.config, &bank, &clip.target, &solver, &executor).expect("dnc");
+    report("divide-and-conquer", &dnc);
+
+    let select = overlap_select(&opts.config, &bank, &clip.target, &solver, &executor)
+        .expect("overlap-select");
+    report("overlap-select [5]", &select);
+
+    let healed = stitch_and_heal(
+        &opts.config,
+        &bank,
+        &clip.target,
+        &dnc.mask,
+        &solver,
+        &executor,
+    )
+    .expect("heal");
+    report("stitch-and-heal [6]", &healed.result);
+    // The heal pass creates new edges; charge them too (Fig. 7's point).
+    let healed_bits = healed.result.mask.threshold(0.5);
+    let new_edges = stitch_loss(&healed_bits, &healed.new_lines, &opts.config.stitch);
+    println!(
+        "{:<22} {:>7} {:>8} {:>10.1}   (extra loss on the {} NEW edges healing created)",
+        "  + new-edge cost",
+        "",
+        "",
+        new_edges.total,
+        healed.new_lines.len()
+    );
+
+    let ours =
+        multigrid_schwarz(&opts.config, &bank, &clip.target, &solver, &executor).expect("ours");
+    report("multigrid-Schwarz", &ours);
+
+    let full = full_chip(&opts.config, &bank, &clip.target, &solver).expect("full");
+    report("full-chip reference", &full);
+}

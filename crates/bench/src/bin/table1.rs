@@ -1,0 +1,98 @@
+//! Regenerates **Table 1**: 20 clips x {GLS-ILT, Multi-level-ILT,
+//! Full-chip ILT, Ours} x {L2, PVBand, Stitch loss, TAT}, including the
+//! `Average` and `Ratio` rows.
+//!
+//! ```text
+//! cargo run --release -p ilt-bench --bin table1
+//! ```
+
+use ilt_bench::{row, HarnessOptions};
+use ilt_core::experiment::{averages, ratios, run_case, Method};
+use ilt_grid::io::write_csv;
+use ilt_layout::suite_of_size;
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    let bank = opts.bank();
+    let executor = opts.executor();
+    let suite = suite_of_size(&opts.config.generator, opts.cases);
+
+    println!(
+        "Table 1 reproduction: {} clips of {}x{}, tile {} overlap {}, {} kernels",
+        suite.len(),
+        opts.config.clip,
+        opts.config.clip,
+        opts.config.partition.tile,
+        opts.config.partition.overlap,
+        opts.config.optics.kernel_count,
+    );
+    let methods: Vec<&str> = Method::all().iter().map(|m| m.label()).collect();
+    let mut header = vec!["case".to_string(), "area".to_string()];
+    for m in &methods {
+        for col in ["L2", "PVB", "stitch", "TAT(s)"] {
+            header.push(format!("{m}:{col}"));
+        }
+    }
+    let widths: Vec<usize> = header.iter().map(|h| h.len().max(9)).collect();
+    println!("{}", row(&header, &widths));
+
+    let mut cases = Vec::new();
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    for clip in &suite {
+        let result = run_case(&opts.config, &bank, clip, &executor)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", clip.name));
+        let mut cells = vec![result.name.clone(), result.area.to_string()];
+        for m in &result.methods {
+            cells.push(m.metrics.l2.to_string());
+            cells.push(m.metrics.pvband.to_string());
+            cells.push(format!("{:.1}", m.metrics.stitch));
+            cells.push(format!("{:.2}", m.metrics.tat));
+        }
+        println!("{}", row(&cells, &widths));
+        csv_rows.push(cells);
+        cases.push(result);
+    }
+
+    let avgs = averages(&cases);
+    let mut cells = vec!["Average".to_string(), String::new()];
+    for a in &avgs {
+        cells.push(format!("{:.1}", a.l2));
+        cells.push(format!("{:.1}", a.pvband));
+        cells.push(format!("{:.1}", a.stitch));
+        cells.push(format!("{:.3}", a.tat));
+    }
+    println!("{}", row(&cells, &widths));
+    csv_rows.push(cells);
+
+    let rats = ratios(&avgs, "Ours");
+    let mut cells = vec!["Ratio".to_string(), String::new()];
+    for r in &rats {
+        cells.push(format!("{:.4}", r.l2));
+        cells.push(format!("{:.4}", r.pvband));
+        cells.push(format!("{:.4}", r.stitch));
+        cells.push(format!("{:.4}", r.tat));
+    }
+    println!("{}", row(&cells, &widths));
+    csv_rows.push(cells);
+
+    // Headline claims of the paper, checked against this run.
+    let get = |name: &str| avgs.iter().find(|a| a.method == name).expect("method");
+    let ml = get("Multi-level-ILT");
+    let ours = get("Ours");
+    let full = get("Full-chip ILT");
+    println!();
+    println!(
+        "stitch-loss improvement over Multi-level-ILT D&C: {:.2}x (paper: >3.15x)",
+        ml.stitch / ours.stitch
+    );
+    println!(
+        "L2 vs full-chip: {:.4} (paper: 1.0004); TAT vs full-chip: {:.3} (paper: 0.958x ours)",
+        full.l2 / ours.l2,
+        ours.tat / full.tat
+    );
+
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let path = opts.artifact("table1.csv");
+    write_csv(&path, &header_refs, &csv_rows).expect("failed to write CSV");
+    println!("wrote {}", path.display());
+}

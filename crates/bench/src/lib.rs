@@ -1,0 +1,123 @@
+//! # ilt-bench
+//!
+//! Shared plumbing for the experiment binaries that regenerate every table
+//! and figure of the paper's evaluation (see `DESIGN.md` for the
+//! experiment-to-binary index), plus Criterion micro-benchmarks.
+//!
+//! Environment knobs honoured by all binaries:
+//!
+//! * `ILT_SCALE` — `default` (the paper-ratio setup) or `tiny` (fast smoke
+//!   runs);
+//! * `ILT_CASES` — number of benchmark clips (default 20, the paper's
+//!   count);
+//! * `ILT_WORKERS` — worker threads for per-tile execution (default 1);
+//! * `ILT_OUT` — output directory for CSV/PGM artifacts (default
+//!   `results/`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+use ilt_core::ExperimentConfig;
+use ilt_litho::{LithoBank, ResistModel};
+use ilt_tile::TileExecutor;
+
+/// Runtime options shared by the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessOptions {
+    /// Experiment configuration (scale-dependent).
+    pub config: ExperimentConfig,
+    /// Number of benchmark clips to run.
+    pub cases: usize,
+    /// Tile executor.
+    pub workers: usize,
+    /// Artifact output directory.
+    pub out_dir: PathBuf,
+}
+
+impl HarnessOptions {
+    /// Reads options from the environment (see the crate docs).
+    pub fn from_env() -> Self {
+        let scale = std::env::var("ILT_SCALE").unwrap_or_else(|_| "default".to_string());
+        let config = match scale.as_str() {
+            "tiny" => ExperimentConfig::test_tiny(),
+            _ => ExperimentConfig::paper_default(),
+        };
+        let cases = std::env::var("ILT_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20)
+            .clamp(1, 20);
+        let workers = std::env::var("ILT_WORKERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1)
+            .max(1);
+        let out_dir = std::env::var("ILT_OUT")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("results"));
+        HarnessOptions {
+            config,
+            cases,
+            workers,
+            out_dir,
+        }
+    }
+
+    /// Builds the kernel bank for the configured optics (the expensive
+    /// one-time setup every binary shares).
+    ///
+    /// # Panics
+    ///
+    /// Panics if kernel construction fails — unrecoverable for a harness.
+    pub fn bank(&self) -> LithoBank {
+        LithoBank::new(self.config.optics, ResistModel::m1_default())
+            .expect("kernel bank construction failed")
+    }
+
+    /// The tile executor for the configured worker count.
+    pub fn executor(&self) -> TileExecutor {
+        TileExecutor::new(self.workers)
+    }
+
+    /// Ensures the artifact directory exists and returns a path inside it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created.
+    pub fn artifact(&self, name: &str) -> PathBuf {
+        std::fs::create_dir_all(&self.out_dir).expect("cannot create output directory");
+        self.out_dir.join(name)
+    }
+}
+
+/// Formats a fixed-width table row for terminal output.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults() {
+        // Do not set env vars (tests run in parallel); just exercise the
+        // parsing path with whatever the environment holds.
+        let opts = HarnessOptions::from_env();
+        assert!(opts.cases >= 1 && opts.cases <= 20);
+        assert!(opts.workers >= 1);
+    }
+
+    #[test]
+    fn row_formatting() {
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "  a    bb");
+    }
+}

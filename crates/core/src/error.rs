@@ -1,0 +1,87 @@
+//! Error type for the full-chip ILT flows.
+
+use std::error::Error;
+use std::fmt;
+
+use ilt_litho::LithoError;
+use ilt_opt::OptError;
+use ilt_tile::TileError;
+
+/// Errors surfaced by the flows in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A single-tile solve failed.
+    Solver(OptError),
+    /// Partitioning or assembly failed.
+    Tile(TileError),
+    /// A lithography evaluation failed.
+    Litho(LithoError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Solver(e) => write!(f, "solver failure: {e}"),
+            CoreError::Tile(e) => write!(f, "tiling failure: {e}"),
+            CoreError::Litho(e) => write!(f, "lithography failure: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Solver(e) => Some(e),
+            CoreError::Tile(e) => Some(e),
+            CoreError::Litho(e) => Some(e),
+        }
+    }
+}
+
+impl From<OptError> for CoreError {
+    fn from(e: OptError) -> Self {
+        CoreError::Solver(e)
+    }
+}
+
+impl From<TileError> for CoreError {
+    fn from(e: TileError) -> Self {
+        CoreError::Tile(e)
+    }
+}
+
+impl From<LithoError> for CoreError {
+    fn from(e: LithoError) -> Self {
+        CoreError::Litho(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = TileError::AssemblyMismatch {
+            expected: 9,
+            actual: 1,
+        }
+        .into();
+        assert!(e.to_string().contains("tiling"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: CoreError = OptError::BadConfig { reason: "x".into() }.into();
+        assert!(e.to_string().contains("solver"));
+        let e: CoreError = LithoError::GridMismatch {
+            grid: 1,
+            support: 2,
+        }
+        .into();
+        assert!(e.to_string().contains("lithography"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<E: std::error::Error + Send + Sync>() {}
+        check::<CoreError>();
+    }
+}

@@ -1,0 +1,324 @@
+//! The paper's contribution: the multigrid-Schwarz flow ("Ours").
+//!
+//! Three phases, exactly as Section 3 describes:
+//!
+//! 1. **Coarse-grid ILT** (Algorithm 1): for `s = s_max, s_max/2, ..., 2`,
+//!    partition the clip into `sN`-sized tiles, downsample each tile by `s`,
+//!    solve with `s`-scaled kernels (Eq. (9)), and assemble with the hard
+//!    RAS interpolation of Eq. (6) — stitching errors are deliberately left
+//!    for the fine grid.
+//! 2. **Staged fine-grid ILT** (modified additive Schwarz): the fine
+//!    iteration budget is split into stages; after each stage the tiles are
+//!    assembled with the weighted interpolation of Eq. (14) and the next
+//!    stage re-crops its tiles from the assembled layout, so margins carry
+//!    the neighbours' latest solutions (the boundary condition Eq. (11)).
+//! 3. **Multi-colour multiplicative Schwarz refine**: tiles are processed
+//!    colour by colour with a small learning rate; same-colour tiles never
+//!    overlap and run in parallel, and the layout is updated between
+//!    colours so later colours see earlier results.
+
+use std::time::Instant;
+
+use ilt_grid::{resample, BitGrid, RealGrid};
+use ilt_litho::LithoBank;
+use ilt_opt::{SolveContext, SolveRequest, TileSolver};
+use ilt_tile::{
+    assemble, multi_coloring, restrict, weight_map, AssemblyMode, Partition, PartitionConfig,
+    TileExecutor,
+};
+
+use crate::config::ExperimentConfig;
+use crate::error::CoreError;
+use crate::flows::{FlowResult, StageTiming};
+
+/// Runs the multigrid-Schwarz flow.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] on partitioning, solver, or assembly failure.
+pub fn multigrid_schwarz(
+    config: &ExperimentConfig,
+    bank: &LithoBank,
+    target: &BitGrid,
+    solver: &dyn TileSolver,
+    executor: &TileExecutor,
+) -> Result<FlowResult, CoreError> {
+    config.validate();
+    let start = Instant::now();
+    let n = config.partition.tile;
+    let clip_w = target.width();
+    let clip_h = target.height();
+    let target_real = target.to_real();
+    // Algorithm 1 line 4: M <- Z_t.
+    let mut mask = target_real.clone();
+    let mut stages = Vec::new();
+
+    // Phase 1: coarse grids, s = s_max .. 2 (Algorithm 1 stops addressing
+    // stitching; assembly is the plain Eq. (6)).
+    let mut s = config.s_max;
+    while s >= 2 {
+        let coarse = PartitionConfig {
+            tile: s * n,
+            overlap: s * config.partition.overlap,
+        };
+        let partition = Partition::new(clip_w, clip_h, coarse)?;
+        let solved = executor.run_fallible(partition.tiles().len(), |i| {
+            let tile = partition.tile(i);
+            let tile_target = resample::downsample(&restrict(&target_real, tile), s);
+            let tile_init = resample::downsample(&restrict(&mask, tile), s);
+            let ctx = SolveContext { bank, n, scale: s };
+            let t0 = Instant::now();
+            let outcome = solver.solve(
+                &ctx,
+                &SolveRequest::new(&tile_target, &tile_init, config.schedule.coarse_iterations),
+            )?;
+            let elapsed = t0.elapsed().as_secs_f64();
+            // Promote the coarse solution back to the fine grid with a
+            // band-limited interpolation: bilinear alone leaves blocky
+            // staircases that the fine stages (optically blind to them)
+            // would never remove.
+            let up = resample::upsample_bilinear(&outcome.mask, s);
+            let filter = ilt_grid::GaussianFilter::new(0.5 * s as f64);
+            Ok::<_, CoreError>((filter.apply(&up), elapsed))
+        })?;
+        let (masks, times): (Vec<_>, Vec<_>) = solved.into_iter().unzip();
+        let t_asm = Instant::now();
+        mask = assemble(&partition, &masks, AssemblyMode::Restricted)?;
+        stages.push(StageTiming {
+            label: format!("coarse s={s}"),
+            tile_seconds: times,
+            assembly_seconds: t_asm.elapsed().as_secs_f64(),
+        });
+        s /= 2;
+    }
+
+    // Phase 2: staged fine-grid additive Schwarz with weighted assembly.
+    let partition = Partition::new(clip_w, clip_h, config.partition)?;
+    let blend = if config.blend_band == 0 {
+        AssemblyMode::weighted_default(&partition)
+    } else {
+        AssemblyMode::Weighted {
+            band: config.blend_band,
+        }
+    };
+    for stage in 0..config.schedule.fine_stages {
+        let iterations = config.schedule.fine_per_stage(stage);
+        let solved = executor.run_fallible(partition.tiles().len(), |i| {
+            let tile = partition.tile(i);
+            let tile_target = restrict(&target_real, tile);
+            let tile_init = restrict(&mask, tile);
+            let ctx = SolveContext { bank, n, scale: 1 };
+            let request = SolveRequest {
+                target: &tile_target,
+                initial: &tile_init,
+                iterations,
+                lr_scale: config.schedule.fine_lr_scale,
+                gentle: false,
+                warm: true,
+            };
+            let t0 = Instant::now();
+            let outcome = solver.solve(&ctx, &request)?;
+            Ok::<_, CoreError>((outcome.mask, t0.elapsed().as_secs_f64()))
+        })?;
+        let (masks, times): (Vec<_>, Vec<_>) = solved.into_iter().unzip();
+        let t_asm = Instant::now();
+        mask = assemble(&partition, &masks, blend)?;
+        stages.push(StageTiming {
+            label: format!("fine stage {}", stage + 1),
+            tile_seconds: times,
+            assembly_seconds: t_asm.elapsed().as_secs_f64(),
+        });
+    }
+
+    // Between the fine stages and the refine pass, resolve the remaining
+    // gray ambiguity of the blend bands: at exactly 0.5 the binarisation
+    // penalty's gradient vanishes, so gradient steps alone cannot break the
+    // tie between two tiles' disagreeing proposals, while thresholding
+    // commits to definite, manufacturable shapes the refine pass then
+    // polishes.
+    mask = mask.threshold(0.5).to_real();
+
+    // Phase 3: multi-colour multiplicative refine.
+    let coloring = multi_coloring(&partition);
+    for (color, group) in coloring.groups().into_iter().enumerate() {
+        if group.is_empty() {
+            continue;
+        }
+        let solved = executor.run_fallible(group.len(), |k| {
+            let tile = partition.tile(group[k]);
+            let tile_target = restrict(&target_real, tile);
+            let tile_init = restrict(&mask, tile);
+            let ctx = SolveContext { bank, n, scale: 1 };
+            let request = SolveRequest {
+                target: &tile_target,
+                initial: &tile_init,
+                iterations: config.schedule.refine_iterations,
+                lr_scale: config.schedule.refine_lr_scale,
+                gentle: true,
+                warm: true,
+            };
+            let t0 = Instant::now();
+            let outcome = solver.solve(&ctx, &request)?;
+            Ok::<_, CoreError>((outcome.mask, t0.elapsed().as_secs_f64()))
+        })?;
+        let t_asm = Instant::now();
+        let mut times = Vec::with_capacity(group.len());
+        for (k, (new_mask, elapsed)) in solved.into_iter().enumerate() {
+            times.push(elapsed);
+            // Multiplicative replacement over the extended core: later
+            // colours re-author the boundary bands consistently instead of
+            // averaging into them.
+            let replace = AssemblyMode::ExtendedCore {
+                margin: match blend {
+                    AssemblyMode::Weighted { band } => band,
+                    _ => config.partition.overlap / 4,
+                },
+            };
+            apply_weighted_update(&mut mask, &partition, group[k], &new_mask, replace);
+        }
+        stages.push(StageTiming {
+            label: format!("refine color {}", color + 1),
+            tile_seconds: times,
+            assembly_seconds: t_asm.elapsed().as_secs_f64(),
+        });
+    }
+
+    Ok(FlowResult {
+        name: format!("ours:{}", solver.name()),
+        mask,
+        stages,
+        wall_seconds: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// Multiplicative partial update: replaces tile `index`'s weighted
+/// contribution in `layout` with `new_mask`, leaving every other tile's
+/// contribution untouched:
+/// `M <- M + W_j (M_j_new - R_j M)`.
+fn apply_weighted_update(
+    layout: &mut RealGrid,
+    partition: &Partition,
+    index: usize,
+    new_mask: &RealGrid,
+    blend: AssemblyMode,
+) {
+    let tile = partition.tile(index);
+    let w = weight_map(partition, index, blend);
+    let t = partition.config().tile;
+    for y in 0..t {
+        let gy = tile.rect.y0 as usize + y;
+        for x in 0..t {
+            let weight = w.get(x, y);
+            if weight == 0.0 {
+                continue;
+            }
+            let gx = tile.rect.x0 as usize + x;
+            let old = layout.get(gx, gy);
+            let local_old = old; // R_j M at this pixel
+            let updated = old + weight * (new_mask.get(x, y) - local_old);
+            layout.set(gx, gy, updated);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilt_layout::generate_clip;
+    use ilt_litho::ResistModel;
+    use ilt_opt::PixelIlt;
+
+    fn run_tiny() -> (ExperimentConfig, FlowResult, BitGrid) {
+        let config = ExperimentConfig::test_tiny();
+        let bank = LithoBank::new(config.optics, ResistModel::m1_default()).unwrap();
+        let target = generate_clip(&config.generator, 1);
+        let result = multigrid_schwarz(
+            &config,
+            &bank,
+            &target,
+            &PixelIlt::new(),
+            &TileExecutor::sequential(),
+        )
+        .unwrap();
+        (config, result, target)
+    }
+
+    #[test]
+    fn runs_all_three_phases() {
+        let (config, result, _) = run_tiny();
+        assert_eq!(result.mask.width(), config.clip);
+        let labels: Vec<&str> = result.stages.iter().map(|s| s.label.as_str()).collect();
+        assert!(labels.contains(&"coarse s=2"));
+        assert!(labels.contains(&"fine stage 1"));
+        assert!(labels.contains(&"fine stage 2"));
+        assert!(labels.iter().any(|l| l.starts_with("refine color")));
+        assert!(result.name.starts_with("ours:"));
+    }
+
+    #[test]
+    fn coarse_stage_has_single_tile_at_paper_geometry() {
+        // With clip = 2N and s = 2, one coarse tile covers the whole clip.
+        let (_, result, _) = run_tiny();
+        let coarse = result
+            .stages
+            .iter()
+            .find(|s| s.label == "coarse s=2")
+            .unwrap();
+        assert_eq!(coarse.tile_seconds.len(), 1);
+        let fine = result
+            .stages
+            .iter()
+            .find(|s| s.label == "fine stage 1")
+            .unwrap();
+        assert_eq!(fine.tile_seconds.len(), 9);
+    }
+
+    #[test]
+    fn refine_covers_every_tile_once_across_colors() {
+        let (_, result, _) = run_tiny();
+        let refined: usize = result
+            .stages
+            .iter()
+            .filter(|s| s.label.starts_with("refine"))
+            .map(|s| s.tile_seconds.len())
+            .sum();
+        assert_eq!(refined, 9);
+    }
+
+    #[test]
+    fn mask_stays_in_unit_range() {
+        let (_, result, _) = run_tiny();
+        assert!(result.mask.min() >= -1e-9);
+        assert!(result.mask.max() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn weighted_update_is_local() {
+        let partition = Partition::new(
+            128,
+            128,
+            PartitionConfig {
+                tile: 64,
+                overlap: 32,
+            },
+        )
+        .unwrap();
+        let mut layout = RealGrid::new(128, 128, 0.25);
+        let new_mask = RealGrid::new(64, 64, 1.0);
+        apply_weighted_update(
+            &mut layout,
+            &partition,
+            0,
+            &new_mask,
+            AssemblyMode::Weighted { band: 8 },
+        );
+        // Inside tile 0's full-weight region the value is replaced.
+        assert!((layout.get(5, 5) - 1.0).abs() < 1e-12);
+        // Outside tile 0 nothing changed.
+        assert_eq!(layout.get(100, 100), 0.25);
+        // Within the blend band around the core boundary (x = 48, default
+        // band 8) the update is partial.
+        let mid = layout.get(46, 5);
+        assert!(mid > 0.25 && mid < 1.0, "mid {mid}");
+    }
+}

@@ -1,0 +1,56 @@
+//! # ilt-core
+//!
+//! The paper's contribution — the **multigrid-Schwarz full-chip ILT
+//! framework** — together with every flow its evaluation compares against:
+//!
+//! * [`flows::multigrid_schwarz`] — coarse-grid ILT (Algorithm 1) →
+//!   staged fine-grid modified-additive-Schwarz ILT with weighted-smoothing
+//!   assembly (Eq. (10)–(14)) → multi-colour multiplicative-Schwarz refine
+//!   (Section 3.4);
+//! * [`flows::divide_and_conquer`] — the traditional baseline: independent
+//!   tiles, hard RAS assembly (Eq. (6));
+//! * [`flows::full_chip`] — the un-partitioned reference solve (Eq. (3));
+//! * [`flows::stitch_and_heal`] — the heal-the-boundary baseline \[6\],
+//!   including the new seams it creates (Fig. 7);
+//! * [`experiment`] — the Table 1 engine (run, inspect, average, ratio);
+//! * [`speedup`] — the measured-runtime scheduling model for the 4-GPU
+//!   speedup experiment.
+//!
+//! # Examples
+//!
+//! Running the paper's method on one synthetic clip:
+//!
+//! ```no_run
+//! use ilt_core::{flows, ExperimentConfig};
+//! use ilt_layout::generate_clip;
+//! use ilt_litho::{LithoBank, ResistModel};
+//! use ilt_opt::PixelIlt;
+//! use ilt_tile::TileExecutor;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = ExperimentConfig::paper_default();
+//! let bank = LithoBank::new(config.optics, ResistModel::m1_default())?;
+//! let target = generate_clip(&config.generator, 1);
+//! let result = flows::multigrid_schwarz(
+//!     &config,
+//!     &bank,
+//!     &target,
+//!     &PixelIlt::new(),
+//!     &TileExecutor::sequential(),
+//! )?;
+//! println!("optimised {} in {:.1}s", result.name, result.tat());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod error;
+pub mod experiment;
+pub mod flows;
+pub mod speedup;
+
+pub use config::{ExperimentConfig, Schedule};
+pub use error::CoreError;

@@ -1,0 +1,218 @@
+//! The parallel-speedup model for the Section 4 experiment.
+//!
+//! The paper measures speedup on 4 GPUs whose transfers are staged through
+//! host memory. This repository runs on CPU (and possibly a single core),
+//! so rather than pretending wall-clock parallel numbers, the model
+//! replays the *measured* per-tile compute times of a flow through a
+//! longest-processing-time list schedule with `k` workers, and charges the
+//! host-staged communication for every tile result once per assembly
+//! (communication does not parallelise — there is one host).
+
+use crate::flows::{FlowResult, StageTiming};
+
+/// Communication-cost model for tile results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommModel {
+    /// Seconds to move one tile between a worker and the host per assembly
+    /// (both directions folded in). The paper's GPUs lack direct links, so
+    /// every exchange is staged through the host.
+    pub seconds_per_tile: f64,
+}
+
+impl CommModel {
+    /// A model calibrated from a flow's own measured assembly times: the
+    /// average assembly cost per tile is used as the transfer charge.
+    pub fn from_measured(flow: &FlowResult) -> Self {
+        let tiles: usize = flow.stages.iter().map(|s| s.tile_seconds.len()).sum();
+        let assembly: f64 = flow.stages.iter().map(|s| s.assembly_seconds).sum();
+        CommModel {
+            seconds_per_tile: if tiles == 0 {
+                0.0
+            } else {
+                assembly / tiles as f64
+            },
+        }
+    }
+}
+
+/// Longest-processing-time list schedule: the makespan of `jobs` on
+/// `workers` machines.
+///
+/// # Panics
+///
+/// Panics if `workers == 0`.
+pub fn lpt_makespan(jobs: &[f64], workers: usize) -> f64 {
+    assert!(workers > 0, "need at least one worker");
+    if jobs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = jobs.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("job times are finite"));
+    let mut load = vec![0.0f64; workers];
+    for job in sorted {
+        // Assign to the least-loaded worker.
+        let (idx, _) = load
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("loads are finite"))
+            .expect("workers is nonzero");
+        load[idx] += job;
+    }
+    load.into_iter().fold(0.0, f64::max)
+}
+
+/// Modeled wall-clock of one stage on `workers` workers: the parallel tile
+/// schedule plus the sequential assembly and per-tile host transfers.
+pub fn stage_makespan(stage: &StageTiming, workers: usize, comm: CommModel) -> f64 {
+    lpt_makespan(&stage.tile_seconds, workers)
+        + stage.assembly_seconds
+        + comm.seconds_per_tile * stage.tile_seconds.len() as f64
+}
+
+/// Modeled wall-clock of a whole flow (stages are sequential by
+/// construction: each needs the previous assembly).
+pub fn flow_makespan(flow: &FlowResult, workers: usize, comm: CommModel) -> f64 {
+    flow.stages
+        .iter()
+        .map(|s| stage_makespan(s, workers, comm))
+        .sum()
+}
+
+/// One point of the speedup curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedupPoint {
+    /// Worker count.
+    pub workers: usize,
+    /// Modeled makespan in seconds.
+    pub makespan: f64,
+    /// Speedup relative to one worker.
+    pub speedup: f64,
+}
+
+/// Computes the speedup curve of a flow for the given worker counts.
+pub fn speedup_curve(flow: &FlowResult, workers: &[usize], comm: CommModel) -> Vec<SpeedupPoint> {
+    let base = flow_makespan(flow, 1, comm);
+    workers
+        .iter()
+        .map(|&w| {
+            let makespan = flow_makespan(flow, w, comm);
+            SpeedupPoint {
+                workers: w,
+                makespan,
+                speedup: if makespan > 0.0 { base / makespan } else { 1.0 },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilt_grid::Grid;
+
+    fn flow(stages: Vec<StageTiming>) -> FlowResult {
+        FlowResult {
+            name: "test".into(),
+            mask: Grid::new(2, 2, 0.0),
+            stages,
+            wall_seconds: 0.0,
+        }
+    }
+
+    fn stage(times: &[f64], asm: f64) -> StageTiming {
+        StageTiming {
+            label: "s".into(),
+            tile_seconds: times.to_vec(),
+            assembly_seconds: asm,
+        }
+    }
+
+    #[test]
+    fn lpt_basics() {
+        assert_eq!(lpt_makespan(&[], 4), 0.0);
+        assert_eq!(lpt_makespan(&[3.0, 1.0, 2.0], 1), 6.0);
+        // 4 equal jobs on 2 workers: perfectly balanced.
+        assert_eq!(lpt_makespan(&[1.0; 4], 2), 2.0);
+        // LPT puts the long job alone.
+        assert_eq!(lpt_makespan(&[4.0, 1.0, 1.0, 1.0, 1.0], 2), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker")]
+    fn zero_workers_panics() {
+        let _ = lpt_makespan(&[1.0], 0);
+    }
+
+    #[test]
+    fn more_workers_never_slower() {
+        let s = stage(&[3.0, 2.5, 2.0, 1.5, 1.0, 0.5, 2.2, 0.9, 1.8], 0.2);
+        let comm = CommModel {
+            seconds_per_tile: 0.05,
+        };
+        let mut prev = f64::INFINITY;
+        for w in 1..=8 {
+            let m = stage_makespan(&s, w, comm);
+            assert!(m <= prev + 1e-12, "workers {w}: {m} > {prev}");
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn communication_limits_speedup() {
+        // 9 unit tiles: ideal 4-worker speedup would be 9 / 3 = 3, but
+        // adding communication drags it below — mirroring the paper's
+        // 2.76x on 4 GPUs without direct links.
+        let f = flow(vec![stage(&[1.0; 9], 0.0)]);
+        let no_comm = speedup_curve(
+            &f,
+            &[4],
+            CommModel {
+                seconds_per_tile: 0.0,
+            },
+        );
+        assert!((no_comm[0].speedup - 3.0).abs() < 1e-12);
+        let comm = speedup_curve(
+            &f,
+            &[4],
+            CommModel {
+                seconds_per_tile: 0.1,
+            },
+        );
+        assert!(comm[0].speedup < 3.0);
+        assert!(comm[0].speedup > 2.0);
+    }
+
+    #[test]
+    fn stages_are_sequential_barriers() {
+        // Two stages of 2 x 1s tiles: with 2 workers each stage takes 1s,
+        // total 2s — not 2s of one big pool that could finish in 2s anyway;
+        // but with 4 workers it still takes 2s (barrier between stages).
+        let f = flow(vec![stage(&[1.0, 1.0], 0.0), stage(&[1.0, 1.0], 0.0)]);
+        let comm = CommModel {
+            seconds_per_tile: 0.0,
+        };
+        assert_eq!(flow_makespan(&f, 4, comm), 2.0);
+        assert_eq!(flow_makespan(&f, 1, comm), 4.0);
+    }
+
+    #[test]
+    fn measured_comm_model() {
+        let f = flow(vec![stage(&[1.0; 4], 0.8), stage(&[1.0; 4], 0.0)]);
+        let comm = CommModel::from_measured(&f);
+        assert!((comm.seconds_per_tile - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_is_normalised_to_one_worker() {
+        let f = flow(vec![stage(&[2.0, 1.0, 1.0], 0.1)]);
+        let curve = speedup_curve(
+            &f,
+            &[1, 2],
+            CommModel {
+                seconds_per_tile: 0.0,
+            },
+        );
+        assert!((curve[0].speedup - 1.0).abs() < 1e-12);
+        assert!(curve[1].speedup > 1.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Naive `O(n^2)` discrete Fourier transform used as a test oracle.
+//!
+//! The FFT implementation in [`crate::plan`] is validated against this
+//! straightforward translation of the DFT definition. It is also handy when
+//! a caller needs a transform of a small non-power-of-two length (the crate's
+//! fast path is power-of-two only).
+
+use crate::complex::Complex;
+use crate::plan::Direction;
+
+/// Computes the DFT of `input` by direct summation.
+///
+/// The forward direction computes `X_k = sum_n x_n e^{-2 pi i k n / N}`;
+/// the inverse direction includes the `1/N` normalisation so that composing
+/// the two directions is the identity.
+///
+/// # Examples
+///
+/// ```
+/// use ilt_fft::{dft_reference, Complex, Direction};
+///
+/// let x = vec![Complex::ONE, Complex::ZERO, Complex::ZERO];
+/// let spectrum = dft_reference(&x, Direction::Forward);
+/// assert!(spectrum.iter().all(|z| (*z - Complex::ONE).abs() < 1e-12));
+/// ```
+pub fn dft_reference(input: &[Complex], dir: Direction) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let sign = dir.sign();
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        let mut acc = Complex::ZERO;
+        for (i, x) in input.iter().enumerate() {
+            let theta = sign * 2.0 * std::f64::consts::PI * (k * i % n) as f64 / n as f64;
+            acc = acc.mul_add(*x, Complex::from_polar(1.0, theta));
+        }
+        if matches!(dir, Direction::Inverse) {
+            acc = acc.scale(1.0 / n as f64);
+        }
+        out.push(acc);
+    }
+    out
+}
+
+/// Computes the 2-D DFT of a row-major `rows x cols` buffer by direct
+/// summation. Intended only for validating the fast 2-D transform on tiny
+/// inputs; complexity is `O((rows*cols)^2)`.
+///
+/// # Panics
+///
+/// Panics if `input.len() != rows * cols`.
+pub fn dft2_reference(input: &[Complex], rows: usize, cols: usize, dir: Direction) -> Vec<Complex> {
+    assert_eq!(input.len(), rows * cols, "buffer does not match shape");
+    let sign = dir.sign();
+    let mut out = vec![Complex::ZERO; rows * cols];
+    for ky in 0..rows {
+        for kx in 0..cols {
+            let mut acc = Complex::ZERO;
+            for y in 0..rows {
+                for x in 0..cols {
+                    let theta = sign
+                        * 2.0
+                        * std::f64::consts::PI
+                        * (ky as f64 * y as f64 / rows as f64 + kx as f64 * x as f64 / cols as f64);
+                    acc = acc.mul_add(input[y * cols + x], Complex::from_polar(1.0, theta));
+                }
+            }
+            if matches!(dir, Direction::Inverse) {
+                acc = acc.scale(1.0 / (rows * cols) as f64);
+            }
+            out[ky * cols + kx] = acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        assert!(dft_reference(&[], Direction::Forward).is_empty());
+    }
+
+    #[test]
+    fn dc_component_is_sum() {
+        let x = vec![
+            Complex::from_re(1.0),
+            Complex::from_re(2.0),
+            Complex::from_re(3.0),
+        ];
+        let spectrum = dft_reference(&x, Direction::Forward);
+        assert!((spectrum[0].re - 6.0).abs() < 1e-12);
+        assert!(spectrum[0].im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn forward_then_inverse_is_identity() {
+        let x: Vec<Complex> = (0..5)
+            .map(|i| Complex::new(i as f64, -(i as f64) * 0.5))
+            .collect();
+        let spec = dft_reference(&x, Direction::Forward);
+        let back = dft_reference(&spec, Direction::Inverse);
+        for (a, b) in x.iter().zip(&back) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn works_for_non_power_of_two() {
+        let x: Vec<Complex> = (0..7).map(|i| Complex::from_re(i as f64)).collect();
+        let spec = dft_reference(&x, Direction::Forward);
+        assert_eq!(spec.len(), 7);
+        // Parseval for the naive transform too.
+        let te: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let fe: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / 7.0;
+        assert!((te - fe).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dft2_impulse_is_flat() {
+        let mut x = vec![Complex::ZERO; 6];
+        x[0] = Complex::ONE;
+        let spec = dft2_reference(&x, 2, 3, Direction::Forward);
+        for z in &spec {
+            assert!((*z - Complex::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dft2_roundtrip() {
+        let x: Vec<Complex> = (0..12)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64).cos()))
+            .collect();
+        let spec = dft2_reference(&x, 3, 4, Direction::Forward);
+        let back = dft2_reference(&spec, 3, 4, Direction::Inverse);
+        for (a, b) in x.iter().zip(&back) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer does not match shape")]
+    fn dft2_shape_mismatch_panics() {
+        let x = vec![Complex::ZERO; 5];
+        let _ = dft2_reference(&x, 2, 3, Direction::Forward);
+    }
+}

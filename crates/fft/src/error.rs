@@ -1,0 +1,95 @@
+//! Error type for FFT planning and execution.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by FFT planning and execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FftError {
+    /// The requested transform length is not a power of two (or is zero).
+    NonPowerOfTwo {
+        /// The offending length.
+        len: usize,
+    },
+    /// A buffer passed to a transform does not match the plan length.
+    LengthMismatch {
+        /// Length the plan was built for.
+        expected: usize,
+        /// Length of the buffer that was supplied.
+        actual: usize,
+    },
+    /// A 2-D buffer does not match the planned `rows x cols` shape.
+    ShapeMismatch {
+        /// Expected number of elements (`rows * cols`).
+        expected: usize,
+        /// Number of elements supplied.
+        actual: usize,
+    },
+    /// A spectral crop/embed was requested with an output size larger than
+    /// the input (or vice versa where the operation forbids it).
+    InvalidCrop {
+        /// Source edge length.
+        from: usize,
+        /// Destination edge length.
+        to: usize,
+    },
+}
+
+impl fmt::Display for FftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FftError::NonPowerOfTwo { len } => {
+                write!(f, "transform length {len} is not a nonzero power of two")
+            }
+            FftError::LengthMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "buffer length {actual} does not match plan length {expected}"
+                )
+            }
+            FftError::ShapeMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "buffer has {actual} elements but the plan expects {expected}"
+                )
+            }
+            FftError::InvalidCrop { from, to } => {
+                write!(
+                    f,
+                    "cannot crop or embed a spectrum from size {from} to size {to}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for FftError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = FftError::NonPowerOfTwo { len: 12 };
+        assert!(e.to_string().contains("12"));
+        let e = FftError::LengthMismatch {
+            expected: 8,
+            actual: 4,
+        };
+        assert!(e.to_string().contains('8') && e.to_string().contains('4'));
+        let e = FftError::ShapeMismatch {
+            expected: 64,
+            actual: 32,
+        };
+        assert!(e.to_string().contains("64"));
+        let e = FftError::InvalidCrop { from: 4, to: 16 };
+        assert!(e.to_string().contains("16"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync>() {}
+        assert_error::<FftError>();
+    }
+}

@@ -1,0 +1,322 @@
+//! FFT planning: precomputed twiddle factors and bit-reversal permutations.
+//!
+//! All transforms in this crate are power-of-two radix-2 Cooley–Tukey. A
+//! [`FftPlan`] is created once per length and reused across the many
+//! transforms an ILT iteration performs; plan construction is `O(n)` and the
+//! transform itself is `O(n log n)`.
+
+use crate::complex::Complex;
+use crate::error::FftError;
+
+/// Direction of a Fourier transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// The forward transform, `X_k = sum_n x_n e^{-2 pi i k n / N}`.
+    Forward,
+    /// The inverse transform (with `1/N` normalisation applied).
+    Inverse,
+}
+
+impl Direction {
+    /// Sign of the exponent used by this direction.
+    #[inline]
+    pub fn sign(self) -> f64 {
+        match self {
+            Direction::Forward => -1.0,
+            Direction::Inverse => 1.0,
+        }
+    }
+}
+
+/// A reusable plan for power-of-two FFTs of a fixed length.
+///
+/// The plan stores the bit-reversal permutation and the twiddle factors for
+/// the forward direction; inverse transforms conjugate on the fly.
+///
+/// # Examples
+///
+/// ```
+/// use ilt_fft::{Complex, FftPlan};
+///
+/// # fn main() -> Result<(), ilt_fft::FftError> {
+/// let plan = FftPlan::new(8)?;
+/// let mut data = vec![Complex::ONE; 8];
+/// plan.forward(&mut data)?;
+/// // DC bin picks up the sum, every other bin is zero.
+/// assert!((data[0].re - 8.0).abs() < 1e-12);
+/// assert!(data[1].abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    len: usize,
+    /// `rev[i]` is the bit-reversed index of `i` within `log2(len)` bits.
+    rev: Vec<u32>,
+    /// Twiddles `e^{-2 pi i k / len}` for `k in 0..len/2` (forward direction).
+    twiddles: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Creates a plan for transforms of length `len`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::NonPowerOfTwo`] unless `len` is a power of two
+    /// and at least 1.
+    pub fn new(len: usize) -> Result<Self, FftError> {
+        if len == 0 || !len.is_power_of_two() {
+            return Err(FftError::NonPowerOfTwo { len });
+        }
+        let bits = len.trailing_zeros();
+        let mut rev = vec![0u32; len];
+        for (i, r) in rev.iter_mut().enumerate() {
+            *r = (i as u32).reverse_bits() >> (32 - bits.max(1));
+        }
+        if bits == 0 {
+            rev[0] = 0;
+        }
+        let half = (len / 2).max(1);
+        let mut twiddles = Vec::with_capacity(half);
+        for k in 0..half {
+            let theta = -2.0 * std::f64::consts::PI * k as f64 / len as f64;
+            twiddles.push(Complex::from_polar(1.0, theta));
+        }
+        Ok(FftPlan { len, rev, twiddles })
+    }
+
+    /// Transform length this plan was built for.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the plan length is zero (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// In-place forward FFT.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `data.len()` differs from the
+    /// plan length.
+    pub fn forward(&self, data: &mut [Complex]) -> Result<(), FftError> {
+        self.transform(data, Direction::Forward)
+    }
+
+    /// In-place inverse FFT including the `1/N` normalisation, so that
+    /// `inverse(forward(x)) == x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `data.len()` differs from the
+    /// plan length.
+    pub fn inverse(&self, data: &mut [Complex]) -> Result<(), FftError> {
+        self.transform(data, Direction::Inverse)?;
+        let inv = 1.0 / self.len as f64;
+        for z in data.iter_mut() {
+            *z = z.scale(inv);
+        }
+        Ok(())
+    }
+
+    /// In-place transform without any normalisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `data.len()` differs from the
+    /// plan length.
+    pub fn transform(&self, data: &mut [Complex], dir: Direction) -> Result<(), FftError> {
+        if data.len() != self.len {
+            return Err(FftError::LengthMismatch {
+                expected: self.len,
+                actual: data.len(),
+            });
+        }
+        if self.len == 1 {
+            return Ok(());
+        }
+        // Bit-reversal permutation.
+        for i in 0..self.len {
+            let j = self.rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        // Iterative radix-2 butterflies.
+        let conj = matches!(dir, Direction::Inverse);
+        let mut size = 2;
+        while size <= self.len {
+            let half = size / 2;
+            let step = self.len / size;
+            let mut base = 0;
+            while base < self.len {
+                let mut k = 0;
+                for j in base..base + half {
+                    let mut w = self.twiddles[k];
+                    if conj {
+                        w = w.conj();
+                    }
+                    let t = w * data[j + half];
+                    let u = data[j];
+                    data[j] = u + t;
+                    data[j + half] = u - t;
+                    k += step;
+                }
+                base += size;
+            }
+            size *= 2;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft_reference;
+
+    fn max_err(a: &[Complex], b: &[Complex]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(matches!(
+            FftPlan::new(12),
+            Err(FftError::NonPowerOfTwo { len: 12 })
+        ));
+        assert!(matches!(
+            FftPlan::new(0),
+            Err(FftError::NonPowerOfTwo { len: 0 })
+        ));
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let plan = FftPlan::new(8).unwrap();
+        let mut data = vec![Complex::ZERO; 4];
+        assert!(matches!(
+            plan.forward(&mut data),
+            Err(FftError::LengthMismatch {
+                expected: 8,
+                actual: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        let plan = FftPlan::new(1).unwrap();
+        let mut data = vec![Complex::new(3.0, -2.0)];
+        plan.forward(&mut data).unwrap();
+        assert_eq!(data[0], Complex::new(3.0, -2.0));
+        plan.inverse(&mut data).unwrap();
+        assert_eq!(data[0], Complex::new(3.0, -2.0));
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let plan = FftPlan::new(16).unwrap();
+        let mut data = vec![Complex::ZERO; 16];
+        data[0] = Complex::ONE;
+        plan.forward(&mut data).unwrap();
+        for z in &data {
+            assert!((*z - Complex::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shifted_impulse_has_linear_phase() {
+        let n = 8;
+        let plan = FftPlan::new(n).unwrap();
+        let mut data = vec![Complex::ZERO; n];
+        data[1] = Complex::ONE;
+        plan.forward(&mut data).unwrap();
+        for (k, z) in data.iter().enumerate() {
+            let expect =
+                Complex::from_polar(1.0, -2.0 * std::f64::consts::PI * k as f64 / n as f64);
+            assert!((*z - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [2usize, 4, 8, 32, 64] {
+            let mut data: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+                .collect();
+            let reference = dft_reference(&data, Direction::Forward);
+            FftPlan::new(n).unwrap().forward(&mut data).unwrap();
+            assert!(max_err(&data, &reference) < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let n = 128;
+        let plan = FftPlan::new(n).unwrap();
+        let original: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.1).cos()))
+            .collect();
+        let mut data = original.clone();
+        plan.forward(&mut data).unwrap();
+        plan.inverse(&mut data).unwrap();
+        assert!(max_err(&data, &original) < 1e-10);
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let n = 64;
+        let plan = FftPlan::new(n).unwrap();
+        let data: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.3).cos(), (i as f64 * 0.9).sin()))
+            .collect();
+        let time_energy: f64 = data.iter().map(|z| z.norm_sqr()).sum();
+        let mut freq = data;
+        plan.forward(&mut freq).unwrap();
+        let freq_energy: f64 = freq.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 32;
+        let plan = FftPlan::new(n).unwrap();
+        let a: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, 0.5)).collect();
+        let b: Vec<Complex> = (0..n).map(|i| Complex::new(1.0, -(i as f64))).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fsum: Vec<Complex> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        plan.forward(&mut fa).unwrap();
+        plan.forward(&mut fb).unwrap();
+        plan.forward(&mut fsum).unwrap();
+        let combined: Vec<Complex> = fa.iter().zip(&fb).map(|(x, y)| *x + *y).collect();
+        assert!(max_err(&fsum, &combined) < 1e-9);
+    }
+
+    #[test]
+    fn real_input_spectrum_is_conjugate_symmetric() {
+        let n = 16;
+        let plan = FftPlan::new(n).unwrap();
+        let mut data: Vec<Complex> = (0..n)
+            .map(|i| Complex::from_re((i as f64 * 0.37).sin()))
+            .collect();
+        plan.forward(&mut data).unwrap();
+        for k in 1..n {
+            assert!((data[k] - data[n - k].conj()).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn direction_signs() {
+        assert_eq!(Direction::Forward.sign(), -1.0);
+        assert_eq!(Direction::Inverse.sign(), 1.0);
+    }
+}

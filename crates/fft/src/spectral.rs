@@ -1,0 +1,428 @@
+//! Spectral bookkeeping: centered/unshifted layout conversion, low-frequency
+//! crops and embeds, and frequency-domain resampling.
+//!
+//! The paper's simulation equations mix three spectrum layouts:
+//!
+//! * **unshifted** — the natural FFT output, DC in the corner `(0, 0)`;
+//! * **centered** — DC at `(n/2, n/2)` (what `fftshift` produces), the layout
+//!   in which optical kernels are tabulated;
+//! * **low-frequency crops** `[.]_P` — the centered `P x P` block around DC,
+//!   which is all the projection optics transmits.
+//!
+//! These helpers convert between them and implement the fractional-index
+//! kernel evaluation `H_i(j/s, k/s)` from Eq. (3)/(9) as a bilinear
+//! interpolation on the centered grid.
+
+use crate::complex::Complex;
+use crate::error::FftError;
+
+/// Maps a signed frequency index `k` (`-n/2 <= k < n/2`) to the unshifted
+/// FFT bin in `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use ilt_fft::spectral::wrap_index;
+///
+/// assert_eq!(wrap_index(0, 8), 0);
+/// assert_eq!(wrap_index(3, 8), 3);
+/// assert_eq!(wrap_index(-1, 8), 7);
+/// assert_eq!(wrap_index(-4, 8), 4);
+/// ```
+#[inline]
+pub fn wrap_index(k: i64, n: usize) -> usize {
+    let n = n as i64;
+    (((k % n) + n) % n) as usize
+}
+
+/// Signed frequency index of unshifted bin `i` in an `n`-point spectrum
+/// (`0..n/2` stay positive, the upper half maps to negative frequencies).
+///
+/// ```
+/// use ilt_fft::spectral::signed_index;
+///
+/// assert_eq!(signed_index(0, 8), 0);
+/// assert_eq!(signed_index(3, 8), 3);
+/// assert_eq!(signed_index(4, 8), -4);
+/// assert_eq!(signed_index(7, 8), -1);
+/// ```
+#[inline]
+pub fn signed_index(i: usize, n: usize) -> i64 {
+    if i < n.div_ceil(2) {
+        i as i64
+    } else {
+        i as i64 - n as i64
+    }
+}
+
+/// Moves DC from the corner to the center of a row-major `rows x cols`
+/// spectrum (a 2-D `fftshift`). Works for odd and even sizes.
+pub fn fftshift2(data: &[Complex], rows: usize, cols: usize) -> Vec<Complex> {
+    assert_eq!(data.len(), rows * cols, "buffer does not match shape");
+    let mut out = vec![Complex::ZERO; rows * cols];
+    let rshift = rows / 2;
+    let cshift = cols / 2;
+    for r in 0..rows {
+        let nr = (r + rshift) % rows;
+        for c in 0..cols {
+            let nc = (c + cshift) % cols;
+            out[nr * cols + nc] = data[r * cols + c];
+        }
+    }
+    out
+}
+
+/// Inverse of [`fftshift2`]: moves a centered DC back to the corner.
+pub fn ifftshift2(data: &[Complex], rows: usize, cols: usize) -> Vec<Complex> {
+    assert_eq!(data.len(), rows * cols, "buffer does not match shape");
+    let mut out = vec![Complex::ZERO; rows * cols];
+    let rshift = rows.div_ceil(2);
+    let cshift = cols.div_ceil(2);
+    for r in 0..rows {
+        let nr = (r + rshift) % rows;
+        for c in 0..cols {
+            let nc = (c + cshift) % cols;
+            out[nr * cols + nc] = data[r * cols + c];
+        }
+    }
+    out
+}
+
+/// Extracts the centered low-frequency `p x p` block `[.]_p` from an
+/// unshifted `n x n` spectrum. The output is **centered** (DC at `p/2, p/2`).
+///
+/// # Errors
+///
+/// Returns [`FftError::InvalidCrop`] if `p > n` or `p == 0`.
+pub fn crop_lowfreq(spectrum: &[Complex], n: usize, p: usize) -> Result<Vec<Complex>, FftError> {
+    if p > n || p == 0 {
+        return Err(FftError::InvalidCrop { from: n, to: p });
+    }
+    if spectrum.len() != n * n {
+        return Err(FftError::ShapeMismatch {
+            expected: n * n,
+            actual: spectrum.len(),
+        });
+    }
+    let half = p as i64 / 2;
+    let mut out = vec![Complex::ZERO; p * p];
+    for r in 0..p {
+        let fr = r as i64 - half;
+        let sr = wrap_index(fr, n);
+        for c in 0..p {
+            let fc = c as i64 - half;
+            let sc = wrap_index(fc, n);
+            out[r * p + c] = spectrum[sr * n + sc];
+        }
+    }
+    Ok(out)
+}
+
+/// Embeds a **centered** `p x p` low-frequency block into an unshifted
+/// `n x n` spectrum of zeros (the adjoint of [`crop_lowfreq`]).
+///
+/// # Errors
+///
+/// Returns [`FftError::InvalidCrop`] if `p > n` or `p == 0`.
+pub fn embed_lowfreq(block: &[Complex], p: usize, n: usize) -> Result<Vec<Complex>, FftError> {
+    if p > n || p == 0 {
+        return Err(FftError::InvalidCrop { from: p, to: n });
+    }
+    if block.len() != p * p {
+        return Err(FftError::ShapeMismatch {
+            expected: p * p,
+            actual: block.len(),
+        });
+    }
+    let half = p as i64 / 2;
+    let mut out = vec![Complex::ZERO; n * n];
+    for r in 0..p {
+        let fr = r as i64 - half;
+        let sr = wrap_index(fr, n);
+        for c in 0..p {
+            let fc = c as i64 - half;
+            let sc = wrap_index(fc, n);
+            out[sr * n + sc] = block[r * p + c];
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluates a centered `p x p` spectrum at the fractional indices
+/// `(j/s, k/s)` required by Eq. (3)/(9) of the paper, producing a centered
+/// `(s*p) x (s*p)` spectrum over the same physical frequency support.
+///
+/// Values sampled outside the original support are zero (the projection
+/// pupil transmits nothing there). `s` must be at least 1.
+///
+/// # Errors
+///
+/// Returns [`FftError::ShapeMismatch`] if `block.len() != p * p`.
+///
+/// # Panics
+///
+/// Panics if `s == 0`.
+pub fn upsample_centered(block: &[Complex], p: usize, s: usize) -> Result<Vec<Complex>, FftError> {
+    assert!(s >= 1, "upsampling factor must be at least 1");
+    if block.len() != p * p {
+        return Err(FftError::ShapeMismatch {
+            expected: p * p,
+            actual: block.len(),
+        });
+    }
+    if s == 1 {
+        return Ok(block.to_vec());
+    }
+    let q = p * s;
+    let src_center = (p / 2) as f64;
+    let dst_center = (q / 2) as f64;
+    let mut out = vec![Complex::ZERO; q * q];
+    for r in 0..q {
+        // Fractional source coordinate on the centered p-grid.
+        let fr = (r as f64 - dst_center) / s as f64 + src_center;
+        for c in 0..q {
+            let fc = (c as f64 - dst_center) / s as f64 + src_center;
+            out[r * q + c] = bilinear(block, p, fr, fc);
+        }
+    }
+    Ok(out)
+}
+
+/// Bilinear interpolation of a centered `p x p` complex grid at fractional
+/// coordinates; zero outside the grid.
+fn bilinear(block: &[Complex], p: usize, r: f64, c: f64) -> Complex {
+    if r < 0.0 || c < 0.0 || r > (p - 1) as f64 || c > (p - 1) as f64 {
+        return Complex::ZERO;
+    }
+    let r0 = r.floor() as usize;
+    let c0 = c.floor() as usize;
+    let r1 = (r0 + 1).min(p - 1);
+    let c1 = (c0 + 1).min(p - 1);
+    let dr = r - r0 as f64;
+    let dc = c - c0 as f64;
+    let f00 = block[r0 * p + c0];
+    let f01 = block[r0 * p + c1];
+    let f10 = block[r1 * p + c0];
+    let f11 = block[r1 * p + c1];
+    f00.scale((1.0 - dr) * (1.0 - dc))
+        + f01.scale((1.0 - dr) * dc)
+        + f10.scale(dr * (1.0 - dc))
+        + f11.scale(dr * dc)
+}
+
+/// Restricts an unshifted `sn x sn` spectrum to its centered `n x n`
+/// low-frequency block (same signed frequency indices, scaled by `1/s^2`),
+/// yielding the unshifted `n x n` spectrum of the spatially `s`-downsampled
+/// image — the approximation of Eq. (8): for band-limited content,
+/// `F_N(M_s)(j,k) ~= F_sN(M)(j,k) / s^2`.
+///
+/// # Errors
+///
+/// Returns [`FftError::ShapeMismatch`] if the buffer does not match `sn*sn`,
+/// or [`FftError::InvalidCrop`] if `sn` is not divisible by `s`.
+pub fn subsample_spectrum(
+    spectrum: &[Complex],
+    sn: usize,
+    s: usize,
+) -> Result<Vec<Complex>, FftError> {
+    if s == 0 || !sn.is_multiple_of(s) {
+        return Err(FftError::InvalidCrop { from: sn, to: s });
+    }
+    if spectrum.len() != sn * sn {
+        return Err(FftError::ShapeMismatch {
+            expected: sn * sn,
+            actual: spectrum.len(),
+        });
+    }
+    let n = sn / s;
+    let mut out = vec![Complex::ZERO; n * n];
+    let scale = 1.0 / (s * s) as f64;
+    for r in 0..n {
+        // Bin r of the coarse grid (pixel pitch s) and bin r of the fine grid
+        // carry the same physical frequency signed(r)/(s*n); decimation of a
+        // band-limited image keeps exactly that alias.
+        let sr = wrap_index(signed_index(r, n), sn);
+        for c in 0..n {
+            let sc = wrap_index(signed_index(c, n), sn);
+            out[r * n + c] = spectrum[sr * sn + sc].scale(scale);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft2d::Fft2d;
+
+    #[test]
+    fn wrap_and_signed_are_inverse() {
+        for n in [4usize, 5, 8, 9] {
+            for i in 0..n {
+                assert_eq!(wrap_index(signed_index(i, n), n), i, "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fftshift_roundtrip_even_and_odd() {
+        for n in [4usize, 5] {
+            let data: Vec<Complex> = (0..n * n).map(|i| Complex::from_re(i as f64)).collect();
+            let shifted = fftshift2(&data, n, n);
+            let back = ifftshift2(&shifted, n, n);
+            assert_eq!(back, data, "n={n}");
+        }
+    }
+
+    #[test]
+    fn fftshift_moves_dc_to_center() {
+        let n = 4;
+        let mut data = vec![Complex::ZERO; n * n];
+        data[0] = Complex::ONE;
+        let shifted = fftshift2(&data, n, n);
+        assert_eq!(shifted[(n / 2) * n + n / 2], Complex::ONE);
+    }
+
+    #[test]
+    fn crop_then_embed_preserves_low_frequencies() {
+        let n = 8;
+        let p = 4;
+        let spectrum: Vec<Complex> = (0..n * n)
+            .map(|i| Complex::new(i as f64, -(i as f64)))
+            .collect();
+        let block = crop_lowfreq(&spectrum, n, p).unwrap();
+        let embedded = embed_lowfreq(&block, p, n).unwrap();
+        // Every in-band bin survives, every out-of-band bin is zero.
+        for r in 0..n {
+            for c in 0..n {
+                let fr = signed_index(r, n);
+                let fc = signed_index(c, n);
+                let in_band = fr >= -(p as i64) / 2
+                    && fr < p as i64 / 2
+                    && fc >= -(p as i64) / 2
+                    && fc < p as i64 / 2;
+                if in_band {
+                    assert_eq!(embedded[r * n + c], spectrum[r * n + c]);
+                } else {
+                    assert_eq!(embedded[r * n + c], Complex::ZERO);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crop_rejects_bad_sizes() {
+        let spectrum = vec![Complex::ZERO; 16];
+        assert!(crop_lowfreq(&spectrum, 4, 8).is_err());
+        assert!(crop_lowfreq(&spectrum, 4, 0).is_err());
+        assert!(crop_lowfreq(&spectrum, 5, 2).is_err()); // wrong buffer size
+    }
+
+    #[test]
+    fn embed_rejects_bad_sizes() {
+        let block = vec![Complex::ZERO; 4];
+        assert!(embed_lowfreq(&block, 2, 1).is_err());
+        assert!(embed_lowfreq(&block, 3, 8).is_err()); // wrong buffer size
+    }
+
+    #[test]
+    fn lowpass_filtering_via_crop_embed() {
+        // Embedding a cropped spectrum and inverting must reproduce a
+        // band-limited version of the image; a DC image is fully in-band.
+        let n = 8;
+        let fft = Fft2d::new(n, n).unwrap();
+        let mut img = vec![Complex::ONE; n * n];
+        fft.forward(&mut img).unwrap();
+        let block = crop_lowfreq(&img, n, 2).unwrap();
+        let mut back = embed_lowfreq(&block, 2, n).unwrap();
+        fft.inverse(&mut back).unwrap();
+        for z in &back {
+            assert!((*z - Complex::ONE).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn upsample_identity_for_s1() {
+        let block: Vec<Complex> = (0..9).map(|i| Complex::from_re(i as f64)).collect();
+        let up = upsample_centered(&block, 3, 1).unwrap();
+        assert_eq!(up, block);
+    }
+
+    #[test]
+    fn upsample_preserves_center_value() {
+        let p = 5;
+        let mut block = vec![Complex::ZERO; p * p];
+        block[(p / 2) * p + p / 2] = Complex::new(2.0, -1.0);
+        let s = 2;
+        let up = upsample_centered(&block, p, s).unwrap();
+        let q = p * s;
+        assert_eq!(up.len(), q * q);
+        // DC of the upsampled grid must equal DC of the source.
+        assert!((up[(q / 2) * q + q / 2] - Complex::new(2.0, -1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upsample_interpolates_linearly() {
+        // A linear ramp must be reproduced exactly by bilinear interpolation
+        // (away from the zero-padded border).
+        let p = 5;
+        let block: Vec<Complex> = (0..p * p)
+            .map(|i| Complex::from_re((i / p) as f64))
+            .collect();
+        let s = 2;
+        let q = p * s;
+        let up = upsample_centered(&block, p, s).unwrap();
+        // Mid-grid point halfway between source rows 2 and 3.
+        let r = q / 2 + 1; // fractional source row 2.5
+        let v = up[r * q + q / 2];
+        assert!((v.re - 2.5).abs() < 1e-12, "got {v}");
+    }
+
+    #[test]
+    fn upsample_rejects_wrong_buffer() {
+        let block = vec![Complex::ZERO; 8];
+        assert!(upsample_centered(&block, 3, 2).is_err());
+    }
+
+    #[test]
+    fn subsample_matches_spatial_downsampling_for_bandlimited_input() {
+        // For an image containing only frequencies below n/(2s), decimating
+        // in space and subsampling the spectrum agree exactly.
+        let sn = 16;
+        let s = 2;
+        let n = sn / s;
+        let fft_big = Fft2d::new(sn, sn).unwrap();
+        let fft_small = Fft2d::new(n, n).unwrap();
+        // Band-limited image: single low-frequency cosine.
+        let img: Vec<Complex> = (0..sn * sn)
+            .map(|i| {
+                let (y, x) = (i / sn, i % sn);
+                Complex::from_re(
+                    (2.0 * std::f64::consts::PI * (x as f64 + 2.0 * y as f64) / sn as f64).cos(),
+                )
+            })
+            .collect();
+        let mut big_spec = img.clone();
+        fft_big.forward(&mut big_spec).unwrap();
+        let sub = subsample_spectrum(&big_spec, sn, s).unwrap();
+        // Spatial decimation.
+        let mut small: Vec<Complex> = Vec::with_capacity(n * n);
+        for y in 0..n {
+            for x in 0..n {
+                small.push(img[(y * s) * sn + x * s]);
+            }
+        }
+        fft_small.forward(&mut small).unwrap();
+        for (a, b) in sub.iter().zip(&small) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn subsample_rejects_bad_factor() {
+        let spectrum = vec![Complex::ZERO; 36];
+        assert!(subsample_spectrum(&spectrum, 6, 4).is_err());
+        assert!(subsample_spectrum(&spectrum, 6, 0).is_err());
+        assert!(subsample_spectrum(&spectrum[..10], 6, 2).is_err());
+    }
+}

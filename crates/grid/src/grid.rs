@@ -1,0 +1,500 @@
+//! The core 2-D raster container used for masks, aerial images, and wafer
+//! images throughout the workspace.
+
+use std::ops::{Index, IndexMut};
+
+use crate::rect::Rect;
+
+/// A dense row-major 2-D grid.
+///
+/// Coordinates follow image conventions: `x` indexes columns (left to
+/// right), `y` indexes rows (top to bottom). `Grid<f64>` carries continuous
+/// mask/intensity values, `Grid<u8>` carries binary images (0 or 1).
+///
+/// # Examples
+///
+/// ```
+/// use ilt_grid::Grid;
+///
+/// let mut g = Grid::new(4, 3, 0.0_f64);
+/// g.set(2, 1, 5.0);
+/// assert_eq!(g.get(2, 1), 5.0);
+/// assert_eq!(g[(1, 2)], 5.0); // (row, col) indexing
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid<T> {
+    width: usize,
+    height: usize,
+    data: Vec<T>,
+}
+
+/// A grid of continuous values (masks before binarisation, aerial images).
+pub type RealGrid = Grid<f64>;
+/// A grid of binary values: every element is 0 or 1.
+pub type BitGrid = Grid<u8>;
+
+impl<T: Clone> Grid<T> {
+    /// Creates a grid filled with `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize, value: T) -> Self {
+        assert!(width > 0 && height > 0, "grid dimensions must be nonzero");
+        Grid {
+            width,
+            height,
+            data: vec![value; width * height],
+        }
+    }
+
+    /// Builds a grid by evaluating `f(x, y)` at every pixel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn from_fn<F: FnMut(usize, usize) -> T>(width: usize, height: usize, mut f: F) -> Self {
+        assert!(width > 0 && height > 0, "grid dimensions must be nonzero");
+        let mut data = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                data.push(f(x, y));
+            }
+        }
+        Grid {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * height` or a dimension is zero.
+    pub fn from_vec(width: usize, height: usize, data: Vec<T>) -> Self {
+        assert!(width > 0 && height > 0, "grid dimensions must be nonzero");
+        assert_eq!(data.len(), width * height, "buffer does not match shape");
+        Grid {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Grid width (number of columns).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Grid height (number of rows).
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total number of pixels.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Always `false`: grids are non-empty by construction.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The full-grid bounding rectangle.
+    #[inline]
+    pub fn bounds(&self) -> Rect {
+        Rect::new(0, 0, self.width as i64, self.height as i64)
+    }
+
+    /// Value at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> T {
+        assert!(
+            x < self.width && y < self.height,
+            "grid index out of bounds"
+        );
+        self.data[y * self.width + x].clone()
+    }
+
+    /// Reference to the value at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    #[inline]
+    pub fn get_ref(&self, x: usize, y: usize) -> &T {
+        assert!(
+            x < self.width && y < self.height,
+            "grid index out of bounds"
+        );
+        &self.data[y * self.width + x]
+    }
+
+    /// Sets the value at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, value: T) {
+        assert!(
+            x < self.width && y < self.height,
+            "grid index out of bounds"
+        );
+        self.data[y * self.width + x] = value;
+    }
+
+    /// Borrow of the row-major backing store.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable borrow of the row-major backing store.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the grid and returns the backing store.
+    #[inline]
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// One row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y >= self.height()`.
+    #[inline]
+    pub fn row(&self, y: usize) -> &[T] {
+        assert!(y < self.height, "row index out of bounds");
+        &self.data[y * self.width..(y + 1) * self.width]
+    }
+
+    /// Copies the sub-rectangle `rect` (clipped to the grid) into a new grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rect` does not intersect the grid at all.
+    pub fn crop(&self, rect: Rect) -> Grid<T> {
+        let clipped = rect
+            .intersect(self.bounds())
+            .expect("crop rectangle lies outside the grid");
+        let (w, h) = (clipped.width() as usize, clipped.height() as usize);
+        let (x0, y0) = (clipped.x0 as usize, clipped.y0 as usize);
+        Grid::from_fn(w, h, |x, y| self.get(x0 + x, y0 + y))
+    }
+
+    /// Pastes `src` into this grid with its top-left corner at `(x0, y0)`;
+    /// parts of `src` falling outside the grid are ignored.
+    pub fn paste(&mut self, src: &Grid<T>, x0: i64, y0: i64) {
+        for sy in 0..src.height {
+            let dy = y0 + sy as i64;
+            if dy < 0 || dy >= self.height as i64 {
+                continue;
+            }
+            for sx in 0..src.width {
+                let dx = x0 + sx as i64;
+                if dx < 0 || dx >= self.width as i64 {
+                    continue;
+                }
+                self.set(dx as usize, dy as usize, src.get(sx, sy));
+            }
+        }
+    }
+
+    /// Applies `f` to every value, producing a new grid.
+    pub fn map<U: Clone, F: FnMut(&T) -> U>(&self, f: F) -> Grid<U> {
+        Grid {
+            width: self.width,
+            height: self.height,
+            data: self.data.iter().map(f).collect(),
+        }
+    }
+
+    /// Iterates over `(x, y, &value)` in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, &T)> {
+        let w = self.width;
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(i, v)| (i % w, i / w, v))
+    }
+
+    /// Fills the (clipped) rectangle with `value`.
+    pub fn fill_rect(&mut self, rect: Rect, value: T) {
+        if let Some(clipped) = rect.intersect(self.bounds()) {
+            for y in clipped.y0 as usize..clipped.y1 as usize {
+                for x in clipped.x0 as usize..clipped.x1 as usize {
+                    self.set(x, y, value.clone());
+                }
+            }
+        }
+    }
+}
+
+impl RealGrid {
+    /// Sum of all values.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Largest value (or `-inf` is impossible: grids are non-empty).
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Smallest value.
+    pub fn min(&self) -> f64 {
+        self.data.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Sum of squared differences against another grid of the same shape
+    /// (the L2 metric of Definition 2 when both grids are binary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn sq_diff(&self, other: &RealGrid) -> f64 {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "grids must have identical shapes"
+        );
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+
+    /// Converts to a binary grid: 1 where `value >= threshold`.
+    pub fn threshold(&self, threshold: f64) -> BitGrid {
+        self.map(|&v| u8::from(v >= threshold))
+    }
+}
+
+impl BitGrid {
+    /// Number of set pixels.
+    pub fn count_ones(&self) -> usize {
+        self.data.iter().filter(|&&v| v != 0).count()
+    }
+
+    /// Number of pixels where the two binary grids disagree (the XOR area).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn xor_count(&self, other: &BitGrid) -> usize {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "grids must have identical shapes"
+        );
+        self.data
+            .iter()
+            .zip(&other.data)
+            .filter(|(a, b)| (**a != 0) != (**b != 0))
+            .count()
+    }
+
+    /// Converts to a real grid of 0.0/1.0 values.
+    pub fn to_real(&self) -> RealGrid {
+        self.map(|&v| if v != 0 { 1.0 } else { 0.0 })
+    }
+}
+
+impl<T: Clone> Index<(usize, usize)> for Grid<T> {
+    type Output = T;
+
+    /// Indexes by `(row, col)`, i.e. `(y, x)`.
+    #[inline]
+    fn index(&self, (row, col): (usize, usize)) -> &T {
+        assert!(
+            col < self.width && row < self.height,
+            "grid index out of bounds"
+        );
+        &self.data[row * self.width + col]
+    }
+}
+
+impl<T: Clone> IndexMut<(usize, usize)> for Grid<T> {
+    #[inline]
+    fn index_mut(&mut self, (row, col): (usize, usize)) -> &mut T {
+        assert!(
+            col < self.width && row < self.height,
+            "grid index out of bounds"
+        );
+        &mut self.data[row * self.width + col]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let g: Grid<f64> = Grid::new(3, 2, 1.5);
+        assert_eq!(g.width(), 3);
+        assert_eq!(g.height(), 2);
+        assert_eq!(g.len(), 6);
+        assert!(!g.is_empty());
+        assert_eq!(g.get(2, 1), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_size_panics() {
+        let _: Grid<f64> = Grid::new(0, 4, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_get_panics() {
+        let g: Grid<u8> = Grid::new(2, 2, 0);
+        let _ = g.get(2, 0);
+    }
+
+    #[test]
+    fn from_fn_row_major_layout() {
+        let g = Grid::from_fn(3, 2, |x, y| (y * 10 + x) as f64);
+        assert_eq!(g.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        assert_eq!(g.row(1), &[10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn from_vec_and_into_vec_roundtrip() {
+        let data = vec![1u8, 2, 3, 4, 5, 6];
+        let g = Grid::from_vec(2, 3, data.clone());
+        assert_eq!(g.get(1, 2), 6);
+        assert_eq!(g.into_vec(), data);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer does not match shape")]
+    fn from_vec_wrong_len_panics() {
+        let _ = Grid::from_vec(2, 2, vec![0u8; 3]);
+    }
+
+    #[test]
+    fn index_by_row_col() {
+        let mut g = Grid::new(4, 3, 0.0);
+        g[(2, 3)] = 7.0; // row 2, col 3
+        assert_eq!(g.get(3, 2), 7.0);
+    }
+
+    #[test]
+    fn crop_extracts_subgrid() {
+        let g = Grid::from_fn(4, 4, |x, y| (y * 4 + x) as f64);
+        let c = g.crop(Rect::new(1, 2, 3, 4));
+        assert_eq!(c.width(), 2);
+        assert_eq!(c.height(), 2);
+        assert_eq!(c.get(0, 0), 9.0);
+        assert_eq!(c.get(1, 1), 14.0);
+    }
+
+    #[test]
+    fn crop_clips_to_bounds() {
+        let g = Grid::from_fn(4, 4, |x, y| (y * 4 + x) as f64);
+        let c = g.crop(Rect::new(2, 2, 10, 10));
+        assert_eq!(c.width(), 2);
+        assert_eq!(c.height(), 2);
+        assert_eq!(c.get(0, 0), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the grid")]
+    fn crop_outside_panics() {
+        let g: Grid<u8> = Grid::new(2, 2, 0);
+        let _ = g.crop(Rect::new(5, 5, 8, 8));
+    }
+
+    #[test]
+    fn paste_with_clipping() {
+        let mut g = Grid::new(4, 4, 0u8);
+        let src = Grid::new(2, 2, 1u8);
+        g.paste(&src, 3, 3); // only (3,3) lands inside
+        assert_eq!(g.get(3, 3), 1);
+        assert_eq!(g.count_ones(), 1);
+        g.paste(&src, -1, -1); // only (0,0) lands inside
+        assert_eq!(g.get(0, 0), 1);
+        assert_eq!(g.count_ones(), 2);
+    }
+
+    #[test]
+    fn paste_then_crop_roundtrip() {
+        let src = Grid::from_fn(3, 3, |x, y| (10 + y * 3 + x) as f64);
+        let mut g = Grid::new(8, 8, 0.0);
+        g.paste(&src, 2, 4);
+        let back = g.crop(Rect::new(2, 4, 5, 7));
+        assert_eq!(back, src);
+    }
+
+    #[test]
+    fn map_and_iter() {
+        let g = Grid::from_fn(2, 2, |x, y| (x + y) as f64);
+        let doubled = g.map(|v| v * 2.0);
+        assert_eq!(doubled.get(1, 1), 4.0);
+        let coords: Vec<(usize, usize)> = g.iter().map(|(x, y, _)| (x, y)).collect();
+        assert_eq!(coords, vec![(0, 0), (1, 0), (0, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn fill_rect_clips() {
+        let mut g = Grid::new(4, 4, 0u8);
+        g.fill_rect(Rect::new(2, 2, 8, 8), 1);
+        assert_eq!(g.count_ones(), 4);
+        g.fill_rect(Rect::new(-5, -5, 1, 1), 1);
+        assert_eq!(g.count_ones(), 5);
+        g.fill_rect(Rect::new(10, 10, 12, 12), 1); // fully outside: no-op
+        assert_eq!(g.count_ones(), 5);
+    }
+
+    #[test]
+    fn real_grid_statistics() {
+        let g = Grid::from_vec(2, 2, vec![1.0, -2.0, 3.0, 0.5]);
+        assert_eq!(g.sum(), 2.5);
+        assert_eq!(g.max(), 3.0);
+        assert_eq!(g.min(), -2.0);
+    }
+
+    #[test]
+    fn sq_diff_matches_hand_computation() {
+        let a = Grid::from_vec(2, 1, vec![1.0, 2.0]);
+        let b = Grid::from_vec(2, 1, vec![0.0, 4.0]);
+        assert_eq!(a.sq_diff(&b), 1.0 + 4.0);
+    }
+
+    #[test]
+    fn threshold_and_bit_ops() {
+        let g = Grid::from_vec(2, 2, vec![0.2, 0.6, 0.5, 0.4]);
+        let b = g.threshold(0.5);
+        assert_eq!(b.as_slice(), &[0, 1, 1, 0]);
+        assert_eq!(b.count_ones(), 2);
+        let c = Grid::from_vec(2, 2, vec![0u8, 1, 0, 1]);
+        assert_eq!(b.xor_count(&c), 2);
+        let r = b.to_real();
+        assert_eq!(r.as_slice(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn bounds_rect() {
+        let g: Grid<u8> = Grid::new(5, 3, 0);
+        let b = g.bounds();
+        assert_eq!((b.x0, b.y0, b.x1, b.y1), (0, 0, 5, 3));
+    }
+}

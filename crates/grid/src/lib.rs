@@ -1,0 +1,38 @@
+//! # ilt-grid
+//!
+//! 2-D raster infrastructure for the multigrid-Schwarz ILT workspace:
+//! grids, rectangles, Gaussian filtering, binary morphology, resampling, and
+//! simple image/CSV output.
+//!
+//! Everything the pipeline manipulates — target layouts, continuous masks,
+//! aerial images, wafer images — is a [`Grid`]. Tiles, cores, and margins
+//! (Fig. 2 of the paper) are [`Rect`]s. The Stitch-Loss metric's "multiple
+//! iterations of Gaussian lowpass filtering" is [`GaussianFilter`], and the
+//! `Downsample(..., factor = s)` of Algorithm 1 is [`resample::downsample`].
+//!
+//! # Examples
+//!
+//! ```
+//! use ilt_grid::{Grid, Rect};
+//!
+//! // Rasterise a rectangle into a binary layout and crop a tile from it.
+//! let mut layout = Grid::new(64, 64, 0u8);
+//! layout.fill_rect(Rect::new(10, 10, 30, 20), 1);
+//! let tile = layout.crop(Rect::new(0, 0, 32, 32));
+//! assert_eq!(tile.count_ones(), 200);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod filter;
+mod grid;
+pub mod io;
+pub mod morph;
+mod rect;
+pub mod resample;
+
+pub use filter::{box_blur, GaussianFilter};
+pub use grid::{BitGrid, Grid, RealGrid};
+pub use morph::{close, connected_components, dilate, erode, open, Component};
+pub use rect::Rect;

@@ -1,0 +1,265 @@
+//! Binary morphology and connected-component labelling.
+//!
+//! Used by the layout generator (design-rule spacing checks), the stitch
+//! metric (intersection clustering), and the manufacturability analysis of
+//! stitched masks.
+
+use crate::grid::BitGrid;
+use crate::rect::Rect;
+
+/// Dilates a binary grid with a `(2r+1) x (2r+1)` square structuring
+/// element.
+pub fn dilate(img: &BitGrid, r: usize) -> BitGrid {
+    if r == 0 {
+        return img.clone();
+    }
+    // Separable: horizontal run-max then vertical run-max.
+    let horizontal = directional_max(img, r as i64, true);
+    directional_max(&horizontal, r as i64, false)
+}
+
+/// Erodes a binary grid with a `(2r+1) x (2r+1)` square structuring element.
+pub fn erode(img: &BitGrid, r: usize) -> BitGrid {
+    if r == 0 {
+        return img.clone();
+    }
+    let horizontal = directional_min(img, r as i64, true);
+    directional_min(&horizontal, r as i64, false)
+}
+
+/// Morphological opening (erode then dilate): removes features thinner than
+/// the structuring element.
+pub fn open(img: &BitGrid, r: usize) -> BitGrid {
+    dilate(&erode(img, r), r)
+}
+
+/// Morphological closing (dilate then erode): fills gaps narrower than the
+/// structuring element.
+pub fn close(img: &BitGrid, r: usize) -> BitGrid {
+    erode(&dilate(img, r), r)
+}
+
+fn directional_max(img: &BitGrid, r: i64, horizontal: bool) -> BitGrid {
+    let (w, h) = (img.width(), img.height());
+    BitGrid::from_fn(w, h, |x, y| {
+        for off in -r..=r {
+            let (sx, sy) = if horizontal {
+                (x as i64 + off, y as i64)
+            } else {
+                (x as i64, y as i64 + off)
+            };
+            if sx >= 0
+                && sy >= 0
+                && (sx as usize) < w
+                && (sy as usize) < h
+                && img.get(sx as usize, sy as usize) != 0
+            {
+                return 1;
+            }
+        }
+        0
+    })
+}
+
+fn directional_min(img: &BitGrid, r: i64, horizontal: bool) -> BitGrid {
+    let (w, h) = (img.width(), img.height());
+    BitGrid::from_fn(w, h, |x, y| {
+        for off in -r..=r {
+            let (sx, sy) = if horizontal {
+                (x as i64 + off, y as i64)
+            } else {
+                (x as i64, y as i64 + off)
+            };
+            // Outside the grid counts as background, eroding the border.
+            if sx < 0
+                || sy < 0
+                || sx as usize >= w
+                || sy as usize >= h
+                || img.get(sx as usize, sy as usize) == 0
+            {
+                return 0;
+            }
+        }
+        1
+    })
+}
+
+/// A 4-connected component of set pixels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Component {
+    /// Component label (1-based, matching the label grid).
+    pub label: u32,
+    /// Number of pixels in the component.
+    pub area: usize,
+    /// Tight bounding box.
+    pub bbox: Rect,
+}
+
+/// Labels 4-connected components; returns the label grid (0 = background)
+/// and per-component statistics sorted by descending area.
+pub fn connected_components(img: &BitGrid) -> (Vec<u32>, Vec<Component>) {
+    let (w, h) = (img.width(), img.height());
+    let mut labels = vec![0u32; w * h];
+    let mut components = Vec::new();
+    let mut next = 1u32;
+    let mut stack = Vec::new();
+
+    for y in 0..h {
+        for x in 0..w {
+            if img.get(x, y) == 0 || labels[y * w + x] != 0 {
+                continue;
+            }
+            let label = next;
+            next += 1;
+            let mut area = 0usize;
+            let mut bbox = Rect::new(x as i64, y as i64, x as i64 + 1, y as i64 + 1);
+            stack.push((x, y));
+            labels[y * w + x] = label;
+            while let Some((cx, cy)) = stack.pop() {
+                area += 1;
+                bbox = bbox.union_bounds(Rect::new(
+                    cx as i64,
+                    cy as i64,
+                    cx as i64 + 1,
+                    cy as i64 + 1,
+                ));
+                let mut push = |nx: usize, ny: usize, labels: &mut Vec<u32>| {
+                    if img.get(nx, ny) != 0 && labels[ny * w + nx] == 0 {
+                        labels[ny * w + nx] = label;
+                        stack.push((nx, ny));
+                    }
+                };
+                if cx > 0 {
+                    push(cx - 1, cy, &mut labels);
+                }
+                if cx + 1 < w {
+                    push(cx + 1, cy, &mut labels);
+                }
+                if cy > 0 {
+                    push(cx, cy - 1, &mut labels);
+                }
+                if cy + 1 < h {
+                    push(cx, cy + 1, &mut labels);
+                }
+            }
+            components.push(Component { label, area, bbox });
+        }
+    }
+    components.sort_by_key(|c| std::cmp::Reverse(c.area));
+    (labels, components)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid;
+
+    fn cross(n: usize) -> BitGrid {
+        // A plus-shaped figure centered in an n x n grid.
+        let c = n / 2;
+        Grid::from_fn(n, n, |x, y| u8::from(x == c || y == c))
+    }
+
+    #[test]
+    fn dilate_grows_area() {
+        let mut img = Grid::new(9, 9, 0u8);
+        img.set(4, 4, 1);
+        let d = dilate(&img, 1);
+        assert_eq!(d.count_ones(), 9);
+        let d2 = dilate(&img, 2);
+        assert_eq!(d2.count_ones(), 25);
+    }
+
+    #[test]
+    fn erode_shrinks_area() {
+        let mut img = Grid::new(9, 9, 0u8);
+        img.fill_rect(Rect::new(2, 2, 7, 7), 1);
+        let e = erode(&img, 1);
+        assert_eq!(e.count_ones(), 9); // 5x5 -> 3x3
+        let e2 = erode(&img, 2);
+        assert_eq!(e2.count_ones(), 1);
+        let e3 = erode(&img, 3);
+        assert_eq!(e3.count_ones(), 0);
+    }
+
+    #[test]
+    fn zero_radius_is_identity() {
+        let img = cross(7);
+        assert_eq!(dilate(&img, 0), img);
+        assert_eq!(erode(&img, 0), img);
+    }
+
+    #[test]
+    fn erode_is_dual_of_dilate_on_border_free_shapes() {
+        // For shapes away from the border, erode(img) == !dilate(!img).
+        let mut img = Grid::new(16, 16, 0u8);
+        img.fill_rect(Rect::new(5, 5, 11, 11), 1);
+        let e = erode(&img, 1);
+        let complement = img.map(|&v| 1 - v);
+        let d = dilate(&complement, 1);
+        let dual = d.map(|&v| 1 - v);
+        assert_eq!(e, dual);
+    }
+
+    #[test]
+    fn open_removes_thin_features() {
+        let mut img = Grid::new(16, 16, 0u8);
+        img.fill_rect(Rect::new(2, 2, 12, 12), 1); // 10x10 block survives
+        img.fill_rect(Rect::new(2, 14, 14, 15), 1); // 1-wide line dies
+        let o = open(&img, 1);
+        assert_eq!(o.count_ones(), 100);
+    }
+
+    #[test]
+    fn close_fills_small_gaps() {
+        let mut img = Grid::new(16, 8, 0u8);
+        img.fill_rect(Rect::new(1, 2, 7, 6), 1);
+        img.fill_rect(Rect::new(8, 2, 14, 6), 1); // 1-wide slit at x=7
+        let c = close(&img, 1);
+        assert_eq!(c.get(7, 3), 1);
+    }
+
+    #[test]
+    fn components_counts_and_labels() {
+        let mut img = Grid::new(10, 10, 0u8);
+        img.fill_rect(Rect::new(0, 0, 3, 3), 1);
+        img.fill_rect(Rect::new(6, 6, 10, 10), 1);
+        img.set(5, 0, 1); // isolated pixel
+        let (labels, comps) = connected_components(&img);
+        assert_eq!(comps.len(), 3);
+        // Sorted by area descending.
+        assert_eq!(comps[0].area, 16);
+        assert_eq!(comps[1].area, 9);
+        assert_eq!(comps[2].area, 1);
+        assert_eq!(comps[2].bbox, Rect::new(5, 0, 6, 1));
+        // Label grid consistent with areas.
+        let count = labels.iter().filter(|&&l| l == comps[0].label).count();
+        assert_eq!(count, 16);
+    }
+
+    #[test]
+    fn diagonal_pixels_are_separate_components() {
+        let mut img = Grid::new(4, 4, 0u8);
+        img.set(0, 0, 1);
+        img.set(1, 1, 1);
+        let (_, comps) = connected_components(&img);
+        assert_eq!(comps.len(), 2);
+    }
+
+    #[test]
+    fn empty_image_has_no_components() {
+        let img: BitGrid = Grid::new(5, 5, 0);
+        let (labels, comps) = connected_components(&img);
+        assert!(comps.is_empty());
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn component_bbox_is_tight() {
+        let img = cross(9);
+        let (_, comps) = connected_components(&img);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].bbox, Rect::new(0, 0, 9, 9));
+        assert_eq!(comps[0].area, 17);
+    }
+}

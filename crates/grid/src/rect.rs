@@ -1,0 +1,234 @@
+//! Axis-aligned integer rectangles used for tiles, cores, margins, and
+//! layout geometry.
+
+use std::fmt;
+
+/// A half-open axis-aligned rectangle: `x0 <= x < x1`, `y0 <= y < y1`.
+///
+/// Coordinates are signed so that constructions like "tile minus margin" can
+/// temporarily go negative before being clipped against a grid.
+///
+/// # Examples
+///
+/// ```
+/// use ilt_grid::Rect;
+///
+/// let a = Rect::new(0, 0, 4, 4);
+/// let b = Rect::new(2, 2, 6, 6);
+/// assert_eq!(a.intersect(b), Some(Rect::new(2, 2, 4, 4)));
+/// assert_eq!(a.area(), 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rect {
+    /// Left edge (inclusive).
+    pub x0: i64,
+    /// Top edge (inclusive).
+    pub y0: i64,
+    /// Right edge (exclusive).
+    pub x1: i64,
+    /// Bottom edge (exclusive).
+    pub y1: i64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x1 < x0` or `y1 < y0` (empty rectangles with equal edges
+    /// are allowed).
+    pub fn new(x0: i64, y0: i64, x1: i64, y1: i64) -> Self {
+        assert!(x1 >= x0 && y1 >= y0, "rectangle edges are inverted");
+        Rect { x0, y0, x1, y1 }
+    }
+
+    /// Creates a rectangle from origin and size.
+    pub fn from_origin_size(x0: i64, y0: i64, width: i64, height: i64) -> Self {
+        assert!(width >= 0 && height >= 0, "size must be non-negative");
+        Rect::new(x0, y0, x0 + width, y0 + height)
+    }
+
+    /// Width of the rectangle.
+    #[inline]
+    pub fn width(&self) -> i64 {
+        self.x1 - self.x0
+    }
+
+    /// Height of the rectangle.
+    #[inline]
+    pub fn height(&self) -> i64 {
+        self.y1 - self.y0
+    }
+
+    /// Area in pixels.
+    #[inline]
+    pub fn area(&self) -> i64 {
+        self.width() * self.height()
+    }
+
+    /// Returns `true` if the rectangle contains no pixels.
+    #[inline]
+    pub fn is_degenerate(&self) -> bool {
+        self.width() == 0 || self.height() == 0
+    }
+
+    /// Returns `true` if the point `(x, y)` lies inside.
+    #[inline]
+    pub fn contains(&self, x: i64, y: i64) -> bool {
+        x >= self.x0 && x < self.x1 && y >= self.y0 && y < self.y1
+    }
+
+    /// Returns `true` if `other` lies entirely inside `self`.
+    pub fn contains_rect(&self, other: Rect) -> bool {
+        other.x0 >= self.x0 && other.x1 <= self.x1 && other.y0 >= self.y0 && other.y1 <= self.y1
+    }
+
+    /// Intersection with another rectangle, or `None` if they do not
+    /// overlap in any pixel.
+    pub fn intersect(&self, other: Rect) -> Option<Rect> {
+        let x0 = self.x0.max(other.x0);
+        let y0 = self.y0.max(other.y0);
+        let x1 = self.x1.min(other.x1);
+        let y1 = self.y1.min(other.y1);
+        if x0 < x1 && y0 < y1 {
+            Some(Rect::new(x0, y0, x1, y1))
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` if the rectangles share at least one pixel.
+    pub fn overlaps(&self, other: Rect) -> bool {
+        self.intersect(other).is_some()
+    }
+
+    /// Smallest rectangle containing both operands.
+    pub fn union_bounds(&self, other: Rect) -> Rect {
+        Rect::new(
+            self.x0.min(other.x0),
+            self.y0.min(other.y0),
+            self.x1.max(other.x1),
+            self.y1.max(other.y1),
+        )
+    }
+
+    /// Shrinks every edge inward by `d` (clamped so edges never cross).
+    pub fn inset(&self, d: i64) -> Rect {
+        let cx = (self.x0 + self.x1) / 2;
+        let cy = (self.y0 + self.y1) / 2;
+        Rect::new(
+            (self.x0 + d).min(cx),
+            (self.y0 + d).min(cy),
+            (self.x1 - d).max(cx),
+            (self.y1 - d).max(cy),
+        )
+    }
+
+    /// Grows every edge outward by `d`.
+    pub fn outset(&self, d: i64) -> Rect {
+        Rect::new(self.x0 - d, self.y0 - d, self.x1 + d, self.y1 + d)
+    }
+
+    /// Translates by `(dx, dy)`.
+    pub fn translate(&self, dx: i64, dy: i64) -> Rect {
+        Rect::new(self.x0 + dx, self.y0 + dy, self.x1 + dx, self.y1 + dy)
+    }
+
+    /// Iterates over all `(x, y)` pixels inside.
+    pub fn pixels(&self) -> impl Iterator<Item = (i64, i64)> + '_ {
+        let (x0, x1) = (self.x0, self.x1);
+        (self.y0..self.y1).flat_map(move |y| (x0..x1).map(move |x| (x, y)))
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{},{})x[{},{})", self.x0, self.x1, self.y0, self.y1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let r = Rect::new(1, 2, 5, 7);
+        assert_eq!(r.width(), 4);
+        assert_eq!(r.height(), 5);
+        assert_eq!(r.area(), 20);
+        let s = Rect::from_origin_size(1, 2, 4, 5);
+        assert_eq!(r, s);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_edges_panic() {
+        let _ = Rect::new(5, 0, 1, 4);
+    }
+
+    #[test]
+    fn degenerate_rect_allowed() {
+        let r = Rect::new(3, 3, 3, 8);
+        assert!(r.is_degenerate());
+        assert_eq!(r.area(), 0);
+    }
+
+    #[test]
+    fn containment() {
+        let r = Rect::new(0, 0, 4, 4);
+        assert!(r.contains(0, 0));
+        assert!(r.contains(3, 3));
+        assert!(!r.contains(4, 0));
+        assert!(!r.contains(-1, 2));
+        assert!(r.contains_rect(Rect::new(1, 1, 3, 3)));
+        assert!(r.contains_rect(r));
+        assert!(!r.contains_rect(Rect::new(1, 1, 5, 3)));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = Rect::new(0, 0, 4, 4);
+        assert_eq!(
+            a.intersect(Rect::new(2, 2, 6, 6)),
+            Some(Rect::new(2, 2, 4, 4))
+        );
+        assert_eq!(a.intersect(Rect::new(4, 0, 8, 4)), None); // edge touch
+        assert_eq!(a.intersect(Rect::new(10, 10, 12, 12)), None);
+        assert!(a.overlaps(Rect::new(3, 3, 10, 10)));
+        assert!(!a.overlaps(Rect::new(4, 4, 10, 10)));
+    }
+
+    #[test]
+    fn union_bounds_covers_both() {
+        let a = Rect::new(0, 0, 2, 2);
+        let b = Rect::new(5, 1, 6, 7);
+        let u = a.union_bounds(b);
+        assert!(u.contains_rect(a) && u.contains_rect(b));
+        assert_eq!(u, Rect::new(0, 0, 6, 7));
+    }
+
+    #[test]
+    fn inset_outset_translate() {
+        let r = Rect::new(0, 0, 10, 10);
+        assert_eq!(r.inset(2), Rect::new(2, 2, 8, 8));
+        assert_eq!(r.outset(1), Rect::new(-1, -1, 11, 11));
+        assert_eq!(r.translate(3, -2), Rect::new(3, -2, 13, 8));
+        // Inset larger than half collapses to the center without panicking.
+        let tiny = r.inset(7);
+        assert!(tiny.is_degenerate() || tiny.area() >= 0);
+    }
+
+    #[test]
+    fn pixel_iteration_order_and_count() {
+        let r = Rect::new(1, 1, 3, 3);
+        let px: Vec<(i64, i64)> = r.pixels().collect();
+        assert_eq!(px, vec![(1, 1), (2, 1), (1, 2), (2, 2)]);
+        assert_eq!(px.len() as i64, r.area());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rect::new(0, 1, 2, 3).to_string(), "[0,2)x[1,3)");
+    }
+}

@@ -1,0 +1,201 @@
+//! Spatial resampling: the `Downsample(..., factor = s)` of Algorithm 1 and
+//! the corresponding upsampling used when a coarse-grid solution initialises
+//! the fine grid.
+
+use crate::grid::RealGrid;
+
+/// Downsamples by integer factor `s` using `s x s` block averaging.
+///
+/// Block averaging (rather than decimation) is what "downsample the mask to
+/// fit a single GPU" means physically: each coarse pixel carries the mean
+/// transmission of the fine pixels it covers, which keeps the low-frequency
+/// spectrum — the only part the optics sees — nearly unchanged.
+///
+/// # Panics
+///
+/// Panics if `s == 0` or the grid dimensions are not divisible by `s`.
+pub fn downsample(img: &RealGrid, s: usize) -> RealGrid {
+    assert!(s > 0, "downsample factor must be nonzero");
+    if s == 1 {
+        return img.clone();
+    }
+    let (w, h) = (img.width(), img.height());
+    assert!(
+        w % s == 0 && h % s == 0,
+        "grid {w}x{h} is not divisible by factor {s}"
+    );
+    let norm = 1.0 / (s * s) as f64;
+    RealGrid::from_fn(w / s, h / s, |x, y| {
+        let mut acc = 0.0;
+        for dy in 0..s {
+            for dx in 0..s {
+                acc += img.get(x * s + dx, y * s + dy);
+            }
+        }
+        acc * norm
+    })
+}
+
+/// Downsamples by taking every `s`-th pixel (pure decimation). Provided for
+/// comparison with [`downsample`]; aliasing makes it a worse choice for
+/// masks with fine SRAFs.
+///
+/// # Panics
+///
+/// Panics if `s == 0` or the grid dimensions are not divisible by `s`.
+pub fn decimate(img: &RealGrid, s: usize) -> RealGrid {
+    assert!(s > 0, "decimation factor must be nonzero");
+    if s == 1 {
+        return img.clone();
+    }
+    let (w, h) = (img.width(), img.height());
+    assert!(
+        w % s == 0 && h % s == 0,
+        "grid {w}x{h} is not divisible by factor {s}"
+    );
+    RealGrid::from_fn(w / s, h / s, |x, y| img.get(x * s, y * s))
+}
+
+/// Upsamples by integer factor `s` with nearest-neighbour replication.
+///
+/// # Panics
+///
+/// Panics if `s == 0`.
+pub fn upsample_nearest(img: &RealGrid, s: usize) -> RealGrid {
+    assert!(s > 0, "upsample factor must be nonzero");
+    if s == 1 {
+        return img.clone();
+    }
+    RealGrid::from_fn(img.width() * s, img.height() * s, |x, y| {
+        img.get(x / s, y / s)
+    })
+}
+
+/// Upsamples by integer factor `s` with bilinear interpolation; used to
+/// promote a coarse-grid ILT solution onto the fine grid without introducing
+/// blocky jumps that the fine solver would then have to undo.
+///
+/// # Panics
+///
+/// Panics if `s == 0`.
+pub fn upsample_bilinear(img: &RealGrid, s: usize) -> RealGrid {
+    assert!(s > 0, "upsample factor must be nonzero");
+    if s == 1 {
+        return img.clone();
+    }
+    let (w, h) = (img.width(), img.height());
+    RealGrid::from_fn(w * s, h * s, |x, y| {
+        // Coarse pixel centers sit at (i + 0.5) * s - 0.5 on the fine grid.
+        let fx = (x as f64 + 0.5) / s as f64 - 0.5;
+        let fy = (y as f64 + 0.5) / s as f64 - 0.5;
+        let x0 = fx.floor().max(0.0) as usize;
+        let y0 = fy.floor().max(0.0) as usize;
+        let x1 = (x0 + 1).min(w - 1);
+        let y1 = (y0 + 1).min(h - 1);
+        let dx = (fx - x0 as f64).clamp(0.0, 1.0);
+        let dy = (fy - y0 as f64).clamp(0.0, 1.0);
+        img.get(x0, y0) * (1.0 - dx) * (1.0 - dy)
+            + img.get(x1, y0) * dx * (1.0 - dy)
+            + img.get(x0, y1) * (1.0 - dx) * dy
+            + img.get(x1, y1) * dx * dy
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid;
+
+    #[test]
+    fn block_average_is_exact_mean() {
+        let img = Grid::from_vec(4, 2, vec![1.0, 3.0, 5.0, 7.0, 2.0, 4.0, 6.0, 8.0]);
+        let d = downsample(&img, 2);
+        assert_eq!(d.width(), 2);
+        assert_eq!(d.height(), 1);
+        assert_eq!(d.get(0, 0), 2.5);
+        assert_eq!(d.get(1, 0), 6.5);
+    }
+
+    #[test]
+    fn downsample_factor_one_is_identity() {
+        let img = Grid::from_fn(4, 4, |x, y| (x * y) as f64);
+        assert_eq!(downsample(&img, 1), img);
+        assert_eq!(decimate(&img, 1), img);
+        assert_eq!(upsample_nearest(&img, 1), img);
+        assert_eq!(upsample_bilinear(&img, 1), img);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn downsample_rejects_indivisible() {
+        let img = Grid::new(5, 4, 0.0);
+        let _ = downsample(&img, 2);
+    }
+
+    #[test]
+    fn downsample_preserves_mean() {
+        let img = Grid::from_fn(8, 8, |x, y| ((x * 31 + y * 17) % 7) as f64);
+        let d = downsample(&img, 4);
+        let mean_full = img.sum() / img.len() as f64;
+        let mean_down = d.sum() / d.len() as f64;
+        assert!((mean_full - mean_down).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decimate_picks_corner_samples() {
+        let img = Grid::from_fn(4, 4, |x, y| (y * 4 + x) as f64);
+        let d = decimate(&img, 2);
+        assert_eq!(d.as_slice(), &[0.0, 2.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn nearest_upsample_replicates_blocks() {
+        let img = Grid::from_vec(2, 1, vec![1.0, 2.0]);
+        let u = upsample_nearest(&img, 2);
+        assert_eq!(u.as_slice(), &[1.0, 1.0, 2.0, 2.0, 1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn downsample_of_nearest_upsample_is_identity() {
+        let img = Grid::from_fn(4, 4, |x, y| ((x + 2 * y) % 5) as f64);
+        for s in [2usize, 3] {
+            let u = upsample_nearest(&img, s);
+            let d = downsample(&u, s);
+            assert_eq!(d, img, "s={s}");
+        }
+    }
+
+    #[test]
+    fn bilinear_preserves_constant_images() {
+        let img = Grid::new(3, 3, 0.4);
+        let u = upsample_bilinear(&img, 4);
+        for (_, _, &v) in u.iter() {
+            assert!((v - 0.4).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bilinear_interpolates_between_pixels() {
+        let img = Grid::from_vec(2, 1, vec![0.0, 1.0]);
+        let u = upsample_bilinear(&img, 2);
+        // Fine pixels at fractional source positions -0.25, 0.25, 0.75, 1.25.
+        assert_eq!(u.get(0, 0), 0.0);
+        assert!((u.get(1, 0) - 0.25).abs() < 1e-12);
+        assert!((u.get(2, 0) - 0.75).abs() < 1e-12);
+        assert_eq!(u.get(3, 0), 1.0);
+    }
+
+    #[test]
+    fn bilinear_is_smoother_than_nearest() {
+        // Total variation of the bilinear result never exceeds nearest.
+        let img = Grid::from_vec(4, 1, vec![0.0, 1.0, 0.0, 1.0]);
+        let tv = |g: &RealGrid| -> f64 {
+            (1..g.width())
+                .map(|x| (g.get(x, 0) - g.get(x - 1, 0)).abs())
+                .sum()
+        };
+        let un = upsample_nearest(&img, 4);
+        let ub = upsample_bilinear(&img, 4);
+        assert!(tv(&ub) <= tv(&un) + 1e-12);
+    }
+}

@@ -1,0 +1,180 @@
+//! Minimal design-rule definitions and checks for generated layouts.
+//!
+//! The generator in [`crate::gen`] is correct by construction, but the rule
+//! checks here double as tests and as the manufacturability lens through
+//! which stitched masks are judged (discontinuities at tile boundaries are
+//! exactly MRC violations: slivers thinner than `min_width` and notches
+//! narrower than `min_space`).
+
+use ilt_grid::{connected_components, dilate, erode, BitGrid, Grid};
+
+/// Width/space/area rules, all in pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DesignRules {
+    /// Minimum feature width.
+    pub min_width: usize,
+    /// Minimum spacing between distinct features.
+    pub min_space: usize,
+    /// Minimum feature area in pixels.
+    pub min_area: usize,
+}
+
+impl DesignRules {
+    /// Rules used by the default benchmark suite.
+    pub fn m1_default() -> Self {
+        DesignRules {
+            min_width: 8,
+            min_space: 10,
+            min_area: 96,
+        }
+    }
+}
+
+impl Default for DesignRules {
+    fn default() -> Self {
+        DesignRules::m1_default()
+    }
+}
+
+/// Result of checking a binary layout against [`DesignRules`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DrcReport {
+    /// Pixels that vanish under a `min_width`-preserving opening — i.e.
+    /// pixels belonging to slivers thinner than the rule.
+    pub width_violations: usize,
+    /// Number of axis-aligned background runs strictly between metal that
+    /// are shorter than `min_space`.
+    pub space_violations: usize,
+    /// Number of features smaller than `min_area`.
+    pub area_violations: usize,
+}
+
+impl DrcReport {
+    /// Returns `true` if no rule is violated.
+    pub fn is_clean(&self) -> bool {
+        self.width_violations == 0 && self.space_violations == 0 && self.area_violations == 0
+    }
+}
+
+/// Checks a binary layout against the rules.
+///
+/// * **width** — an opening with a square of half the minimum width must not
+///   remove any pixel;
+/// * **space** — every horizontal and vertical background run strictly
+///   between metal pixels must span at least `min_space` (exact for the
+///   rectilinear geometry this workspace generates);
+/// * **area** — every component must have at least `min_area` pixels.
+pub fn check(layout: &BitGrid, rules: &DesignRules) -> DrcReport {
+    // Width: radius r keeps features of width >= 2r+1.
+    let r = rules.min_width.saturating_sub(1) / 2;
+    let opened = dilate(&erode(layout, r), r);
+    let width_violations = layout
+        .as_slice()
+        .iter()
+        .zip(opened.as_slice())
+        .filter(|(a, b)| **a != 0 && **b == 0)
+        .count();
+
+    let space_violations = short_gap_runs(layout, rules.min_space)
+        + short_gap_runs(&transpose(layout), rules.min_space);
+
+    let (_, components) = connected_components(layout);
+    let area_violations = components
+        .iter()
+        .filter(|c| c.area < rules.min_area)
+        .count();
+
+    DrcReport {
+        width_violations,
+        space_violations,
+        area_violations,
+    }
+}
+
+/// Counts horizontal background runs between two metal pixels that are
+/// shorter than `min_space`.
+fn short_gap_runs(layout: &BitGrid, min_space: usize) -> usize {
+    let mut violations = 0;
+    for y in 0..layout.height() {
+        let row = layout.row(y);
+        let mut last_metal: Option<usize> = None;
+        for (x, &v) in row.iter().enumerate() {
+            if v != 0 {
+                if let Some(prev) = last_metal {
+                    let gap = x - prev - 1;
+                    if gap > 0 && gap < min_space {
+                        violations += 1;
+                    }
+                }
+                last_metal = Some(x);
+            }
+        }
+    }
+    violations
+}
+
+fn transpose(img: &BitGrid) -> BitGrid {
+    Grid::from_fn(img.height(), img.width(), |x, y| img.get(y, x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilt_grid::{Grid, Rect};
+
+    fn rules() -> DesignRules {
+        DesignRules {
+            min_width: 5,
+            min_space: 4,
+            min_area: 20,
+        }
+    }
+
+    #[test]
+    fn clean_layout_passes() {
+        let mut g = Grid::new(40, 40, 0u8);
+        g.fill_rect(Rect::new(4, 4, 14, 14), 1); // 10x10
+        g.fill_rect(Rect::new(22, 4, 32, 14), 1); // 8 px away
+        let report = check(&g, &rules());
+        assert!(report.is_clean(), "{report:?}");
+    }
+
+    #[test]
+    fn thin_sliver_flags_width() {
+        let mut g = Grid::new(40, 40, 0u8);
+        g.fill_rect(Rect::new(4, 4, 30, 6), 1); // 2 px tall wire
+        let report = check(&g, &rules());
+        assert!(report.width_violations > 0);
+    }
+
+    #[test]
+    fn close_features_flag_spacing() {
+        let mut g = Grid::new(40, 40, 0u8);
+        g.fill_rect(Rect::new(4, 4, 14, 14), 1);
+        g.fill_rect(Rect::new(16, 4, 26, 14), 1); // gap of 2 < 4
+        let report = check(&g, &rules());
+        assert!(report.space_violations > 0);
+    }
+
+    #[test]
+    fn tiny_feature_flags_area() {
+        let mut g = Grid::new(40, 40, 0u8);
+        g.fill_rect(Rect::new(4, 4, 8, 8), 1); // 16 px < 20
+        let report = check(&g, &rules());
+        assert!(report.area_violations > 0);
+    }
+
+    #[test]
+    fn empty_layout_is_clean() {
+        let g: BitGrid = Grid::new(16, 16, 0);
+        assert!(check(&g, &rules()).is_clean());
+    }
+
+    #[test]
+    fn default_rules_are_consistent() {
+        let d = DesignRules::default();
+        assert_eq!(d, DesignRules::m1_default());
+        assert!(d.min_width > 0 && d.min_space > 0);
+        assert!(d.min_area >= d.min_width * d.min_width);
+    }
+}

@@ -1,0 +1,292 @@
+//! Seeded synthetic M1-layer generator.
+//!
+//! The paper evaluates on 20 industrial metal-1 clips we do not have; this
+//! generator produces deterministic, design-rule-clean rectilinear wiring
+//! with the geometric population that drives stitch mismatch: long wires
+//! crossing tile boundaries, jogs, line-ends near boundaries, and short
+//! isolated stubs that attract SRAFs.
+//!
+//! Geometry is laid out on a *track lattice* with cell size
+//! `pitch = wire_width + wire_space`, which makes the minimum-space rule hold
+//! by construction: distinct shapes are always at least `wire_space` apart in
+//! at least one axis.
+
+use ilt_grid::{BitGrid, Grid, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the synthetic M1 generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneratorConfig {
+    /// Clip edge length in pixels (clips are square).
+    pub size: usize,
+    /// Drawn wire width in pixels.
+    pub wire_width: usize,
+    /// Minimum space between wires in pixels.
+    pub wire_space: usize,
+    /// Empty border kept around the clip (reduces FFT wrap-around effects).
+    pub border: usize,
+    /// Probability that a lattice cell on a track is part of a wire.
+    pub track_fill: f64,
+    /// Probability of dropping a vertical jog at an eligible column.
+    pub jog_prob: f64,
+}
+
+impl GeneratorConfig {
+    /// Configuration used by the default benchmark suite (512-pixel clips).
+    pub fn m1_default() -> Self {
+        GeneratorConfig {
+            size: 512,
+            wire_width: 8,
+            wire_space: 14,
+            border: 12,
+            track_fill: 0.58,
+            jog_prob: 0.22,
+        }
+    }
+
+    /// Same geometry statistics at an arbitrary clip size.
+    pub fn with_size(size: usize) -> Self {
+        GeneratorConfig {
+            size,
+            ..GeneratorConfig::m1_default()
+        }
+    }
+
+    /// Lattice pitch (`wire_width + wire_space`).
+    pub fn pitch(&self) -> usize {
+        self.wire_width + self.wire_space
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clip is too small to hold at least two tracks or any
+    /// parameter is degenerate.
+    pub fn validate(&self) {
+        assert!(self.wire_width >= 2, "wire width must be at least 2 px");
+        assert!(self.wire_space >= 2, "wire space must be at least 2 px");
+        assert!(
+            (0.0..=1.0).contains(&self.track_fill) && (0.0..=1.0).contains(&self.jog_prob),
+            "probabilities must lie in [0, 1]"
+        );
+        assert!(
+            self.size > 2 * self.border + 2 * self.pitch(),
+            "clip of size {} cannot hold two tracks (border {}, pitch {})",
+            self.size,
+            self.border,
+            self.pitch()
+        );
+    }
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig::m1_default()
+    }
+}
+
+/// Generates one synthetic M1 clip. The same `(config, seed)` pair always
+/// produces the same layout.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (see
+/// [`GeneratorConfig::validate`]).
+///
+/// # Examples
+///
+/// ```
+/// use ilt_layout::{generate_clip, GeneratorConfig};
+///
+/// let cfg = GeneratorConfig::with_size(256);
+/// let a = generate_clip(&cfg, 7);
+/// let b = generate_clip(&cfg, 7);
+/// assert_eq!(a, b); // deterministic
+/// assert!(a.count_ones() > 0);
+/// ```
+pub fn generate_clip(config: &GeneratorConfig, seed: u64) -> BitGrid {
+    config.validate();
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xA24B_1DE5).wrapping_add(17));
+    let pitch = config.pitch();
+    let usable = config.size - 2 * config.border;
+    let tracks = usable / pitch;
+    let columns = usable / pitch;
+    let x0 = config.border as i64;
+    let y0 = config.border as i64;
+    let w = config.wire_width as i64;
+    let pitch_i = pitch as i64;
+
+    let mut layout: BitGrid = Grid::new(config.size, config.size, 0);
+    // Occupancy of lattice cells per track so jogs only connect real metal.
+    let mut occupied = vec![vec![false; columns]; tracks];
+
+    // Horizontal wire segments per track. Each track alternates between
+    // "drawing" runs and gaps of at least one cell.
+    for (t, row) in occupied.iter_mut().enumerate() {
+        let mut c = 0usize;
+        while c < columns {
+            if rng.gen_bool(config.track_fill) {
+                // Segment length: biased toward long wires with a tail of
+                // short stubs (the SRAF-attracting population).
+                let max_len = columns - c;
+                let len = if rng.gen_bool(0.25) {
+                    rng.gen_range(1..=2.min(max_len))
+                } else {
+                    rng.gen_range(2.min(max_len)..=max_len.min(10).max(2.min(max_len)))
+                };
+                let rect = Rect::new(
+                    x0 + c as i64 * pitch_i,
+                    y0 + t as i64 * pitch_i,
+                    x0 + (c + len) as i64 * pitch_i - config.wire_space as i64,
+                    y0 + t as i64 * pitch_i + w,
+                );
+                layout.fill_rect(rect, 1);
+                for cell in row.iter_mut().skip(c).take(len) {
+                    *cell = true;
+                }
+                // At least one empty cell after a segment keeps line-end
+                // spacing comfortably above the rule.
+                c += len + 1;
+            } else {
+                c += 1;
+            }
+        }
+    }
+
+    // Vertical jogs connecting vertically adjacent occupied cells.
+    for t in 0..tracks.saturating_sub(1) {
+        #[allow(clippy::needless_range_loop)]
+        for c in 0..columns {
+            if occupied[t][c] && occupied[t + 1][c] && rng.gen_bool(config.jog_prob) {
+                let rect = Rect::new(
+                    x0 + c as i64 * pitch_i,
+                    y0 + t as i64 * pitch_i,
+                    x0 + c as i64 * pitch_i + w,
+                    y0 + (t + 1) as i64 * pitch_i + w,
+                );
+                layout.fill_rect(rect, 1);
+            }
+        }
+    }
+
+    // Half of the clips route vertically: transpose for orientation variety.
+    if seed % 2 == 1 {
+        layout = transpose(&layout);
+    }
+    layout
+}
+
+/// Transposes a binary grid (swaps x and y).
+fn transpose(img: &BitGrid) -> BitGrid {
+    Grid::from_fn(img.height(), img.width(), |x, y| img.get(y, x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drc::{check, DesignRules};
+
+    fn small_config() -> GeneratorConfig {
+        GeneratorConfig::with_size(192)
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = small_config();
+        assert_eq!(generate_clip(&cfg, 3), generate_clip(&cfg, 3));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = small_config();
+        assert_ne!(generate_clip(&cfg, 1), generate_clip(&cfg, 2));
+    }
+
+    #[test]
+    fn produces_reasonable_density() {
+        let cfg = small_config();
+        for seed in 0..6 {
+            let clip = generate_clip(&cfg, seed);
+            let density = clip.count_ones() as f64 / clip.len() as f64;
+            assert!(
+                (0.03..0.55).contains(&density),
+                "seed {seed}: density {density}"
+            );
+        }
+    }
+
+    #[test]
+    fn respects_border() {
+        let cfg = small_config();
+        let clip = generate_clip(&cfg, 4); // even seed: no transpose
+        for i in 0..cfg.size {
+            for b in 0..cfg.border {
+                assert_eq!(clip.get(i, b), 0);
+                assert_eq!(clip.get(b, i), 0);
+                assert_eq!(clip.get(i, cfg.size - 1 - b), 0);
+                assert_eq!(clip.get(cfg.size - 1 - b, i), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn generated_clips_are_drc_clean() {
+        let cfg = small_config();
+        let rules = DesignRules {
+            min_width: cfg.wire_width,
+            min_space: cfg.wire_space,
+            // Shortest stub: 1 cell = pitch - space = width px long.
+            min_area: cfg.wire_width * cfg.wire_width,
+        };
+        for seed in 0..8 {
+            let clip = generate_clip(&cfg, seed);
+            let report = check(&clip, &rules);
+            assert!(report.is_clean(), "seed {seed}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn odd_seeds_are_vertical() {
+        // Vertical clips have more column-aligned metal than row-aligned.
+        let cfg = small_config();
+        let clip = generate_clip(&cfg, 5);
+        let mut row_runs = 0usize;
+        let mut col_runs = 0usize;
+        for i in 1..cfg.size {
+            for j in 0..cfg.size {
+                if clip.get(i, j) != 0 && clip.get(i - 1, j) != 0 {
+                    row_runs += 1;
+                }
+                if clip.get(j, i) != 0 && clip.get(j, i - 1) != 0 {
+                    col_runs += 1;
+                }
+            }
+        }
+        assert!(col_runs > row_runs, "vertical clip should be column-heavy");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold two tracks")]
+    fn tiny_clip_rejected() {
+        let cfg = GeneratorConfig {
+            size: 32,
+            ..GeneratorConfig::m1_default()
+        };
+        let _ = generate_clip(&cfg, 0);
+    }
+
+    #[test]
+    fn pitch_is_width_plus_space() {
+        let cfg = GeneratorConfig::m1_default();
+        assert_eq!(cfg.pitch(), cfg.wire_width + cfg.wire_space);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let cfg = small_config();
+        let clip = generate_clip(&cfg, 2);
+        assert_eq!(transpose(&transpose(&clip)), clip);
+    }
+}

@@ -1,0 +1,39 @@
+//! # ilt-layout
+//!
+//! Synthetic metal-1 layout generation and the 20-clip benchmark suite.
+//!
+//! The paper evaluates on 20 industrial M1 clips that are not public; this
+//! crate substitutes a deterministic generator producing design-rule-clean
+//! rectilinear wiring (tracks, jogs, line-ends, stubs) with comparable
+//! feature statistics. See `DESIGN.md` at the workspace root for the full
+//! substitution argument.
+//!
+//! * [`GeneratorConfig`] / [`generate_clip`] — seeded clip generation;
+//! * [`DesignRules`] / [`check`] — width/space/area rule checking;
+//! * [`benchmark_suite`] — the `case1..case20` workload of Table 1;
+//! * [`generate_via_clip`] / [`pattern_diversity`] — a via-layer generator
+//!   and the pattern-repetition analysis behind the paper's remark that
+//!   template extraction suits via layers better than ILT.
+//!
+//! # Examples
+//!
+//! ```
+//! use ilt_layout::{benchmark_suite, GeneratorConfig};
+//!
+//! let suite = benchmark_suite(&GeneratorConfig::with_size(192));
+//! assert_eq!(suite.len(), 20);
+//! assert!(suite.iter().all(|clip| clip.area > 0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod drc;
+mod gen;
+mod suite;
+mod via;
+
+pub use drc::{check, DesignRules, DrcReport};
+pub use gen::{generate_clip, GeneratorConfig};
+pub use suite::{benchmark_suite, suite_of_size, Clip};
+pub use via::{generate_via_clip, pattern_diversity, PatternDiversity, ViaConfig};

@@ -1,0 +1,101 @@
+//! The 20-clip benchmark suite mirroring the paper's Table 1 workload.
+
+use ilt_grid::{BitGrid, RealGrid};
+
+use crate::gen::{generate_clip, GeneratorConfig};
+
+/// One benchmark clip: a target layout plus the identifiers Table 1 reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clip {
+    /// 1-based case number (`case1` .. `case20` in the paper).
+    pub id: usize,
+    /// Case name, e.g. `"case7"`.
+    pub name: String,
+    /// Binary target layout `Z_t`.
+    pub target: BitGrid,
+    /// Drawn metal area in pixels (the paper's `Area (nm^2)` column; one
+    /// pixel corresponds to one square design unit).
+    pub area: usize,
+}
+
+impl Clip {
+    /// The target as a continuous 0/1 grid, the form the solvers consume.
+    pub fn target_real(&self) -> RealGrid {
+        self.target.to_real()
+    }
+
+    /// Clip edge length in pixels.
+    pub fn size(&self) -> usize {
+        self.target.width()
+    }
+}
+
+/// Generates the deterministic 20-clip suite for a given generator
+/// configuration. Clip `k` uses seed `k`, so the suite is stable across
+/// runs and machines.
+pub fn benchmark_suite(config: &GeneratorConfig) -> Vec<Clip> {
+    suite_of_size(config, 20)
+}
+
+/// Generates the first `count` clips of the suite (smaller counts keep
+/// test and CI runtimes down; the full harness uses all 20).
+pub fn suite_of_size(config: &GeneratorConfig, count: usize) -> Vec<Clip> {
+    (1..=count)
+        .map(|id| {
+            let target = generate_clip(config, id as u64);
+            let area = target.count_ones();
+            Clip {
+                id,
+                name: format!("case{id}"),
+                target,
+                area,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GeneratorConfig {
+        GeneratorConfig::with_size(192)
+    }
+
+    #[test]
+    fn suite_has_twenty_named_cases() {
+        let suite = benchmark_suite(&cfg());
+        assert_eq!(suite.len(), 20);
+        assert_eq!(suite[0].name, "case1");
+        assert_eq!(suite[19].name, "case20");
+        for (i, clip) in suite.iter().enumerate() {
+            assert_eq!(clip.id, i + 1);
+            assert_eq!(clip.area, clip.target.count_ones());
+            assert_eq!(clip.size(), 192);
+        }
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let a = suite_of_size(&cfg(), 3);
+        let b = suite_of_size(&cfg(), 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clips_are_distinct() {
+        let suite = suite_of_size(&cfg(), 5);
+        for i in 0..suite.len() {
+            for j in i + 1..suite.len() {
+                assert_ne!(suite[i].target, suite[j].target, "clips {i} and {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn target_real_matches_bits() {
+        let suite = suite_of_size(&cfg(), 1);
+        let real = suite[0].target_real();
+        assert_eq!(real.sum() as usize, suite[0].area);
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type for dense linear algebra operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by matrix construction and the eigensolver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinalgError {
+    /// A buffer did not match the requested matrix shape.
+    ShapeMismatch {
+        /// Expected number of elements.
+        expected: usize,
+        /// Number of elements supplied.
+        actual: usize,
+    },
+    /// Two operands have incompatible shapes.
+    DimensionMismatch {
+        /// Shape of the left operand.
+        left: (usize, usize),
+        /// Shape of the right operand.
+        right: (usize, usize),
+    },
+    /// The eigensolver requires a Hermitian matrix but the input is not
+    /// Hermitian within tolerance.
+    NotHermitian {
+        /// Measured deviation `max |a_ij - conj(a_ji)|`.
+        defect: f64,
+    },
+    /// The Jacobi iteration did not converge within the sweep limit.
+    NoConvergence {
+        /// Number of sweeps performed.
+        sweeps: usize,
+        /// Remaining off-diagonal squared magnitude.
+        off_diagonal: f64,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "buffer has {actual} elements but the shape needs {expected}"
+                )
+            }
+            LinalgError::DimensionMismatch { left, right } => write!(
+                f,
+                "incompatible shapes {}x{} and {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::NotHermitian { defect } => {
+                write!(f, "matrix is not Hermitian (defect {defect:.3e})")
+            }
+            LinalgError::NoConvergence {
+                sweeps,
+                off_diagonal,
+            } => write!(
+                f,
+                "jacobi iteration did not converge after {sweeps} sweeps \
+                 (off-diagonal {off_diagonal:.3e})"
+            ),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(LinalgError::ShapeMismatch {
+            expected: 4,
+            actual: 3
+        }
+        .to_string()
+        .contains('4'));
+        assert!(LinalgError::DimensionMismatch {
+            left: (2, 3),
+            right: (4, 5)
+        }
+        .to_string()
+        .contains("2x3"));
+        assert!(LinalgError::NotHermitian { defect: 0.5 }
+            .to_string()
+            .contains("Hermitian"));
+        assert!(LinalgError::NoConvergence {
+            sweeps: 30,
+            off_diagonal: 1.0
+        }
+        .to_string()
+        .contains("30"));
+    }
+
+    #[test]
+    fn is_std_error_send_sync() {
+        fn check<E: std::error::Error + Send + Sync>() {}
+        check::<LinalgError>();
+    }
+}

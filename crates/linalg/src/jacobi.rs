@@ -1,0 +1,381 @@
+//! Cyclic Jacobi eigensolver for Hermitian matrices.
+//!
+//! The Hopkins transmission cross-coefficient (TCC) operator is Hermitian
+//! positive semi-definite; the sum-of-coherent-systems (SOCS) decomposition
+//! used by Eq. (1) of the paper is exactly its spectral decomposition. The
+//! TCC matrices in this workspace are small (a few hundred rows), so the
+//! unconditionally stable `O(n^3)`-per-sweep Jacobi method is a good fit.
+
+use ilt_fft::Complex;
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// Result of a Hermitian eigendecomposition: `A = V diag(values) V^H`.
+#[derive(Debug, Clone)]
+pub struct Eigendecomposition {
+    /// Real eigenvalues, sorted in descending order.
+    pub values: Vec<f64>,
+    /// Unitary matrix whose `k`-th **column** is the eigenvector for
+    /// `values[k]`.
+    pub vectors: Matrix,
+}
+
+impl Eigendecomposition {
+    /// The `k`-th eigenvector as an owned column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= values.len()`.
+    pub fn vector(&self, k: usize) -> Vec<Complex> {
+        assert!(k < self.values.len(), "eigenvector index out of range");
+        (0..self.vectors.rows())
+            .map(|r| self.vectors.get(r, k))
+            .collect()
+    }
+
+    /// Reconstructs `V diag(values) V^H`; used to validate the decomposition.
+    pub fn reconstruct(&self) -> Matrix {
+        let n = self.values.len();
+        Matrix::from_fn(n, n, |r, c| {
+            let mut acc = Complex::ZERO;
+            for k in 0..n {
+                acc += self.vectors.get(r, k) * self.vectors.get(c, k).conj() * self.values[k];
+            }
+            acc
+        })
+    }
+}
+
+/// Options controlling the Jacobi iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct JacobiOptions {
+    /// Maximum number of full sweeps over all off-diagonal pairs.
+    pub max_sweeps: usize,
+    /// Convergence threshold on `sqrt(off_diagonal_sqr) / frobenius_norm`.
+    pub tolerance: f64,
+    /// Allowed Hermitian defect of the input.
+    pub hermitian_tolerance: f64,
+}
+
+impl Default for JacobiOptions {
+    fn default() -> Self {
+        JacobiOptions {
+            max_sweeps: 64,
+            tolerance: 1e-12,
+            hermitian_tolerance: 1e-9,
+        }
+    }
+}
+
+/// Computes the eigendecomposition of a Hermitian matrix with default
+/// options.
+///
+/// # Errors
+///
+/// * [`LinalgError::DimensionMismatch`] if the matrix is not square.
+/// * [`LinalgError::NotHermitian`] if the matrix is not Hermitian.
+/// * [`LinalgError::NoConvergence`] if the sweep limit is exhausted.
+///
+/// # Examples
+///
+/// ```
+/// use ilt_fft::Complex;
+/// use ilt_linalg::{eigh, Matrix};
+///
+/// # fn main() -> Result<(), ilt_linalg::LinalgError> {
+/// let a = Matrix::from_vec(2, 2, vec![
+///     Complex::from_re(2.0), Complex::from_re(1.0),
+///     Complex::from_re(1.0), Complex::from_re(2.0),
+/// ])?;
+/// let eig = eigh(&a)?;
+/// assert!((eig.values[0] - 3.0).abs() < 1e-10);
+/// assert!((eig.values[1] - 1.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn eigh(matrix: &Matrix) -> Result<Eigendecomposition, LinalgError> {
+    eigh_with(matrix, JacobiOptions::default())
+}
+
+/// Computes the eigendecomposition of a Hermitian matrix with explicit
+/// options.
+///
+/// # Errors
+///
+/// Same as [`eigh`].
+pub fn eigh_with(
+    matrix: &Matrix,
+    options: JacobiOptions,
+) -> Result<Eigendecomposition, LinalgError> {
+    if !matrix.is_square() {
+        return Err(LinalgError::DimensionMismatch {
+            left: (matrix.rows(), matrix.cols()),
+            right: (matrix.cols(), matrix.rows()),
+        });
+    }
+    let defect = matrix.hermitian_defect();
+    if defect > options.hermitian_tolerance {
+        return Err(LinalgError::NotHermitian { defect });
+    }
+
+    let n = matrix.rows();
+    let mut a = matrix.clone();
+    let mut v = Matrix::identity(n);
+
+    if n == 1 {
+        return Ok(Eigendecomposition {
+            values: vec![a.get(0, 0).re],
+            vectors: v,
+        });
+    }
+
+    let norm = a.frobenius_norm().max(f64::MIN_POSITIVE);
+    let mut converged = false;
+    let mut sweeps = 0;
+    while sweeps < options.max_sweeps {
+        sweeps += 1;
+        for p in 0..n - 1 {
+            for q in p + 1..n {
+                rotate(&mut a, &mut v, p, q);
+            }
+        }
+        if a.off_diagonal_sqr().sqrt() <= options.tolerance * norm {
+            converged = true;
+            break;
+        }
+    }
+    if !converged && a.off_diagonal_sqr().sqrt() > options.tolerance * norm {
+        return Err(LinalgError::NoConvergence {
+            sweeps,
+            off_diagonal: a.off_diagonal_sqr(),
+        });
+    }
+
+    // Extract and sort eigenpairs by descending eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| a.get(i, i).re).collect();
+    order.sort_by(|&x, &y| {
+        diag[y]
+            .partial_cmp(&diag[x])
+            .expect("eigenvalues are finite")
+    });
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let vectors = Matrix::from_fn(n, n, |r, c| v.get(r, order[c]));
+
+    Ok(Eigendecomposition { values, vectors })
+}
+
+/// Applies one complex Jacobi rotation annihilating `a[p][q]`.
+///
+/// The rotation is the unitary matrix `R` equal to the identity except for
+/// `R[p][p] = c`, `R[p][q] = s * phase`, `R[q][p] = -s * conj(phase)`,
+/// `R[q][q] = c`, where `phase = a_pq / |a_pq|` and `(c, s)` are the
+/// classical Jacobi cosine/sine. `a` is replaced by `R^H a R` and the
+/// accumulated eigenvector matrix `v` by `v R`.
+fn rotate(a: &mut Matrix, v: &mut Matrix, p: usize, q: usize) {
+    let apq = a.get(p, q);
+    let mag = apq.abs();
+    if mag == 0.0 {
+        return;
+    }
+    let phase = apq.scale(1.0 / mag);
+    let app = a.get(p, p).re;
+    let aqq = a.get(q, q).re;
+
+    let tau = (aqq - app) / (2.0 * mag);
+    let t = if tau >= 0.0 {
+        1.0 / (tau + (1.0 + tau * tau).sqrt())
+    } else {
+        -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+    };
+    let c = 1.0 / (1.0 + t * t).sqrt();
+    let s = t * c;
+    let s_c = phase.scale(s); // complex sine
+
+    let n = a.rows();
+    // Column update: B = A R  (touches columns p and q only).
+    for i in 0..n {
+        let aip = a.get(i, p);
+        let aiq = a.get(i, q);
+        a.set(i, p, aip.scale(c) - aiq * s_c.conj());
+        a.set(i, q, aip * s_c + aiq.scale(c));
+    }
+    // Row update: A' = R^H B (touches rows p and q only).
+    for j in 0..n {
+        let apj = a.get(p, j);
+        let aqj = a.get(q, j);
+        a.set(p, j, apj.scale(c) - s_c * aqj);
+        a.set(q, j, apj * s_c.conj() + aqj.scale(c));
+    }
+    // Clean up rounding on the annihilated pair and keep the diagonal real.
+    a.set(p, q, Complex::ZERO);
+    a.set(q, p, Complex::ZERO);
+    a.set(p, p, Complex::from_re(a.get(p, p).re));
+    a.set(q, q, Complex::from_re(a.get(q, q).re));
+
+    // Accumulate eigenvectors: V = V R.
+    for i in 0..v.rows() {
+        let vip = v.get(i, p);
+        let viq = v.get(i, q);
+        v.set(i, p, vip.scale(c) - viq * s_c.conj());
+        v.set(i, q, vip * s_c + viq.scale(c));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hermitian_from_seed(n: usize, seed: u64) -> Matrix {
+        // Deterministic pseudo-random Hermitian matrix.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        let mut m = Matrix::zeros(n, n);
+        for r in 0..n {
+            for c in r..n {
+                if r == c {
+                    m.set(r, c, Complex::from_re(next()));
+                } else {
+                    let z = Complex::new(next(), next());
+                    m.set(r, c, z);
+                    m.set(c, r, z.conj());
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let mut a = Matrix::zeros(3, 3);
+        a.set(0, 0, Complex::from_re(1.0));
+        a.set(1, 1, Complex::from_re(-2.0));
+        a.set(2, 2, Complex::from_re(5.0));
+        let eig = eigh(&a).unwrap();
+        assert_eq!(eig.values, vec![5.0, 1.0, -2.0]);
+    }
+
+    #[test]
+    fn two_by_two_known_eigenvalues() {
+        // [[0, -i], [i, 0]] has eigenvalues +-1.
+        let a = Matrix::from_vec(
+            2,
+            2,
+            vec![Complex::ZERO, -Complex::I, Complex::I, Complex::ZERO],
+        )
+        .unwrap();
+        let eig = eigh(&a).unwrap();
+        assert!((eig.values[0] - 1.0).abs() < 1e-12);
+        assert!((eig.values[1] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = Matrix::from_vec(1, 1, vec![Complex::from_re(7.0)]).unwrap();
+        let eig = eigh(&a).unwrap();
+        assert_eq!(eig.values, vec![7.0]);
+        assert_eq!(eig.vectors.get(0, 0), Complex::ONE);
+    }
+
+    #[test]
+    fn rejects_non_square_and_non_hermitian() {
+        let rect = Matrix::zeros(2, 3);
+        assert!(matches!(
+            eigh(&rect),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        let nh = Matrix::from_vec(
+            2,
+            2,
+            vec![Complex::ONE, Complex::I, Complex::I, Complex::ONE],
+        )
+        .unwrap();
+        assert!(matches!(eigh(&nh), Err(LinalgError::NotHermitian { .. })));
+    }
+
+    #[test]
+    fn reconstruction_matches_input() {
+        for seed in 1..5u64 {
+            let a = hermitian_from_seed(8, seed);
+            let eig = eigh(&a).unwrap();
+            let rec = eig.reconstruct();
+            let mut diff: f64 = 0.0;
+            for r in 0..8 {
+                for c in 0..8 {
+                    diff = diff.max((rec.get(r, c) - a.get(r, c)).abs());
+                }
+            }
+            assert!(diff < 1e-9, "seed {seed}: reconstruction error {diff}");
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = hermitian_from_seed(10, 42);
+        let eig = eigh(&a).unwrap();
+        let vhv = eig.vectors.adjoint().mul(&eig.vectors).unwrap();
+        for r in 0..10 {
+            for c in 0..10 {
+                let expect = if r == c { Complex::ONE } else { Complex::ZERO };
+                assert!((vhv.get(r, c) - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvalues_are_sorted_descending() {
+        let a = hermitian_from_seed(12, 7);
+        let eig = eigh(&a).unwrap();
+        for w in eig.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let a = hermitian_from_seed(9, 3);
+        let trace: f64 = (0..9).map(|i| a.get(i, i).re).sum();
+        let eig = eigh(&a).unwrap();
+        let sum: f64 = eig.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn satisfies_eigen_equation() {
+        let a = hermitian_from_seed(6, 11);
+        let eig = eigh(&a).unwrap();
+        for k in 0..6 {
+            let v = eig.vector(k);
+            let av = a.mul_vec(&v).unwrap();
+            for i in 0..6 {
+                let expect = v[i].scale(eig.values[k]);
+                assert!((av[i] - expect).abs() < 1e-9, "pair {k}, row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn positive_semidefinite_gram_matrix_has_nonnegative_eigenvalues() {
+        // G = B^H B is PSD by construction.
+        let b = hermitian_from_seed(7, 19);
+        let g = b.adjoint().mul(&b).unwrap();
+        let eig = eigh(&g).unwrap();
+        for &v in &eig.values {
+            assert!(v > -1e-9);
+        }
+    }
+
+    #[test]
+    fn vector_accessor_panics_out_of_range() {
+        let a = hermitian_from_seed(3, 2);
+        let eig = eigh(&a).unwrap();
+        let result = std::panic::catch_unwind(|| eig.vector(5));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! # ilt-linalg
+//!
+//! Dense complex matrices and a Hermitian eigensolver.
+//!
+//! The workspace uses this crate in exactly one (but crucial) place: the
+//! sum-of-coherent-systems (SOCS) decomposition of the Hopkins transmission
+//! cross-coefficient operator. The TCC restricted to the pupil band-limit is
+//! a small Hermitian positive semi-definite matrix; its eigendecomposition
+//! yields the optical kernels `(w_i, h_i)` consumed by Eq. (1) of the paper.
+//!
+//! * [`Matrix`] — dense row-major complex matrix with multiplication,
+//!   adjoints, and norms;
+//! * [`eigh`] / [`eigh_with`] — cyclic complex Jacobi eigendecomposition,
+//!   returning eigenvalues in descending order with orthonormal vectors.
+//!
+//! # Examples
+//!
+//! ```
+//! use ilt_fft::Complex;
+//! use ilt_linalg::{eigh, Matrix};
+//!
+//! # fn main() -> Result<(), ilt_linalg::LinalgError> {
+//! // A rank-one projector has eigenvalues {1, 0}.
+//! let a = Matrix::from_fn(2, 2, |r, c| {
+//!     if r == 0 && c == 0 { Complex::ONE } else { Complex::ZERO }
+//! });
+//! let eig = eigh(&a)?;
+//! assert!((eig.values[0] - 1.0).abs() < 1e-12);
+//! assert!(eig.values[1].abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod jacobi;
+mod matrix;
+
+pub use error::LinalgError;
+pub use jacobi::{eigh, eigh_with, Eigendecomposition, JacobiOptions};
+pub use matrix::Matrix;

@@ -1,0 +1,381 @@
+//! Dense complex matrices with just enough functionality for SOCS kernel
+//! extraction: construction, Hermitian checks, multiplication, and norms.
+
+use ilt_fft::Complex;
+
+use crate::error::LinalgError;
+
+/// A dense, row-major complex matrix.
+///
+/// # Examples
+///
+/// ```
+/// use ilt_linalg::Matrix;
+/// use ilt_fft::Complex;
+///
+/// let m = Matrix::from_fn(2, 2, |r, c| Complex::from_re((r * 2 + c) as f64));
+/// assert_eq!(m.get(1, 0), Complex::from_re(2.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be nonzero");
+        Matrix {
+            rows,
+            cols,
+            data: vec![Complex::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates an identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, Complex::ONE);
+        }
+        m
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` at every entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn from_fn<F: FnMut(usize, usize) -> Complex>(rows: usize, cols: usize, mut f: F) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be nonzero");
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds a matrix from an existing row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<Complex>) -> Result<Self, LinalgError> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::ShapeMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` if the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> Complex {
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: Complex) {
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrow of the underlying row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex] {
+        &self.data
+    }
+
+    /// A row of the matrix as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()`.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[Complex] {
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Conjugate transpose.
+    pub fn adjoint(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r).conj())
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if inner dimensions differ.
+    pub fn mul(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                left: (self.rows, self.cols),
+                right: (rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == Complex::ZERO {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    let v = out.get(r, c).mul_add(a, rhs.get(k, c));
+                    out.set(r, c, v);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[Complex]) -> Result<Vec<Complex>, LinalgError> {
+        if v.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                left: (self.rows, self.cols),
+                right: (v.len(), 1),
+            });
+        }
+        let out = (0..self.rows)
+            .map(|r| {
+                v.iter().enumerate().fold(Complex::ZERO, |acc, (c, value)| {
+                    acc.mul_add(self.get(r, c), *value)
+                })
+            })
+            .collect();
+        Ok(out)
+    }
+
+    /// Frobenius norm `sqrt(sum |a_ij|^2)`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Sum of squared moduli of strictly off-diagonal entries. This is the
+    /// quantity the Jacobi sweep drives to zero.
+    pub fn off_diagonal_sqr(&self) -> f64 {
+        let mut acc = 0.0;
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if r != c {
+                    acc += self.get(r, c).norm_sqr();
+                }
+            }
+        }
+        acc
+    }
+
+    /// Maximum deviation from Hermitian symmetry, `max |a_ij - conj(a_ji)|`.
+    /// Zero (to rounding) for a valid TCC matrix.
+    pub fn hermitian_defect(&self) -> f64 {
+        if !self.is_square() {
+            return f64::INFINITY;
+        }
+        let mut worst: f64 = 0.0;
+        for r in 0..self.rows {
+            for c in r..self.cols {
+                worst = worst.max((self.get(r, c) - self.get(c, r).conj()).abs());
+            }
+        }
+        worst
+    }
+
+    /// Returns `true` if the matrix is Hermitian within `tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        self.is_square() && self.hermitian_defect() <= tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.rows(), 2);
+        assert_eq!(z.cols(), 3);
+        assert!(!z.is_square());
+        assert_eq!(z.get(1, 2), Complex::ZERO);
+
+        let i = Matrix::identity(3);
+        assert!(i.is_square());
+        assert_eq!(i.get(1, 1), Complex::ONE);
+        assert_eq!(i.get(0, 1), Complex::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dimension_panics() {
+        let _ = Matrix::zeros(0, 3);
+    }
+
+    #[test]
+    fn from_vec_validates_shape() {
+        assert!(Matrix::from_vec(2, 2, vec![Complex::ZERO; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![Complex::ZERO; 4]).is_ok());
+    }
+
+    #[test]
+    fn adjoint_conjugates_and_transposes() {
+        let m = Matrix::from_fn(2, 3, |r, c| Complex::new(r as f64, c as f64));
+        let a = m.adjoint();
+        assert_eq!(a.rows(), 3);
+        assert_eq!(a.cols(), 2);
+        assert_eq!(a.get(2, 1), Complex::new(1.0, -2.0));
+    }
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let m = Matrix::from_fn(3, 3, |r, c| {
+            Complex::new((r + c) as f64, r as f64 - c as f64)
+        });
+        let i = Matrix::identity(3);
+        assert_eq!(m.mul(&i).unwrap(), m);
+        assert_eq!(i.mul(&m).unwrap(), m);
+    }
+
+    #[test]
+    fn mul_matches_hand_computation() {
+        let a = Matrix::from_vec(
+            2,
+            2,
+            vec![
+                Complex::from_re(1.0),
+                Complex::from_re(2.0),
+                Complex::from_re(3.0),
+                Complex::from_re(4.0),
+            ],
+        )
+        .unwrap();
+        let b = Matrix::from_vec(
+            2,
+            2,
+            vec![
+                Complex::from_re(5.0),
+                Complex::from_re(6.0),
+                Complex::from_re(7.0),
+                Complex::from_re(8.0),
+            ],
+        )
+        .unwrap();
+        let c = a.mul(&b).unwrap();
+        assert_eq!(c.get(0, 0), Complex::from_re(19.0));
+        assert_eq!(c.get(0, 1), Complex::from_re(22.0));
+        assert_eq!(c.get(1, 0), Complex::from_re(43.0));
+        assert_eq!(c.get(1, 1), Complex::from_re(50.0));
+    }
+
+    #[test]
+    fn mul_rejects_mismatched_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.mul(&b).is_err());
+    }
+
+    #[test]
+    fn mul_vec_works() {
+        let m = Matrix::from_vec(
+            2,
+            2,
+            vec![Complex::ONE, Complex::I, Complex::ZERO, Complex::ONE],
+        )
+        .unwrap();
+        let v = vec![Complex::from_re(2.0), Complex::from_re(3.0)];
+        let out = m.mul_vec(&v).unwrap();
+        assert_eq!(out[0], Complex::new(2.0, 3.0));
+        assert_eq!(out[1], Complex::from_re(3.0));
+        assert!(m.mul_vec(&[Complex::ZERO]).is_err());
+    }
+
+    #[test]
+    fn norms() {
+        let m = Matrix::from_vec(
+            2,
+            2,
+            vec![
+                Complex::from_re(3.0),
+                Complex::from_re(4.0),
+                Complex::ZERO,
+                Complex::ZERO,
+            ],
+        )
+        .unwrap();
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+        assert!((m.off_diagonal_sqr() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hermitian_detection() {
+        let h = Matrix::from_vec(
+            2,
+            2,
+            vec![
+                Complex::from_re(1.0),
+                Complex::new(0.0, 2.0),
+                Complex::new(0.0, -2.0),
+                Complex::from_re(3.0),
+            ],
+        )
+        .unwrap();
+        assert!(h.is_hermitian(1e-12));
+        assert_eq!(h.hermitian_defect(), 0.0);
+
+        let nh = Matrix::from_vec(
+            2,
+            2,
+            vec![Complex::ONE, Complex::I, Complex::I, Complex::ONE],
+        )
+        .unwrap();
+        assert!(!nh.is_hermitian(1e-12));
+        assert!(!Matrix::zeros(2, 3).is_hermitian(1e-12));
+    }
+
+    #[test]
+    fn row_slice() {
+        let m = Matrix::from_fn(2, 3, |r, c| Complex::from_re((r * 3 + c) as f64));
+        assert_eq!(m.row(1)[2], Complex::from_re(5.0));
+        assert_eq!(m.as_slice().len(), 6);
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type for lithography simulation.
+
+use std::error::Error;
+use std::fmt;
+
+use ilt_fft::FftError;
+
+/// Errors returned by kernel construction and simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LithoError {
+    /// The TCC eigendecomposition or kernel resampling failed.
+    KernelConstruction {
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// Simulation grid and kernel set are incompatible.
+    GridMismatch {
+        /// Simulation grid edge length.
+        grid: usize,
+        /// Scaled kernel support edge length.
+        support: usize,
+    },
+    /// The mask does not match the simulator's grid.
+    MaskShape {
+        /// Expected edge length.
+        expected: usize,
+        /// Actual mask width and height.
+        actual: (usize, usize),
+    },
+    /// An FFT operation failed.
+    Fft(FftError),
+}
+
+impl fmt::Display for LithoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LithoError::KernelConstruction { reason } => {
+                write!(f, "kernel construction failed: {reason}")
+            }
+            LithoError::GridMismatch { grid, support } => write!(
+                f,
+                "kernel support {support} does not fit the {grid}-pixel simulation grid"
+            ),
+            LithoError::MaskShape { expected, actual } => write!(
+                f,
+                "mask is {}x{} but the simulator expects {expected}x{expected}",
+                actual.0, actual.1
+            ),
+            LithoError::Fft(e) => write!(f, "fft failure: {e}"),
+        }
+    }
+}
+
+impl Error for LithoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LithoError::Fft(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FftError> for LithoError {
+    fn from(e: FftError) -> Self {
+        LithoError::Fft(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = LithoError::KernelConstruction { reason: "x".into() };
+        assert!(e.to_string().contains('x'));
+        let e = LithoError::GridMismatch {
+            grid: 64,
+            support: 100,
+        };
+        assert!(e.to_string().contains("100"));
+        let e = LithoError::MaskShape {
+            expected: 64,
+            actual: (32, 16),
+        };
+        assert!(e.to_string().contains("32x16"));
+        let e: LithoError = FftError::NonPowerOfTwo { len: 3 }.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn check<E: std::error::Error + Send + Sync>() {}
+        check::<LithoError>();
+    }
+}

@@ -1,0 +1,292 @@
+//! Optical system description: projection pupil, illumination source, and
+//! the frequency bookkeeping that ties them to FFT grids.
+//!
+//! All frequencies are expressed in **base-grid bins**: one bin is `1/N` of
+//! a cycle per pixel, where `N` is the base simulation size (the paper's
+//! lithosimulator input size; 2048 in the paper, 256 by default here). The
+//! transmission cross-coefficient kernels are tabulated on that bin grid, so
+//! simulating an `sN`-sized region only requires re-sampling the kernels at
+//! fractional bins `j/s` (Eq. (3)), never re-deriving the optics.
+
+use ilt_fft::Complex;
+
+/// Description of the partially coherent imaging system.
+///
+/// # Examples
+///
+/// ```
+/// use ilt_litho::OpticsConfig;
+///
+/// let cfg = OpticsConfig::default();
+/// assert!(cfg.kernel_support() % 2 == 1); // kernels have a center bin
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpticsConfig {
+    /// Base simulation grid size `N` (power of two).
+    pub base_n: usize,
+    /// Projection pupil cutoff radius in base-grid bins (`NA / lambda`
+    /// expressed on the bin grid).
+    pub pupil_radius_bins: f64,
+    /// Inner partial-coherence factor of the annular source.
+    pub sigma_inner: f64,
+    /// Outer partial-coherence factor of the annular source.
+    pub sigma_outer: f64,
+    /// Source-point sampling step in bins (smaller = more accurate TCC,
+    /// more source points).
+    pub source_step_bins: f64,
+    /// Defocus aberration expressed as the paraxial phase (radians) at the
+    /// pupil edge; applied only when building the defocus kernel set.
+    pub defocus_edge_phase: f64,
+    /// Number of SOCS kernels retained after eigen-truncation.
+    pub kernel_count: usize,
+}
+
+impl OpticsConfig {
+    /// Default configuration used by the benchmark suite: a 256-pixel base
+    /// grid with an annular 0.5/0.8 source. The pupil cutoff is chosen so
+    /// the layout generator's 16-pixel features print at `k1 ~ 0.45` —
+    /// below the Rayleigh limit, the aggressive-RET regime the paper's M1
+    /// layer lives in, where assist features matter and their placement
+    /// has real freedom.
+    pub fn m1_default() -> Self {
+        OpticsConfig {
+            base_n: 256,
+            pupil_radius_bins: 7.2,
+            sigma_inner: 0.5,
+            sigma_outer: 0.8,
+            source_step_bins: 1.2,
+            defocus_edge_phase: 2.2,
+            kernel_count: 6,
+        }
+    }
+
+    /// A tiny configuration for fast unit tests: 64-pixel base grid, a
+    /// handful of source points, 4 kernels.
+    pub fn test_small() -> Self {
+        OpticsConfig {
+            base_n: 64,
+            pupil_radius_bins: 6.0,
+            sigma_inner: 0.4,
+            sigma_outer: 0.8,
+            source_step_bins: 2.0,
+            defocus_edge_phase: 2.2,
+            kernel_count: 4,
+        }
+    }
+
+    /// Size `P` of the (odd) kernel support in bins: the mask spectrum can
+    /// reach the image only up to `(1 + sigma_outer) * pupil_radius`.
+    pub fn kernel_support(&self) -> usize {
+        let reach = (1.0 + self.sigma_outer) * self.pupil_radius_bins;
+        2 * reach.ceil() as usize + 1
+    }
+
+    /// Validates parameter consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is physically or numerically degenerate
+    /// (non-power-of-two grid, empty source annulus, kernel support larger
+    /// than the grid, no kernels).
+    pub fn validate(&self) {
+        assert!(
+            self.base_n.is_power_of_two() && self.base_n >= 16,
+            "base_n must be a power of two of at least 16"
+        );
+        assert!(
+            self.pupil_radius_bins > 0.0,
+            "pupil radius must be positive"
+        );
+        assert!(
+            0.0 <= self.sigma_inner
+                && self.sigma_inner < self.sigma_outer
+                && self.sigma_outer <= 1.0,
+            "source annulus must satisfy 0 <= inner < outer <= 1"
+        );
+        assert!(self.source_step_bins > 0.0, "source step must be positive");
+        assert!(self.kernel_count > 0, "must keep at least one kernel");
+        assert!(
+            self.kernel_support() <= self.base_n,
+            "kernel support {} exceeds base grid {}",
+            self.kernel_support(),
+            self.base_n
+        );
+    }
+
+    /// Complex pupil value at frequency `(fx, fy)` in bins. `defocused`
+    /// selects the aberrated pupil used for the process-variation corner.
+    pub fn pupil(&self, fx: f64, fy: f64, defocused: bool) -> Complex {
+        let r2 = (fx * fx + fy * fy) / (self.pupil_radius_bins * self.pupil_radius_bins);
+        if r2 > 1.0 {
+            return Complex::ZERO;
+        }
+        if defocused {
+            // Paraxial defocus: quadratic phase across the pupil.
+            Complex::from_polar(1.0, self.defocus_edge_phase * r2)
+        } else {
+            Complex::ONE
+        }
+    }
+
+    /// Source points of the annular illuminator, sampled on a square grid of
+    /// step [`OpticsConfig::source_step_bins`], with uniform weights summing
+    /// to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sampling yields no points (annulus narrower than the
+    /// step).
+    pub fn source_points(&self) -> Vec<SourcePoint> {
+        let r_out = self.sigma_outer * self.pupil_radius_bins;
+        let r_in = self.sigma_inner * self.pupil_radius_bins;
+        let step = self.source_step_bins;
+        let half_cells = (r_out / step).ceil() as i64;
+        let mut points = Vec::new();
+        for iy in -half_cells..=half_cells {
+            for ix in -half_cells..=half_cells {
+                let fx = ix as f64 * step;
+                let fy = iy as f64 * step;
+                let r = (fx * fx + fy * fy).sqrt();
+                if r >= r_in - 1e-12 && r <= r_out + 1e-12 {
+                    points.push(SourcePoint {
+                        fx,
+                        fy,
+                        weight: 0.0,
+                    });
+                }
+            }
+        }
+        assert!(
+            !points.is_empty(),
+            "source sampling step {step} leaves the annulus empty"
+        );
+        let w = 1.0 / points.len() as f64;
+        for p in &mut points {
+            p.weight = w;
+        }
+        points
+    }
+}
+
+impl Default for OpticsConfig {
+    fn default() -> Self {
+        OpticsConfig::m1_default()
+    }
+}
+
+/// One sampled illumination direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SourcePoint {
+    /// Horizontal frequency offset in bins.
+    pub fx: f64,
+    /// Vertical frequency offset in bins.
+    pub fy: f64,
+    /// Relative intensity (all points sum to 1).
+    pub weight: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        OpticsConfig::m1_default().validate();
+        OpticsConfig::test_small().validate();
+    }
+
+    #[test]
+    fn kernel_support_is_odd_and_covers_reach() {
+        let cfg = OpticsConfig::m1_default();
+        let p = cfg.kernel_support();
+        assert_eq!(p % 2, 1);
+        assert!(p as f64 / 2.0 >= (1.0 + cfg.sigma_outer) * cfg.pupil_radius_bins);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_grid() {
+        let cfg = OpticsConfig {
+            base_n: 100,
+            ..OpticsConfig::m1_default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "annulus")]
+    fn rejects_inverted_annulus() {
+        let cfg = OpticsConfig {
+            sigma_inner: 0.9,
+            sigma_outer: 0.5,
+            ..OpticsConfig::m1_default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel support")]
+    fn rejects_support_exceeding_grid() {
+        let cfg = OpticsConfig {
+            base_n: 16,
+            pupil_radius_bins: 16.0,
+            ..OpticsConfig::m1_default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    fn pupil_cuts_off() {
+        let cfg = OpticsConfig::m1_default();
+        assert_eq!(cfg.pupil(0.0, 0.0, false), Complex::ONE);
+        assert_eq!(
+            cfg.pupil(cfg.pupil_radius_bins + 0.1, 0.0, false),
+            Complex::ZERO
+        );
+        // Just inside the edge the pupil transmits with unit magnitude.
+        let edge = cfg.pupil(cfg.pupil_radius_bins - 0.01, 0.0, false);
+        assert!((edge.abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn defocus_adds_phase_without_absorbing() {
+        let cfg = OpticsConfig::m1_default();
+        let mid = cfg.pupil(cfg.pupil_radius_bins * 0.7, 0.0, true);
+        assert!((mid.abs() - 1.0).abs() < 1e-12);
+        assert!(mid.arg().abs() > 0.1);
+        // No defocus phase at the pupil center.
+        assert_eq!(cfg.pupil(0.0, 0.0, true), Complex::ONE);
+    }
+
+    #[test]
+    fn source_points_lie_in_annulus_and_normalise() {
+        let cfg = OpticsConfig::m1_default();
+        let pts = cfg.source_points();
+        assert!(pts.len() > 10, "expected a populated annulus");
+        let r_in = cfg.sigma_inner * cfg.pupil_radius_bins;
+        let r_out = cfg.sigma_outer * cfg.pupil_radius_bins;
+        let mut total = 0.0;
+        for p in &pts {
+            let r = (p.fx * p.fx + p.fy * p.fy).sqrt();
+            assert!(r >= r_in - 1e-9 && r <= r_out + 1e-9);
+            total += p.weight;
+        }
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn source_is_symmetric() {
+        // The sampled annulus must be symmetric under (fx, fy) -> (-fx, -fy),
+        // which keeps aerial images of symmetric masks symmetric.
+        let pts = OpticsConfig::m1_default().source_points();
+        for p in &pts {
+            assert!(
+                pts.iter()
+                    .any(|q| (q.fx + p.fx).abs() < 1e-9 && (q.fy + p.fy).abs() < 1e-9),
+                "missing mirror of ({}, {})",
+                p.fx,
+                p.fy
+            );
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! The Hopkins aerial-image simulator and its adjoint (gradient).
+//!
+//! Implements Eq. (1)–(3) of the paper: the aerial image is
+//! `I = sum_i w_i |IFFT(H_i . FFT(M))|^2`, where each `H_i` occupies only a
+//! small centered support of the spectrum, so the per-kernel product touches
+//! `P^2` bins while the transforms dominate the cost. The adjoint
+//! (`gradient`) backpropagates a loss derivative `dL/dI` to the mask:
+//! `dL/dM = 2 Re IFFT( sum_i w_i conj(H_i) . FFT((dL/dI) . A_i) )`.
+
+use ilt_fft::{spectral, Complex, Fft2d};
+use ilt_grid::RealGrid;
+
+use crate::error::LithoError;
+use crate::kernels::KernelSet;
+
+/// A reusable aerial-image simulator for square `n x n` masks.
+#[derive(Debug)]
+pub struct LithoSimulator {
+    n: usize,
+    fft: Fft2d,
+    kernels: KernelSet,
+    /// `bin[i]` is the unshifted spectrum index of centered support row or
+    /// column `i`.
+    bin: Vec<usize>,
+}
+
+/// Everything the forward pass produced, retained for the adjoint pass.
+#[derive(Debug, Clone)]
+pub struct SimulationState {
+    /// Per-kernel complex fields `A_i = h_i (x) M`, each `n^2` long.
+    pub fields: Vec<Vec<Complex>>,
+    /// The aerial image `I`.
+    pub intensity: RealGrid,
+}
+
+impl LithoSimulator {
+    /// Creates a simulator for `n x n` masks using the given (already
+    /// scaled) kernel set.
+    ///
+    /// # Errors
+    ///
+    /// * [`LithoError::GridMismatch`] if the kernel support exceeds `n`;
+    /// * [`LithoError::Fft`] if `n` is not a power of two.
+    pub fn new(n: usize, kernels: KernelSet) -> Result<Self, LithoError> {
+        if kernels.support() > n {
+            return Err(LithoError::GridMismatch {
+                grid: n,
+                support: kernels.support(),
+            });
+        }
+        let fft = Fft2d::new(n, n)?;
+        let p = kernels.support();
+        let half = p as i64 / 2;
+        let bin = (0..p)
+            .map(|i| spectral::wrap_index(i as i64 - half, n))
+            .collect();
+        Ok(LithoSimulator {
+            n,
+            fft,
+            kernels,
+            bin,
+        })
+    }
+
+    /// Simulation grid edge length.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The kernel set in use.
+    #[inline]
+    pub fn kernels(&self) -> &KernelSet {
+        &self.kernels
+    }
+
+    /// Runs the forward model, returning the aerial image together with the
+    /// per-kernel fields needed by [`LithoSimulator::gradient`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError::MaskShape`] if the mask is not `n x n`.
+    pub fn simulate(&self, mask: &RealGrid) -> Result<SimulationState, LithoError> {
+        self.check_shape(mask)?;
+        let n = self.n;
+        let p = self.kernels.support();
+
+        let mut spectrum: Vec<Complex> = mask
+            .as_slice()
+            .iter()
+            .map(|&v| Complex::from_re(v))
+            .collect();
+        self.fft.forward(&mut spectrum)?;
+
+        let mut fields = Vec::with_capacity(self.kernels.len());
+        let mut intensity = vec![0.0f64; n * n];
+        for kernel in self.kernels.iter() {
+            let mut field = vec![Complex::ZERO; n * n];
+            let h = kernel.spectrum();
+            for r in 0..p {
+                let row = self.bin[r] * n;
+                for c in 0..p {
+                    let idx = row + self.bin[c];
+                    field[idx] = spectrum[idx] * h[r * p + c];
+                }
+            }
+            self.fft.inverse(&mut field)?;
+            let w = kernel.weight();
+            for (acc, z) in intensity.iter_mut().zip(&field) {
+                *acc += w * z.norm_sqr();
+            }
+            fields.push(field);
+        }
+
+        Ok(SimulationState {
+            fields,
+            intensity: RealGrid::from_vec(n, n, intensity),
+        })
+    }
+
+    /// Convenience wrapper returning only the aerial image.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LithoSimulator::simulate`].
+    pub fn aerial_image(&self, mask: &RealGrid) -> Result<RealGrid, LithoError> {
+        Ok(self.simulate(mask)?.intensity)
+    }
+
+    /// Backpropagates `dL/dI` through the forward model, returning `dL/dM`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError::MaskShape`] if `dldi` is not `n x n`, or a
+    /// state/shape inconsistency is detected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` was produced by a different simulator (field
+    /// lengths disagree).
+    pub fn gradient(
+        &self,
+        state: &SimulationState,
+        dldi: &RealGrid,
+    ) -> Result<RealGrid, LithoError> {
+        self.check_shape(dldi)?;
+        let n = self.n;
+        let p = self.kernels.support();
+        assert_eq!(
+            state.fields.len(),
+            self.kernels.len(),
+            "state does not match this simulator's kernel count"
+        );
+
+        let mut accum = vec![Complex::ZERO; n * n];
+        let mut scratch = vec![Complex::ZERO; n * n];
+        for (kernel, field) in self.kernels.iter().zip(&state.fields) {
+            assert_eq!(field.len(), n * n, "field length mismatch");
+            for ((dst, a), &g) in scratch.iter_mut().zip(field).zip(dldi.as_slice()) {
+                *dst = a.scale(g);
+            }
+            self.fft.forward(&mut scratch)?;
+            let h = kernel.spectrum();
+            let w = kernel.weight();
+            for r in 0..p {
+                let row = self.bin[r] * n;
+                for c in 0..p {
+                    let idx = row + self.bin[c];
+                    accum[idx] = accum[idx].mul_add(scratch[idx], h[r * p + c].conj().scale(w));
+                }
+            }
+        }
+        self.fft.inverse(&mut accum)?;
+        let grad: Vec<f64> = accum.iter().map(|z| 2.0 * z.re).collect();
+        Ok(RealGrid::from_vec(n, n, grad))
+    }
+
+    fn check_shape(&self, grid: &RealGrid) -> Result<(), LithoError> {
+        if grid.width() != self.n || grid.height() != self.n {
+            return Err(LithoError::MaskShape {
+                expected: self.n,
+                actual: (grid.width(), grid.height()),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::KernelSet;
+    use crate::optics::OpticsConfig;
+    use ilt_grid::{Grid, Rect};
+
+    fn simulator() -> LithoSimulator {
+        let cfg = OpticsConfig::test_small();
+        let kernels = KernelSet::build(&cfg, false).unwrap();
+        LithoSimulator::new(cfg.base_n, kernels).unwrap()
+    }
+
+    #[test]
+    fn rejects_oversized_support() {
+        let cfg = OpticsConfig::test_small();
+        let kernels = KernelSet::build(&cfg, false).unwrap();
+        assert!(matches!(
+            LithoSimulator::new(16, kernels),
+            Err(LithoError::GridMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_mask_shape() {
+        let sim = simulator();
+        let mask = Grid::new(32, 32, 0.0);
+        assert!(matches!(
+            sim.aerial_image(&mask),
+            Err(LithoError::MaskShape { .. })
+        ));
+    }
+
+    #[test]
+    fn clear_field_prints_at_unity() {
+        let sim = simulator();
+        let mask = Grid::new(sim.n(), sim.n(), 1.0);
+        let aerial = sim.aerial_image(&mask).unwrap();
+        for (_, _, &v) in aerial.iter() {
+            assert!((v - 1.0).abs() < 1e-9, "clear field intensity {v}");
+        }
+    }
+
+    #[test]
+    fn dark_field_prints_nothing() {
+        let sim = simulator();
+        let mask = Grid::new(sim.n(), sim.n(), 0.0);
+        let aerial = sim.aerial_image(&mask).unwrap();
+        assert!(aerial.max() < 1e-12);
+    }
+
+    #[test]
+    fn intensity_is_nonnegative_and_bounded() {
+        let sim = simulator();
+        let n = sim.n();
+        let mut mask = Grid::new(n, n, 0.0);
+        mask.fill_rect(Rect::new(20, 20, 44, 44), 1.0);
+        let aerial = sim.aerial_image(&mask).unwrap();
+        assert!(aerial.min() >= 0.0);
+        // A binary mask can slightly overshoot 1 via ringing, but not wildly.
+        assert!(aerial.max() < 1.6, "max {}", aerial.max());
+    }
+
+    #[test]
+    fn image_is_blurred_version_of_mask() {
+        let sim = simulator();
+        let n = sim.n();
+        let mut mask = Grid::new(n, n, 0.0);
+        mask.fill_rect(Rect::new(24, 24, 40, 40), 1.0);
+        let aerial = sim.aerial_image(&mask).unwrap();
+        // Bright inside, dim far away, intermediate at the edge.
+        assert!(aerial.get(32, 32) > 0.4);
+        assert!(aerial.get(4, 4) < 0.05);
+        let edge = aerial.get(24, 32);
+        assert!(edge > 0.1 && edge < aerial.get(32, 32));
+    }
+
+    #[test]
+    fn shift_invariance() {
+        // Shifting the mask shifts the image (circularly).
+        let sim = simulator();
+        let n = sim.n();
+        let mut mask = Grid::new(n, n, 0.0);
+        mask.fill_rect(Rect::new(10, 12, 22, 20), 1.0);
+        let a = sim.aerial_image(&mask).unwrap();
+        let mut shifted = Grid::new(n, n, 0.0);
+        shifted.fill_rect(Rect::new(15, 12, 27, 20), 1.0);
+        let b = sim.aerial_image(&shifted).unwrap();
+        for y in 0..n {
+            for x in 0..n - 5 {
+                assert!((a.get(x, y) - b.get(x + 5, y)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn fields_match_intensity() {
+        let sim = simulator();
+        let n = sim.n();
+        let mut mask = Grid::new(n, n, 0.0);
+        mask.fill_rect(Rect::new(16, 16, 48, 32), 1.0);
+        let state = sim.simulate(&mask).unwrap();
+        let recomputed: f64 = sim
+            .kernels()
+            .iter()
+            .zip(&state.fields)
+            .map(|(k, f)| k.weight() * f[33 * n + 20].norm_sqr())
+            .sum();
+        assert!((recomputed - state.intensity.get(20, 33)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let sim = simulator();
+        let n = sim.n();
+        let mut mask = Grid::from_fn(n, n, |x, y| {
+            0.3 + 0.2 * ((x as f64 * 0.3).sin() * (y as f64 * 0.21).cos())
+        });
+        // Loss: L = sum I (so dL/dI = 1 everywhere).
+        let dldi = Grid::new(n, n, 1.0);
+        let state = sim.simulate(&mask).unwrap();
+        let grad = sim.gradient(&state, &dldi).unwrap();
+
+        let eps = 1e-5;
+        for &(px, py) in &[(10usize, 10usize), (30, 17), (5, 40)] {
+            let base: f64 = state.intensity.sum();
+            let original = mask.get(px, py);
+            mask.set(px, py, original + eps);
+            let bumped: f64 = sim.aerial_image(&mask).unwrap().sum();
+            mask.set(px, py, original);
+            let numeric = (bumped - base) / eps;
+            let analytic = grad.get(px, py);
+            assert!(
+                (numeric - analytic).abs() < 1e-3 * (1.0 + numeric.abs()),
+                "at ({px},{py}): numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_of_weighted_loss_matches_finite_difference() {
+        // dL/dI varying per pixel exercises the per-kernel product path.
+        let sim = simulator();
+        let n = sim.n();
+        let mut mask = Grid::from_fn(n, n, |x, y| ((x + y) % 3) as f64 * 0.4);
+        let dldi = Grid::from_fn(n, n, |x, y| ((x as f64 - y as f64) * 0.01).tanh());
+        let state = sim.simulate(&mask).unwrap();
+        let grad = sim.gradient(&state, &dldi).unwrap();
+        let loss = |intensity: &RealGrid| -> f64 {
+            intensity
+                .as_slice()
+                .iter()
+                .zip(dldi.as_slice())
+                .map(|(i, g)| i * g)
+                .sum()
+        };
+        let base = loss(&state.intensity);
+        let eps = 1e-5;
+        let (px, py) = (22, 13);
+        let original = mask.get(px, py);
+        mask.set(px, py, original + eps);
+        let bumped = loss(&sim.aerial_image(&mask).unwrap());
+        mask.set(px, py, original);
+        let numeric = (bumped - base) / eps;
+        let analytic = grad.get(px, py);
+        assert!(
+            (numeric - analytic).abs() < 1e-3 * (1.0 + numeric.abs()),
+            "numeric {numeric} vs analytic {analytic}"
+        );
+    }
+}

@@ -1,0 +1,264 @@
+//! Edge placement error (EPE): the industry-standard per-gauge accuracy
+//! metric for OPC/ILT results.
+//!
+//! For every horizontal and vertical edge segment of the target layout,
+//! measurement gauges are dropped at a fixed spacing; each gauge measures
+//! how far the printed contour sits from the intended edge (positive =
+//! printed feature extends beyond the target). The summary reports the
+//! mean/max absolute EPE and the count of gauges beyond a tolerance —
+//! complementary to the global L2 of Definition 2, which cannot tell one
+//! large excursion from many small ones.
+
+use ilt_grid::BitGrid;
+
+/// Configuration of the EPE measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpeConfig {
+    /// Spacing between gauges along an edge, in pixels.
+    pub gauge_spacing: usize,
+    /// Maximum search distance for the printed contour, in pixels.
+    pub search_range: usize,
+    /// |EPE| above this is counted as a violation.
+    pub tolerance: usize,
+}
+
+impl EpeConfig {
+    /// Defaults matched to the benchmark scale (16-pixel features).
+    pub fn m1_default() -> Self {
+        EpeConfig {
+            gauge_spacing: 8,
+            search_range: 12,
+            tolerance: 2,
+        }
+    }
+}
+
+impl Default for EpeConfig {
+    fn default() -> Self {
+        EpeConfig::m1_default()
+    }
+}
+
+/// One measurement gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gauge {
+    /// Gauge position on the target edge.
+    pub x: usize,
+    /// Gauge position on the target edge.
+    pub y: usize,
+    /// Outward normal of the target edge at the gauge.
+    pub normal: (i32, i32),
+    /// Signed displacement of the printed contour along the normal, or
+    /// `None` if no contour was found within the search range (a missing
+    /// or bridged feature — the worst kind of error).
+    pub epe: Option<i32>,
+}
+
+/// Summary of an EPE measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpeReport {
+    /// All gauges, in scan order.
+    pub gauges: Vec<Gauge>,
+    /// Mean |EPE| over gauges that found a contour.
+    pub mean_abs: f64,
+    /// Maximum |EPE| over gauges that found a contour.
+    pub max_abs: usize,
+    /// Gauges whose |EPE| exceeds the tolerance, plus gauges that found no
+    /// contour at all.
+    pub violations: usize,
+}
+
+/// Measures EPE of a printed wafer image against the binary target.
+///
+/// # Panics
+///
+/// Panics if the two grids differ in shape or the configuration is
+/// degenerate (zero spacing or range).
+pub fn edge_placement_error(target: &BitGrid, printed: &BitGrid, config: &EpeConfig) -> EpeReport {
+    assert_eq!(
+        (target.width(), target.height()),
+        (printed.width(), printed.height()),
+        "target and print must have identical shapes"
+    );
+    assert!(config.gauge_spacing > 0, "gauge spacing must be nonzero");
+    assert!(config.search_range > 0, "search range must be nonzero");
+    let (w, h) = (target.width(), target.height());
+
+    let mut gauges = Vec::new();
+    // Vertical edges: scan rows; a transition between x-1 and x is an edge
+    // with outward normal +-x.
+    for y in (0..h).step_by(config.gauge_spacing) {
+        for x in 1..w {
+            let inside = target.get(x, y) != 0;
+            let left = target.get(x - 1, y) != 0;
+            if inside != left {
+                // Anchor the gauge on the feature-side pixel; the outward
+                // normal points from feature to background.
+                let (gx, normal) = if left { (x - 1, (1, 0)) } else { (x, (-1, 0)) };
+                gauges.push(measure(printed, gx, y, normal, config, left));
+            }
+        }
+    }
+    // Horizontal edges: scan columns.
+    for x in (0..w).step_by(config.gauge_spacing) {
+        for y in 1..h {
+            let inside = target.get(x, y) != 0;
+            let up = target.get(x, y - 1) != 0;
+            if inside != up {
+                let (gy, normal) = if up { (y - 1, (0, 1)) } else { (y, (0, -1)) };
+                gauges.push(measure(printed, x, gy, normal, config, up));
+            }
+        }
+    }
+
+    let mut sum = 0.0f64;
+    let mut found = 0usize;
+    let mut max_abs = 0usize;
+    let mut violations = 0usize;
+    for g in &gauges {
+        match g.epe {
+            Some(e) => {
+                let a = e.unsigned_abs() as usize;
+                sum += a as f64;
+                found += 1;
+                max_abs = max_abs.max(a);
+                if a > config.tolerance {
+                    violations += 1;
+                }
+            }
+            None => violations += 1,
+        }
+    }
+    EpeReport {
+        mean_abs: if found > 0 { sum / found as f64 } else { 0.0 },
+        max_abs,
+        violations,
+        gauges,
+    }
+}
+
+/// Finds the printed contour along the normal through `(x, y)`.
+///
+/// `feature_behind` tells which side of the transition the target feature
+/// is on; the printed contour is the matching transition of `printed`. The
+/// signed EPE is positive when the printed feature extends past the target
+/// edge (towards the background).
+fn measure(
+    printed: &BitGrid,
+    x: usize,
+    y: usize,
+    normal: (i32, i32),
+    config: &EpeConfig,
+    _feature_behind: bool,
+) -> Gauge {
+    let (w, h) = (printed.width() as i32, printed.height() as i32);
+    let at = |d: i32| -> Option<bool> {
+        let px = x as i32 + normal.0 * d;
+        let py = y as i32 + normal.1 * d;
+        // The feature-side sample sits one step against the normal.
+        if px < 0 || py < 0 || px >= w || py >= h {
+            None
+        } else {
+            Some(printed.get(px as usize, py as usize) != 0)
+        }
+    };
+    // Scan along the normal for the innermost printed-to-background
+    // transition: the d where the pixel at d is printed and the pixel at
+    // d+1 (one step further outward) is not. A perfect print transitions
+    // exactly at the gauge pixel, giving EPE = 0; out-of-bounds samples
+    // count as background.
+    let range = config.search_range as i32;
+    let mut epe = None;
+    for d in -range..=range {
+        let here = at(d).unwrap_or(false);
+        let beyond = at(d + 1).unwrap_or(false);
+        if here && !beyond {
+            epe = Some(d);
+            break;
+        }
+    }
+    Gauge { x, y, normal, epe }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilt_grid::{Grid, Rect};
+
+    fn square_target() -> BitGrid {
+        let mut t = Grid::new(64, 64, 0u8);
+        t.fill_rect(Rect::new(16, 16, 48, 48), 1);
+        t
+    }
+
+    #[test]
+    fn perfect_print_has_zero_epe() {
+        let target = square_target();
+        let report = edge_placement_error(&target, &target, &EpeConfig::m1_default());
+        assert!(!report.gauges.is_empty());
+        assert_eq!(report.max_abs, 0);
+        assert_eq!(report.violations, 0);
+        assert_eq!(report.mean_abs, 0.0);
+    }
+
+    #[test]
+    fn uniform_shrink_measures_negative_epe() {
+        let target = square_target();
+        let mut printed = Grid::new(64, 64, 0u8);
+        printed.fill_rect(Rect::new(18, 18, 46, 46), 1); // 2 px pullback
+        let report = edge_placement_error(&target, &printed, &EpeConfig::m1_default());
+        // Every gauge away from corners reads EPE = -2.
+        let interior: Vec<i32> = report.gauges.iter().filter_map(|g| g.epe).collect();
+        assert!(!interior.is_empty());
+        assert!(interior.iter().filter(|&&e| e == -2).count() * 2 >= interior.len());
+        assert_eq!(report.max_abs, 2);
+    }
+
+    #[test]
+    fn uniform_bloat_measures_positive_epe() {
+        let target = square_target();
+        let mut printed = Grid::new(64, 64, 0u8);
+        printed.fill_rect(Rect::new(14, 14, 50, 50), 1); // 2 px bloat
+        let report = edge_placement_error(&target, &printed, &EpeConfig::m1_default());
+        assert!(report.gauges.iter().filter_map(|g| g.epe).any(|e| e == 2));
+        assert_eq!(report.max_abs, 2);
+    }
+
+    #[test]
+    fn missing_feature_counts_as_violation() {
+        let target = square_target();
+        let printed: BitGrid = Grid::new(64, 64, 0);
+        let report = edge_placement_error(&target, &printed, &EpeConfig::m1_default());
+        assert_eq!(report.violations, report.gauges.len());
+    }
+
+    #[test]
+    fn tolerance_controls_violation_count() {
+        let target = square_target();
+        let mut printed = Grid::new(64, 64, 0u8);
+        printed.fill_rect(Rect::new(17, 17, 47, 47), 1); // 1 px pullback
+        let tight = edge_placement_error(
+            &target,
+            &printed,
+            &EpeConfig {
+                tolerance: 0,
+                ..EpeConfig::m1_default()
+            },
+        );
+        let loose = edge_placement_error(&target, &printed, &EpeConfig::m1_default());
+        assert!(tight.violations > loose.violations);
+        // Under the loose tolerance the only remaining violations are the
+        // gauges that sit on rows/columns the shrunken print vacated
+        // entirely (no contour found along the normal).
+        let no_contour = loose.gauges.iter().filter(|g| g.epe.is_none()).count();
+        assert_eq!(loose.violations, no_contour);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical shapes")]
+    fn shape_mismatch_panics() {
+        let target = square_target();
+        let printed: BitGrid = Grid::new(32, 32, 0);
+        let _ = edge_placement_error(&target, &printed, &EpeConfig::m1_default());
+    }
+}

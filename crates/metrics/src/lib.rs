@@ -1,0 +1,47 @@
+//! # ilt-metrics
+//!
+//! The evaluation metrics of the paper's Section 2.3:
+//!
+//! * [`l2_loss`] — Definition 2, `||Z - Z_t||^2` of the nominal print;
+//! * [`mask_quality`] — L2 plus the PVBand of Definition 3 (inner/outer
+//!   process-corner XOR area), evaluated on the full region without
+//!   partitioning, as the paper's inspection protocol requires;
+//! * [`stitch_loss`] — Definition 1: Gaussian-smoothing-based continuity of
+//!   graphics crossing stitch lines, with per-intersection windows and the
+//!   `errors_above` localisation used by Fig. 8;
+//! * [`check_mask`] — mask rule checking (the MRC the paper's Section 2.3
+//!   says stitching discontinuities violate);
+//! * [`edge_placement_error`] — per-gauge EPE, the standard OPC accuracy
+//!   metric complementing the global L2.
+//!
+//! # Examples
+//!
+//! ```
+//! use ilt_grid::{Grid, Rect};
+//! use ilt_metrics::{stitch_loss, StitchConfig};
+//! use ilt_tile::{Orientation, StitchLine};
+//!
+//! let mut mask = Grid::new(128, 128, 0u8);
+//! mask.fill_rect(Rect::new(20, 60, 108, 68), 1); // clean crossing
+//! let line = StitchLine {
+//!     orientation: Orientation::Vertical,
+//!     position: 64,
+//!     start: 0,
+//!     end: 128,
+//! };
+//! let report = stitch_loss(&mask, &[line], &StitchConfig::default());
+//! assert_eq!(report.intersections.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod epe;
+mod mrc;
+mod quality;
+mod stitch;
+
+pub use epe::{edge_placement_error, EpeConfig, EpeReport, Gauge};
+pub use mrc::{check_mask, MrcKind, MrcReport, MrcRules, MrcViolation};
+pub use quality::{l2_loss, mask_quality, MaskQuality};
+pub use stitch::{stitch_loss, ContinuityComparison, Intersection, StitchConfig, StitchReport};

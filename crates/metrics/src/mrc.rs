@@ -1,0 +1,245 @@
+//! Mask rule checking (MRC) for optimised masks.
+//!
+//! The paper's Section 2.3 motivates the stitch problem with
+//! manufacturability: "discontinuities can violate the manufacturability
+//! rule check (MRC)". This module measures exactly that — minimum feature
+//! width, minimum spacing, and minimum area of the *mask* shapes (not the
+//! printed wafer), so flows can be compared on how manufacturable their
+//! masks are, and where the violations sit relative to stitch lines.
+
+use ilt_grid::{connected_components, dilate, erode, BitGrid, Rect};
+use ilt_tile::{Orientation, StitchLine};
+
+/// Mask manufacturing rules, in pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MrcRules {
+    /// Minimum drawn width of any mask feature.
+    pub min_width: usize,
+    /// Minimum space between distinct mask features.
+    pub min_space: usize,
+    /// Minimum feature area.
+    pub min_area: usize,
+}
+
+impl MrcRules {
+    /// Rules matched to the default benchmark scale (16-pixel main
+    /// features): SRAFs down to 3 px wide are legal, slivers below are not.
+    pub fn m1_default() -> Self {
+        MrcRules {
+            min_width: 3,
+            min_space: 3,
+            min_area: 12,
+        }
+    }
+}
+
+impl Default for MrcRules {
+    fn default() -> Self {
+        MrcRules::m1_default()
+    }
+}
+
+/// One MRC violation with its location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MrcViolation {
+    /// Which rule was violated.
+    pub kind: MrcKind,
+    /// Bounding box of the offending region.
+    pub bbox: Rect,
+    /// Number of offending pixels (width/space) or the feature area (area).
+    pub extent: usize,
+}
+
+/// The rule classes of [`MrcRules`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MrcKind {
+    /// A feature thinner than the minimum width.
+    Width,
+    /// Two features closer than the minimum space.
+    Space,
+    /// A feature smaller than the minimum area.
+    Area,
+}
+
+/// Result of checking a mask.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MrcReport {
+    /// Every violation found.
+    pub violations: Vec<MrcViolation>,
+}
+
+impl MrcReport {
+    /// Total number of violations.
+    pub fn count(&self) -> usize {
+        self.violations.len()
+    }
+
+    /// Returns `true` if the mask is manufacturable under the rules.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Violations whose bounding box comes within `distance` pixels of any
+    /// of the given stitch lines — the paper's hypothesis is that
+    /// stitching concentrates violations there.
+    pub fn near_lines(&self, lines: &[StitchLine], distance: usize) -> Vec<&MrcViolation> {
+        self.violations
+            .iter()
+            .filter(|v| {
+                lines.iter().any(|line| {
+                    let (lo, hi) = match line.orientation {
+                        Orientation::Vertical => (v.bbox.x0, v.bbox.x1),
+                        Orientation::Horizontal => (v.bbox.y0, v.bbox.y1),
+                    };
+                    let p = line.position as i64;
+                    p + distance as i64 >= lo && p - (distance as i64) < hi
+                })
+            })
+            .collect()
+    }
+}
+
+/// Checks a binary mask against the rules.
+pub fn check_mask(mask: &BitGrid, rules: &MrcRules) -> MrcReport {
+    let mut violations = Vec::new();
+
+    // Width: pixels removed by an opening that preserves min_width features.
+    let r = rules.min_width.saturating_sub(1) / 2;
+    if r > 0 {
+        let opened = dilate(&erode(mask, r), r);
+        let slivers: BitGrid = mask.map(|&v| v).into_sliver(&opened);
+        let (_, comps) = connected_components(&slivers);
+        for c in comps {
+            violations.push(MrcViolation {
+                kind: MrcKind::Width,
+                bbox: c.bbox,
+                extent: c.area,
+            });
+        }
+    }
+
+    // Space: background gaps narrower than min_space between two features.
+    // Close the mask with a radius that bridges illegal gaps; newly-filled
+    // background pixels mark the violating gap regions.
+    let close_r = rules.min_space / 2;
+    if close_r > 0 {
+        let closed = erode(&dilate(mask, close_r), close_r);
+        let gaps: BitGrid = closed.map(|&v| v).into_sliver(mask);
+        let (_, comps) = connected_components(&gaps);
+        for c in comps {
+            // Filter out closing artifacts at concave corners of a single
+            // feature: a real spacing violation has some extent.
+            if c.area >= 2 {
+                violations.push(MrcViolation {
+                    kind: MrcKind::Space,
+                    bbox: c.bbox,
+                    extent: c.area,
+                });
+            }
+        }
+    }
+
+    // Area.
+    let (_, comps) = connected_components(mask);
+    for c in comps {
+        if c.area < rules.min_area {
+            violations.push(MrcViolation {
+                kind: MrcKind::Area,
+                bbox: c.bbox,
+                extent: c.area,
+            });
+        }
+    }
+
+    MrcReport { violations }
+}
+
+/// Helper trait: pixels set in `self` but not in `other`.
+trait Sliver {
+    fn into_sliver(self, other: &BitGrid) -> BitGrid;
+}
+
+impl Sliver for BitGrid {
+    fn into_sliver(self, other: &BitGrid) -> BitGrid {
+        let (w, h) = (self.width(), self.height());
+        BitGrid::from_fn(w, h, |x, y| {
+            u8::from(self.get(x, y) != 0 && other.get(x, y) == 0)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilt_grid::Grid;
+
+    fn rules() -> MrcRules {
+        MrcRules {
+            min_width: 3,
+            min_space: 3,
+            min_area: 12,
+        }
+    }
+
+    #[test]
+    fn clean_mask_passes() {
+        let mut mask = Grid::new(64, 64, 0u8);
+        mask.fill_rect(Rect::new(8, 8, 24, 24), 1);
+        mask.fill_rect(Rect::new(32, 8, 48, 24), 1); // 8 px away
+        let report = check_mask(&mask, &rules());
+        assert!(report.is_clean(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn thin_sliver_is_width_violation() {
+        let mut mask = Grid::new(64, 64, 0u8);
+        mask.fill_rect(Rect::new(8, 8, 40, 9), 1); // 1 px tall
+        let report = check_mask(&mask, &rules());
+        assert!(report.violations.iter().any(|v| v.kind == MrcKind::Width));
+    }
+
+    #[test]
+    fn narrow_gap_is_space_violation() {
+        let mut mask = Grid::new(64, 64, 0u8);
+        mask.fill_rect(Rect::new(8, 8, 24, 40), 1);
+        mask.fill_rect(Rect::new(25, 8, 40, 40), 1); // 1 px gap
+        let report = check_mask(&mask, &rules());
+        assert!(report.violations.iter().any(|v| v.kind == MrcKind::Space));
+    }
+
+    #[test]
+    fn tiny_island_is_area_violation() {
+        let mut mask = Grid::new(64, 64, 0u8);
+        mask.fill_rect(Rect::new(8, 8, 11, 11), 1); // 9 px < 12
+        let report = check_mask(&mask, &rules());
+        assert!(report.violations.iter().any(|v| v.kind == MrcKind::Area));
+    }
+
+    #[test]
+    fn near_lines_filters_by_distance() {
+        let v = |x0: i64| MrcViolation {
+            kind: MrcKind::Area,
+            bbox: Rect::new(x0, 10, x0 + 2, 12),
+            extent: 4,
+        };
+        let report = MrcReport {
+            violations: vec![v(62), v(10)],
+        };
+        let line = StitchLine {
+            orientation: Orientation::Vertical,
+            position: 64,
+            start: 0,
+            end: 128,
+        };
+        let near = report.near_lines(&[line], 4);
+        assert_eq!(near.len(), 1);
+        assert_eq!(near[0].bbox.x0, 62);
+    }
+
+    #[test]
+    fn report_accessors() {
+        let report = MrcReport::default();
+        assert!(report.is_clean());
+        assert_eq!(report.count(), 0);
+    }
+}

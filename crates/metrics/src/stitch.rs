@@ -1,0 +1,387 @@
+//! The Stitch Loss of Definition 1: a quantitative continuity metric for
+//! mask graphics crossing tile-stitching lines.
+//!
+//! Procedure (from the paper): smooth the shape contours with multiple
+//! iterations of Gaussian low-pass filtering and re-binarise; extract the
+//! coordinates where graphics intersect the stitching line; around each
+//! intersection take a `40 x 40` window and count the pixels where the
+//! smoothed-and-rebinarised shape differs from the original (the orange
+//! area of the paper's Fig. 3). A straight edge is a fixed point of
+//! smooth-then-threshold, so clean crossings cost almost nothing, while
+//! jogs, chopped assist features, and mismatched contours light up.
+
+use ilt_grid::{BitGrid, GaussianFilter, Rect};
+use ilt_tile::{Orientation, StitchLine};
+
+/// Parameters of the stitch-loss metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StitchConfig {
+    /// Window edge length around each intersection (paper: 40).
+    pub window: usize,
+    /// Gaussian sigma of each smoothing pass.
+    pub sigma: f64,
+    /// Number of smoothing passes ("multiple iterations").
+    pub iterations: usize,
+}
+
+impl StitchConfig {
+    /// The paper's settings.
+    pub fn paper_default() -> Self {
+        StitchConfig {
+            window: 40,
+            sigma: 1.5,
+            iterations: 3,
+        }
+    }
+
+    /// Validates parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero window, non-positive sigma, or zero iterations.
+    pub fn validate(&self) {
+        assert!(self.window > 0, "window must be nonzero");
+        assert!(self.sigma > 0.0, "sigma must be positive");
+        assert!(self.iterations > 0, "iterations must be nonzero");
+    }
+}
+
+impl Default for StitchConfig {
+    fn default() -> Self {
+        StitchConfig::paper_default()
+    }
+}
+
+/// One mask/stitch-line intersection and its contribution to the loss.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Intersection {
+    /// Center of the crossing run on the stitch line.
+    pub x: usize,
+    /// Center of the crossing run on the stitch line.
+    pub y: usize,
+    /// The evaluation window (clipped to the mask).
+    pub window: Rect,
+    /// Sum of |before - after| over the window.
+    pub loss: f64,
+}
+
+/// Result of evaluating the stitch loss over a mask.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StitchReport {
+    /// Total stitch loss (sum over intersections).
+    pub total: f64,
+    /// Every intersection, in stitch-line order.
+    pub intersections: Vec<Intersection>,
+}
+
+impl StitchReport {
+    /// Intersections whose loss exceeds `threshold` — the red boxes of
+    /// Fig. 8 in the paper.
+    pub fn errors_above(&self, threshold: f64) -> Vec<&Intersection> {
+        self.intersections
+            .iter()
+            .filter(|i| i.loss > threshold)
+            .collect()
+    }
+}
+
+/// Evaluates the stitch loss of a binary mask against a set of stitch
+/// lines.
+///
+/// # Panics
+///
+/// Panics if `config` is invalid (see [`StitchConfig::validate`]).
+pub fn stitch_loss(mask: &BitGrid, lines: &[StitchLine], config: &StitchConfig) -> StitchReport {
+    config.validate();
+    if lines.is_empty() {
+        return StitchReport::default();
+    }
+    let real = mask.to_real();
+    let filter = GaussianFilter::new(config.sigma);
+    // Smooth-then-rebinarise: the morphological "healing" of the contours.
+    let healed = filter
+        .apply_iterated(&real, config.iterations)
+        .threshold(0.5)
+        .to_real();
+
+    let mut report = StitchReport::default();
+    for line in lines {
+        for run in crossing_runs(mask, line) {
+            let (cx, cy) = run;
+            let half = (config.window / 2) as i64;
+            let window = Rect::new(
+                cx as i64 - half,
+                cy as i64 - half,
+                cx as i64 - half + config.window as i64,
+                cy as i64 - half + config.window as i64,
+            )
+            .intersect(real.bounds())
+            .expect("window centers lie inside the mask");
+            let mut loss = 0.0;
+            for (x, y) in window.pixels() {
+                loss +=
+                    (real.get(x as usize, y as usize) - healed.get(x as usize, y as usize)).abs();
+            }
+            report.total += loss;
+            report.intersections.push(Intersection {
+                x: cx,
+                y: cy,
+                window,
+                loss,
+            });
+        }
+    }
+    report
+}
+
+/// Centers of the contiguous runs where the mask is 1 along a stitch line.
+fn crossing_runs(mask: &BitGrid, line: &StitchLine) -> Vec<(usize, usize)> {
+    let mut centers = Vec::new();
+    let mut run_start: Option<usize> = None;
+    let range_end = line.end.min(match line.orientation {
+        Orientation::Vertical => mask.height(),
+        Orientation::Horizontal => mask.width(),
+    });
+    let sample = |t: usize| -> u8 {
+        match line.orientation {
+            Orientation::Vertical => mask.get(line.position, t),
+            Orientation::Horizontal => mask.get(t, line.position),
+        }
+    };
+    for t in line.start..=range_end {
+        let on = t < range_end && sample(t) != 0;
+        match (run_start, on) {
+            (None, true) => run_start = Some(t),
+            (Some(s), false) => {
+                let center = (s + t - 1) / 2;
+                centers.push(match line.orientation {
+                    Orientation::Vertical => (line.position, center),
+                    Orientation::Horizontal => (center, line.position),
+                });
+                run_start = None;
+            }
+            _ => {}
+        }
+    }
+    centers
+}
+
+/// Continuity comparison used by the Fig. 6 experiment: the stitch loss of
+/// the same tile data assembled two ways, reported as `(hard, smoothed)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContinuityComparison {
+    /// Stitch loss with hard (restricted) assembly.
+    pub restricted: f64,
+    /// Stitch loss with weighted-smoothing assembly.
+    pub weighted: f64,
+}
+
+impl ContinuityComparison {
+    /// The improvement factor `restricted / weighted` (infinite when the
+    /// weighted loss is zero and the restricted loss is not).
+    pub fn improvement(&self) -> f64 {
+        if self.weighted == 0.0 {
+            if self.restricted == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.restricted / self.weighted
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilt_grid::Grid;
+    use ilt_tile::{Partition, PartitionConfig};
+
+    fn vertical_line(x: usize, height: usize) -> StitchLine {
+        StitchLine {
+            orientation: Orientation::Vertical,
+            position: x,
+            start: 0,
+            end: height,
+        }
+    }
+
+    /// A straight horizontal wire crossing x = 64.
+    fn straight_wire() -> BitGrid {
+        let mut m = Grid::new(128, 128, 0u8);
+        m.fill_rect(Rect::new(20, 60, 108, 68), 1);
+        m
+    }
+
+    /// The same wire fully offset by its own width at the stitch line —
+    /// the catastrophic mismatch of the paper's Fig. 1.
+    fn jagged_wire() -> BitGrid {
+        let mut m = Grid::new(128, 128, 0u8);
+        m.fill_rect(Rect::new(20, 60, 64, 68), 1);
+        m.fill_rect(Rect::new(64, 68, 108, 76), 1);
+        m
+    }
+
+    #[test]
+    fn empty_mask_has_zero_loss() {
+        let mask: BitGrid = Grid::new(64, 64, 0);
+        let report = stitch_loss(&mask, &[vertical_line(32, 64)], &StitchConfig::default());
+        assert_eq!(report.total, 0.0);
+        assert!(report.intersections.is_empty());
+    }
+
+    #[test]
+    fn no_lines_means_no_loss() {
+        let report = stitch_loss(&jagged_wire(), &[], &StitchConfig::default());
+        assert_eq!(report, StitchReport::default());
+    }
+
+    #[test]
+    fn finds_one_intersection_per_crossing() {
+        let mask = straight_wire();
+        let report = stitch_loss(&mask, &[vertical_line(64, 128)], &StitchConfig::default());
+        assert_eq!(report.intersections.len(), 1);
+        let i = &report.intersections[0];
+        assert_eq!(i.x, 64);
+        assert!((60..68).contains(&i.y), "center y = {}", i.y);
+    }
+
+    #[test]
+    fn two_wires_give_two_intersections() {
+        let mut mask = straight_wire();
+        mask.fill_rect(Rect::new(20, 90, 108, 98), 1);
+        let report = stitch_loss(&mask, &[vertical_line(64, 128)], &StitchConfig::default());
+        assert_eq!(report.intersections.len(), 2);
+    }
+
+    #[test]
+    fn jagged_crossing_scores_higher_than_straight() {
+        // Like the paper's numbers, the metric carries a baseline cost even
+        // for clean crossings (smoothing rounds every contour); a severe
+        // mismatch must clearly exceed that baseline.
+        let cfg = StitchConfig::default();
+        let line = [vertical_line(64, 128)];
+        let straight = stitch_loss(&straight_wire(), &line, &cfg);
+        let jagged = stitch_loss(&jagged_wire(), &line, &cfg);
+        assert!(
+            jagged.total > 1.1 * straight.total,
+            "jagged {} vs straight {}",
+            jagged.total,
+            straight.total
+        );
+    }
+
+    #[test]
+    fn loss_scales_with_misalignment() {
+        // Bigger jogs are worse.
+        let make = |jog: i64| -> BitGrid {
+            let mut m = Grid::new(128, 128, 0u8);
+            m.fill_rect(Rect::new(20, 60, 64, 68), 1);
+            m.fill_rect(Rect::new(64, 60 + jog, 108, 68 + jog), 1);
+            m
+        };
+        let cfg = StitchConfig::default();
+        let line = [vertical_line(64, 128)];
+        let l2 = stitch_loss(&make(2), &line, &cfg).total;
+        let l6 = stitch_loss(&make(6), &line, &cfg).total;
+        assert!(l6 > l2, "jog 6 {l6} <= jog 2 {l2}");
+    }
+
+    #[test]
+    fn horizontal_lines_work() {
+        let mut mask = Grid::new(128, 128, 0u8);
+        mask.fill_rect(Rect::new(60, 20, 68, 108), 1); // vertical wire
+        let line = StitchLine {
+            orientation: Orientation::Horizontal,
+            position: 64,
+            start: 0,
+            end: 128,
+        };
+        let report = stitch_loss(&mask, &[line], &StitchConfig::default());
+        assert_eq!(report.intersections.len(), 1);
+        assert_eq!(report.intersections[0].y, 64);
+    }
+
+    #[test]
+    fn wire_touching_mask_edge_is_handled() {
+        // A run that extends to the end of the line must still close.
+        let mut mask = Grid::new(64, 64, 0u8);
+        mask.fill_rect(Rect::new(30, 56, 38, 64), 1);
+        let report = stitch_loss(&mask, &[vertical_line(32, 64)], &StitchConfig::default());
+        assert_eq!(report.intersections.len(), 1);
+        // Window is clipped to the grid, no panic.
+        assert!(report.total >= 0.0);
+    }
+
+    #[test]
+    fn errors_above_filters() {
+        let report = StitchReport {
+            total: 30.0,
+            intersections: vec![
+                Intersection {
+                    x: 1,
+                    y: 1,
+                    window: Rect::new(0, 0, 2, 2),
+                    loss: 25.0,
+                },
+                Intersection {
+                    x: 2,
+                    y: 2,
+                    window: Rect::new(0, 0, 2, 2),
+                    loss: 5.0,
+                },
+            ],
+        };
+        let errs = report.errors_above(20.0);
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].x, 1);
+    }
+
+    #[test]
+    fn works_with_partition_stitch_lines() {
+        let p = Partition::new(
+            256,
+            256,
+            PartitionConfig {
+                tile: 128,
+                overlap: 64,
+            },
+        )
+        .unwrap();
+        let mut mask = Grid::new(256, 256, 0u8);
+        // A wire crossing both vertical stitch lines (x = 96, 160).
+        mask.fill_rect(Rect::new(40, 120, 220, 128), 1);
+        let report = stitch_loss(&mask, &p.stitch_lines(), &StitchConfig::default());
+        assert_eq!(report.intersections.len(), 2);
+    }
+
+    #[test]
+    fn continuity_comparison_improvement() {
+        let c = ContinuityComparison {
+            restricted: 10.0,
+            weighted: 2.0,
+        };
+        assert!((c.improvement() - 5.0).abs() < 1e-12);
+        let c = ContinuityComparison {
+            restricted: 3.0,
+            weighted: 0.0,
+        };
+        assert!(c.improvement().is_infinite());
+        let c = ContinuityComparison {
+            restricted: 0.0,
+            weighted: 0.0,
+        };
+        assert_eq!(c.improvement(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_rejected() {
+        let cfg = StitchConfig {
+            window: 0,
+            ..Default::default()
+        };
+        let _ = stitch_loss(&straight_wire(), &[], &cfg);
+    }
+}

@@ -1,0 +1,601 @@
+//! Pixel-domain gradient ILT with a multi-level simulation schedule — the
+//! "Multi-level-ILT" baseline (\[4\] in the paper, the authors' own prior
+//! solver, which the multigrid-Schwarz framework uses as its single-tile
+//! engine `phi(.)`).
+//!
+//! The mask is relaxed through a sigmoid of a latent pixel field and
+//! optimised with Adam; the optional multi-level schedule runs the early
+//! iterations on a 2x-downsampled grid (simulated with 2x-scaled kernels,
+//! Eq. (9)) before refining at full resolution.
+
+use ilt_grid::{resample, RealGrid};
+use ilt_litho::{LithoError, LithoSystem};
+
+use crate::error::OptError;
+use crate::loss::evaluate_loss;
+use crate::optimizer::Optimizer;
+use crate::solver::{IltOutcome, SolveContext, SolveRequest, TileSolver};
+
+/// Configuration of the pixel-domain solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PixelIltConfig {
+    /// Gradient-descent learning rate on the latent field. Plain gradient
+    /// descent (not Adam) is used deliberately: the lithography gradient is
+    /// band-limited by the optics, so proportional steps keep mask contours
+    /// smooth, whereas per-pixel adaptive normalisation amplifies the
+    /// gradient's high-frequency residue into ragged, stitch-hostile
+    /// contours.
+    pub lr: f64,
+    /// Sigmoid steepness mapping latent values to mask transmission.
+    pub mask_steepness: f64,
+    /// Fraction of the iteration budget run at an internally 2x-coarsened
+    /// level first (0 disables the multi-level schedule).
+    pub coarse_fraction: f64,
+    /// Weight of the binarisation penalty `sum m (1 - m)` that pushes gray
+    /// pixels towards 0/1 (suppresses binarisation speckle).
+    pub binarize_weight: f64,
+    /// Weight of the quadratic latent-smoothness penalty
+    /// `1/2 sum |grad latent|^2` that discourages ragged contours and
+    /// sub-resolution islands.
+    pub smooth_weight: f64,
+    /// Standard deviation of the seeded perturbation added to the latent on
+    /// cold starts. Production ILT is effectively chaotic in its SRAF
+    /// placement (floating-point nondeterminism, work distribution, solver
+    /// internals); a deterministic scalar solver is artificially unique, so
+    /// this restores the multistability the paper's boundary-mismatch
+    /// problem stems from. The perturbation is keyed to the tile content,
+    /// so runs remain reproducible. Warm starts are never perturbed.
+    pub init_noise: f64,
+}
+
+impl PixelIltConfig {
+    /// The multi-level configuration used as the paper's baseline \[4\].
+    pub fn multi_level() -> Self {
+        PixelIltConfig {
+            lr: 4.0,
+            mask_steepness: 4.0,
+            coarse_fraction: 0.2,
+            binarize_weight: 0.01,
+            smooth_weight: 0.0,
+            init_noise: 0.1,
+        }
+    }
+
+    /// Plain single-level pixel ILT.
+    pub fn single_level() -> Self {
+        PixelIltConfig {
+            coarse_fraction: 0.0,
+            ..PixelIltConfig::multi_level()
+        }
+    }
+
+    fn validate(&self) -> Result<(), OptError> {
+        if !(self.lr > 0.0 && self.lr.is_finite()) {
+            return Err(OptError::BadConfig {
+                reason: format!("learning rate {} must be positive", self.lr),
+            });
+        }
+        if self.mask_steepness <= 0.0 || self.mask_steepness.is_nan() {
+            return Err(OptError::BadConfig {
+                reason: "mask steepness must be positive".to_string(),
+            });
+        }
+        if !(0.0..=0.9).contains(&self.coarse_fraction) {
+            return Err(OptError::BadConfig {
+                reason: format!("coarse fraction {} outside [0, 0.9]", self.coarse_fraction),
+            });
+        }
+        if self.binarize_weight < 0.0 || self.smooth_weight < 0.0 {
+            return Err(OptError::BadConfig {
+                reason: "regularisation weights must be non-negative".to_string(),
+            });
+        }
+        if !(self.init_noise >= 0.0 && self.init_noise.is_finite()) {
+            return Err(OptError::BadConfig {
+                reason: "init noise must be non-negative".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for PixelIltConfig {
+    fn default() -> Self {
+        PixelIltConfig::multi_level()
+    }
+}
+
+/// The pixel-domain gradient solver.
+#[derive(Debug, Clone, Default)]
+pub struct PixelIlt {
+    config: PixelIltConfig,
+}
+
+impl PixelIlt {
+    /// Creates a solver with the default multi-level configuration.
+    pub fn new() -> Self {
+        PixelIlt {
+            config: PixelIltConfig::multi_level(),
+        }
+    }
+
+    /// Creates a solver with an explicit configuration.
+    pub fn with_config(config: PixelIltConfig) -> Self {
+        PixelIlt { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PixelIltConfig {
+        &self.config
+    }
+}
+
+impl TileSolver for PixelIlt {
+    fn name(&self) -> &str {
+        if self.config.coarse_fraction > 0.0 {
+            "multi-level-ilt"
+        } else {
+            "pixel-ilt"
+        }
+    }
+
+    fn solve(
+        &self,
+        ctx: &SolveContext<'_>,
+        request: &SolveRequest<'_>,
+    ) -> Result<IltOutcome, OptError> {
+        self.config.validate()?;
+        request.validate(ctx)?;
+        let steep = self.config.mask_steepness;
+        let mut latent = to_latent(request.initial, steep);
+        if !request.warm && self.config.init_noise > 0.0 {
+            perturb_latent(&mut latent, self.config.init_noise, request.target);
+        }
+        let mut history = Vec::with_capacity(request.iterations);
+        let lr = self.config.lr * request.lr_scale;
+
+        let coarse_iters = (request.iterations as f64 * self.config.coarse_fraction) as usize;
+        let mut remaining = request.iterations;
+
+        // Gradient descent throughout; `lr_mult` compensates the coarse
+        // phase's 1/s^2 gradient attenuation from the downsampling adjoint.
+        let make_optimizer = |lr_mult: f64| Optimizer::sgd(lr * lr_mult);
+
+        // Multi-level lithography simulation (ref. [4]): the early
+        // iterations evaluate the forward model and its gradient on a
+        // 2x-downsampled grid while the latent mask stays at full
+        // resolution — faster, and the upsampled gradients are naturally
+        // band-limited. Warm starts skip it: a near-converged solution
+        // needs full-resolution gradients from the first step.
+        if coarse_iters > 0 && !request.warm && ctx.n.is_multiple_of(2) {
+            match ctx.bank.system(ctx.n / 2, ctx.scale * 2) {
+                Ok(system) => {
+                    let coarse_target = resample::downsample(request.target, 2);
+                    let mut optimizer = make_optimizer(4.0);
+                    run_loop(
+                        &system,
+                        &coarse_target,
+                        &mut latent,
+                        &mut optimizer,
+                        coarse_iters,
+                        2,
+                        &self.config,
+                        &mut history,
+                    )?;
+                    remaining -= coarse_iters;
+                }
+                Err(LithoError::GridMismatch { .. }) => {
+                    // Fall through to single-level optimisation.
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+
+        let system = ctx.system()?;
+        let mut optimizer = make_optimizer(1.0);
+        run_loop(
+            &system,
+            request.target,
+            &mut latent,
+            &mut optimizer,
+            remaining,
+            1,
+            &self.config,
+            &mut history,
+        )?;
+
+        Ok(IltOutcome {
+            mask: latent_to_mask(&latent, steep),
+            loss_history: history,
+        })
+    }
+}
+
+/// Inner gradient loop. `sim_scale` selects the multi-level simulation
+/// factor: the latent stays at full resolution, while the forward model
+/// runs on a `sim_scale`-downsampled mask and the gradient is pulled back
+/// through the (linear) downsampling operator.
+#[allow(clippy::too_many_arguments)]
+fn run_loop(
+    system: &LithoSystem,
+    target: &RealGrid,
+    latent: &mut RealGrid,
+    optimizer: &mut Optimizer,
+    iterations: usize,
+    sim_scale: usize,
+    config: &PixelIltConfig,
+    history: &mut Vec<f64>,
+) -> Result<(), OptError> {
+    let steepness = config.mask_steepness;
+    for _ in 0..iterations {
+        let mask = latent_to_mask(latent, steepness);
+        let sim_mask = if sim_scale > 1 {
+            resample::downsample(&mask, sim_scale)
+        } else {
+            mask.clone()
+        };
+        let state = system.simulate(&sim_mask)?;
+        let eval = evaluate_loss(system.resist(), &state.intensity, target);
+        history.push(eval.value);
+        let grad_sim = system.gradient(&state, &eval.dldi)?;
+        // Adjoint of s x s block averaging: each fine pixel receives its
+        // coarse pixel's gradient divided by s^2.
+        let grad_mask = if sim_scale > 1 {
+            let inv = 1.0 / (sim_scale * sim_scale) as f64;
+            resample::upsample_nearest(&grad_sim, sim_scale).map(|&g| g * inv)
+        } else {
+            grad_sim
+        };
+        // Chain rule through the sigmoid: dM/dlatent = k M (1 - M), plus
+        // the binarisation penalty d/dm [m (1 - m)] = 1 - 2m.
+        let mut grad_latent: Vec<f64> = grad_mask
+            .as_slice()
+            .iter()
+            .zip(mask.as_slice())
+            .map(|(g, m)| {
+                (g + config.binarize_weight * (1.0 - 2.0 * m)) * steepness * m * (1.0 - m)
+            })
+            .collect();
+        // Latent smoothness: gradient of 1/2 |grad latent|^2 is -laplacian
+        // (Neumann boundaries: missing neighbours contribute nothing).
+        if config.smooth_weight > 0.0 {
+            let (w, h) = (latent.width(), latent.height());
+            for y in 0..h {
+                for x in 0..w {
+                    let center = latent.get(x, y);
+                    let mut acc = 0.0;
+                    if x > 0 {
+                        acc += center - latent.get(x - 1, y);
+                    }
+                    if x + 1 < w {
+                        acc += center - latent.get(x + 1, y);
+                    }
+                    if y > 0 {
+                        acc += center - latent.get(x, y - 1);
+                    }
+                    if y + 1 < h {
+                        acc += center - latent.get(x, y + 1);
+                    }
+                    grad_latent[y * w + x] += config.smooth_weight * acc;
+                }
+            }
+        }
+        optimizer.step(latent.as_mut_slice(), &grad_latent);
+    }
+    Ok(())
+}
+
+/// Adds a zero-mean, content-keyed perturbation to the latent field.
+///
+/// The seed is an FNV-1a hash of the target raster, so the same tile always
+/// receives the same perturbation (full reproducibility) while different
+/// tiles — in particular the two tiles sharing an overlap region — receive
+/// different ones, reproducing the solution multistability that makes
+/// independently optimised tiles disagree in the paper's Fig. 1.
+fn perturb_latent(latent: &mut RealGrid, sigma: f64, target: &RealGrid) {
+    let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in target.as_slice() {
+        seed ^= v.to_bits();
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut state = seed | 1;
+    let mut next = move || -> f64 {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    };
+    for v in latent.as_mut_slice() {
+        *v += sigma * next();
+    }
+}
+
+/// Maps a `[0, 1]` mask to the latent field (inverse sigmoid).
+fn to_latent(mask: &RealGrid, steepness: f64) -> RealGrid {
+    mask.map(|&m| {
+        let c = m.clamp(0.02, 0.98);
+        (c / (1.0 - c)).ln() / steepness
+    })
+}
+
+/// Maps the latent field back to a `[0, 1]` mask.
+fn latent_to_mask(latent: &RealGrid, steepness: f64) -> RealGrid {
+    latent.map(|&t| 1.0 / (1.0 + (-steepness * t).exp()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilt_grid::{Grid, Rect};
+    use ilt_litho::{Corner, LithoBank, OpticsConfig, ResistModel};
+
+    fn bank() -> LithoBank {
+        LithoBank::new(OpticsConfig::test_small(), ResistModel::default()).unwrap()
+    }
+
+    fn target_grid(n: usize) -> RealGrid {
+        let mut t = Grid::new(n, n, 0.0);
+        t.fill_rect(Rect::new(14, 18, 30, 28), 1.0);
+        t.fill_rect(Rect::new(38, 30, 50, 44), 1.0);
+        t
+    }
+
+    #[test]
+    fn latent_roundtrip() {
+        let mask = Grid::from_vec(3, 1, vec![0.1, 0.5, 0.9]);
+        let latent = to_latent(&mask, 4.0);
+        let back = latent_to_mask(&latent, 4.0);
+        for i in 0..3 {
+            assert!((back.get(i, 0) - mask.get(i, 0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        let bad = PixelIltConfig {
+            lr: 0.0,
+            ..PixelIltConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = PixelIltConfig {
+            coarse_fraction: 0.95,
+            ..PixelIltConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        assert!(PixelIltConfig::single_level().validate().is_ok());
+    }
+
+    #[test]
+    fn names_reflect_schedule() {
+        assert_eq!(PixelIlt::new().name(), "multi-level-ilt");
+        assert_eq!(
+            PixelIlt::with_config(PixelIltConfig::single_level()).name(),
+            "pixel-ilt"
+        );
+    }
+
+    #[test]
+    fn loss_decreases_and_mask_prints_target() {
+        let bank = bank();
+        let ctx = SolveContext {
+            bank: &bank,
+            n: 64,
+            scale: 1,
+        };
+        let target = target_grid(64);
+        let solver = PixelIlt::new();
+        let request = SolveRequest::new(&target, &target, 30);
+        let outcome = solver.solve(&ctx, &request).unwrap();
+        assert_eq!(outcome.loss_history.len(), 30);
+        let first = outcome.loss_history[0];
+        let last = outcome.final_loss().unwrap();
+        assert!(last < 0.7 * first, "loss {first} -> {last}");
+
+        // The optimised mask prints closer to the target than the naive
+        // mask (= the target itself) does.
+        let system = bank.system(64, 1).unwrap();
+        let naive_print = system.print(&target, Corner::Nominal).unwrap();
+        let opt_print = system.print(&outcome.mask, Corner::Nominal).unwrap();
+        let target_bits = target.threshold(0.5);
+        let naive_err = naive_print.xor_count(&target_bits);
+        let opt_err = opt_print.xor_count(&target_bits);
+        assert!(
+            opt_err < naive_err,
+            "optimised XOR {opt_err} vs naive {naive_err}"
+        );
+    }
+
+    #[test]
+    fn multi_level_history_spans_both_levels() {
+        let bank = bank();
+        let ctx = SolveContext {
+            bank: &bank,
+            n: 64,
+            scale: 1,
+        };
+        let target = target_grid(64);
+        let solver = PixelIlt::with_config(PixelIltConfig {
+            coarse_fraction: 0.5,
+            ..PixelIltConfig::default()
+        });
+        let request = SolveRequest::new(&target, &target, 10);
+        let outcome = solver.solve(&ctx, &request).unwrap();
+        assert_eq!(outcome.loss_history.len(), 10);
+        // Coarse losses are computed on a 4x smaller grid, so the scale of
+        // the first half differs from the second; both halves must be finite.
+        assert!(outcome.loss_history.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn refine_scale_shrinks_steps() {
+        // With a tiny lr_scale the mask barely moves — the paper's refine
+        // ILT property.
+        let bank = bank();
+        let ctx = SolveContext {
+            bank: &bank,
+            n: 64,
+            scale: 1,
+        };
+        let target = target_grid(64);
+        let solver = PixelIlt::with_config(PixelIltConfig::single_level());
+        let mut request = SolveRequest::new(&target, &target, 3);
+        request.lr_scale = 1e-6;
+        let outcome = solver.solve(&ctx, &request).unwrap();
+        let drift: f64 = outcome
+            .mask
+            .as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        // The latent clamp alone moves binary pixels to 0.02/0.98.
+        assert!(drift < 0.05, "drift {drift}");
+    }
+
+    #[test]
+    fn mask_stays_in_unit_interval() {
+        let bank = bank();
+        let ctx = SolveContext {
+            bank: &bank,
+            n: 64,
+            scale: 1,
+        };
+        let target = target_grid(64);
+        let outcome = PixelIlt::new()
+            .solve(&ctx, &SolveRequest::new(&target, &target, 8))
+            .unwrap();
+        assert!(outcome.mask.min() >= 0.0);
+        assert!(outcome.mask.max() <= 1.0);
+    }
+
+    #[test]
+    fn cold_starts_are_perturbed_but_deterministic() {
+        let bank = bank();
+        let ctx = SolveContext {
+            bank: &bank,
+            n: 64,
+            scale: 1,
+        };
+        let target = target_grid(64);
+        let solver = PixelIlt::new();
+        let req = SolveRequest::new(&target, &target, 2);
+        let a = solver.solve(&ctx, &req).unwrap();
+        let b = solver.solve(&ctx, &req).unwrap();
+        // Same content -> same perturbation -> identical outcome.
+        assert_eq!(a.mask, b.mask);
+
+        // Different content -> different perturbation -> different outcome
+        // even where the targets agree locally.
+        let mut other = target_grid(64);
+        other.fill_rect(Rect::new(2, 2, 6, 6), 1.0);
+        let c = solver
+            .solve(&ctx, &SolveRequest::new(&other, &other, 2))
+            .unwrap();
+        assert_ne!(a.mask, c.mask);
+    }
+
+    #[test]
+    fn warm_starts_skip_perturbation_and_multilevel() {
+        // A warm near-zero-step solve must approximately preserve the
+        // initial mask (modulo the latent clamp), proving neither noise nor
+        // the internal multi-level resampling touched it.
+        let bank = bank();
+        let ctx = SolveContext {
+            bank: &bank,
+            n: 64,
+            scale: 1,
+        };
+        let target = target_grid(64);
+        let initial = target_grid(64);
+        let req = SolveRequest {
+            target: &target,
+            initial: &initial,
+            iterations: 1,
+            lr_scale: 1e-9,
+            gentle: true,
+            warm: true,
+        };
+        let outcome = PixelIlt::new().solve(&ctx, &req).unwrap();
+        let drift: f64 = outcome
+            .mask
+            .as_slice()
+            .iter()
+            .zip(initial.as_slice())
+            .map(|(a, b)| (a - b.clamp(0.02, 0.98)).abs())
+            .fold(0.0, f64::max);
+        assert!(drift < 1e-6, "warm start drifted by {drift}");
+    }
+
+    #[test]
+    fn gentle_steps_scale_with_lr() {
+        // In gentle (SGD) mode the step is proportional to lr_scale: a
+        // 10x-smaller rate must move the mask strictly less.
+        let bank = bank();
+        let ctx = SolveContext {
+            bank: &bank,
+            n: 64,
+            scale: 1,
+        };
+        let target = target_grid(64);
+        let movement = |lr_scale: f64| -> f64 {
+            let req = SolveRequest {
+                target: &target,
+                initial: &target,
+                iterations: 2,
+                lr_scale,
+                gentle: true,
+                warm: true,
+            };
+            let outcome = PixelIlt::new().solve(&ctx, &req).unwrap();
+            outcome
+                .mask
+                .as_slice()
+                .iter()
+                .zip(target.as_slice())
+                .map(|(a, b)| (a - b.clamp(0.02, 0.98)).abs())
+                .sum()
+        };
+        let big = movement(0.1);
+        let small = movement(0.01);
+        assert!(
+            small < big,
+            "gentle movement not monotone: {small} vs {big}"
+        );
+    }
+
+    #[test]
+    fn init_noise_zero_disables_perturbation() {
+        let bank = bank();
+        let ctx = SolveContext {
+            bank: &bank,
+            n: 64,
+            scale: 1,
+        };
+        let target = target_grid(64);
+        let quiet = PixelIlt::with_config(PixelIltConfig {
+            init_noise: 0.0,
+            coarse_fraction: 0.0,
+            ..PixelIltConfig::multi_level()
+        });
+        // With zero iterations nothing may move at all.
+        let req = SolveRequest::new(&target, &target, 0);
+        let outcome = quiet.solve(&ctx, &req).unwrap();
+        let drift: f64 = outcome
+            .mask
+            .as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(a, b)| (a - b.clamp(0.02, 0.98)).abs())
+            .fold(0.0, f64::max);
+        assert!(drift < 1e-12);
+    }
+
+    #[test]
+    fn negative_noise_rejected() {
+        let bad = PixelIltConfig {
+            init_noise: -1.0,
+            ..PixelIltConfig::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+}

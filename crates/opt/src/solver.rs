@@ -1,0 +1,181 @@
+//! Common interface for single-tile ILT solvers — the `phi(.)` of
+//! Algorithm 1 in the paper.
+
+use ilt_grid::RealGrid;
+use ilt_litho::{LithoBank, LithoSystem};
+
+use crate::error::OptError;
+
+/// Where a solve runs: the kernel bank plus the grid size and physical
+/// scale of the region being corrected.
+#[derive(Debug, Clone, Copy)]
+pub struct SolveContext<'a> {
+    /// Shared optical kernel bank.
+    pub bank: &'a LithoBank,
+    /// Grid edge length of the tile being solved.
+    pub n: usize,
+    /// Physical scale relative to the base grid (1 = fine grid, >1 = the
+    /// coarse/downsampled grids of Algorithm 1).
+    pub scale: usize,
+}
+
+impl<'a> SolveContext<'a> {
+    /// Builds the lithography system for this context.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel-resampling and FFT-plan failures.
+    pub fn system(&self) -> Result<LithoSystem, OptError> {
+        Ok(self.bank.system(self.n, self.scale)?)
+    }
+}
+
+/// One solve request: optimise `initial` towards printing `target`.
+#[derive(Debug, Clone)]
+pub struct SolveRequest<'a> {
+    /// Binary-valued target image for this tile (`Z_t R_j` in Eq. (10)).
+    pub target: &'a RealGrid,
+    /// Starting mask (continuous, in `[0, 1]`): the target itself for cold
+    /// starts, a cropped assembled mask for Schwarz stages.
+    pub initial: &'a RealGrid,
+    /// Iteration budget.
+    pub iterations: usize,
+    /// Learning-rate multiplier (the paper's refine ILT uses a small rate).
+    pub lr_scale: f64,
+    /// Gentle mode for refinement passes: solvers take strictly
+    /// gradient-proportional steps (no adaptive-optimiser restart noise),
+    /// so a converged warm start is only nudged, never reshuffled.
+    pub gentle: bool,
+    /// Warm-start mode: `initial` is already a near-converged solution
+    /// (e.g. cropped from an assembled layout between Schwarz stages), so
+    /// solvers must skip global restructuring steps — in particular the
+    /// pixel solver's internal multi-level resampling, which would blur the
+    /// warm solution.
+    pub warm: bool,
+}
+
+impl<'a> SolveRequest<'a> {
+    /// Convenience constructor with unit learning-rate scale.
+    pub fn new(target: &'a RealGrid, initial: &'a RealGrid, iterations: usize) -> Self {
+        SolveRequest {
+            target,
+            initial,
+            iterations,
+            lr_scale: 1.0,
+            gentle: false,
+            warm: false,
+        }
+    }
+
+    /// Checks the request against a context.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptError::ShapeMismatch`] if either grid is not `n x n`,
+    /// or [`OptError::BadConfig`] for a degenerate learning-rate scale.
+    pub fn validate(&self, ctx: &SolveContext<'_>) -> Result<(), OptError> {
+        for grid in [self.target, self.initial] {
+            if grid.width() != ctx.n || grid.height() != ctx.n {
+                return Err(OptError::ShapeMismatch {
+                    expected: ctx.n,
+                    actual: (grid.width(), grid.height()),
+                });
+            }
+        }
+        if !(self.lr_scale > 0.0 && self.lr_scale.is_finite()) {
+            return Err(OptError::BadConfig {
+                reason: format!("learning-rate scale {} is not positive", self.lr_scale),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Result of a single-tile solve.
+#[derive(Debug, Clone)]
+pub struct IltOutcome {
+    /// Optimised continuous mask in `[0, 1]`.
+    pub mask: RealGrid,
+    /// Objective value after every iteration.
+    pub loss_history: Vec<f64>,
+}
+
+impl IltOutcome {
+    /// Final loss, if any iterations ran.
+    pub fn final_loss(&self) -> Option<f64> {
+        self.loss_history.last().copied()
+    }
+}
+
+/// A single-tile ILT algorithm.
+pub trait TileSolver: Send + Sync {
+    /// Short identifier used in reports (e.g. `"multi-level-ilt"`).
+    fn name(&self) -> &str;
+
+    /// Runs the solver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptError`] on shape mismatches, bad configuration, or
+    /// simulation failure.
+    fn solve(
+        &self,
+        ctx: &SolveContext<'_>,
+        request: &SolveRequest<'_>,
+    ) -> Result<IltOutcome, OptError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilt_grid::Grid;
+    use ilt_litho::{OpticsConfig, ResistModel};
+
+    #[test]
+    fn request_validation() {
+        let bank = LithoBank::new(OpticsConfig::test_small(), ResistModel::default()).unwrap();
+        let ctx = SolveContext {
+            bank: &bank,
+            n: 64,
+            scale: 1,
+        };
+        let good = Grid::new(64, 64, 0.0);
+        let bad = Grid::new(32, 64, 0.0);
+        assert!(SolveRequest::new(&good, &good, 5).validate(&ctx).is_ok());
+        assert!(matches!(
+            SolveRequest::new(&bad, &good, 5).validate(&ctx),
+            Err(OptError::ShapeMismatch { .. })
+        ));
+        let mut req = SolveRequest::new(&good, &good, 5);
+        req.lr_scale = 0.0;
+        assert!(matches!(
+            req.validate(&ctx),
+            Err(OptError::BadConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn context_builds_system() {
+        let bank = LithoBank::new(OpticsConfig::test_small(), ResistModel::default()).unwrap();
+        let ctx = SolveContext {
+            bank: &bank,
+            n: 64,
+            scale: 1,
+        };
+        assert_eq!(ctx.system().unwrap().n(), 64);
+    }
+
+    #[test]
+    fn outcome_final_loss() {
+        let outcome = IltOutcome {
+            mask: Grid::new(2, 2, 0.0),
+            loss_history: vec![3.0, 2.0, 1.0],
+        };
+        assert_eq!(outcome.final_loss(), Some(1.0));
+        let empty = IltOutcome {
+            mask: Grid::new(2, 2, 0.0),
+            loss_history: vec![],
+        };
+        assert_eq!(empty.final_loss(), None);
+    }
+}

@@ -1,0 +1,413 @@
+//! Restriction and interpolation operators: Eq. (6) (restricted additive
+//! Schwarz assembly) and Eq. (12)–(14) (weighted-smoothing assembly).
+
+use ilt_grid::RealGrid;
+
+use crate::error::TileError;
+use crate::partition::{Partition, Tile};
+
+/// How tile results are interpolated back into the layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssemblyMode {
+    /// The RAS interpolation `R~_j^T` of Eq. (6): each tile contributes
+    /// exactly its core section (hard cut at core boundaries).
+    Restricted,
+    /// The weighted interpolation `R'_j^T` of Eq. (14): a linear ramp of
+    /// width `band` (the buffer `D` of Eq. (13) / Fig. 5) centered on each
+    /// core boundary blends adjacent tiles; outside the band each pixel is
+    /// taken verbatim from the tile whose core owns it. The per-tile
+    /// weights form an exact partition of unity.
+    Weighted {
+        /// Ramp width `D` in pixels (clamped to the overlap).
+        band: usize,
+    },
+    /// The multiplicative-Schwarz replacement operator: the indicator of
+    /// the tile's **extended core** (core grown by `margin` into the
+    /// overlap, clipped to the tile). Not a partition of unity — intended
+    /// for sequential (multi-colour) updates where later tiles overwrite
+    /// earlier ones so every boundary band ends up authored by exactly one
+    /// tile.
+    ExtendedCore {
+        /// How far beyond the core the replacement reaches, in pixels.
+        margin: usize,
+    },
+}
+
+impl AssemblyMode {
+    /// The weighted mode with the default buffer: a quarter of the overlap
+    /// (`D = l / 2` at the paper's geometry).
+    pub fn weighted_default(partition: &Partition) -> AssemblyMode {
+        AssemblyMode::Weighted {
+            band: (partition.config().overlap / 4).max(2),
+        }
+    }
+}
+
+/// The restriction operator `R_j`: crops the tile's extent out of the
+/// layout.
+///
+/// # Panics
+///
+/// Panics if the tile rectangle is not fully inside the layout (cannot
+/// happen for rectangles produced by [`Partition::new`]).
+pub fn restrict(layout: &RealGrid, tile: &Tile) -> RealGrid {
+    assert!(
+        layout.bounds().contains_rect(tile.rect),
+        "tile escapes layout"
+    );
+    layout.crop(tile.rect)
+}
+
+/// The per-tile interpolation weights as a tile-sized grid.
+///
+/// For [`AssemblyMode::Restricted`] this is the indicator of the core; for
+/// [`AssemblyMode::Weighted`] it is the product of two 1-D ramps of width
+/// `band`, each centered on a core boundary (Eq. (13): weight 1 deeper than
+/// `D` into the own-core side, linear in between) and constant 1 on
+/// boundary-free sides.
+pub fn weight_map(partition: &Partition, tile_index: usize, mode: AssemblyMode) -> RealGrid {
+    let tile = *partition.tile(tile_index);
+    let t = partition.config().tile;
+    match mode {
+        AssemblyMode::Restricted => RealGrid::from_fn(t, t, |x, y| {
+            let gx = tile.rect.x0 + x as i64;
+            let gy = tile.rect.y0 + y as i64;
+            if tile.core.contains(gx, gy) {
+                1.0
+            } else {
+                0.0
+            }
+        }),
+        AssemblyMode::ExtendedCore { margin } => {
+            let extended = tile
+                .core
+                .outset(margin as i64)
+                .intersect(tile.rect)
+                .expect("extended core intersects its tile");
+            RealGrid::from_fn(t, t, |x, y| {
+                let gx = tile.rect.x0 + x as i64;
+                let gy = tile.rect.y0 + y as i64;
+                if extended.contains(gx, gy) {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+        }
+        AssemblyMode::Weighted { band } => {
+            let d = (band.max(1).min(partition.config().overlap)) as f64;
+            let (col, row) = tile.grid_pos;
+            let nx = partition.tiles_x();
+            let ny = partition.tiles_y();
+            // Signed distance of a pixel center from a core boundary; the
+            // ramp runs from 0 at `-d/2` (outside own core) to 1 at `+d/2`.
+            let ramp = |g: f64, boundary: f64, own_side_positive: bool| -> f64 {
+                let dist = if own_side_positive {
+                    g - boundary
+                } else {
+                    boundary - g
+                };
+                (0.5 + dist / d).clamp(0.0, 1.0)
+            };
+            // Per-axis weights combine that axis's two ramps with `min`
+            // (both are never mid-ramp at once since the band fits in the
+            // core); axes multiply so the corner regions, where four tiles
+            // meet, still sum to exactly 1.
+            RealGrid::from_fn(t, t, |x, y| {
+                let gx = (tile.rect.x0 + x as i64) as f64 + 0.5;
+                let gy = (tile.rect.y0 + y as i64) as f64 + 0.5;
+                let mut wx = 1.0f64;
+                if col > 0 {
+                    wx = wx.min(ramp(gx, tile.core.x0 as f64, true));
+                }
+                if col < nx - 1 {
+                    wx = wx.min(ramp(gx, tile.core.x1 as f64, false));
+                }
+                let mut wy = 1.0f64;
+                if row > 0 {
+                    wy = wy.min(ramp(gy, tile.core.y0 as f64, true));
+                }
+                if row < ny - 1 {
+                    wy = wy.min(ramp(gy, tile.core.y1 as f64, false));
+                }
+                wx * wy
+            })
+        }
+    }
+}
+
+/// Assembles per-tile results into a full layout:
+/// `M = sum_j W_j . M_j` with `W_j` from [`weight_map`].
+///
+/// # Errors
+///
+/// Returns [`TileError::AssemblyMismatch`] if the number or shape of the
+/// tile grids does not match the partition.
+pub fn assemble(
+    partition: &Partition,
+    tiles: &[RealGrid],
+    mode: AssemblyMode,
+) -> Result<RealGrid, TileError> {
+    if tiles.len() != partition.tiles().len() {
+        return Err(TileError::AssemblyMismatch {
+            expected: partition.tiles().len(),
+            actual: tiles.len(),
+        });
+    }
+    let t = partition.config().tile;
+    for data in tiles {
+        if data.width() != t || data.height() != t {
+            return Err(TileError::AssemblyMismatch {
+                expected: partition.tiles().len(),
+                actual: tiles.len(),
+            });
+        }
+    }
+    let mut out = RealGrid::new(partition.width(), partition.height(), 0.0);
+    for (tile, data) in partition.tiles().iter().zip(tiles) {
+        let w = weight_map(partition, tile.index, mode);
+        for y in 0..t {
+            let gy = tile.rect.y0 as usize + y;
+            for x in 0..t {
+                let weight = w.get(x, y);
+                if weight == 0.0 {
+                    continue;
+                }
+                let gx = tile.rect.x0 as usize + x;
+                let v = out.get(gx, gy) + weight * data.get(x, y);
+                out.set(gx, gy, v);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::PartitionConfig;
+    use ilt_grid::Grid;
+
+    fn partition() -> Partition {
+        Partition::new(
+            256,
+            256,
+            PartitionConfig {
+                tile: 128,
+                overlap: 64,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn restrict_crops_tile_extent() {
+        let p = partition();
+        let layout = Grid::from_fn(256, 256, |x, y| (x + y) as f64);
+        let t = p.tile(4);
+        let cropped = restrict(&layout, t);
+        assert_eq!(cropped.width(), 128);
+        assert_eq!(cropped.get(0, 0), layout.get(64, 64));
+    }
+
+    #[test]
+    fn restricted_weights_are_core_indicator() {
+        let p = partition();
+        let w = weight_map(&p, 4, AssemblyMode::Restricted);
+        // Core of center tile is [96,160) globally = [32,96) locally.
+        assert_eq!(w.get(32, 32), 1.0);
+        assert_eq!(w.get(95, 95), 1.0);
+        assert_eq!(w.get(31, 32), 0.0);
+        assert_eq!(w.get(96, 32), 0.0);
+    }
+
+    #[test]
+    fn weighted_weights_ramp_across_band() {
+        let p = partition();
+        // Center tile: cores span [96,160) globally = [32,96) locally; the
+        // default band is overlap/4 = 16 px centered on each core boundary.
+        let mode = AssemblyMode::weighted_default(&p);
+        assert_eq!(mode, AssemblyMode::Weighted { band: 16 });
+        let w = weight_map(&p, 4, mode);
+        // Outside the band towards the tile edge: weight 0.
+        assert_eq!(w.get(0, 64), 0.0);
+        assert_eq!(w.get(23, 64), 0.0);
+        // Exactly on the core boundary: 0.5.
+        assert!((w.get(32, 64) - 0.5).abs() < 0.04);
+        // Past the band into the own core: weight 1.
+        assert_eq!(w.get(40, 64), 1.0);
+        assert_eq!(w.get(64, 64), 1.0);
+        // Corner tile has no ramp on the layout side.
+        let w0 = weight_map(&p, 0, mode);
+        assert_eq!(w0.get(0, 0), 1.0);
+        assert_eq!(w0.get(127, 0), 0.0);
+    }
+
+    #[test]
+    fn explicit_band_width_controls_ramp_extent() {
+        let p = partition();
+        let narrow = weight_map(&p, 4, AssemblyMode::Weighted { band: 4 });
+        let wide = weight_map(&p, 4, AssemblyMode::Weighted { band: 32 });
+        // Narrow band saturates sooner.
+        assert_eq!(narrow.get(35, 64), 1.0);
+        assert!(wide.get(35, 64) < 1.0);
+        // Band is clamped to the overlap; an enormous band must not panic.
+        let huge = weight_map(&p, 4, AssemblyMode::Weighted { band: 10_000 });
+        assert!(huge.get(64, 64) > 0.0);
+    }
+
+    #[test]
+    fn weights_form_partition_of_unity() {
+        let p = partition();
+        for mode in [
+            AssemblyMode::Restricted,
+            AssemblyMode::weighted_default(&p),
+            AssemblyMode::Weighted { band: 4 },
+        ] {
+            let mut total = Grid::new(256, 256, 0.0);
+            for tile in p.tiles() {
+                let w = weight_map(&p, tile.index, mode);
+                total.paste(
+                    &RealGrid::from_fn(128, 128, |x, y| {
+                        total.get(tile.rect.x0 as usize + x, tile.rect.y0 as usize + y)
+                            + w.get(x, y)
+                    }),
+                    tile.rect.x0,
+                    tile.rect.y0,
+                );
+            }
+            for (_, _, &v) in total.iter() {
+                assert!((v - 1.0).abs() < 1e-12, "{mode:?}: weight sum {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn assembling_restrictions_reconstructs_layout() {
+        // Cropping a layout into tiles and assembling must reproduce it for
+        // both modes (consistency of R and R^T on consistent data).
+        let p = partition();
+        let layout = Grid::from_fn(256, 256, |x, y| ((x * 31 + y * 7) % 13) as f64);
+        let crops: Vec<RealGrid> = p.tiles().iter().map(|t| restrict(&layout, t)).collect();
+        for mode in [
+            AssemblyMode::Restricted,
+            AssemblyMode::weighted_default(&p),
+            AssemblyMode::Weighted { band: 4 },
+        ] {
+            let rebuilt = assemble(&p, &crops, mode).unwrap();
+            let mut worst: f64 = 0.0;
+            for y in 0..256 {
+                for x in 0..256 {
+                    worst = worst.max((rebuilt.get(x, y) - layout.get(x, y)).abs());
+                }
+            }
+            assert!(worst < 1e-12, "{mode:?}: reconstruction error {worst}");
+        }
+    }
+
+    #[test]
+    fn weighted_assembly_blends_disagreeing_tiles() {
+        // Two tiles disagreeing in the overlap: restricted assembly jumps at
+        // the core boundary, weighted assembly ramps linearly.
+        let p = Partition::new(
+            192,
+            128,
+            PartitionConfig {
+                tile: 128,
+                overlap: 64,
+            },
+        )
+        .unwrap();
+        assert_eq!(p.tiles().len(), 2);
+        let tiles = vec![Grid::new(128, 128, 0.0), Grid::new(128, 128, 1.0)];
+        let hard = assemble(&p, &tiles, AssemblyMode::Restricted).unwrap();
+        let soft = assemble(&p, &tiles, AssemblyMode::Weighted { band: 32 }).unwrap();
+        // Hard: a step at x = 96 (core boundary).
+        assert_eq!(hard.get(95, 64), 0.0);
+        assert_eq!(hard.get(96, 64), 1.0);
+        // Soft: the core boundary (x = 96, band center) blends to ~0.5.
+        assert!((soft.get(96, 64) - 0.5).abs() < 0.03);
+        // Soft is monotone across the overlap.
+        for x in 65..128 {
+            assert!(soft.get(x, 64) >= soft.get(x - 1, 64) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn extended_core_is_indicator_of_grown_core() {
+        let p = partition();
+        // Center tile: core [96,160) globally = [32,96) locally; margin 8
+        // grows it to [88,168) globally = [24,104) locally.
+        let w = weight_map(&p, 4, AssemblyMode::ExtendedCore { margin: 8 });
+        assert_eq!(w.get(24, 64), 1.0);
+        assert_eq!(w.get(103, 64), 1.0);
+        assert_eq!(w.get(23, 64), 0.0);
+        assert_eq!(w.get(104, 64), 0.0);
+        // Weights are exactly 0/1.
+        assert!(w.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn extended_core_clips_to_tile() {
+        let p = partition();
+        // A margin larger than the tile margin must clip to the tile rect
+        // without panicking.
+        let w = weight_map(&p, 0, AssemblyMode::ExtendedCore { margin: 1000 });
+        assert_eq!(w.get(0, 0), 1.0);
+        assert_eq!(w.get(127, 127), 1.0);
+    }
+
+    #[test]
+    fn sequential_extended_core_updates_author_bands_consistently() {
+        // Simulate the multiplicative pass: two tiles, the second replaces
+        // its extended core after the first; the shared band must end up
+        // authored entirely by the later tile.
+        let p = Partition::new(
+            192,
+            128,
+            PartitionConfig {
+                tile: 128,
+                overlap: 64,
+            },
+        )
+        .unwrap();
+        let mut layout = RealGrid::new(192, 128, 0.5);
+        for (idx, value) in [(0usize, 0.2), (1usize, 0.9)] {
+            let tile = p.tile(idx);
+            let w = weight_map(&p, idx, AssemblyMode::ExtendedCore { margin: 8 });
+            let data = RealGrid::new(128, 128, value);
+            for y in 0..128 {
+                for x in 0..128 {
+                    if w.get(x, y) != 0.0 {
+                        layout.set(
+                            tile.rect.x0 as usize + x,
+                            tile.rect.y0 as usize + y,
+                            data.get(x, y),
+                        );
+                    }
+                }
+            }
+        }
+        // Core boundary at x = 96: band [88, 104) belongs to the later tile.
+        assert_eq!(layout.get(90, 64), 0.9);
+        assert_eq!(layout.get(100, 64), 0.9);
+        // Outside both extended cores... everything is covered here; the
+        // early tile's exclusive region keeps its value.
+        assert_eq!(layout.get(10, 64), 0.2);
+    }
+
+    #[test]
+    fn assemble_validates_input() {
+        let p = partition();
+        let too_few = vec![Grid::new(128, 128, 0.0); 4];
+        assert!(matches!(
+            assemble(&p, &too_few, AssemblyMode::Restricted),
+            Err(TileError::AssemblyMismatch { .. })
+        ));
+        let wrong_size = vec![Grid::new(64, 64, 0.0); 9];
+        assert!(matches!(
+            assemble(&p, &wrong_size, AssemblyMode::weighted_default(&p)),
+            Err(TileError::AssemblyMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,110 @@
+//! Error type for tile partitioning and assembly.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by partition construction and assembly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TileError {
+    /// The layout is smaller than one tile.
+    LayoutTooSmall {
+        /// Layout dimensions.
+        layout: (usize, usize),
+        /// Requested tile edge.
+        tile: usize,
+    },
+    /// The layout cannot be tiled exactly with the requested stride; the
+    /// partition would need fractional tiles.
+    Indivisible {
+        /// Layout edge length that failed.
+        extent: usize,
+        /// Tile edge.
+        tile: usize,
+        /// Stride (`tile - overlap`).
+        stride: usize,
+    },
+    /// The overlap is not compatible with the tile size.
+    BadOverlap {
+        /// Tile edge.
+        tile: usize,
+        /// Requested overlap.
+        overlap: usize,
+    },
+    /// Data supplied for assembly does not match the partition.
+    AssemblyMismatch {
+        /// Expected number of tiles.
+        expected: usize,
+        /// Number of tile grids supplied.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for TileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TileError::LayoutTooSmall { layout, tile } => write!(
+                f,
+                "layout {}x{} is smaller than one {tile}-pixel tile",
+                layout.0, layout.1
+            ),
+            TileError::Indivisible {
+                extent,
+                tile,
+                stride,
+            } => write!(
+                f,
+                "extent {extent} is not tile {tile} plus a whole number of strides {stride}"
+            ),
+            TileError::BadOverlap { tile, overlap } => write!(
+                f,
+                "overlap {overlap} must be positive, even, and smaller than the tile {tile}"
+            ),
+            TileError::AssemblyMismatch { expected, actual } => write!(
+                f,
+                "assembly received {actual} tile grids but the partition has {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for TileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(TileError::LayoutTooSmall {
+            layout: (10, 20),
+            tile: 128
+        }
+        .to_string()
+        .contains("128"));
+        assert!(TileError::Indivisible {
+            extent: 200,
+            tile: 128,
+            stride: 64
+        }
+        .to_string()
+        .contains("200"));
+        assert!(TileError::BadOverlap {
+            tile: 128,
+            overlap: 3
+        }
+        .to_string()
+        .contains("overlap 3"));
+        assert!(TileError::AssemblyMismatch {
+            expected: 9,
+            actual: 4
+        }
+        .to_string()
+        .contains('9'));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn check<E: std::error::Error + Send + Sync>() {}
+        check::<TileError>();
+    }
+}

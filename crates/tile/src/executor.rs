@@ -1,0 +1,175 @@
+//! A small work-stealing executor for per-tile jobs.
+//!
+//! The paper runs same-stage (and, in the refine pass, same-colour) tiles on
+//! separate GPUs; here each worker is an OS thread. On a single-core host
+//! the executor still exercises the identical scheduling structure, which
+//! the speedup model in `ilt-core` builds on.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Runs per-index jobs across a fixed number of worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileExecutor {
+    workers: usize,
+}
+
+impl TileExecutor {
+    /// Creates an executor with `workers` threads (0 is treated as 1).
+    pub fn new(workers: usize) -> Self {
+        TileExecutor {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A sequential executor.
+    pub fn sequential() -> Self {
+        TileExecutor { workers: 1 }
+    }
+
+    /// Number of worker threads.
+    #[inline]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Evaluates `job(i)` for `i in 0..count`, returning results in index
+    /// order. Jobs are claimed dynamically, so stragglers do not idle other
+    /// workers.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any job.
+    pub fn run<T, F>(&self, count: usize, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.workers == 1 || count <= 1 {
+            return (0..count).map(job).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let (sender, receiver) = mpsc::channel::<(usize, T)>();
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers.min(count) {
+                let sender = sender.clone();
+                let next = &next;
+                let job = &job;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    // The receiver outlives the scope; send cannot fail
+                    // unless a sibling panicked, which propagates anyway.
+                    if sender.send((i, job(i))).is_err() {
+                        break;
+                    }
+                });
+            }
+        });
+        drop(sender);
+        let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+        for (i, value) in receiver {
+            slots[i] = Some(value);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index produced a result"))
+            .collect()
+    }
+
+    /// Fallible variant: runs every job and returns the first error (by
+    /// index order) if any failed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the lowest-index failing job.
+    pub fn run_fallible<T, E, F>(&self, count: usize, job: F) -> Result<Vec<T>, E>
+    where
+        T: Send,
+        E: Send,
+        F: Fn(usize) -> Result<T, E> + Sync,
+    {
+        let mut results = self.run(count, job);
+        if let Some(pos) = results.iter().position(|r| r.is_err()) {
+            // Take the first error out without cloning.
+            return Err(results.swap_remove(pos).err().expect("checked is_err"));
+        }
+        results.into_iter().collect()
+    }
+}
+
+impl Default for TileExecutor {
+    fn default() -> Self {
+        TileExecutor::sequential()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let seq = TileExecutor::sequential().run(10, |i| i * i);
+        let par = TileExecutor::new(4).run(10, |i| i * i);
+        assert_eq!(seq, par);
+        assert_eq!(seq, (0..10).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn results_are_index_ordered_despite_stealing() {
+        let out = TileExecutor::new(3).run(32, |i| {
+            // Make early jobs slow so later jobs finish first.
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            i
+        });
+        assert_eq!(out, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let _ = TileExecutor::new(4).run(100, |_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn zero_workers_treated_as_one() {
+        let e = TileExecutor::new(0);
+        assert_eq!(e.workers(), 1);
+        assert_eq!(e.run(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_job_list() {
+        let out: Vec<usize> = TileExecutor::new(4).run(0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn fallible_success_and_failure() {
+        let e = TileExecutor::new(2);
+        let ok: Result<Vec<usize>, String> = e.run_fallible(4, Ok);
+        assert_eq!(ok.unwrap(), vec![0, 1, 2, 3]);
+        let err: Result<Vec<usize>, String> = e.run_fallible(4, |i| {
+            if i >= 2 {
+                Err(format!("job {i} failed"))
+            } else {
+                Ok(i)
+            }
+        });
+        assert_eq!(err.unwrap_err(), "job 2 failed");
+    }
+
+    #[test]
+    fn default_is_sequential() {
+        assert_eq!(TileExecutor::default().workers(), 1);
+    }
+}

@@ -1,0 +1,45 @@
+//! # ilt-tile
+//!
+//! Overlapping tile partitioning and Schwarz-style assembly for full-chip
+//! ILT — the domain-decomposition substrate of the paper.
+//!
+//! * [`Partition`] — the Fig. 2 strategy: full-size overlapping tiles,
+//!   disjoint core sections, stitch lines on shared core boundaries;
+//! * [`restrict`] / [`assemble`] — the `R_j`, `R~_j^T` (Eq. (6)) and
+//!   `R'_j^T` (Eq. (12)–(14)) operators; weighted assembly uses exact
+//!   partition-of-unity ramps across overlaps;
+//! * [`multi_coloring`] — the colouring of Section 3.4 (no two overlapping
+//!   tiles share a colour), enabling the parallel multiplicative refine;
+//! * [`TileExecutor`] — a work-stealing thread pool standing in for the
+//!   paper's one-GPU-per-tile execution.
+//!
+//! # Examples
+//!
+//! ```
+//! use ilt_grid::Grid;
+//! use ilt_tile::{assemble, restrict, AssemblyMode, Partition, PartitionConfig};
+//!
+//! # fn main() -> Result<(), ilt_tile::TileError> {
+//! let partition = Partition::new(256, 256, PartitionConfig { tile: 128, overlap: 64 })?;
+//! let layout = Grid::from_fn(256, 256, |x, y| ((x ^ y) & 1) as f64);
+//! let tiles: Vec<_> = partition.tiles().iter().map(|t| restrict(&layout, t)).collect();
+//! let rebuilt = assemble(&partition, &tiles, AssemblyMode::weighted_default(&partition))?;
+//! assert!((rebuilt.get(100, 100) - layout.get(100, 100)).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assemble;
+mod color;
+mod error;
+mod executor;
+mod partition;
+
+pub use assemble::{assemble, restrict, weight_map, AssemblyMode};
+pub use color::{multi_coloring, Coloring};
+pub use error::TileError;
+pub use executor::TileExecutor;
+pub use partition::{Orientation, Partition, PartitionConfig, StitchLine, Tile};

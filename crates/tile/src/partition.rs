@@ -1,0 +1,442 @@
+//! The tile partition strategy of Fig. 2: overlapping tiles, disjoint core
+//! sections, and the stitch lines where cores meet.
+
+use ilt_grid::Rect;
+
+use crate::error::TileError;
+
+/// Parameters of the overlapping partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionConfig {
+    /// Tile edge length (the litho simulator input size).
+    pub tile: usize,
+    /// Total overlap `2l` between adjacent tiles; the stride between tile
+    /// origins is `tile - overlap`.
+    pub overlap: usize,
+}
+
+impl PartitionConfig {
+    /// The paper's geometry: overlap of half a tile (2 x 512 at tile 2048;
+    /// here expressed as a ratio so it holds at any tile size).
+    pub fn paper_ratio(tile: usize) -> Self {
+        PartitionConfig {
+            tile,
+            overlap: tile / 2,
+        }
+    }
+
+    /// Stride between adjacent tile origins.
+    pub fn stride(&self) -> usize {
+        self.tile - self.overlap
+    }
+
+    /// Margin `l` between a tile edge and its core section.
+    pub fn margin(&self) -> usize {
+        self.overlap / 2
+    }
+}
+
+/// One tile: its extent and its core section in layout coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tile {
+    /// Index into [`Partition::tiles`].
+    pub index: usize,
+    /// Position `(col, row)` in the tile lattice.
+    pub grid_pos: (usize, usize),
+    /// Tile extent (always `tile x tile`).
+    pub rect: Rect,
+    /// Core section: the part of the tile this tile alone contributes to a
+    /// restricted assembly. Cores partition the layout.
+    pub core: Rect,
+}
+
+/// Orientation of a stitch line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orientation {
+    /// A vertical line (constant `x`) between horizontally adjacent cores.
+    Vertical,
+    /// A horizontal line (constant `y`) between vertically adjacent cores.
+    Horizontal,
+}
+
+/// A shared boundary between two adjacent core sections — the locus where
+/// stitching discontinuities appear.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StitchLine {
+    /// Line orientation.
+    pub orientation: Orientation,
+    /// The constant coordinate: `x` for vertical lines, `y` for horizontal.
+    pub position: usize,
+    /// Extent of the line along its axis (full layout span).
+    pub start: usize,
+    /// Exclusive end along the axis.
+    pub end: usize,
+}
+
+/// An overlapping tile partition of a `width x height` layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    width: usize,
+    height: usize,
+    config: PartitionConfig,
+    nx: usize,
+    ny: usize,
+    tiles: Vec<Tile>,
+}
+
+impl Partition {
+    /// Builds the partition.
+    ///
+    /// # Errors
+    ///
+    /// * [`TileError::BadOverlap`] unless `0 < overlap < tile` and `overlap`
+    ///   is even;
+    /// * [`TileError::LayoutTooSmall`] if the layout cannot hold one tile;
+    /// * [`TileError::Indivisible`] unless each layout edge equals
+    ///   `tile + k * stride` for an integer `k` (all tiles stay full-size,
+    ///   which keeps every FFT power-of-two).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ilt_tile::{Partition, PartitionConfig};
+    ///
+    /// // The paper's 3x3 geometry at 1/16 scale.
+    /// let p = Partition::new(256, 256, PartitionConfig { tile: 128, overlap: 64 })?;
+    /// assert_eq!(p.tiles().len(), 9);
+    /// # Ok::<(), ilt_tile::TileError>(())
+    /// ```
+    pub fn new(width: usize, height: usize, config: PartitionConfig) -> Result<Self, TileError> {
+        if config.overlap == 0 || !config.overlap.is_multiple_of(2) || config.overlap >= config.tile
+        {
+            return Err(TileError::BadOverlap {
+                tile: config.tile,
+                overlap: config.overlap,
+            });
+        }
+        if width < config.tile || height < config.tile {
+            return Err(TileError::LayoutTooSmall {
+                layout: (width, height),
+                tile: config.tile,
+            });
+        }
+        let stride = config.stride();
+        for extent in [width, height] {
+            if !(extent - config.tile).is_multiple_of(stride) {
+                return Err(TileError::Indivisible {
+                    extent,
+                    tile: config.tile,
+                    stride,
+                });
+            }
+        }
+        let nx = (width - config.tile) / stride + 1;
+        let ny = (height - config.tile) / stride + 1;
+        let l = config.margin() as i64;
+        let mut tiles = Vec::with_capacity(nx * ny);
+        for row in 0..ny {
+            for col in 0..nx {
+                let x0 = (col * stride) as i64;
+                let y0 = (row * stride) as i64;
+                let rect = Rect::from_origin_size(x0, y0, config.tile as i64, config.tile as i64);
+                // Core: inset by the margin on interior sides only.
+                let core = Rect::new(
+                    if col == 0 { 0 } else { x0 + l },
+                    if row == 0 { 0 } else { y0 + l },
+                    if col == nx - 1 {
+                        width as i64
+                    } else {
+                        x0 + config.tile as i64 - l
+                    },
+                    if row == ny - 1 {
+                        height as i64
+                    } else {
+                        y0 + config.tile as i64 - l
+                    },
+                );
+                tiles.push(Tile {
+                    index: row * nx + col,
+                    grid_pos: (col, row),
+                    rect,
+                    core,
+                });
+            }
+        }
+        Ok(Partition {
+            width,
+            height,
+            config,
+            nx,
+            ny,
+            tiles,
+        })
+    }
+
+    /// Layout width.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Layout height.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The configuration this partition was built with.
+    #[inline]
+    pub fn config(&self) -> PartitionConfig {
+        self.config
+    }
+
+    /// Tiles per row.
+    #[inline]
+    pub fn tiles_x(&self) -> usize {
+        self.nx
+    }
+
+    /// Tiles per column.
+    #[inline]
+    pub fn tiles_y(&self) -> usize {
+        self.ny
+    }
+
+    /// All tiles in row-major order.
+    #[inline]
+    pub fn tiles(&self) -> &[Tile] {
+        &self.tiles
+    }
+
+    /// One tile by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[inline]
+    pub fn tile(&self, index: usize) -> &Tile {
+        &self.tiles[index]
+    }
+
+    /// Indices of tiles whose extents overlap tile `index` (the neighbour
+    /// set `N_j` of Eq. (11)).
+    pub fn neighbors(&self, index: usize) -> Vec<usize> {
+        let me = &self.tiles[index];
+        self.tiles
+            .iter()
+            .filter(|t| t.index != index && t.rect.overlaps(me.rect))
+            .map(|t| t.index)
+            .collect()
+    }
+
+    /// The stitch lines: all interior core boundaries.
+    pub fn stitch_lines(&self) -> Vec<StitchLine> {
+        let mut lines = Vec::new();
+        let stride = self.config.stride();
+        let l = self.config.margin();
+        for col in 1..self.nx {
+            lines.push(StitchLine {
+                orientation: Orientation::Vertical,
+                position: col * stride + l,
+                start: 0,
+                end: self.height,
+            });
+        }
+        for row in 1..self.ny {
+            lines.push(StitchLine {
+                orientation: Orientation::Horizontal,
+                position: row * stride + l,
+                start: 0,
+                end: self.width,
+            });
+        }
+        lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_partition() -> Partition {
+        Partition::new(
+            256,
+            256,
+            PartitionConfig {
+                tile: 128,
+                overlap: 64,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_geometry_is_three_by_three() {
+        let p = paper_partition();
+        assert_eq!(p.tiles_x(), 3);
+        assert_eq!(p.tiles_y(), 3);
+        assert_eq!(p.tiles().len(), 9);
+        assert_eq!(p.width(), 256);
+        assert_eq!(p.config().margin(), 32);
+    }
+
+    #[test]
+    fn tiles_are_full_size_and_cover_layout() {
+        let p = paper_partition();
+        let mut covered = vec![false; 256 * 256];
+        for t in p.tiles() {
+            assert_eq!(t.rect.width(), 128);
+            assert_eq!(t.rect.height(), 128);
+            for (x, y) in t.rect.pixels() {
+                covered[y as usize * 256 + x as usize] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn cores_partition_layout_exactly() {
+        let p = paper_partition();
+        let mut count = vec![0u8; 256 * 256];
+        for t in p.tiles() {
+            assert!(t.rect.contains_rect(t.core), "core escapes tile");
+            for (x, y) in t.core.pixels() {
+                count[y as usize * 256 + x as usize] += 1;
+            }
+        }
+        assert!(count.iter().all(|&c| c == 1), "cores must tile the layout");
+    }
+
+    #[test]
+    fn interior_core_margins() {
+        let p = paper_partition();
+        // Center tile: core inset by l = 32 on all sides.
+        let center = p.tile(4);
+        assert_eq!(center.rect, Rect::new(64, 64, 192, 192));
+        assert_eq!(center.core, Rect::new(96, 96, 160, 160));
+        // Corner tile: core flush with the layout corner.
+        let corner = p.tile(0);
+        assert_eq!(corner.core, Rect::new(0, 0, 96, 96));
+    }
+
+    #[test]
+    fn neighbor_sets() {
+        let p = paper_partition();
+        // Center tile overlaps all 8 others.
+        assert_eq!(p.neighbors(4).len(), 8);
+        // Corner tile overlaps right, below, and diagonal.
+        let mut n = p.neighbors(0);
+        n.sort_unstable();
+        assert_eq!(n, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn stitch_lines_sit_on_core_boundaries() {
+        let p = paper_partition();
+        let lines = p.stitch_lines();
+        assert_eq!(lines.len(), 4);
+        let verticals: Vec<usize> = lines
+            .iter()
+            .filter(|l| l.orientation == Orientation::Vertical)
+            .map(|l| l.position)
+            .collect();
+        assert_eq!(verticals, vec![96, 160]);
+        // Lines span the full layout.
+        assert!(lines.iter().all(|l| l.start == 0 && l.end == 256));
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        assert!(matches!(
+            Partition::new(
+                256,
+                256,
+                PartitionConfig {
+                    tile: 128,
+                    overlap: 0
+                }
+            ),
+            Err(TileError::BadOverlap { .. })
+        ));
+        assert!(matches!(
+            Partition::new(
+                256,
+                256,
+                PartitionConfig {
+                    tile: 128,
+                    overlap: 63
+                }
+            ),
+            Err(TileError::BadOverlap { .. })
+        ));
+        assert!(matches!(
+            Partition::new(
+                100,
+                256,
+                PartitionConfig {
+                    tile: 128,
+                    overlap: 64
+                }
+            ),
+            Err(TileError::LayoutTooSmall { .. })
+        ));
+        assert!(matches!(
+            Partition::new(
+                300,
+                256,
+                PartitionConfig {
+                    tile: 128,
+                    overlap: 64
+                }
+            ),
+            Err(TileError::Indivisible { .. })
+        ));
+    }
+
+    #[test]
+    fn single_tile_partition() {
+        let p = Partition::new(
+            128,
+            128,
+            PartitionConfig {
+                tile: 128,
+                overlap: 64,
+            },
+        )
+        .unwrap();
+        assert_eq!(p.tiles().len(), 1);
+        assert_eq!(p.tile(0).core, Rect::new(0, 0, 128, 128));
+        assert!(p.stitch_lines().is_empty());
+        assert!(p.neighbors(0).is_empty());
+    }
+
+    #[test]
+    fn paper_ratio_helper() {
+        let cfg = PartitionConfig::paper_ratio(2048);
+        assert_eq!(cfg.overlap, 1024);
+        assert_eq!(cfg.stride(), 1024);
+        assert_eq!(cfg.margin(), 512);
+    }
+
+    #[test]
+    fn rectangular_layouts_work() {
+        let p = Partition::new(
+            256,
+            192,
+            PartitionConfig {
+                tile: 128,
+                overlap: 64,
+            },
+        )
+        .unwrap();
+        assert_eq!(p.tiles_x(), 3);
+        assert_eq!(p.tiles_y(), 2);
+        let mut count = vec![0u8; 256 * 192];
+        for t in p.tiles() {
+            for (x, y) in t.core.pixels() {
+                count[y as usize * 256 + x as usize] += 1;
+            }
+        }
+        assert!(count.iter().all(|&c| c == 1));
+    }
+}

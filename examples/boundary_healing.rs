@@ -1,0 +1,74 @@
+//! Boundary-healing walkthrough: reproduces the paper's core phenomenon on
+//! a single clip — independently optimised tiles disagree where they meet
+//! (Fig. 1), and the multigrid-Schwarz flow heals the seams.
+//!
+//! ```text
+//! cargo run --release --example boundary_healing
+//! ```
+
+use multigrid_schwarz_ilt::core::flows::{divide_and_conquer, multigrid_schwarz};
+use multigrid_schwarz_ilt::core::ExperimentConfig;
+use multigrid_schwarz_ilt::layout::suite_of_size;
+use multigrid_schwarz_ilt::litho::{LithoBank, ResistModel};
+use multigrid_schwarz_ilt::metrics::stitch_loss;
+use multigrid_schwarz_ilt::opt::PixelIlt;
+use multigrid_schwarz_ilt::tile::{Partition, TileExecutor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ExperimentConfig::test_tiny();
+    let bank = LithoBank::new(config.optics, ResistModel::m1_default())?;
+    let clip = suite_of_size(&config.generator, 3).remove(2);
+    let partition = Partition::new(clip.size(), clip.size(), config.partition)?;
+    let lines = partition.stitch_lines();
+    let executor = TileExecutor::sequential();
+    let solver = PixelIlt::new();
+
+    println!(
+        "{} stitch lines at core boundaries: {:?}",
+        lines.len(),
+        lines.iter().map(|l| l.position).collect::<Vec<_>>()
+    );
+
+    // Traditional divide-and-conquer: no communication between tiles.
+    let dnc = divide_and_conquer(&config, &bank, &clip.target, &solver, &executor)?;
+    let dnc_report = stitch_loss(&dnc.mask.threshold(0.5), &lines, &config.stitch);
+
+    // The multigrid-Schwarz flow: coarse global pass, two fine Schwarz
+    // stages with weighted-smoothing assembly, multi-colour refine.
+    let ours = multigrid_schwarz(&config, &bank, &clip.target, &solver, &executor)?;
+    let ours_report = stitch_loss(&ours.mask.threshold(0.5), &lines, &config.stitch);
+
+    println!(
+        "divide-and-conquer: stitch loss {:>8.1} over {} crossings",
+        dnc_report.total,
+        dnc_report.intersections.len()
+    );
+    println!(
+        "multigrid-Schwarz:  stitch loss {:>8.1} over {} crossings",
+        ours_report.total,
+        ours_report.intersections.len()
+    );
+    if ours_report.total > 0.0 {
+        let factor = dnc_report.total / ours_report.total;
+        println!("continuity ratio (divide-and-conquer / ours): {factor:.2}x");
+        println!(
+            "note: this example runs at the miniature test scale, where boundary \
+             mismatch is weak; at the benchmark scale (ILT_SCALE=default in the \
+             bench binaries) the ratio averages ~1.9x over 20 clips, and the paper \
+             reports >3.15x at production scale"
+        );
+    }
+
+    // Show the three worst crossings of each flow.
+    for (name, report) in [("dnc", &dnc_report), ("ours", &ours_report)] {
+        let mut worst: Vec<_> = report.intersections.iter().collect();
+        worst.sort_by(|a, b| b.loss.partial_cmp(&a.loss).expect("finite"));
+        for i in worst.iter().take(3) {
+            println!(
+                "  {name}: crossing at ({:3},{:3}) loss {:6.1}",
+                i.x, i.y, i.loss
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Parallel-scaling study: runs the multigrid-Schwarz flow, then replays
+//! its measured per-tile runtimes through the list-scheduling model of
+//! `ilt_core::speedup` for 1..8 workers, with and without the host-staged
+//! communication cost the paper's GPU cluster paid.
+//!
+//! ```text
+//! cargo run --release --example parallel_scaling
+//! ```
+
+use multigrid_schwarz_ilt::core::flows::multigrid_schwarz;
+use multigrid_schwarz_ilt::core::speedup::{speedup_curve, CommModel};
+use multigrid_schwarz_ilt::core::ExperimentConfig;
+use multigrid_schwarz_ilt::layout::suite_of_size;
+use multigrid_schwarz_ilt::litho::{LithoBank, ResistModel};
+use multigrid_schwarz_ilt::opt::PixelIlt;
+use multigrid_schwarz_ilt::tile::TileExecutor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ExperimentConfig::test_tiny();
+    let bank = LithoBank::new(config.optics, ResistModel::m1_default())?;
+    let clip = suite_of_size(&config.generator, 1).remove(0);
+    let executor = TileExecutor::sequential();
+
+    let flow = multigrid_schwarz(&config, &bank, &clip.target, &PixelIlt::new(), &executor)?;
+    println!("stage breakdown (measured):");
+    for s in &flow.stages {
+        println!(
+            "  {:<16} {:2} tiles  {:7.3}s compute  {:.4}s assembly",
+            s.label,
+            s.tile_seconds.len(),
+            s.total_tile_seconds(),
+            s.assembly_seconds
+        );
+    }
+
+    let workers = [1usize, 2, 3, 4, 6, 8];
+    let ideal = CommModel {
+        seconds_per_tile: 0.0,
+    };
+    let mean_tile = flow.total_tile_seconds()
+        / flow
+            .stages
+            .iter()
+            .map(|s| s.tile_seconds.len())
+            .sum::<usize>() as f64;
+    let staged = CommModel {
+        seconds_per_tile: CommModel::from_measured(&flow).seconds_per_tile + 0.1 * mean_tile,
+    };
+
+    println!("\nworkers | ideal speedup | host-staged speedup");
+    let ideal_curve = speedup_curve(&flow, &workers, ideal);
+    let staged_curve = speedup_curve(&flow, &workers, staged);
+    for (a, b) in ideal_curve.iter().zip(&staged_curve) {
+        println!(
+            "{:>7} | {:>13.2}x | {:>18.2}x",
+            a.workers, a.speedup, b.speedup
+        );
+    }
+    println!("\npaper: 2.76x on 4 GPUs whose transfers are staged through the host");
+    Ok(())
+}

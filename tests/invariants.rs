@@ -1,0 +1,178 @@
+//! Property-based cross-crate invariants (proptest).
+
+use multigrid_schwarz_ilt::fft::{spectral, Complex, Fft2d, FftPlan};
+use multigrid_schwarz_ilt::grid::{Grid, RealGrid};
+use multigrid_schwarz_ilt::tile::{
+    assemble, restrict, weight_map, AssemblyMode, Partition, PartitionConfig,
+};
+use proptest::prelude::*;
+
+/// Strategy: a power-of-two length between 4 and 64.
+fn pow2() -> impl Strategy<Value = usize> {
+    (2u32..=6).prop_map(|e| 1usize << e)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fft_roundtrip_recovers_signal(n in pow2(), seed in 0u64..1000) {
+        let plan = FftPlan::new(n).expect("plan");
+        let data: Vec<Complex> = (0..n)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(seed.wrapping_add(7));
+                Complex::new(
+                    (x % 1000) as f64 / 500.0 - 1.0,
+                    ((x / 1000) % 1000) as f64 / 500.0 - 1.0,
+                )
+            })
+            .collect();
+        let mut buf = data.clone();
+        plan.forward(&mut buf).expect("fft");
+        plan.inverse(&mut buf).expect("ifft");
+        for (a, b) in data.iter().zip(&buf) {
+            prop_assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft2_parseval(n in pow2(), seed in 0u64..1000) {
+        let fft = Fft2d::new(n, n).expect("plan");
+        let data: Vec<Complex> = (0..n * n)
+            .map(|i| Complex::from_re(((i as u64).wrapping_mul(seed + 3) % 97) as f64 / 97.0))
+            .collect();
+        let time: f64 = data.iter().map(|z| z.norm_sqr()).sum();
+        let mut freq = data;
+        fft.forward(&mut freq).expect("fft");
+        let spec: f64 = freq.iter().map(|z| z.norm_sqr()).sum::<f64>() / (n * n) as f64;
+        prop_assert!((time - spec).abs() < 1e-6 * (1.0 + time));
+    }
+
+    #[test]
+    fn crop_embed_idempotent(n in pow2(), p_frac in 1usize..4) {
+        let p = (n / 4 * p_frac).max(1);
+        prop_assume!(p <= n);
+        let spectrum: Vec<Complex> = (0..n * n)
+            .map(|i| Complex::new(i as f64, -(i as f64) * 0.5))
+            .collect();
+        let block = spectral::crop_lowfreq(&spectrum, n, p).expect("crop");
+        let embedded = spectral::embed_lowfreq(&block, p, n).expect("embed");
+        // Cropping again recovers the same block exactly.
+        let block2 = spectral::crop_lowfreq(&embedded, n, p).expect("crop2");
+        prop_assert_eq!(block, block2);
+    }
+
+    #[test]
+    fn partition_weights_sum_to_one(
+        tiles_per_dim in 1usize..4,
+        tile_exp in 4u32..6,
+        band in 2usize..20,
+    ) {
+        let tile = 1usize << tile_exp;
+        let overlap = tile / 2;
+        let stride = tile - overlap;
+        let extent = tile + (tiles_per_dim - 1) * stride;
+        let partition =
+            Partition::new(extent, extent, PartitionConfig { tile, overlap }).expect("partition");
+        for mode in [
+            AssemblyMode::Restricted,
+            AssemblyMode::Weighted { band: band.min(overlap) },
+        ] {
+            let mut total = RealGrid::new(extent, extent, 0.0);
+            for t in partition.tiles() {
+                let w = weight_map(&partition, t.index, mode);
+                for y in 0..tile {
+                    for x in 0..tile {
+                        let gx = t.rect.x0 as usize + x;
+                        let gy = t.rect.y0 as usize + y;
+                        total.set(gx, gy, total.get(gx, gy) + w.get(x, y));
+                    }
+                }
+            }
+            for (_, _, &v) in total.iter() {
+                prop_assert!((v - 1.0).abs() < 1e-9, "{mode:?}: weight sum {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn assembly_reconstructs_any_layout(
+        tiles_per_dim in 1usize..4,
+        seed in 0u64..500,
+        band in 2usize..16,
+    ) {
+        let tile = 32usize;
+        let overlap = 16usize;
+        let stride = tile - overlap;
+        let extent = tile + (tiles_per_dim - 1) * stride;
+        let partition =
+            Partition::new(extent, extent, PartitionConfig { tile, overlap }).expect("partition");
+        let layout = Grid::from_fn(extent, extent, |x, y| {
+            (((x as u64 * 31 + y as u64 * 17).wrapping_mul(seed + 1)) % 11) as f64
+        });
+        let crops: Vec<RealGrid> = partition.tiles().iter().map(|t| restrict(&layout, t)).collect();
+        for mode in [
+            AssemblyMode::Restricted,
+            AssemblyMode::Weighted { band },
+        ] {
+            let rebuilt = assemble(&partition, &crops, mode).expect("assemble");
+            for y in 0..extent {
+                for x in 0..extent {
+                    prop_assert!(
+                        (rebuilt.get(x, y) - layout.get(x, y)).abs() < 1e-9,
+                        "{mode:?} at ({x},{y})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn downsample_upsample_mean_preserved(exp in 3u32..6, s in 1usize..4, seed in 0u64..100) {
+        let n = (1usize << exp) * s;
+        let img = Grid::from_fn(n, n, |x, y| {
+            (((x * 13 + y * 7) as u64).wrapping_mul(seed + 5) % 23) as f64
+        });
+        let down = multigrid_schwarz_ilt::grid::resample::downsample(&img, s);
+        prop_assert!((down.sum() * (s * s) as f64 - img.sum()).abs() < 1e-6 * (1.0 + img.sum()));
+        let up = multigrid_schwarz_ilt::grid::resample::upsample_nearest(&down, s);
+        prop_assert_eq!(up.width(), img.width());
+    }
+}
+
+#[test]
+fn stitch_loss_is_translation_invariant_along_the_line() {
+    // Shifting a crossing along the stitch line must not change its loss
+    // (away from clip borders).
+    use multigrid_schwarz_ilt::metrics::{stitch_loss, StitchConfig};
+    use multigrid_schwarz_ilt::tile::{Orientation, StitchLine};
+
+    let line = StitchLine {
+        orientation: Orientation::Vertical,
+        position: 64,
+        start: 0,
+        end: 128,
+    };
+    let cfg = StitchConfig::paper_default();
+    let mut losses = Vec::new();
+    for y0 in [40i64, 56, 72] {
+        let mut mask: multigrid_schwarz_ilt::grid::BitGrid = Grid::new(128, 128, 0);
+        mask.fill_rect(
+            multigrid_schwarz_ilt::grid::Rect::new(30, y0, 64, y0 + 10),
+            1,
+        );
+        mask.fill_rect(
+            multigrid_schwarz_ilt::grid::Rect::new(64, y0 + 6, 100, y0 + 16),
+            1,
+        );
+        let report = stitch_loss(&mask, &[line], &cfg);
+        assert_eq!(report.intersections.len(), 1);
+        losses.push(report.total);
+    }
+    for w in losses.windows(2) {
+        assert!(
+            (w[0] - w[1]).abs() < 1e-9,
+            "translation changed the loss: {losses:?}"
+        );
+    }
+}

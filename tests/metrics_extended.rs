@@ -1,0 +1,81 @@
+//! Integration checks on the extended metrics (MRC, EPE, pattern
+//! diversity) against real solver outputs.
+
+use multigrid_schwarz_ilt::core::experiment::{run_method, Method};
+use multigrid_schwarz_ilt::core::ExperimentConfig;
+use multigrid_schwarz_ilt::layout::{
+    generate_via_clip, pattern_diversity, suite_of_size, ViaConfig,
+};
+use multigrid_schwarz_ilt::litho::{Corner, LithoBank, ResistModel};
+use multigrid_schwarz_ilt::metrics::{check_mask, edge_placement_error, EpeConfig, MrcRules};
+use multigrid_schwarz_ilt::tile::TileExecutor;
+
+#[test]
+fn optimised_masks_have_bounded_epe() {
+    let config = ExperimentConfig::test_tiny();
+    let bank = LithoBank::new(config.optics, ResistModel::m1_default()).expect("bank");
+    let clip = suite_of_size(&config.generator, 1).remove(0);
+    let executor = TileExecutor::sequential();
+    let inspection = bank
+        .system(config.clip, config.inspection_scale())
+        .expect("inspection");
+
+    let flow = run_method(Method::FullChip, &config, &bank, &clip.target, &executor).expect("flow");
+    let printed = inspection
+        .print(&flow.mask.threshold(0.5).to_real(), Corner::Nominal)
+        .expect("print");
+    let epe = edge_placement_error(&clip.target, &printed, &EpeConfig::m1_default());
+    assert!(!epe.gauges.is_empty());
+    // An optimised mask prints within a few pixels everywhere it prints.
+    assert!(epe.mean_abs < 3.0, "mean EPE {}", epe.mean_abs);
+}
+
+#[test]
+fn target_layouts_are_mrc_clean_masks_are_checked() {
+    // The drawn layout obeys the generator's rules, so it must be MRC-clean
+    // at mask rules below the design rules.
+    let config = ExperimentConfig::test_tiny();
+    let clip = suite_of_size(&config.generator, 2).remove(1);
+    let rules = MrcRules {
+        min_width: 3,
+        min_space: 3,
+        min_area: 9,
+    };
+    let report = check_mask(&clip.target, &rules);
+    assert!(report.is_clean(), "{} violations", report.count());
+}
+
+#[test]
+fn ours_produces_fewer_mrc_violations_than_dnc() {
+    // The quantitative version of the paper's MRC motivation, checked at
+    // the miniature scale.
+    let config = ExperimentConfig::test_tiny();
+    let bank = LithoBank::new(config.optics, ResistModel::m1_default()).expect("bank");
+    let clip = suite_of_size(&config.generator, 1).remove(0);
+    let executor = TileExecutor::sequential();
+    let rules = MrcRules::m1_default();
+
+    let dnc = run_method(
+        Method::MultiLevelDnc,
+        &config,
+        &bank,
+        &clip.target,
+        &executor,
+    )
+    .expect("dnc");
+    let ours = run_method(Method::Ours, &config, &bank, &clip.target, &executor).expect("ours");
+    let dnc_mrc = check_mask(&dnc.mask.threshold(0.5), &rules).count();
+    let ours_mrc = check_mask(&ours.mask.threshold(0.5), &rules).count();
+    assert!(
+        ours_mrc <= dnc_mrc,
+        "ours {ours_mrc} violations vs dnc {dnc_mrc}"
+    );
+}
+
+#[test]
+fn via_layers_are_template_friendly() {
+    let vias = generate_via_clip(&ViaConfig::with_size(256), 11);
+    let d = pattern_diversity(&vias);
+    assert!(d.features > 5);
+    assert!(d.template_coverage() > 0.8, "{:?}", d);
+}
