@@ -1,0 +1,221 @@
+//! Offline shim for the subset of `criterion 0.5` this workspace uses:
+//! `criterion_group!`/`criterion_main!`, [`Criterion::bench_function`],
+//! benchmark groups with [`BenchmarkId`], and [`Bencher::iter`].
+//! See `compat/README.md`.
+//!
+//! Measurement model: each benchmark runs `sample_size` timed samples and
+//! reports min/median/mean wall time to stdout. When the binary is *not*
+//! invoked by `cargo bench` (no `--bench` argument — e.g. the smoke run
+//! `cargo test` performs on `harness = false` bench targets), benchmarks
+//! are listed but not executed, so test runs stay fast.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id from just a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Times a closure over repeated runs.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: usize,
+}
+
+impl Bencher {
+    /// Runs `f` once per sample and records each duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.budget {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    execute: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            execute: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{name}: skipped (run via `cargo bench` to measure)");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    println!(
+        "{name}: min {:?}  median {:?}  mean {:?}  ({} samples)",
+        sorted[0],
+        median,
+        mean,
+        sorted.len()
+    );
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run_one(&mut self, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            budget: if self.execute { self.sample_size } else { 0 },
+        };
+        if self.execute {
+            f(&mut b);
+        }
+        report(name, &b.samples);
+    }
+
+    /// Registers and (under `cargo bench`) runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        self.run_one(name, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Registers a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&name, &mut |b| f(b, input));
+        self
+    }
+
+    /// Registers a plain benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let name = format!("{}/{}", self.name, name);
+        self.criterion.run_one(&name, &mut f);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring
+/// `criterion::criterion_group!` (both the list form and the
+/// `name`/`config`/`targets` form).
+#[macro_export]
+macro_rules! criterion_group {
+    ( name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)? ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ( $name:ident, $($target:path),+ $(,)? ) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ( $($group:path),+ $(,)? ) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skips_without_bench_flag() {
+        // Unit tests never pass --bench, so nothing should execute.
+        let mut c = Criterion::default().sample_size(3);
+        let mut ran = 0;
+        c.bench_function("noop", |b| {
+            b.iter(|| ran += 1);
+        });
+        assert_eq!(ran, 0);
+    }
+
+    #[test]
+    fn executes_when_forced() {
+        let mut c = Criterion {
+            sample_size: 3,
+            execute: true,
+        };
+        let mut ran = 0;
+        c.bench_function("noop", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 3);
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::from_parameter(8), &8usize, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        group.finish();
+    }
+}

@@ -113,4 +113,6 @@ fn main() {
             Corner::Nominal
         );
     }
+
+    opts.finish_run("ablations");
 }

@@ -83,4 +83,6 @@ fn main() {
         );
     }
     println!("(paper, at 16x linear scale: up to +8247 for Multi-level-ILT, +4600 for GLS-ILT)");
+
+    opts.finish_run("assembly_degradation");
 }

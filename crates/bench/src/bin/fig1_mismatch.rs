@@ -62,4 +62,6 @@ fn main() {
             opts.artifact("fig1_worst_crossing.pgm").display()
         );
     }
+
+    opts.finish_run("fig1_mismatch");
 }

@@ -64,4 +64,6 @@ fn main() {
         "wrote {} (the integrand of Definition 1)",
         opts.artifact("fig3_smoothing_difference.pgm").display()
     );
+
+    opts.finish_run("fig3_stitch_loss");
 }

@@ -81,4 +81,6 @@ fn main() {
         "wrote fig6_{{hard,weighted}}_{{gray,binary}}.pgm in {}",
         opts.out_dir.display()
     );
+
+    opts.finish_run("fig6_smoothing");
 }

@@ -76,4 +76,6 @@ fn main() {
         "wrote fig7_{{before,after}}_heal.pgm in {}",
         opts.out_dir.display()
     );
+
+    opts.finish_run("fig7_stitch_heal");
 }

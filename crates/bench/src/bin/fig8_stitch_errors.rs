@@ -72,4 +72,6 @@ fn main() {
         "wrote fig8_{{traditional,ours}}.pgm in {}",
         opts.out_dir.display()
     );
+
+    opts.finish_run("fig8_stitch_errors");
 }

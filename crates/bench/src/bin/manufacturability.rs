@@ -69,4 +69,6 @@ fn main() {
     report("multigrid-Schwarz", &ours.mask);
     let full = full_chip(&opts.config, &bank, &clip.target, &solver).expect("full");
     report("full-chip reference", &full.mask);
+
+    opts.finish_run("manufacturability");
 }

@@ -81,4 +81,6 @@ fn main() {
 
     let full = full_chip(&opts.config, &bank, &clip.target, &solver).expect("full");
     report("full-chip reference", &full);
+
+    opts.finish_run("related_baselines");
 }

@@ -108,4 +108,6 @@ fn main() {
     let path = opts.artifact("speedup.csv");
     write_csv(&path, &["workers", "makespan_s", "speedup"], &rows).expect("write CSV");
     println!("wrote {}", path.display());
+
+    opts.finish_run("speedup");
 }

@@ -95,4 +95,6 @@ fn main() {
     let path = opts.artifact("table1.csv");
     write_csv(&path, &header_refs, &csv_rows).expect("failed to write CSV");
     println!("wrote {}", path.display());
+
+    opts.finish_run("table1");
 }

@@ -55,4 +55,6 @@ fn main() {
         100.0 * mean(&via_cov),
         100.0 * mean(&m1_cov)
     );
+
+    opts.finish_run("via_templates");
 }

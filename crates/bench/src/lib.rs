@@ -12,15 +12,25 @@
 //!   count);
 //! * `ILT_WORKERS` — worker threads for per-tile execution (default 1);
 //! * `ILT_OUT` — output directory for CSV/PGM artifacts (default
-//!   `results/`).
+//!   `results/`);
+//! * `ILT_TRACE` — `1`/`true`/`on`/`yes` enables telemetry collection
+//!   (spans, counters, histograms) for the run;
+//! * `ILT_TRACE_OUT` — directory for the trace artifacts written by
+//!   [`HarnessOptions::finish_run`] (default: the `ILT_OUT` directory).
+//!
+//! Invalid values of `ILT_SCALE`, `ILT_CASES`, or `ILT_WORKERS` are
+//! reported on stderr (naming the variable and the fallback used) instead
+//! of being silently ignored.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use ilt_core::ExperimentConfig;
 use ilt_litho::{LithoBank, ResistModel};
+use ilt_telemetry::Telemetry;
 use ilt_tile::TileExecutor;
 
 /// Runtime options shared by the experiment binaries.
@@ -28,6 +38,9 @@ use ilt_tile::TileExecutor;
 pub struct HarnessOptions {
     /// Experiment configuration (scale-dependent).
     pub config: ExperimentConfig,
+    /// The scale name the configuration was derived from (`"default"` or
+    /// `"tiny"`).
+    pub scale: String,
     /// Number of benchmark clips to run.
     pub cases: usize,
     /// Tile executor.
@@ -37,28 +50,25 @@ pub struct HarnessOptions {
 }
 
 impl HarnessOptions {
-    /// Reads options from the environment (see the crate docs).
+    /// Reads options from the environment (see the crate docs) and
+    /// initialises telemetry collection from `ILT_TRACE`.
     pub fn from_env() -> Self {
-        let scale = std::env::var("ILT_SCALE").unwrap_or_else(|_| "default".to_string());
+        ilt_telemetry::init_from_env();
+        let scale = scale_or_warn(std::env::var("ILT_SCALE").ok());
         let config = match scale.as_str() {
             "tiny" => ExperimentConfig::test_tiny(),
             _ => ExperimentConfig::paper_default(),
         };
-        let cases = std::env::var("ILT_CASES")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(20)
-            .clamp(1, 20);
-        let workers = std::env::var("ILT_WORKERS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(1)
-            .max(1);
+        let cases =
+            parse_or_warn("ILT_CASES", std::env::var("ILT_CASES").ok(), 20usize).clamp(1, 20);
+        let workers =
+            parse_or_warn("ILT_WORKERS", std::env::var("ILT_WORKERS").ok(), 1usize).max(1);
         let out_dir = std::env::var("ILT_OUT")
             .map(PathBuf::from)
             .unwrap_or_else(|_| PathBuf::from("results"));
         HarnessOptions {
             config,
+            scale,
             cases,
             workers,
             out_dir,
@@ -90,6 +100,154 @@ impl HarnessOptions {
         std::fs::create_dir_all(&self.out_dir).expect("cannot create output directory");
         self.out_dir.join(name)
     }
+
+    /// Finalises a run: drains the telemetry collected since startup and
+    /// writes the machine-readable artifacts.
+    ///
+    /// Always writes `report.json` (schema `ilt-report/v1`) into the
+    /// artifact directory. When tracing is enabled (`ILT_TRACE=1`), also
+    /// writes `<binary>_events.jsonl` and `<binary>_trace.json` (Chrome
+    /// `trace_event` format) into the trace directory (`ILT_TRACE_OUT`,
+    /// default: the artifact directory) and prints the span-tree summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an artifact cannot be written — unrecoverable for a
+    /// harness.
+    pub fn finish_run(&self, binary: &str) {
+        let trace_enabled = ilt_telemetry::enabled();
+        let tele = ilt_telemetry::drain();
+        let report = render_report(binary, self, &tele, trace_enabled);
+        let path = self.artifact("report.json");
+        std::fs::write(&path, report).expect("cannot write report.json");
+        println!("wrote {}", path.display());
+        if trace_enabled {
+            let dir = std::env::var("ILT_TRACE_OUT")
+                .map(PathBuf::from)
+                .unwrap_or_else(|_| self.out_dir.clone());
+            std::fs::create_dir_all(&dir).expect("cannot create trace output directory");
+            let events_path = dir.join(format!("{binary}_events.jsonl"));
+            std::fs::write(&events_path, tele.to_jsonl()).expect("cannot write JSONL event log");
+            let trace_path = dir.join(format!("{binary}_trace.json"));
+            std::fs::write(&trace_path, tele.to_chrome_trace()).expect("cannot write Chrome trace");
+            println!("wrote {}", events_path.display());
+            println!("wrote {}", trace_path.display());
+            print!("{}", tele.render_tree());
+        }
+    }
+}
+
+/// Validates an `ILT_SCALE` value, warning on stderr for anything other
+/// than the two recognised scales.
+fn scale_or_warn(raw: Option<String>) -> String {
+    match raw {
+        Some(s) if s == "default" || s == "tiny" => s,
+        Some(other) => {
+            eprintln!(
+                "warning: invalid ILT_SCALE={other:?} (expected \"default\" or \"tiny\"); \
+                 using default \"default\""
+            );
+            "default".to_string()
+        }
+        None => "default".to_string(),
+    }
+}
+
+/// Parses an environment value, warning on stderr (naming the variable and
+/// the fallback used) when the value is present but unparsable.
+fn parse_or_warn<T>(var: &str, raw: Option<String>, fallback: T) -> T
+where
+    T: std::str::FromStr + std::fmt::Display,
+{
+    match raw {
+        None => fallback,
+        Some(raw) => match raw.trim().parse() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!("warning: invalid {var}={raw:?}; using default {fallback}");
+                fallback
+            }
+        },
+    }
+}
+
+/// Renders the `ilt-report/v1` run report: run parameters, per-flow stage
+/// summaries, merged counters/histograms, and the nested span tree.
+fn render_report(
+    binary: &str,
+    opts: &HarnessOptions,
+    tele: &Telemetry,
+    trace_enabled: bool,
+) -> String {
+    use ilt_telemetry::json;
+    let mut out = String::from("{\"schema\":\"ilt-report/v1\",\"binary\":");
+    json::push_str_literal(&mut out, binary);
+    out.push_str(",\"scale\":");
+    json::push_str_literal(&mut out, &opts.scale);
+    let _ = write!(
+        out,
+        ",\"cases\":{},\"workers\":{},\"trace_enabled\":{}",
+        opts.cases, opts.workers, trace_enabled
+    );
+    out.push_str(",\"flows\":[");
+    for (i, flow) in tele.flow_summaries().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        json::push_str_literal(&mut out, &flow.name);
+        out.push_str(",\"seconds\":");
+        json::push_f64(&mut out, flow.seconds);
+        out.push_str(",\"stages\":[");
+        for (j, stage) in flow.stages.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"label\":");
+            json::push_str_literal(&mut out, &stage.label);
+            out.push_str(",\"seconds\":");
+            json::push_f64(&mut out, stage.seconds);
+            let _ = write!(
+                out,
+                ",\"tile_count\":{},\"tile_seconds\":",
+                stage.tile_count
+            );
+            json::push_f64(&mut out, stage.tile_seconds);
+            out.push_str(",\"assembly_seconds\":");
+            json::push_f64(&mut out, stage.assembly_seconds);
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+    out.push_str("],\"counters\":{");
+    for (i, (name, v)) in tele.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::push_str_literal(&mut out, name);
+        let _ = write!(out, ":{v}");
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, h)) in tele.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::push_str_literal(&mut out, name);
+        let _ = write!(
+            out,
+            ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{}}}",
+            h.count(),
+            h.sum(),
+            h.min(),
+            h.max(),
+            h.quantile(0.5),
+            h.quantile(0.95)
+        );
+    }
+    out.push_str("},\"spans\":");
+    out.push_str(&tele.span_tree_json());
+    out.push('}');
+    out
 }
 
 /// Formats a fixed-width table row for terminal output.
@@ -113,6 +271,38 @@ mod tests {
         let opts = HarnessOptions::from_env();
         assert!(opts.cases >= 1 && opts.cases <= 20);
         assert!(opts.workers >= 1);
+        assert!(opts.scale == "default" || opts.scale == "tiny");
+    }
+
+    #[test]
+    fn invalid_values_fall_back() {
+        assert_eq!(
+            parse_or_warn("ILT_CASES", Some("bogus".into()), 20usize),
+            20
+        );
+        assert_eq!(parse_or_warn("ILT_CASES", Some("-3".into()), 20usize), 20);
+        assert_eq!(parse_or_warn("ILT_CASES", Some(" 7 ".into()), 20usize), 7);
+        assert_eq!(parse_or_warn("ILT_WORKERS", None, 1usize), 1);
+        assert_eq!(scale_or_warn(Some("tiny".into())), "tiny");
+        assert_eq!(scale_or_warn(Some("huge".into())), "default");
+        assert_eq!(scale_or_warn(None), "default");
+    }
+
+    #[test]
+    fn report_is_valid_shape() {
+        let opts = HarnessOptions {
+            config: ExperimentConfig::test_tiny(),
+            scale: "tiny".to_string(),
+            cases: 1,
+            workers: 1,
+            out_dir: PathBuf::from("results"),
+        };
+        let report = render_report("smoke", &opts, &Telemetry::default(), false);
+        assert!(report.starts_with("{\"schema\":\"ilt-report/v1\""));
+        assert!(report.contains("\"binary\":\"smoke\""));
+        assert!(report.contains("\"scale\":\"tiny\""));
+        assert!(report.contains("\"trace_enabled\":false"));
+        assert!(report.ends_with('}'));
     }
 
     #[test]

@@ -3,8 +3,6 @@
 //! of Eq. (6). No communication ever happens between tiles — this is the
 //! flow whose boundary mismatches motivate the paper.
 
-use std::time::Instant;
-
 use ilt_grid::BitGrid;
 use ilt_litho::LithoBank;
 use ilt_opt::{SolveContext, SolveRequest, TileSolver};
@@ -12,7 +10,7 @@ use ilt_tile::{assemble, restrict, AssemblyMode, Partition, TileExecutor};
 
 use crate::config::ExperimentConfig;
 use crate::error::CoreError;
-use crate::flows::{FlowResult, StageTiming};
+use crate::flows::{trace, FlowResult};
 
 /// Runs the divide-and-conquer flow with the given single-tile solver.
 ///
@@ -27,11 +25,13 @@ pub fn divide_and_conquer(
     executor: &TileExecutor,
 ) -> Result<FlowResult, CoreError> {
     config.validate();
-    let start = Instant::now();
+    let name = format!("dnc:{}", solver.name());
+    let fspan = trace::flow_span(&name);
     let partition = Partition::new(target.width(), target.height(), config.partition)?;
     let target_real = target.to_real();
     let iterations = config.schedule.baseline_iterations;
 
+    let stage = trace::stage("dnc".to_string());
     let solved = executor.run_fallible(partition.tiles().len(), |i| {
         let tile = partition.tile(i);
         let tile_target = restrict(&target_real, tile);
@@ -40,28 +40,25 @@ pub fn divide_and_conquer(
             n: config.partition.tile,
             scale: 1,
         };
-        let t0 = Instant::now();
-        let outcome = solver.solve(
-            &ctx,
-            &SolveRequest::new(&tile_target, &tile_target, iterations),
-        )?;
-        Ok::<_, CoreError>((outcome.mask, t0.elapsed().as_secs_f64()))
+        let (outcome, elapsed) = trace::timed_tile(i, || {
+            Ok::<_, CoreError>(solver.solve(
+                &ctx,
+                &SolveRequest::new(&tile_target, &tile_target, iterations),
+            )?)
+        })?;
+        Ok::<_, CoreError>((outcome.mask, elapsed))
     })?;
 
-    let (masks, times): (Vec<_>, Vec<_>) = solved.into_iter().unzip();
-    let t_assembly = Instant::now();
-    let mask = assemble(&partition, &masks, AssemblyMode::Restricted)?;
-    let assembly_seconds = t_assembly.elapsed().as_secs_f64();
+    let (mask, timing) = stage.finish(solved, |masks| {
+        assemble(&partition, &masks, AssemblyMode::Restricted).map_err(CoreError::from)
+    })?;
 
+    let wall_seconds = fspan.end();
     Ok(FlowResult {
-        name: format!("dnc:{}", solver.name()),
+        name,
         mask,
-        stages: vec![StageTiming {
-            label: "dnc".to_string(),
-            tile_seconds: times,
-            assembly_seconds,
-        }],
-        wall_seconds: start.elapsed().as_secs_f64(),
+        stages: vec![timing],
+        wall_seconds,
     })
 }
 

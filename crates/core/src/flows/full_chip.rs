@@ -3,15 +3,13 @@
 //! paper treats this as the quality target that no single real GPU could
 //! actually hold at production scale.
 
-use std::time::Instant;
-
 use ilt_grid::BitGrid;
 use ilt_litho::LithoBank;
 use ilt_opt::{SolveContext, SolveRequest, TileSolver};
 
 use crate::config::ExperimentConfig;
 use crate::error::CoreError;
-use crate::flows::{FlowResult, StageTiming};
+use crate::flows::{trace, FlowResult};
 
 /// Runs the full-chip flow.
 ///
@@ -26,33 +24,36 @@ pub fn full_chip(
     solver: &dyn TileSolver,
 ) -> Result<FlowResult, CoreError> {
     config.validate();
-    let start = Instant::now();
+    let name = format!("full-chip:{}", solver.name());
+    let fspan = trace::flow_span(&name);
     let target_real = target.to_real();
     let ctx = SolveContext {
         bank,
         n: config.clip,
         scale: config.inspection_scale(),
     };
-    let t0 = Instant::now();
-    let outcome = solver.solve(
-        &ctx,
-        &SolveRequest::new(
-            &target_real,
-            &target_real,
-            config.schedule.baseline_iterations,
-        ),
-    )?;
-    let solve_seconds = t0.elapsed().as_secs_f64();
+    let stage = trace::stage("full-chip".to_string());
+    let (outcome, solve_seconds) = trace::timed_tile(0, || {
+        Ok::<_, CoreError>(solver.solve(
+            &ctx,
+            &SolveRequest::new(
+                &target_real,
+                &target_real,
+                config.schedule.baseline_iterations,
+            ),
+        )?)
+    })?;
+    // No partition means no assembly work: the single "tile" is the mask.
+    let (mask, timing) = stage.finish(vec![(outcome.mask, solve_seconds)], |mut masks| {
+        Ok::<_, CoreError>(masks.pop().expect("exactly one full-chip tile"))
+    })?;
 
+    let wall_seconds = fspan.end();
     Ok(FlowResult {
-        name: format!("full-chip:{}", solver.name()),
-        mask: outcome.mask,
-        stages: vec![StageTiming {
-            label: "full-chip".to_string(),
-            tile_seconds: vec![solve_seconds],
-            assembly_seconds: 0.0,
-        }],
-        wall_seconds: start.elapsed().as_secs_f64(),
+        name,
+        mask,
+        stages: vec![timing],
+        wall_seconds,
     })
 }
 

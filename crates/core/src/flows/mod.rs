@@ -6,6 +6,7 @@ mod full_chip;
 mod multigrid;
 mod overlap_select;
 mod stitch_heal;
+mod trace;
 
 pub use divide_and_conquer::divide_and_conquer;
 pub use full_chip::full_chip;

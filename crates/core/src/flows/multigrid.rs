@@ -17,8 +17,6 @@
 //!    overlap and run in parallel, and the layout is updated between
 //!    colours so later colours see earlier results.
 
-use std::time::Instant;
-
 use ilt_grid::{resample, BitGrid, RealGrid};
 use ilt_litho::LithoBank;
 use ilt_opt::{SolveContext, SolveRequest, TileSolver};
@@ -29,7 +27,7 @@ use ilt_tile::{
 
 use crate::config::ExperimentConfig;
 use crate::error::CoreError;
-use crate::flows::{FlowResult, StageTiming};
+use crate::flows::{trace, FlowResult};
 
 /// Runs the multigrid-Schwarz flow.
 ///
@@ -44,7 +42,8 @@ pub fn multigrid_schwarz(
     executor: &TileExecutor,
 ) -> Result<FlowResult, CoreError> {
     config.validate();
-    let start = Instant::now();
+    let name = format!("ours:{}", solver.name());
+    let fspan = trace::flow_span(&name);
     let n = config.partition.tile;
     let clip_w = target.width();
     let clip_h = target.height();
@@ -62,17 +61,18 @@ pub fn multigrid_schwarz(
             overlap: s * config.partition.overlap,
         };
         let partition = Partition::new(clip_w, clip_h, coarse)?;
+        let stage = trace::stage(format!("coarse s={s}"));
         let solved = executor.run_fallible(partition.tiles().len(), |i| {
             let tile = partition.tile(i);
             let tile_target = resample::downsample(&restrict(&target_real, tile), s);
             let tile_init = resample::downsample(&restrict(&mask, tile), s);
             let ctx = SolveContext { bank, n, scale: s };
-            let t0 = Instant::now();
-            let outcome = solver.solve(
-                &ctx,
-                &SolveRequest::new(&tile_target, &tile_init, config.schedule.coarse_iterations),
-            )?;
-            let elapsed = t0.elapsed().as_secs_f64();
+            let (outcome, elapsed) = trace::timed_tile(i, || {
+                Ok::<_, CoreError>(solver.solve(
+                    &ctx,
+                    &SolveRequest::new(&tile_target, &tile_init, config.schedule.coarse_iterations),
+                )?)
+            })?;
             // Promote the coarse solution back to the fine grid with a
             // band-limited interpolation: bilinear alone leaves blocky
             // staircases that the fine stages (optically blind to them)
@@ -81,14 +81,11 @@ pub fn multigrid_schwarz(
             let filter = ilt_grid::GaussianFilter::new(0.5 * s as f64);
             Ok::<_, CoreError>((filter.apply(&up), elapsed))
         })?;
-        let (masks, times): (Vec<_>, Vec<_>) = solved.into_iter().unzip();
-        let t_asm = Instant::now();
-        mask = assemble(&partition, &masks, AssemblyMode::Restricted)?;
-        stages.push(StageTiming {
-            label: format!("coarse s={s}"),
-            tile_seconds: times,
-            assembly_seconds: t_asm.elapsed().as_secs_f64(),
-        });
+        let (assembled, timing) = stage.finish(solved, |masks| {
+            assemble(&partition, &masks, AssemblyMode::Restricted).map_err(CoreError::from)
+        })?;
+        mask = assembled;
+        stages.push(timing);
         s /= 2;
     }
 
@@ -101,8 +98,9 @@ pub fn multigrid_schwarz(
             band: config.blend_band,
         }
     };
-    for stage in 0..config.schedule.fine_stages {
-        let iterations = config.schedule.fine_per_stage(stage);
+    for fine_stage in 0..config.schedule.fine_stages {
+        let iterations = config.schedule.fine_per_stage(fine_stage);
+        let stage = trace::stage(format!("fine stage {}", fine_stage + 1));
         let solved = executor.run_fallible(partition.tiles().len(), |i| {
             let tile = partition.tile(i);
             let tile_target = restrict(&target_real, tile);
@@ -116,18 +114,15 @@ pub fn multigrid_schwarz(
                 gentle: false,
                 warm: true,
             };
-            let t0 = Instant::now();
-            let outcome = solver.solve(&ctx, &request)?;
-            Ok::<_, CoreError>((outcome.mask, t0.elapsed().as_secs_f64()))
+            let (outcome, elapsed) =
+                trace::timed_tile(i, || Ok::<_, CoreError>(solver.solve(&ctx, &request)?))?;
+            Ok::<_, CoreError>((outcome.mask, elapsed))
         })?;
-        let (masks, times): (Vec<_>, Vec<_>) = solved.into_iter().unzip();
-        let t_asm = Instant::now();
-        mask = assemble(&partition, &masks, blend)?;
-        stages.push(StageTiming {
-            label: format!("fine stage {}", stage + 1),
-            tile_seconds: times,
-            assembly_seconds: t_asm.elapsed().as_secs_f64(),
-        });
+        let (assembled, timing) = stage.finish(solved, |masks| {
+            assemble(&partition, &masks, blend).map_err(CoreError::from)
+        })?;
+        mask = assembled;
+        stages.push(timing);
     }
 
     // Between the fine stages and the refine pass, resolve the remaining
@@ -144,6 +139,7 @@ pub fn multigrid_schwarz(
         if group.is_empty() {
             continue;
         }
+        let stage = trace::stage(format!("refine color {}", color + 1));
         let solved = executor.run_fallible(group.len(), |k| {
             let tile = partition.tile(group[k]);
             let tile_target = restrict(&target_real, tile);
@@ -157,37 +153,35 @@ pub fn multigrid_schwarz(
                 gentle: true,
                 warm: true,
             };
-            let t0 = Instant::now();
-            let outcome = solver.solve(&ctx, &request)?;
-            Ok::<_, CoreError>((outcome.mask, t0.elapsed().as_secs_f64()))
+            let (outcome, elapsed) = trace::timed_tile(group[k], || {
+                Ok::<_, CoreError>(solver.solve(&ctx, &request)?)
+            })?;
+            Ok::<_, CoreError>((outcome.mask, elapsed))
         })?;
-        let t_asm = Instant::now();
-        let mut times = Vec::with_capacity(group.len());
-        for (k, (new_mask, elapsed)) in solved.into_iter().enumerate() {
-            times.push(elapsed);
-            // Multiplicative replacement over the extended core: later
-            // colours re-author the boundary bands consistently instead of
-            // averaging into them.
-            let replace = AssemblyMode::ExtendedCore {
-                margin: match blend {
-                    AssemblyMode::Weighted { band } => band,
-                    _ => config.partition.overlap / 4,
-                },
-            };
-            apply_weighted_update(&mut mask, &partition, group[k], &new_mask, replace);
-        }
-        stages.push(StageTiming {
-            label: format!("refine color {}", color + 1),
-            tile_seconds: times,
-            assembly_seconds: t_asm.elapsed().as_secs_f64(),
-        });
+        // Multiplicative replacement over the extended core: later colours
+        // re-author the boundary bands consistently instead of averaging
+        // into them.
+        let replace = AssemblyMode::ExtendedCore {
+            margin: match blend {
+                AssemblyMode::Weighted { band } => band,
+                _ => config.partition.overlap / 4,
+            },
+        };
+        let ((), timing) = stage.finish(solved, |masks| {
+            for (k, new_mask) in masks.iter().enumerate() {
+                apply_weighted_update(&mut mask, &partition, group[k], new_mask, replace);
+            }
+            Ok::<_, CoreError>(())
+        })?;
+        stages.push(timing);
     }
 
+    let wall_seconds = fspan.end();
     Ok(FlowResult {
-        name: format!("ours:{}", solver.name()),
+        name,
         mask,
         stages,
-        wall_seconds: start.elapsed().as_secs_f64(),
+        wall_seconds,
     })
 }
 

@@ -6,8 +6,6 @@
 //! genuinely different solutions, so discontinuities move rather than
 //! disappear.
 
-use std::time::Instant;
-
 use ilt_grid::{BitGrid, RealGrid};
 use ilt_litho::{Corner, LithoBank};
 use ilt_opt::{SolveContext, SolveRequest, TileSolver};
@@ -15,7 +13,7 @@ use ilt_tile::{restrict, Partition, TileExecutor};
 
 use crate::config::ExperimentConfig;
 use crate::error::CoreError;
-use crate::flows::{FlowResult, StageTiming};
+use crate::flows::{trace, FlowResult};
 
 /// Runs the overlap-error-selection flow.
 ///
@@ -30,7 +28,8 @@ pub fn overlap_select(
     executor: &TileExecutor,
 ) -> Result<FlowResult, CoreError> {
     config.validate();
-    let start = Instant::now();
+    let name = format!("overlap-select:{}", solver.name());
+    let fspan = trace::flow_span(&name);
     let partition = Partition::new(target.width(), target.height(), config.partition)?;
     let target_real = target.to_real();
     let iterations = config.schedule.baseline_iterations;
@@ -38,57 +37,56 @@ pub fn overlap_select(
 
     // Independent solves, exactly as divide-and-conquer, but each job also
     // returns the tile's per-pixel squared print error (its own view).
+    let stage = trace::stage("overlap-select".to_string());
     let solved = executor.run_fallible(partition.tiles().len(), |i| {
         let tile = partition.tile(i);
         let tile_target = restrict(&target_real, tile);
         let ctx = SolveContext { bank, n, scale: 1 };
-        let t0 = Instant::now();
-        let outcome = solver.solve(
-            &ctx,
-            &SolveRequest::new(&tile_target, &tile_target, iterations),
-        )?;
-        let system = ctx.system()?;
-        let aerial = system.aerial(&outcome.mask, Corner::Nominal)?;
-        let wafer = system.resist().sigmoid(&aerial);
-        let error = RealGrid::from_fn(n, n, |x, y| {
-            let e = wafer.get(x, y) - tile_target.get(x, y);
-            e * e
-        });
-        Ok::<_, CoreError>((outcome.mask, error, t0.elapsed().as_secs_f64()))
+        trace::timed_tile(i, || {
+            let outcome = solver.solve(
+                &ctx,
+                &SolveRequest::new(&tile_target, &tile_target, iterations),
+            )?;
+            let system = ctx.system()?;
+            let aerial = system.aerial(&outcome.mask, Corner::Nominal)?;
+            let wafer = system.resist().sigmoid(&aerial);
+            let error = RealGrid::from_fn(n, n, |x, y| {
+                let e = wafer.get(x, y) - tile_target.get(x, y);
+                e * e
+            });
+            Ok::<_, CoreError>((outcome.mask, error))
+        })
     })?;
 
-    let t_asm = Instant::now();
-    let mut times = Vec::with_capacity(solved.len());
-    // Per-pixel selection: each pixel takes the value of the covering tile
-    // with the smallest local error (core owner wins ties by iteration
-    // order, which visits cores first through the partition layout).
-    let mut mask = RealGrid::new(partition.width(), partition.height(), 0.0);
-    let mut best = RealGrid::new(partition.width(), partition.height(), f64::INFINITY);
-    for (tile, (tile_mask, error, elapsed)) in partition.tiles().iter().zip(&solved) {
-        times.push(*elapsed);
-        for y in 0..n {
-            let gy = tile.rect.y0 as usize + y;
-            for x in 0..n {
-                let gx = tile.rect.x0 as usize + x;
-                let e = error.get(x, y);
-                if e < best.get(gx, gy) {
-                    best.set(gx, gy, e);
-                    mask.set(gx, gy, tile_mask.get(x, y));
+    let (mask, timing) = stage.finish(solved, |tiles| {
+        // Per-pixel selection: each pixel takes the value of the covering
+        // tile with the smallest local error (core owner wins ties by
+        // iteration order, which visits cores first through the partition
+        // layout).
+        let mut mask = RealGrid::new(partition.width(), partition.height(), 0.0);
+        let mut best = RealGrid::new(partition.width(), partition.height(), f64::INFINITY);
+        for (tile, (tile_mask, error)) in partition.tiles().iter().zip(&tiles) {
+            for y in 0..n {
+                let gy = tile.rect.y0 as usize + y;
+                for x in 0..n {
+                    let gx = tile.rect.x0 as usize + x;
+                    let e = error.get(x, y);
+                    if e < best.get(gx, gy) {
+                        best.set(gx, gy, e);
+                        mask.set(gx, gy, tile_mask.get(x, y));
+                    }
                 }
             }
         }
-    }
-    let assembly_seconds = t_asm.elapsed().as_secs_f64();
+        Ok::<_, CoreError>(mask)
+    })?;
 
+    let wall_seconds = fspan.end();
     Ok(FlowResult {
-        name: format!("overlap-select:{}", solver.name()),
+        name,
         mask,
-        stages: vec![StageTiming {
-            label: "overlap-select".to_string(),
-            tile_seconds: times,
-            assembly_seconds,
-        }],
-        wall_seconds: start.elapsed().as_secs_f64(),
+        stages: vec![timing],
+        wall_seconds,
     })
 }
 

@@ -4,8 +4,6 @@
 //! pasted bands introduce **new** partition edges — the failure mode the
 //! paper demonstrates in Fig. 7.
 
-use std::time::Instant;
-
 use ilt_grid::{BitGrid, RealGrid, Rect};
 use ilt_litho::LithoBank;
 use ilt_opt::{SolveContext, SolveRequest, TileSolver};
@@ -13,7 +11,7 @@ use ilt_tile::{restrict, Orientation, Partition, StitchLine, Tile, TileExecutor}
 
 use crate::config::ExperimentConfig;
 use crate::error::CoreError;
-use crate::flows::{FlowResult, StageTiming};
+use crate::flows::{trace, FlowResult};
 
 /// Result of the stitch-and-heal flow: the healed mask plus the seam
 /// bookkeeping needed to reproduce the Fig. 7 analysis.
@@ -42,7 +40,8 @@ pub fn stitch_and_heal(
     executor: &TileExecutor,
 ) -> Result<HealOutcome, CoreError> {
     config.validate();
-    let start = Instant::now();
+    let name = format!("stitch-and-heal:{}", solver.name());
+    let fspan = trace::flow_span(&name);
     let partition = Partition::new(target.width(), target.height(), config.partition)?;
     let lines = partition.stitch_lines();
     let t = config.partition.tile;
@@ -54,6 +53,7 @@ pub fn stitch_and_heal(
 
     for (line_idx, line) in lines.iter().enumerate() {
         let windows = heal_windows(line, t, target.width(), target.height());
+        let stage = trace::stage(format!("heal line {}", line_idx + 1));
         let solved = executor.run_fallible(windows.len(), |k| {
             let rect = windows[k];
             let fake_tile = Tile {
@@ -78,38 +78,38 @@ pub fn stitch_and_heal(
                 gentle: false,
                 warm: true,
             };
-            let t0 = Instant::now();
-            let outcome = solver.solve(&ctx, &request)?;
-            Ok::<_, CoreError>((outcome.mask, t0.elapsed().as_secs_f64()))
+            let (outcome, elapsed) =
+                trace::timed_tile(k, || Ok::<_, CoreError>(solver.solve(&ctx, &request)?))?;
+            Ok::<_, CoreError>((outcome.mask, elapsed))
         })?;
 
-        let t_asm = Instant::now();
-        let mut times = Vec::with_capacity(windows.len());
-        for (k, (healed, elapsed)) in solved.into_iter().enumerate() {
-            times.push(elapsed);
-            // Paste back only the central band around the original line —
-            // a hard cut, exactly what creates the new seams.
-            let rect = windows[k];
-            let band_rect = match line.orientation {
-                Orientation::Vertical => Rect::new(
-                    line.position as i64 - band,
-                    rect.y0,
-                    line.position as i64 + band,
-                    rect.y1,
-                ),
-                Orientation::Horizontal => Rect::new(
-                    rect.x0,
-                    line.position as i64 - band,
-                    rect.x1,
-                    line.position as i64 + band,
-                ),
-            };
-            for (gx, gy) in band_rect.pixels() {
-                let lx = (gx - rect.x0) as usize;
-                let ly = (gy - rect.y0) as usize;
-                mask.set(gx as usize, gy as usize, healed.get(lx, ly));
+        let ((), timing) = stage.finish(solved, |healed_masks| {
+            for (k, healed) in healed_masks.iter().enumerate() {
+                // Paste back only the central band around the original
+                // line — a hard cut, exactly what creates the new seams.
+                let rect = windows[k];
+                let band_rect = match line.orientation {
+                    Orientation::Vertical => Rect::new(
+                        line.position as i64 - band,
+                        rect.y0,
+                        line.position as i64 + band,
+                        rect.y1,
+                    ),
+                    Orientation::Horizontal => Rect::new(
+                        rect.x0,
+                        line.position as i64 - band,
+                        rect.x1,
+                        line.position as i64 + band,
+                    ),
+                };
+                for (gx, gy) in band_rect.pixels() {
+                    let lx = (gx - rect.x0) as usize;
+                    let ly = (gy - rect.y0) as usize;
+                    mask.set(gx as usize, gy as usize, healed.get(lx, ly));
+                }
             }
-        }
+            Ok::<_, CoreError>(())
+        })?;
 
         // New seams: the band borders along the full line...
         match line.orientation {
@@ -152,19 +152,16 @@ pub fn stitch_and_heal(
             }
         }
 
-        stages.push(StageTiming {
-            label: format!("heal line {}", line_idx + 1),
-            tile_seconds: times,
-            assembly_seconds: t_asm.elapsed().as_secs_f64(),
-        });
+        stages.push(timing);
     }
 
+    let wall_seconds = fspan.end();
     Ok(HealOutcome {
         result: FlowResult {
-            name: format!("stitch-and-heal:{}", solver.name()),
+            name,
             mask,
             stages,
-            wall_seconds: start.elapsed().as_secs_f64(),
+            wall_seconds,
         },
         healed_lines: lines,
         new_lines,

@@ -1,0 +1,86 @@
+//! The executor changes scheduling only: every flow must produce a
+//! bit-identical mask under `TileExecutor::new(4)` and
+//! `TileExecutor::sequential()` on the tiny configuration.
+
+use ilt_core::flows::{divide_and_conquer, multigrid_schwarz, overlap_select, stitch_and_heal};
+use ilt_core::ExperimentConfig;
+use ilt_layout::generate_clip;
+use ilt_litho::{LithoBank, ResistModel};
+use ilt_opt::PixelIlt;
+use ilt_tile::TileExecutor;
+
+fn setup() -> (ExperimentConfig, LithoBank, ilt_grid::BitGrid) {
+    let config = ExperimentConfig::test_tiny();
+    let bank = LithoBank::new(config.optics, ResistModel::m1_default()).unwrap();
+    let target = generate_clip(&config.generator, 7);
+    (config, bank, target)
+}
+
+#[test]
+fn multigrid_parallel_matches_sequential() {
+    let (config, bank, target) = setup();
+    let solver = PixelIlt::new();
+    let seq = multigrid_schwarz(
+        &config,
+        &bank,
+        &target,
+        &solver,
+        &TileExecutor::sequential(),
+    )
+    .unwrap();
+    let par = multigrid_schwarz(&config, &bank, &target, &solver, &TileExecutor::new(4)).unwrap();
+    assert_eq!(seq.mask, par.mask);
+    let seq_labels: Vec<_> = seq.stages.iter().map(|s| s.label.clone()).collect();
+    let par_labels: Vec<_> = par.stages.iter().map(|s| s.label.clone()).collect();
+    assert_eq!(seq_labels, par_labels);
+}
+
+#[test]
+fn overlap_select_parallel_matches_sequential() {
+    let (config, bank, target) = setup();
+    let solver = PixelIlt::new();
+    let seq = overlap_select(
+        &config,
+        &bank,
+        &target,
+        &solver,
+        &TileExecutor::sequential(),
+    )
+    .unwrap();
+    let par = overlap_select(&config, &bank, &target, &solver, &TileExecutor::new(4)).unwrap();
+    assert_eq!(seq.mask, par.mask);
+}
+
+#[test]
+fn stitch_heal_parallel_matches_sequential() {
+    let (config, bank, target) = setup();
+    let solver = PixelIlt::new();
+    let dnc = divide_and_conquer(
+        &config,
+        &bank,
+        &target,
+        &solver,
+        &TileExecutor::sequential(),
+    )
+    .unwrap();
+    let seq = stitch_and_heal(
+        &config,
+        &bank,
+        &target,
+        &dnc.mask,
+        &solver,
+        &TileExecutor::sequential(),
+    )
+    .unwrap();
+    let par = stitch_and_heal(
+        &config,
+        &bank,
+        &target,
+        &dnc.mask,
+        &solver,
+        &TileExecutor::new(4),
+    )
+    .unwrap();
+    assert_eq!(seq.result.mask, par.result.mask);
+    assert_eq!(seq.new_lines, par.new_lines);
+}

@@ -91,6 +91,7 @@ impl Fft2d {
     ///
     /// Returns [`FftError::ShapeMismatch`] if `data.len() != rows * cols`.
     pub fn forward(&self, data: &mut [Complex]) -> Result<(), FftError> {
+        ilt_telemetry::counter_add("fft.forward", 1);
         self.transform(data, Direction::Forward)
     }
 
@@ -100,6 +101,7 @@ impl Fft2d {
     ///
     /// Returns [`FftError::ShapeMismatch`] if `data.len() != rows * cols`.
     pub fn inverse(&self, data: &mut [Complex]) -> Result<(), FftError> {
+        ilt_telemetry::counter_add("fft.inverse", 1);
         self.transform(data, Direction::Inverse)?;
         let inv = 1.0 / self.len() as f64;
         for z in data.iter_mut() {

@@ -81,6 +81,7 @@ impl LithoSimulator {
     ///
     /// Returns [`LithoError::MaskShape`] if the mask is not `n x n`.
     pub fn simulate(&self, mask: &RealGrid) -> Result<SimulationState, LithoError> {
+        ilt_telemetry::counter_add("litho.simulate", 1);
         self.check_shape(mask)?;
         let n = self.n;
         let p = self.kernels.support();
@@ -143,6 +144,7 @@ impl LithoSimulator {
         state: &SimulationState,
         dldi: &RealGrid,
     ) -> Result<RealGrid, LithoError> {
+        ilt_telemetry::counter_add("litho.gradient", 1);
         self.check_shape(dldi)?;
         let n = self.n;
         let p = self.kernels.support();

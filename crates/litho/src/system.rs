@@ -171,6 +171,7 @@ impl LithoSystem {
     ///
     /// Propagates simulator shape errors.
     pub fn print(&self, mask: &RealGrid, corner: Corner) -> Result<BitGrid, LithoError> {
+        ilt_telemetry::counter_add("litho.print", 1);
         let aerial = self.aerial(mask, corner)?;
         let dose = match corner {
             Corner::Nominal => 1.0,

@@ -106,6 +106,16 @@ impl TileSolver for LevelSetIlt {
         ctx: &SolveContext<'_>,
         request: &SolveRequest<'_>,
     ) -> Result<IltOutcome, OptError> {
+        crate::solver::with_solve_span(self.name(), ctx, request, || self.solve_inner(ctx, request))
+    }
+}
+
+impl LevelSetIlt {
+    fn solve_inner(
+        &self,
+        ctx: &SolveContext<'_>,
+        request: &SolveRequest<'_>,
+    ) -> Result<IltOutcome, OptError> {
         self.config.validate()?;
         request.validate(ctx)?;
         let cfg = &self.config;
@@ -146,10 +156,10 @@ impl TileSolver for LevelSetIlt {
             }
         }
 
-        Ok(IltOutcome {
-            mask: smooth_mask(&phi, cfg.band_eps),
-            loss_history: history,
-        })
+        Ok(IltOutcome::new(
+            smooth_mask(&phi, cfg.band_eps),
+            crate::solver::ConvergenceTrace::single("fine", history),
+        ))
     }
 }
 

@@ -52,4 +52,6 @@ pub use loss::{evaluate_loss, LossEval};
 pub use optimizer::{AdamState, Optimizer};
 pub use pixel::{PixelIlt, PixelIltConfig};
 pub use sdf::{signed_distance, smooth_mask, smooth_mask_derivative};
-pub use solver::{IltOutcome, SolveContext, SolveRequest, TileSolver};
+pub use solver::{
+    ConvergenceTrace, IltOutcome, SolveContext, SolveRequest, TileSolver, TraceSegment,
+};

@@ -144,6 +144,16 @@ impl TileSolver for PixelIlt {
         ctx: &SolveContext<'_>,
         request: &SolveRequest<'_>,
     ) -> Result<IltOutcome, OptError> {
+        crate::solver::with_solve_span(self.name(), ctx, request, || self.solve_inner(ctx, request))
+    }
+}
+
+impl PixelIlt {
+    fn solve_inner(
+        &self,
+        ctx: &SolveContext<'_>,
+        request: &SolveRequest<'_>,
+    ) -> Result<IltOutcome, OptError> {
         self.config.validate()?;
         request.validate(ctx)?;
         let steep = self.config.mask_steepness;
@@ -191,6 +201,10 @@ impl TileSolver for PixelIlt {
             }
         }
 
+        // Everything recorded so far came from the coarse level; the rest
+        // of `history` is the full-resolution phase.
+        let coarse_len = history.len();
+
         let system = ctx.system()?;
         let mut optimizer = make_optimizer(1.0);
         run_loop(
@@ -204,10 +218,11 @@ impl TileSolver for PixelIlt {
             &mut history,
         )?;
 
-        Ok(IltOutcome {
-            mask: latent_to_mask(&latent, steep),
-            loss_history: history,
-        })
+        let mut trace = crate::solver::ConvergenceTrace::default();
+        let fine = history.split_off(coarse_len);
+        trace.push_segment("coarse", history);
+        trace.push_segment("fine", fine);
+        Ok(IltOutcome::new(latent_to_mask(&latent, steep), trace))
     }
 }
 

@@ -91,20 +91,109 @@ impl<'a> SolveRequest<'a> {
     }
 }
 
+/// One labelled run of consecutive iterations inside a solve (e.g. the
+/// pixel solver's coarse multi-level phase).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSegment {
+    /// Segment label (`"coarse"`, `"fine"`, ...).
+    pub label: String,
+    /// Objective value after each iteration of this segment.
+    pub losses: Vec<f64>,
+}
+
+/// Per-iteration convergence record of one solve, split into labelled
+/// segments so multi-level schedules stay distinguishable (coarse-phase
+/// losses are computed on a smaller grid and are not comparable in scale
+/// to fine-phase losses).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConvergenceTrace {
+    /// Segments in execution order. Empty segments are never stored.
+    pub segments: Vec<TraceSegment>,
+}
+
+impl ConvergenceTrace {
+    /// A trace with one segment (dropped if `losses` is empty).
+    pub fn single(label: &str, losses: Vec<f64>) -> Self {
+        let mut trace = ConvergenceTrace::default();
+        trace.push_segment(label, losses);
+        trace
+    }
+
+    /// Appends a segment; empty `losses` are ignored.
+    pub fn push_segment(&mut self, label: &str, losses: Vec<f64>) {
+        if !losses.is_empty() {
+            self.segments.push(TraceSegment {
+                label: label.to_string(),
+                losses,
+            });
+        }
+    }
+
+    /// Total number of recorded iterations across all segments.
+    pub fn iterations(&self) -> usize {
+        self.segments.iter().map(|s| s.losses.len()).sum()
+    }
+
+    /// All losses concatenated in execution order.
+    pub fn flatten(&self) -> Vec<f64> {
+        self.segments
+            .iter()
+            .flat_map(|s| s.losses.iter().copied())
+            .collect()
+    }
+}
+
 /// Result of a single-tile solve.
 #[derive(Debug, Clone)]
 pub struct IltOutcome {
     /// Optimised continuous mask in `[0, 1]`.
     pub mask: RealGrid,
-    /// Objective value after every iteration.
+    /// Objective value after every iteration (all segments concatenated;
+    /// kept for backward compatibility with [`ConvergenceTrace`]-unaware
+    /// callers — always equal to `convergence.flatten()`).
     pub loss_history: Vec<f64>,
+    /// Segmented per-iteration convergence trace.
+    pub convergence: ConvergenceTrace,
 }
 
 impl IltOutcome {
+    /// Builds an outcome from a mask and its convergence trace; the flat
+    /// `loss_history` is derived from the trace.
+    pub fn new(mask: RealGrid, convergence: ConvergenceTrace) -> Self {
+        IltOutcome {
+            mask,
+            loss_history: convergence.flatten(),
+            convergence,
+        }
+    }
+
     /// Final loss, if any iterations ran.
     pub fn final_loss(&self) -> Option<f64> {
         self.loss_history.last().copied()
     }
+}
+
+/// Runs `body` (one solver invocation) inside a `solve` telemetry span
+/// tagged with the solver name and grid geometry, and feeds the iteration
+/// count and final loss into the metrics registry.
+pub(crate) fn with_solve_span(
+    name: &str,
+    ctx: &SolveContext<'_>,
+    request: &SolveRequest<'_>,
+    body: impl FnOnce() -> Result<IltOutcome, OptError>,
+) -> Result<IltOutcome, OptError> {
+    let mut span = ilt_telemetry::span(ilt_telemetry::names::SOLVE);
+    span.add_field("solver", name);
+    span.add_field("n", ctx.n);
+    span.add_field("scale", ctx.scale);
+    span.add_field("iterations", request.iterations);
+    let outcome = body()?;
+    if let Some(loss) = outcome.final_loss() {
+        span.add_field("final_loss", loss);
+    }
+    ilt_telemetry::counter_add("solver.solves", 1);
+    ilt_telemetry::record_value("solver.iterations", outcome.loss_history.len() as u64);
+    Ok(outcome)
 }
 
 /// A single-tile ILT algorithm.
@@ -167,15 +256,26 @@ mod tests {
 
     #[test]
     fn outcome_final_loss() {
-        let outcome = IltOutcome {
-            mask: Grid::new(2, 2, 0.0),
-            loss_history: vec![3.0, 2.0, 1.0],
-        };
+        let outcome = IltOutcome::new(
+            Grid::new(2, 2, 0.0),
+            ConvergenceTrace::single("fine", vec![3.0, 2.0, 1.0]),
+        );
         assert_eq!(outcome.final_loss(), Some(1.0));
-        let empty = IltOutcome {
-            mask: Grid::new(2, 2, 0.0),
-            loss_history: vec![],
-        };
+        assert_eq!(outcome.loss_history, vec![3.0, 2.0, 1.0]);
+        let empty = IltOutcome::new(Grid::new(2, 2, 0.0), ConvergenceTrace::default());
         assert_eq!(empty.final_loss(), None);
+    }
+
+    #[test]
+    fn trace_segments_flatten_in_order() {
+        let mut trace = ConvergenceTrace::default();
+        trace.push_segment("coarse", vec![9.0, 8.0]);
+        trace.push_segment("skipped", vec![]);
+        trace.push_segment("fine", vec![2.0, 1.0]);
+        assert_eq!(trace.segments.len(), 2);
+        assert_eq!(trace.iterations(), 4);
+        assert_eq!(trace.flatten(), vec![9.0, 8.0, 2.0, 1.0]);
+        assert_eq!(trace.segments[0].label, "coarse");
+        assert_eq!(trace.segments[1].label, "fine");
     }
 }

@@ -1,0 +1,172 @@
+//! Per-thread buffers and the process-global sink they merge into.
+//!
+//! The hot path (span drop, counter bump) only touches a `thread_local!`
+//! buffer; the global mutex is taken once per thread lifetime (at thread
+//! exit) and once per [`drain`].
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::metrics::Histogram;
+use crate::span::FieldValue;
+
+/// One completed span, as stored and exported.
+#[derive(Debug, Clone)]
+pub struct SpanEvent {
+    /// Process-unique span id.
+    pub id: u64,
+    /// Parent span id, if the span had an enclosing span on its thread.
+    pub parent: Option<u64>,
+    /// Span name (one of [`crate::names`] for workspace spans).
+    pub name: &'static str,
+    /// Structured key/value fields.
+    pub fields: Vec<(&'static str, FieldValue)>,
+    /// Start time in nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Small per-thread ordinal (0 = first thread that recorded).
+    pub thread: u64,
+}
+
+impl SpanEvent {
+    /// Duration in seconds.
+    #[inline]
+    pub fn seconds(&self) -> f64 {
+        self.dur_ns as f64 / 1e9
+    }
+
+    /// Looks up a field by key.
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
+/// Everything one [`drain`] call collected: completed spans plus merged
+/// counters and histograms.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    /// Completed spans, ordered by start time.
+    pub events: Vec<SpanEvent>,
+    /// Merged named counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Merged named histograms.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl Telemetry {
+    /// Returns `true` if nothing was collected.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// The number of completed spans with the given name.
+    pub fn span_count(&self, name: &str) -> usize {
+        self.events.iter().filter(|e| e.name == name).count()
+    }
+}
+
+#[derive(Default)]
+struct Sink {
+    events: Vec<SpanEvent>,
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+static SINK: Mutex<Option<Sink>> = Mutex::new(None);
+static THREAD_SEQ: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) struct LocalBuf {
+    pub thread: u64,
+    /// Stack of open span ids (innermost last); adopted parents from
+    /// [`crate::parent_scope`] are pushed here too.
+    pub stack: Vec<u64>,
+    pub events: Vec<SpanEvent>,
+    pub counters: HashMap<&'static str, u64>,
+    pub histograms: HashMap<&'static str, Histogram>,
+}
+
+impl LocalBuf {
+    fn new() -> Self {
+        LocalBuf {
+            thread: THREAD_SEQ.fetch_add(1, Ordering::Relaxed),
+            stack: Vec::new(),
+            events: Vec::new(),
+            counters: HashMap::new(),
+            histograms: HashMap::new(),
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.events.is_empty() && self.counters.is_empty() && self.histograms.is_empty() {
+            return;
+        }
+        let mut sink = SINK.lock().unwrap_or_else(|e| e.into_inner());
+        let sink = sink.get_or_insert_with(Sink::default);
+        sink.events.append(&mut self.events);
+        for (name, v) in self.counters.drain() {
+            *sink.counters.entry(name.to_string()).or_insert(0) += v;
+        }
+        for (name, h) in self.histograms.drain() {
+            sink.histograms
+                .entry(name.to_string())
+                .or_default()
+                .merge(&h);
+        }
+    }
+}
+
+impl Drop for LocalBuf {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<LocalBuf> = RefCell::new(LocalBuf::new());
+}
+
+/// Runs `f` with the calling thread's buffer; returns `None` if the buffer
+/// is no longer accessible (thread teardown).
+pub(crate) fn with_local<R>(f: impl FnOnce(&mut LocalBuf) -> R) -> Option<R> {
+    LOCAL.try_with(|l| f(&mut l.borrow_mut())).ok()
+}
+
+/// Flushes the calling thread's buffered telemetry into the global sink.
+///
+/// Thread-local destructors also flush, but they may run *after* a
+/// `std::thread::scope` (or a `join`) observes the thread as finished, so
+/// worker pools must flush explicitly before their threads are joined.
+/// [`crate::ParentScope`] does this on drop; call this directly from
+/// workers that do not adopt a parent span.
+pub fn flush_thread() {
+    let _ = with_local(LocalBuf::flush);
+}
+
+/// Fallback for events produced while the thread buffer is unavailable.
+pub(crate) fn sink_event(event: SpanEvent) {
+    let mut sink = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    sink.get_or_insert_with(Sink::default).events.push(event);
+}
+
+/// Takes everything collected so far: the calling thread's buffer plus the
+/// global sink (which worker threads flushed into when they exited). Call
+/// from the thread that drove the work, after its worker threads joined.
+pub fn drain() -> Telemetry {
+    let _ = with_local(LocalBuf::flush);
+    let mut guard = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    let sink = match guard.take() {
+        Some(sink) => sink,
+        None => return Telemetry::default(),
+    };
+    drop(guard);
+    let mut t = Telemetry {
+        events: sink.events,
+        counters: sink.counters,
+        histograms: sink.histograms,
+    };
+    t.events.sort_by_key(|e| (e.start_ns, e.id));
+    t
+}

@@ -1,0 +1,331 @@
+//! Exporters over a drained [`Telemetry`] snapshot: a human-readable tree,
+//! a JSONL event log, the Chrome `trace_event` format, and per-flow
+//! summaries that mirror the workspace's `StageTiming` shape.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::collect::{SpanEvent, Telemetry};
+use crate::json;
+use crate::names;
+
+/// Summary of one stage span, with tile/assembly attribution derived from
+/// its descendant spans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSummary {
+    /// Stage label (the `label` field of the stage span).
+    pub label: String,
+    /// Wall time of the stage span in seconds.
+    pub seconds: f64,
+    /// Number of descendant tile spans.
+    pub tile_count: usize,
+    /// Total seconds across descendant tile spans.
+    pub tile_seconds: f64,
+    /// Total seconds across descendant assembly spans.
+    pub assembly_seconds: f64,
+}
+
+/// Summary of one flow span and its stages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSummary {
+    /// Flow name (the `name` field of the flow span).
+    pub name: String,
+    /// Wall time of the flow span in seconds.
+    pub seconds: f64,
+    /// One entry per stage span under the flow, in start order.
+    pub stages: Vec<StageSummary>,
+}
+
+/// Span-tree index: indices of root events plus a parent-id → child-indices
+/// map, both in start order (events are sorted by [`crate::drain`]).
+struct TreeIndex {
+    roots: Vec<usize>,
+    children: HashMap<u64, Vec<usize>>,
+}
+
+fn index_tree(events: &[SpanEvent]) -> TreeIndex {
+    let ids: std::collections::HashSet<u64> = events.iter().map(|e| e.id).collect();
+    let mut roots = Vec::new();
+    let mut children: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (i, e) in events.iter().enumerate() {
+        match e.parent {
+            Some(p) if ids.contains(&p) => children.entry(p).or_default().push(i),
+            _ => roots.push(i),
+        }
+    }
+    TreeIndex { roots, children }
+}
+
+/// A short display label: the span name plus its identifying field, e.g.
+/// `flow(ours)`, `stage(refine color 1)`, `tile(3)`.
+fn display_label(e: &SpanEvent) -> String {
+    let tag = match e.name {
+        names::FLOW => e.field("name").and_then(|v| v.as_str()).map(str::to_string),
+        names::STAGE => e
+            .field("label")
+            .and_then(|v| v.as_str())
+            .map(str::to_string),
+        names::JOB => e
+            .field("job")
+            .and_then(|v| v.as_u64())
+            .map(|v| v.to_string()),
+        names::TILE => e
+            .field("tile")
+            .and_then(|v| v.as_u64())
+            .map(|v| v.to_string()),
+        names::SOLVE => e
+            .field("solver")
+            .and_then(|v| v.as_str())
+            .map(str::to_string),
+        _ => None,
+    };
+    match tag {
+        Some(tag) => format!("{}({})", e.name, tag),
+        None => e.name.to_string(),
+    }
+}
+
+fn push_event_json(out: &mut String, e: &SpanEvent) {
+    out.push_str("{\"type\":\"span\",\"id\":");
+    let _ = write!(out, "{}", e.id);
+    out.push_str(",\"parent\":");
+    match e.parent {
+        Some(p) => {
+            let _ = write!(out, "{p}");
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"name\":");
+    json::push_str_literal(out, e.name);
+    out.push_str(",\"thread\":");
+    let _ = write!(out, "{}", e.thread);
+    out.push_str(",\"start_us\":");
+    let _ = write!(out, "{}", e.start_ns / 1_000);
+    out.push_str(",\"dur_us\":");
+    let _ = write!(out, "{}", e.dur_ns / 1_000);
+    out.push_str(",\"fields\":");
+    json::push_fields_object(out, &e.fields);
+    out.push('}');
+}
+
+impl Telemetry {
+    /// Renders the span tree (with counters and histograms) as an indented,
+    /// human-readable report.
+    pub fn render_tree(&self) -> String {
+        let tree = index_tree(&self.events);
+        let mut out = String::new();
+        out.push_str("spans:\n");
+        for &root in &tree.roots {
+            render_node(&mut out, &self.events, &tree, root, 1);
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name} = {v}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name}: count={} p50={} p95={} max={} mean={:.1}",
+                    h.count(),
+                    h.quantile(0.5),
+                    h.quantile(0.95),
+                    h.max(),
+                    h.mean()
+                );
+            }
+        }
+        out
+    }
+
+    /// Serialises the snapshot as JSON Lines: one `span` record per span
+    /// (start order), then one `counter` record per counter and one
+    /// `histogram` record per histogram.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            push_event_json(&mut out, e);
+            out.push('\n');
+        }
+        for (name, v) in &self.counters {
+            out.push_str("{\"type\":\"counter\",\"name\":");
+            json::push_str_literal(&mut out, name);
+            let _ = write!(out, ",\"value\":{v}}}");
+            out.push('\n');
+        }
+        for (name, h) in &self.histograms {
+            out.push_str("{\"type\":\"histogram\",\"name\":");
+            json::push_str_literal(&mut out, name);
+            let _ = write!(
+                out,
+                ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{}}}",
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max(),
+                h.quantile(0.5),
+                h.quantile(0.95)
+            );
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serialises the spans in the Chrome `trace_event` JSON format
+    /// (load the file in `chrome://tracing` or Perfetto).
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            json::push_str_literal(&mut out, &display_label(e));
+            out.push_str(",\"cat\":");
+            json::push_str_literal(&mut out, e.name);
+            let _ = write!(
+                out,
+                ",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":",
+                e.thread,
+                e.start_ns / 1_000,
+                e.dur_ns / 1_000
+            );
+            json::push_fields_object(&mut out, &e.fields);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Serialises the span tree as nested JSON (used inside `report.json`).
+    pub fn span_tree_json(&self) -> String {
+        let tree = index_tree(&self.events);
+        let mut out = String::new();
+        push_subtree_json(&mut out, &self.events, &tree, &tree.roots);
+        out
+    }
+
+    /// Derives per-flow summaries from the span tree: every `flow` span
+    /// becomes a [`FlowSummary`], its child `stage` spans become
+    /// [`StageSummary`] entries, and tile/assembly attribution comes from
+    /// descendant `tile`/`assembly` spans (tiles may sit below `job` spans
+    /// introduced by the executor).
+    pub fn flow_summaries(&self) -> Vec<FlowSummary> {
+        let tree = index_tree(&self.events);
+        let mut flows = Vec::new();
+        for (i, e) in self.events.iter().enumerate() {
+            if e.name != names::FLOW {
+                continue;
+            }
+            let name = e
+                .field("name")
+                .and_then(|v| v.as_str())
+                .unwrap_or("?")
+                .to_string();
+            let mut stages = Vec::new();
+            for &s in tree.children.get(&e.id).map_or(&[][..], |v| &v[..]) {
+                let se = &self.events[s];
+                if se.name != names::STAGE {
+                    continue;
+                }
+                let label = se
+                    .field("label")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("?")
+                    .to_string();
+                let mut tile_count = 0usize;
+                let mut tile_seconds = 0.0;
+                let mut assembly_seconds = 0.0;
+                sum_descendants(
+                    &self.events,
+                    &tree,
+                    s,
+                    &mut tile_count,
+                    &mut tile_seconds,
+                    &mut assembly_seconds,
+                );
+                stages.push(StageSummary {
+                    label,
+                    seconds: se.seconds(),
+                    tile_count,
+                    tile_seconds,
+                    assembly_seconds,
+                });
+            }
+            flows.push(FlowSummary {
+                name,
+                seconds: self.events[i].seconds(),
+                stages,
+            });
+        }
+        flows
+    }
+}
+
+fn render_node(out: &mut String, events: &[SpanEvent], tree: &TreeIndex, i: usize, depth: usize) {
+    let e = &events[i];
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    let _ = writeln!(
+        out,
+        "{} {:.3} ms (t{})",
+        display_label(e),
+        e.dur_ns as f64 / 1e6,
+        e.thread
+    );
+    if let Some(kids) = tree.children.get(&e.id) {
+        for &k in kids {
+            render_node(out, events, tree, k, depth + 1);
+        }
+    }
+}
+
+fn push_subtree_json(out: &mut String, events: &[SpanEvent], tree: &TreeIndex, nodes: &[usize]) {
+    out.push('[');
+    for (n, &i) in nodes.iter().enumerate() {
+        if n > 0 {
+            out.push(',');
+        }
+        let e = &events[i];
+        out.push_str("{\"name\":");
+        json::push_str_literal(out, e.name);
+        let _ = write!(out, ",\"thread\":{},\"seconds\":", e.thread);
+        json::push_f64(out, e.seconds());
+        out.push_str(",\"fields\":");
+        json::push_fields_object(out, &e.fields);
+        out.push_str(",\"children\":");
+        match tree.children.get(&e.id) {
+            Some(kids) => push_subtree_json(out, events, tree, kids),
+            None => out.push_str("[]"),
+        }
+        out.push('}');
+    }
+    out.push(']');
+}
+
+fn sum_descendants(
+    events: &[SpanEvent],
+    tree: &TreeIndex,
+    i: usize,
+    tile_count: &mut usize,
+    tile_seconds: &mut f64,
+    assembly_seconds: &mut f64,
+) {
+    if let Some(kids) = tree.children.get(&events[i].id) {
+        for &k in kids {
+            match events[k].name {
+                names::TILE => {
+                    *tile_count += 1;
+                    *tile_seconds += events[k].seconds();
+                }
+                names::ASSEMBLY => *assembly_seconds += events[k].seconds(),
+                _ => {}
+            }
+            sum_descendants(events, tree, k, tile_count, tile_seconds, assembly_seconds);
+        }
+    }
+}

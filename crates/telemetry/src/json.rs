@@ -1,0 +1,57 @@
+//! Minimal JSON string building, shared by the exporters and the bench
+//! harness's `report.json` writer. No serde — the workspace is
+//! dependency-free by design.
+
+use crate::span::FieldValue;
+
+/// Appends `s` as a JSON string literal (with quotes) to `out`.
+pub fn push_str_literal(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` as a JSON number (non-finite values become `null`).
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Appends a [`FieldValue`] as a JSON value.
+pub fn push_field_value(out: &mut String, v: &FieldValue) {
+    match v {
+        FieldValue::U64(x) => out.push_str(&x.to_string()),
+        FieldValue::I64(x) => out.push_str(&x.to_string()),
+        FieldValue::F64(x) => push_f64(out, *x),
+        FieldValue::Str(s) => push_str_literal(out, s),
+    }
+}
+
+/// Appends a `{"k": v, ...}` object from span fields.
+pub fn push_fields_object(out: &mut String, fields: &[(&'static str, FieldValue)]) {
+    out.push('{');
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str_literal(out, k);
+        out.push(':');
+        push_field_value(out, v);
+    }
+    out.push('}');
+}

@@ -1,0 +1,121 @@
+//! # ilt-telemetry
+//!
+//! Zero-dependency observability for the multigrid-Schwarz ILT workspace:
+//! hierarchical RAII spans, counters, and log-bucketed histograms, with
+//! human-readable, JSONL, and Chrome `trace_event` exporters.
+//!
+//! ## Model
+//!
+//! * **Spans** form a tree (`flow → stage → job → tile → solve`): a
+//!   [`SpanGuard`] opens a span on creation and records it when dropped (or
+//!   when [`SpanGuard::end`] is called). The parent is the innermost span
+//!   open on the current thread; worker pools carry the
+//!   caller's span to worker threads with [`parent_scope`]. Spans carry
+//!   structured key/value [`FieldValue`] fields.
+//! * **Counters** ([`counter_add`]) and **histograms** ([`record_value`],
+//!   power-of-two buckets with p50/p95/max summaries) cover hot paths where
+//!   per-event spans would be too heavy (FFT calls, litho simulations,
+//!   solver iterations, pixels assembled).
+//! * Everything is collected **per thread** (no locks on the hot path) and
+//!   merged into a process-global sink when the thread flushes — via
+//!   [`flush_thread`], automatically when a [`ParentScope`] drops, or at
+//!   thread exit as a backstop; [`drain`] takes the merged [`Telemetry`]
+//!   snapshot.
+//!
+//! ## Gating
+//!
+//! Collection is off by default. [`init_from_env`] enables it when
+//! `ILT_TRACE` is set to `1`/`true`/`on`; when disabled, every entry point
+//! is a no-op behind a single relaxed atomic load and allocates nothing.
+//! [`SpanGuard`]s still measure wall time when disabled (an `Instant` is a
+//! plain value), so flows can derive their stage timings from the same
+//! guards unconditionally.
+//!
+//! ## Example
+//!
+//! ```
+//! use ilt_telemetry as tele;
+//!
+//! tele::set_enabled(true);
+//! {
+//!     let mut flow = tele::span(tele::names::FLOW);
+//!     flow.add_field("name", "demo");
+//!     let _stage = tele::span(tele::names::STAGE);
+//!     tele::counter_add("fft.forward", 3);
+//! }
+//! let t = tele::drain();
+//! tele::set_enabled(false);
+//! assert_eq!(t.events.len(), 2);
+//! assert_eq!(t.counters["fft.forward"], 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collect;
+mod export;
+pub mod json;
+mod metrics;
+mod span;
+
+pub use collect::{drain, flush_thread, SpanEvent, Telemetry};
+pub use export::{FlowSummary, StageSummary};
+pub use metrics::{counter_add, record_value, Histogram};
+pub use span::{current_span, parent_scope, span, FieldValue, ParentScope, SpanGuard, SpanRef};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Conventional span names shared by the workspace, so exporters can
+/// recognise the flow/stage/tile hierarchy without string coupling.
+pub mod names {
+    /// A whole optimisation flow (field `name` holds the flow identifier).
+    pub const FLOW: &str = "flow";
+    /// One stage of a flow (field `label` holds the stage label).
+    pub const STAGE: &str = "stage";
+    /// One executor job (field `job` holds the index).
+    pub const JOB: &str = "job";
+    /// One per-tile unit of work inside a stage (field `tile`).
+    pub const TILE: &str = "tile";
+    /// The sequential assembly that follows a stage's tile solves.
+    pub const ASSEMBLY: &str = "assembly";
+    /// A single-tile solver invocation.
+    pub const SOLVE: &str = "solve";
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Returns whether telemetry collection is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enables or disables collection. Prefer [`init_from_env`] in binaries;
+/// this entry point exists for tests and embedding.
+pub fn set_enabled(on: bool) {
+    if on {
+        let _ = epoch();
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Reads `ILT_TRACE` and enables collection when it is `1`, `true`, `on`,
+/// or `yes` (case-insensitive). Returns the resulting enabled state.
+pub fn init_from_env() -> bool {
+    let on = std::env::var("ILT_TRACE")
+        .map(|v| {
+            let v = v.trim().to_ascii_lowercase();
+            matches!(v.as_str(), "1" | "true" | "on" | "yes")
+        })
+        .unwrap_or(false);
+    set_enabled(on);
+    on
+}
+
+/// The process-wide time origin all span timestamps are relative to.
+pub(crate) fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}

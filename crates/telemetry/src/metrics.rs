@@ -1,0 +1,155 @@
+//! Counters and log-bucketed histograms.
+
+use crate::collect::with_local;
+use crate::enabled;
+
+/// Adds `delta` to the named counter. No-op (one relaxed atomic load) when
+/// telemetry is disabled; otherwise touches only the thread-local buffer.
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    with_local(|l| *l.counters.entry(name).or_insert(0) += delta);
+}
+
+/// Records `value` into the named histogram. No-op when disabled.
+#[inline]
+pub fn record_value(name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    with_local(|l| {
+        l.histograms
+            .entry(name)
+            .or_insert_with(Histogram::new)
+            .record(value);
+    });
+}
+
+const BUCKETS: usize = 65;
+
+/// A histogram over `u64` values with power-of-two buckets: bucket 0 holds
+/// exactly the value 0 and bucket `b ≥ 1` holds `[2^(b-1), 2^b - 1]`.
+/// Quantiles are approximate (bucket upper bound); `min`/`max`/`sum` are
+/// exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros()) as usize
+        }
+    }
+
+    fn bucket_upper(bucket: usize) -> u64 {
+        if bucket == 0 {
+            0
+        } else if bucket >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << bucket) - 1
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded values.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 if empty).
+    #[inline]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    #[inline]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]`: the upper bound of the bucket
+    /// containing the `⌈q·count⌉`-th smallest sample (clamped by the exact
+    /// max). Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Self::bucket_upper(b).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}

@@ -1,0 +1,272 @@
+//! RAII spans and cross-thread parent propagation.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::collect::{self, SpanEvent};
+use crate::{enabled, epoch};
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A structured field value attached to a span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+}
+
+impl FieldValue {
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            FieldValue::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            FieldValue::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// A copyable reference to an open span, used to carry the active span
+/// across threads (see [`parent_scope`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRef(pub(crate) u64);
+
+struct Rec {
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// An open span. Records a [`SpanEvent`] when dropped (or via
+/// [`SpanGuard::end`]); always measures wall time, even when telemetry is
+/// disabled, so callers can reuse the guard as a stopwatch.
+pub struct SpanGuard {
+    start: Instant,
+    rec: Option<Rec>,
+    /// Guards must drop on the thread that created them (thread-local
+    /// span stack), so the type is deliberately `!Send`.
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Opens a span named `name` under the innermost open span of the current
+/// thread. When telemetry is disabled this allocates nothing and performs a
+/// single relaxed atomic load (plus the `Instant` read).
+pub fn span(name: &'static str) -> SpanGuard {
+    let start = Instant::now();
+    if !enabled() {
+        return SpanGuard {
+            start,
+            rec: None,
+            _not_send: PhantomData,
+        };
+    }
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = collect::with_local(|l| {
+        let parent = l.stack.last().copied();
+        l.stack.push(id);
+        parent
+    })
+    .flatten();
+    SpanGuard {
+        start,
+        rec: Some(Rec {
+            id,
+            parent,
+            name,
+            fields: Vec::new(),
+        }),
+        _not_send: PhantomData,
+    }
+}
+
+impl SpanGuard {
+    /// Elapsed wall time of this span so far, in seconds. Works whether or
+    /// not telemetry is enabled.
+    #[inline]
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Attaches a structured field (no-op when the span is not recording).
+    pub fn add_field(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        if let Some(rec) = &mut self.rec {
+            rec.fields.push((key, value.into()));
+        }
+    }
+
+    /// A reference to this span for cross-thread propagation, if recording.
+    pub fn span_ref(&self) -> Option<SpanRef> {
+        self.rec.as_ref().map(|r| SpanRef(r.id))
+    }
+
+    /// Closes the span now and returns its duration in seconds. The
+    /// recorded event uses the *same* duration measurement, so timing
+    /// derived from the return value agrees exactly with the trace.
+    pub fn end(mut self) -> f64 {
+        let dur = self.start.elapsed();
+        self.record(dur);
+        dur.as_secs_f64()
+    }
+
+    fn record(&mut self, dur: Duration) {
+        let Some(rec) = self.rec.take() else { return };
+        let start_ns = self
+            .start
+            .checked_duration_since(epoch())
+            .map_or(0, |d| d.as_nanos() as u64);
+        let mut rec = Some(rec);
+        let recorded = collect::with_local(|l| {
+            let rec = rec.take().expect("rec present on first use");
+            if let Some(pos) = l.stack.iter().rposition(|&x| x == rec.id) {
+                l.stack.truncate(pos);
+            }
+            let thread = l.thread;
+            l.events.push(SpanEvent {
+                id: rec.id,
+                parent: rec.parent,
+                name: rec.name,
+                fields: rec.fields,
+                start_ns,
+                dur_ns: dur.as_nanos() as u64,
+                thread,
+            });
+        });
+        if recorded.is_none() {
+            if let Some(rec) = rec {
+                collect::sink_event(SpanEvent {
+                    id: rec.id,
+                    parent: rec.parent,
+                    name: rec.name,
+                    fields: rec.fields,
+                    start_ns,
+                    dur_ns: dur.as_nanos() as u64,
+                    thread: u64::MAX,
+                });
+            }
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.rec.is_some() {
+            let dur = self.start.elapsed();
+            self.record(dur);
+        }
+    }
+}
+
+impl std::fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanGuard")
+            .field("recording", &self.rec.is_some())
+            .finish()
+    }
+}
+
+/// The innermost open span on the current thread, if any.
+pub fn current_span() -> Option<SpanRef> {
+    if !enabled() {
+        return None;
+    }
+    collect::with_local(|l| l.stack.last().copied())
+        .flatten()
+        .map(SpanRef)
+}
+
+/// Adopts `parent` as the current thread's span context until the returned
+/// guard drops. Worker pools call this so spans opened inside jobs attach
+/// to the span that was active where the jobs were submitted.
+pub fn parent_scope(parent: Option<SpanRef>) -> ParentScope {
+    let id = match parent {
+        Some(p) if enabled() => {
+            collect::with_local(|l| l.stack.push(p.0));
+            Some(p.0)
+        }
+        _ => None,
+    };
+    ParentScope {
+        id,
+        _not_send: PhantomData,
+    }
+}
+
+/// Guard restoring the thread's span context (see [`parent_scope`]).
+#[derive(Debug)]
+pub struct ParentScope {
+    id: Option<u64>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for ParentScope {
+    fn drop(&mut self) {
+        if let Some(id) = self.id {
+            collect::with_local(|l| {
+                if let Some(pos) = l.stack.iter().rposition(|&x| x == id) {
+                    l.stack.truncate(pos);
+                }
+            });
+            // Worker threads end their useful life when the adopted scope
+            // closes; flush now, because thread-local destructors may run
+            // after the pool's join is observed (see `flush_thread`).
+            collect::flush_thread();
+        }
+    }
+}

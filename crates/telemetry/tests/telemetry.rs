@@ -1,0 +1,201 @@
+//! Integration tests for `ilt-telemetry`.
+//!
+//! Telemetry state is process-global, so every test that enables
+//! collection serialises on [`LOCK`] and drains fully before releasing it.
+
+use std::sync::Mutex;
+
+use ilt_telemetry as tele;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn with_tracing<R>(f: impl FnOnce() -> R) -> (R, tele::Telemetry) {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = tele::drain(); // discard leftovers from other tests
+    tele::set_enabled(true);
+    let r = f();
+    tele::set_enabled(false);
+    let t = tele::drain();
+    (r, t)
+}
+
+#[test]
+fn disabled_spans_record_nothing_but_still_time() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = tele::drain();
+    tele::set_enabled(false);
+    let mut s = tele::span("unit.disabled");
+    s.add_field("k", 1u64);
+    assert!(s.span_ref().is_none());
+    let secs = s.end();
+    assert!(secs >= 0.0);
+    tele::counter_add("unit.disabled_counter", 5);
+    tele::record_value("unit.disabled_hist", 5);
+    let t = tele::drain();
+    assert_eq!(t.span_count("unit.disabled"), 0);
+    assert!(!t.counters.contains_key("unit.disabled_counter"));
+    assert!(!t.histograms.contains_key("unit.disabled_hist"));
+}
+
+#[test]
+fn nesting_links_parents_and_end_matches_event_duration() {
+    let ((), t) = with_tracing(|| {
+        let outer = tele::span("unit.outer");
+        let outer_id = outer.span_ref().expect("recording");
+        {
+            let inner = tele::span("unit.inner");
+            assert_eq!(tele::current_span(), inner.span_ref());
+            let secs = inner.end();
+            assert!(secs >= 0.0);
+        }
+        assert_eq!(tele::current_span(), Some(outer_id));
+    });
+    let outer = t.events.iter().find(|e| e.name == "unit.outer").unwrap();
+    let inner = t.events.iter().find(|e| e.name == "unit.inner").unwrap();
+    assert_eq!(inner.parent, Some(outer.id));
+    assert_eq!(outer.parent, None);
+    assert!(inner.dur_ns <= outer.dur_ns);
+}
+
+#[test]
+fn parent_scope_adopts_across_threads() {
+    let ((), t) = with_tracing(|| {
+        let flow = tele::span(tele::names::FLOW);
+        let parent = flow.span_ref();
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(move || {
+                    let _adopt = tele::parent_scope(parent);
+                    let _job = tele::span("unit.worker_job");
+                });
+            }
+        });
+    });
+    let flow_id = t
+        .events
+        .iter()
+        .find(|e| e.name == tele::names::FLOW)
+        .unwrap()
+        .id;
+    let jobs: Vec<_> = t
+        .events
+        .iter()
+        .filter(|e| e.name == "unit.worker_job")
+        .collect();
+    assert_eq!(jobs.len(), 2);
+    for j in &jobs {
+        assert_eq!(j.parent, Some(flow_id));
+    }
+    // Worker threads got distinct thread ordinals.
+    assert_ne!(jobs[0].thread, jobs[1].thread);
+}
+
+#[test]
+fn counters_and_histograms_merge_across_threads() {
+    let ((), t) = with_tracing(|| {
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    tele::counter_add("unit.count", 2);
+                    for v in [1u64, 10, 100] {
+                        tele::record_value("unit.hist", v);
+                    }
+                    // Thread-local destructors may run after the scope's
+                    // join is observed, so flush before the thread ends.
+                    tele::flush_thread();
+                });
+            }
+        });
+    });
+    assert_eq!(t.counters["unit.count"], 6);
+    let h = &t.histograms["unit.hist"];
+    assert_eq!(h.count(), 9);
+    assert_eq!(h.sum(), 333);
+    assert_eq!(h.min(), 1);
+    assert_eq!(h.max(), 100);
+}
+
+#[test]
+fn histogram_quantiles_are_bucket_bounded() {
+    let mut h = tele::Histogram::new();
+    for v in 1..=100u64 {
+        h.record(v);
+    }
+    let p50 = h.quantile(0.5);
+    let p95 = h.quantile(0.95);
+    // True p50 = 50, bucket [32,63]; true p95 = 95, bucket [64,100 (clamped)].
+    assert_eq!(p50, 63);
+    assert_eq!(p95, 100);
+    assert_eq!(h.quantile(1.0), 100);
+    assert_eq!(h.quantile(0.0), 1); // clamped to first sample's bucket
+    assert_eq!(tele::Histogram::new().quantile(0.5), 0);
+}
+
+#[test]
+fn exporters_cover_all_spans_and_parse_as_json_shapes() {
+    let ((), t) = with_tracing(|| {
+        let mut flow = tele::span(tele::names::FLOW);
+        flow.add_field("name", "demo \"flow\"");
+        {
+            let mut stage = tele::span(tele::names::STAGE);
+            stage.add_field("label", "stage 1");
+            for i in 0..3usize {
+                let mut tile = tele::span(tele::names::TILE);
+                tile.add_field("tile", i);
+            }
+            let _asm = tele::span(tele::names::ASSEMBLY);
+        }
+        tele::counter_add("unit.export_counter", 1);
+        tele::record_value("unit.export_hist", 42);
+    });
+
+    let jsonl = t.to_jsonl();
+    let span_lines = jsonl.lines().filter(|l| l.contains("\"type\":\"span\""));
+    assert_eq!(span_lines.count(), t.events.len());
+    assert!(jsonl.contains("\\\"flow\\\"")); // quotes escaped
+    assert!(jsonl.contains("\"type\":\"counter\""));
+    assert!(jsonl.contains("\"type\":\"histogram\""));
+
+    let chrome = t.to_chrome_trace();
+    assert!(chrome.starts_with("{\"traceEvents\":["));
+    assert!(chrome.ends_with("]}"));
+    assert_eq!(chrome.matches("\"ph\":\"X\"").count(), t.events.len());
+
+    let tree = t.render_tree();
+    assert!(tree.contains("stage(stage 1)"));
+    assert!(tree.contains("tile(2)"));
+    assert!(tree.contains("unit.export_counter = 1"));
+
+    let tree_json = t.span_tree_json();
+    assert!(tree_json.starts_with('['));
+    assert!(tree_json.contains("\"children\":["));
+
+    let flows = t.flow_summaries();
+    assert_eq!(flows.len(), 1);
+    assert_eq!(flows[0].name, "demo \"flow\"");
+    assert_eq!(flows[0].stages.len(), 1);
+    let s = &flows[0].stages[0];
+    assert_eq!(s.label, "stage 1");
+    assert_eq!(s.tile_count, 3);
+    assert!(s.tile_seconds <= s.seconds);
+    assert!(s.assembly_seconds <= s.seconds);
+    assert!(s.seconds <= flows[0].seconds);
+}
+
+#[test]
+fn tiles_found_below_job_spans() {
+    let ((), t) = with_tracing(|| {
+        let mut flow = tele::span(tele::names::FLOW);
+        flow.add_field("name", "jobbed");
+        let mut stage = tele::span(tele::names::STAGE);
+        stage.add_field("label", "s");
+        for i in 0..2usize {
+            let mut job = tele::span(tele::names::JOB);
+            job.add_field("job", i);
+            let mut tile = tele::span(tele::names::TILE);
+            tile.add_field("tile", i);
+        }
+    });
+    let flows = t.flow_summaries();
+    assert_eq!(flows[0].stages[0].tile_count, 2);
+}

@@ -179,6 +179,10 @@ pub fn assemble(
             }
         }
     }
+    ilt_telemetry::counter_add(
+        "tile.pixels_assembled",
+        (partition.width() * partition.height()) as u64,
+    );
     Ok(out)
 }
 

@@ -8,6 +8,22 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
+use ilt_telemetry as tele;
+
+/// Runs one job inside a `job` span tagged with the job and worker index,
+/// and feeds its wall time into the `executor.job_us` histogram. The span
+/// nests under whatever span is active on the calling thread (workers adopt
+/// the submitting thread's span via [`tele::parent_scope`]).
+fn traced_job<T, F: Fn(usize) -> T>(job: &F, i: usize, worker: usize) -> T {
+    let mut span = tele::span(tele::names::JOB);
+    span.add_field("job", i);
+    span.add_field("worker", worker);
+    let out = job(i);
+    let seconds = span.end();
+    tele::record_value("executor.job_us", (seconds * 1e6) as u64);
+    out
+}
+
 /// Runs per-index jobs across a fixed number of worker threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TileExecutor {
@@ -46,24 +62,30 @@ impl TileExecutor {
         F: Fn(usize) -> T + Sync,
     {
         if self.workers == 1 || count <= 1 {
-            return (0..count).map(job).collect();
+            return (0..count).map(|i| traced_job(&job, i, 0)).collect();
         }
+        // Capture the caller's active span so per-job spans recorded on
+        // worker threads attach to it instead of becoming roots.
+        let parent = tele::current_span();
         let next = AtomicUsize::new(0);
         let (sender, receiver) = mpsc::channel::<(usize, T)>();
         std::thread::scope(|scope| {
-            for _ in 0..self.workers.min(count) {
+            for worker in 0..self.workers.min(count) {
                 let sender = sender.clone();
                 let next = &next;
                 let job = &job;
-                scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= count {
-                        break;
-                    }
-                    // The receiver outlives the scope; send cannot fail
-                    // unless a sibling panicked, which propagates anyway.
-                    if sender.send((i, job(i))).is_err() {
-                        break;
+                scope.spawn(move || {
+                    let _adopted = tele::parent_scope(parent);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        // The receiver outlives the scope; send cannot fail
+                        // unless a sibling panicked, which propagates anyway.
+                        if sender.send((i, traced_job(job, i, worker))).is_err() {
+                            break;
+                        }
                     }
                 });
             }
