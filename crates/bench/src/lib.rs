@@ -104,11 +104,14 @@ impl HarnessOptions {
     /// Finalises a run: drains the telemetry collected since startup and
     /// writes the machine-readable artifacts.
     ///
-    /// Always writes `report.json` (schema `ilt-report/v1`) into the
+    /// Always writes `report.json` (schema `ilt-report/v2`) into the
     /// artifact directory. When tracing is enabled (`ILT_TRACE=1`), also
     /// writes `<binary>_events.jsonl` and `<binary>_trace.json` (Chrome
     /// `trace_event` format) into the trace directory (`ILT_TRACE_OUT`,
-    /// default: the artifact directory) and prints the span-tree summary.
+    /// default: the artifact directory), renders the spatial diagnostic
+    /// maps collected by `ilt-diag` (per-case EPE hotspot / seam mismatch /
+    /// MRC overlay PGMs plus a `tile_quality.csv` matrix), and prints the
+    /// span-tree summary.
     ///
     /// # Panics
     ///
@@ -117,7 +120,9 @@ impl HarnessOptions {
     pub fn finish_run(&self, binary: &str) {
         let trace_enabled = ilt_telemetry::enabled();
         let tele = ilt_telemetry::drain();
-        let report = render_report(binary, self, &tele, trace_enabled);
+        let diag = ilt_diag::sink::drain();
+        let anomalies = ilt_diag::anomalies_from(&tele);
+        let report = render_report(binary, self, &tele, trace_enabled, &diag, &anomalies);
         let path = self.artifact("report.json");
         std::fs::write(&path, report).expect("cannot write report.json");
         println!("wrote {}", path.display());
@@ -132,8 +137,73 @@ impl HarnessOptions {
             std::fs::write(&trace_path, tele.to_chrome_trace()).expect("cannot write Chrome trace");
             println!("wrote {}", events_path.display());
             println!("wrote {}", trace_path.display());
+            write_diag_artifacts(&dir, &diag);
             print!("{}", tele.render_tree());
         }
+    }
+}
+
+/// Replaces every non-alphanumeric character with `_` so case and method
+/// labels (which may contain spaces, colons, or slashes) form safe
+/// filenames.
+fn sanitize(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Writes the spatial diagnostic maps: for every traced case×method, the
+/// EPE hotspot grid, seam mismatch map, and MRC overlay as PGM images,
+/// plus a `tile_quality.csv` with one row per tile across all cases.
+fn write_diag_artifacts(dir: &std::path::Path, diag: &ilt_diag::RunDiagnostics) {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for case in &diag.cases {
+        let stem = format!("{}_{}", sanitize(&case.case), sanitize(&case.method));
+        for (suffix, map) in [
+            ("epe", &case.epe_heatmap),
+            ("seam", &case.seam_map),
+            ("mrc", &case.mrc_overlay),
+        ] {
+            let path = dir.join(format!("{stem}_{suffix}.pgm"));
+            ilt_grid::io::write_pgm(&path, map).expect("cannot write diagnostic heatmap");
+            println!("wrote {}", path.display());
+        }
+        for t in &case.tiles {
+            rows.push(vec![
+                case.case.clone(),
+                case.method.clone(),
+                t.tile.to_string(),
+                t.epe_gauges.to_string(),
+                format!("{:.3}", t.epe_p50),
+                format!("{:.3}", t.epe_p95),
+                t.epe_max.to_string(),
+                t.epe_violations.to_string(),
+                format!("{:.6}", t.stitch),
+                t.mrc.to_string(),
+            ]);
+        }
+    }
+    if !rows.is_empty() {
+        let path = dir.join("tile_quality.csv");
+        ilt_grid::io::write_csv(
+            &path,
+            &[
+                "case",
+                "method",
+                "tile",
+                "epe_gauges",
+                "epe_p50",
+                "epe_p95",
+                "epe_max",
+                "epe_violations",
+                "stitch",
+                "mrc",
+            ],
+            &rows,
+        )
+        .expect("cannot write tile quality matrix");
+        println!("wrote {}", path.display());
     }
 }
 
@@ -171,16 +241,21 @@ where
     }
 }
 
-/// Renders the `ilt-report/v1` run report: run parameters, per-flow stage
-/// summaries, merged counters/histograms, and the nested span tree.
+/// Renders the `ilt-report/v2` run report: run parameters, per-flow stage
+/// summaries (with interpolated per-tile latency percentiles), merged
+/// counters/histograms, the diagnostics section (convergence matrix,
+/// quality matrix, anomalies), and the nested span tree. v2 is a strict
+/// superset of v1: every v1 field is unchanged.
 fn render_report(
     binary: &str,
     opts: &HarnessOptions,
     tele: &Telemetry,
     trace_enabled: bool,
+    diag: &ilt_diag::RunDiagnostics,
+    anomalies: &[ilt_diag::AnomalyEvent],
 ) -> String {
     use ilt_telemetry::json;
-    let mut out = String::from("{\"schema\":\"ilt-report/v1\",\"binary\":");
+    let mut out = String::from("{\"schema\":\"ilt-report/v2\",\"binary\":");
     json::push_str_literal(&mut out, binary);
     out.push_str(",\"scale\":");
     json::push_str_literal(&mut out, &opts.scale);
@@ -215,6 +290,13 @@ fn render_report(
             json::push_f64(&mut out, stage.tile_seconds);
             out.push_str(",\"assembly_seconds\":");
             json::push_f64(&mut out, stage.assembly_seconds);
+            let (p50, p95, p99) = stage.tile_us_percentiles();
+            out.push_str(",\"tile_us_p50\":");
+            json::push_f64(&mut out, p50);
+            out.push_str(",\"tile_us_p95\":");
+            json::push_f64(&mut out, p95);
+            out.push_str(",\"tile_us_p99\":");
+            json::push_f64(&mut out, p99);
             out.push('}');
         }
         out.push_str("]}");
@@ -235,16 +317,19 @@ fn render_report(
         json::push_str_literal(&mut out, name);
         let _ = write!(
             out,
-            ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{}}}",
+            ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
             h.count(),
             h.sum(),
             h.min(),
             h.max(),
             h.quantile(0.5),
-            h.quantile(0.95)
+            h.quantile(0.95),
+            h.quantile(0.99)
         );
     }
-    out.push_str("},\"spans\":");
+    out.push_str("},\"diagnostics\":");
+    out.push_str(&ilt_diag::render_diagnostics_json(diag, anomalies));
+    out.push_str(",\"spans\":");
     out.push_str(&tele.span_tree_json());
     out.push('}');
     out
@@ -297,12 +382,34 @@ mod tests {
             workers: 1,
             out_dir: PathBuf::from("results"),
         };
-        let report = render_report("smoke", &opts, &Telemetry::default(), false);
-        assert!(report.starts_with("{\"schema\":\"ilt-report/v1\""));
+        let report = render_report(
+            "smoke",
+            &opts,
+            &Telemetry::default(),
+            false,
+            &ilt_diag::RunDiagnostics::default(),
+            &[],
+        );
+        assert!(report.starts_with("{\"schema\":\"ilt-report/v2\""));
         assert!(report.contains("\"binary\":\"smoke\""));
         assert!(report.contains("\"scale\":\"tiny\""));
         assert!(report.contains("\"trace_enabled\":false"));
         assert!(report.ends_with('}'));
+        // The whole report must be well-formed JSON with the v2 sections in
+        // place (empty, since no telemetry was collected).
+        let json = ilt_diag::Json::parse(&report).expect("report parses");
+        assert_eq!(
+            json.get("schema").and_then(|s| s.as_str()),
+            Some("ilt-report/v2")
+        );
+        let diagnostics = json.get("diagnostics").expect("diagnostics section");
+        for key in ["convergence", "quality", "anomalies"] {
+            let arr = diagnostics
+                .get(key)
+                .and_then(|v| v.as_arr())
+                .unwrap_or_else(|| panic!("diagnostics.{key} is an array"));
+            assert!(arr.is_empty());
+        }
     }
 
     #[test]

@@ -61,7 +61,8 @@ pub fn multigrid_schwarz(
             overlap: s * config.partition.overlap,
         };
         let partition = Partition::new(clip_w, clip_h, coarse)?;
-        let stage = trace::stage(format!("coarse s={s}"));
+        let label = format!("coarse s={s}");
+        let stage = trace::stage(label.clone());
         let solved = executor.run_fallible(partition.tiles().len(), |i| {
             let tile = partition.tile(i);
             let tile_target = resample::downsample(&restrict(&target_real, tile), s);
@@ -73,6 +74,7 @@ pub fn multigrid_schwarz(
                     &SolveRequest::new(&tile_target, &tile_init, config.schedule.coarse_iterations),
                 )?)
             })?;
+            ilt_diag::observe_solve(&name, &label, i, &outcome.loss_history);
             // Promote the coarse solution back to the fine grid with a
             // band-limited interpolation: bilinear alone leaves blocky
             // staircases that the fine stages (optically blind to them)
@@ -100,7 +102,8 @@ pub fn multigrid_schwarz(
     };
     for fine_stage in 0..config.schedule.fine_stages {
         let iterations = config.schedule.fine_per_stage(fine_stage);
-        let stage = trace::stage(format!("fine stage {}", fine_stage + 1));
+        let label = format!("fine stage {}", fine_stage + 1);
+        let stage = trace::stage(label.clone());
         let solved = executor.run_fallible(partition.tiles().len(), |i| {
             let tile = partition.tile(i);
             let tile_target = restrict(&target_real, tile);
@@ -116,6 +119,7 @@ pub fn multigrid_schwarz(
             };
             let (outcome, elapsed) =
                 trace::timed_tile(i, || Ok::<_, CoreError>(solver.solve(&ctx, &request)?))?;
+            ilt_diag::observe_solve(&name, &label, i, &outcome.loss_history);
             Ok::<_, CoreError>((outcome.mask, elapsed))
         })?;
         let (assembled, timing) = stage.finish(solved, |masks| {
@@ -139,7 +143,8 @@ pub fn multigrid_schwarz(
         if group.is_empty() {
             continue;
         }
-        let stage = trace::stage(format!("refine color {}", color + 1));
+        let label = format!("refine color {}", color + 1);
+        let stage = trace::stage(label.clone());
         let solved = executor.run_fallible(group.len(), |k| {
             let tile = partition.tile(group[k]);
             let tile_target = restrict(&target_real, tile);
@@ -156,6 +161,7 @@ pub fn multigrid_schwarz(
             let (outcome, elapsed) = trace::timed_tile(group[k], || {
                 Ok::<_, CoreError>(solver.solve(&ctx, &request)?)
             })?;
+            ilt_diag::observe_solve(&name, &label, group[k], &outcome.loss_history);
             Ok::<_, CoreError>((outcome.mask, elapsed))
         })?;
         // Multiplicative replacement over the extended core: later colours

@@ -53,7 +53,8 @@ pub fn stitch_and_heal(
 
     for (line_idx, line) in lines.iter().enumerate() {
         let windows = heal_windows(line, t, target.width(), target.height());
-        let stage = trace::stage(format!("heal line {}", line_idx + 1));
+        let label = format!("heal line {}", line_idx + 1);
+        let stage = trace::stage(label.clone());
         let solved = executor.run_fallible(windows.len(), |k| {
             let rect = windows[k];
             let fake_tile = Tile {
@@ -80,6 +81,7 @@ pub fn stitch_and_heal(
             };
             let (outcome, elapsed) =
                 trace::timed_tile(k, || Ok::<_, CoreError>(solver.solve(&ctx, &request)?))?;
+            ilt_diag::observe_solve(&name, &label, k, &outcome.loss_history);
             Ok::<_, CoreError>((outcome.mask, elapsed))
         })?;
 

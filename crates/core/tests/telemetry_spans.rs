@@ -21,14 +21,23 @@ static TRACING: Mutex<()> = Mutex::new(());
 /// Runs `run` with tracing enabled and returns its result plus the drained
 /// telemetry snapshot, serialised against the other tests in this binary.
 fn with_tracing<R>(run: impl FnOnce() -> R) -> (R, tele::Telemetry) {
+    let (out, t, _diag) = with_tracing_diag(run);
+    (out, t)
+}
+
+/// Like [`with_tracing`], but also drains the `ilt-diag` sink (which is
+/// fed by the flows' `observe_solve` hooks under the same global flag).
+fn with_tracing_diag<R>(run: impl FnOnce() -> R) -> (R, tele::Telemetry, ilt_diag::RunDiagnostics) {
     let guard = TRACING.lock().unwrap_or_else(|e| e.into_inner());
     let _ = tele::drain();
+    let _ = ilt_diag::sink::drain();
     tele::set_enabled(true);
     let out = run();
     tele::set_enabled(false);
     let t = tele::drain();
+    let diag = ilt_diag::sink::drain();
     drop(guard);
-    (out, t)
+    (out, t, diag)
 }
 
 fn close(a: f64, b: f64, what: &str) {
@@ -124,9 +133,47 @@ fn parallel_execution_attributes_all_tiles_to_the_stage() {
 }
 
 #[test]
+fn traced_flow_fills_the_diag_convergence_matrix() {
+    let config = ExperimentConfig::test_tiny();
+    let bank = LithoBank::new(config.optics, ResistModel::m1_default()).unwrap();
+    let target = generate_clip(&config.generator, 4);
+    let (result, t, diag) = with_tracing_diag(|| {
+        multigrid_schwarz(
+            &config,
+            &bank,
+            &target,
+            &PixelIlt::new(),
+            &TileExecutor::new(3),
+        )
+        .unwrap()
+    });
+
+    // Every tile solve of every stage produced one convergence cell, with
+    // flow/stage labels matching the StageTiming report.
+    let tiles: usize = result.stages.iter().map(|s| s.tile_seconds.len()).sum();
+    assert_eq!(diag.solves.len(), tiles);
+    assert!(diag.solves.iter().all(|c| c.flow == result.name));
+    for timing in &result.stages {
+        let cells = diag
+            .solves
+            .iter()
+            .filter(|c| c.stage == timing.label)
+            .count();
+        assert_eq!(cells, timing.tile_seconds.len(), "{}", timing.label);
+    }
+    assert!(diag.solves.iter().all(|c| c.iterations > 0));
+    assert!(diag.solves.iter().all(|c| c.final_loss.is_some()));
+    // Any anomaly spans in the trace correspond to cells' anomaly lists.
+    let span_anomalies = ilt_diag::anomalies_from(&t);
+    let cell_anomalies: usize = diag.solves.iter().map(|c| c.anomalies.len()).sum();
+    assert_eq!(span_anomalies.len(), cell_anomalies);
+}
+
+#[test]
 fn disabled_tracing_collects_nothing_but_still_times() {
     let guard = TRACING.lock().unwrap_or_else(|e| e.into_inner());
     let _ = tele::drain();
+    let _ = ilt_diag::sink::drain();
     tele::set_enabled(false);
 
     let config = ExperimentConfig::test_tiny();
@@ -142,12 +189,14 @@ fn disabled_tracing_collects_nothing_but_still_times() {
     .unwrap();
 
     let t = tele::drain();
+    let diag = ilt_diag::sink::drain();
     drop(guard);
     assert!(
         t.is_empty(),
         "disabled run recorded {} spans",
         t.events.len()
     );
+    assert!(diag.is_empty(), "disabled run fed the diag sink");
     // The StageTiming API still reports real measurements.
     assert_eq!(result.stages[0].tile_seconds.len(), 9);
     assert!(result.stages[0].tile_seconds.iter().all(|&s| s > 0.0));

@@ -1,0 +1,305 @@
+//! Convergence anomaly detection over per-iteration solver loss traces.
+//!
+//! Three failure shapes matter in practice for tiled ILT:
+//!
+//! * **stall** — the loss stops improving long before the iteration budget
+//!   runs out (wasted compute, or a tile stuck in a bad basin);
+//! * **divergence** — the loss increases over a sustained streak (a step
+//!   size or preconditioner problem);
+//! * **oscillation** — the loss alternates up/down nearly every iteration
+//!   (a step size at the stability boundary).
+//!
+//! [`detect`] reports at most one anomaly of each kind (the first
+//! occurrence) so a 200-iteration stall does not produce 200 events.
+
+use ilt_telemetry as tele;
+
+/// The kind of convergence anomaly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnomalyKind {
+    /// Relative improvement below threshold across a window.
+    Stall,
+    /// Monotone loss increase across a streak.
+    Divergence,
+    /// Near-perfect up/down alternation across a window.
+    Oscillation,
+}
+
+impl AnomalyKind {
+    /// The stable string code used in span fields and report JSON.
+    pub fn code(self) -> &'static str {
+        match self {
+            AnomalyKind::Stall => "stall",
+            AnomalyKind::Divergence => "divergence",
+            AnomalyKind::Oscillation => "oscillation",
+        }
+    }
+}
+
+/// One detected anomaly, anchored to the iteration where it first met the
+/// detection criterion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Anomaly {
+    /// What went wrong.
+    pub kind: AnomalyKind,
+    /// 0-based index into the loss trace where detection fired.
+    pub iteration: usize,
+    /// Kind-specific magnitude: relative improvement for stalls, relative
+    /// increase for divergences, flip count for oscillations.
+    pub value: f64,
+}
+
+/// Detection thresholds. The defaults are deliberately conservative — they
+/// flag traces a human would also call anomalous, not marginal ones.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnomalyConfig {
+    /// Window length (iterations) for stall detection.
+    pub stall_window: usize,
+    /// A window whose relative improvement is below this is a stall.
+    pub stall_rel_eps: f64,
+    /// Consecutive loss increases needed to call a divergence.
+    pub divergence_streak: usize,
+    /// Window length (iterations) for oscillation detection.
+    pub oscillation_window: usize,
+    /// Sign flips of the loss delta within the window needed to call an
+    /// oscillation (the window has `oscillation_window - 2` possible flips).
+    pub oscillation_flips: usize,
+}
+
+impl Default for AnomalyConfig {
+    fn default() -> Self {
+        AnomalyConfig {
+            stall_window: 5,
+            stall_rel_eps: 1e-3,
+            divergence_streak: 3,
+            oscillation_window: 8,
+            oscillation_flips: 6,
+        }
+    }
+}
+
+/// Scans a per-iteration loss trace and returns at most one anomaly per
+/// kind — the first iteration where each criterion was met — ordered by
+/// iteration.
+pub fn detect(losses: &[f64], config: &AnomalyConfig) -> Vec<Anomaly> {
+    let mut out = Vec::new();
+    if let Some(a) = detect_divergence(losses, config) {
+        out.push(a);
+    }
+    if let Some(a) = detect_stall(losses, config) {
+        out.push(a);
+    }
+    if let Some(a) = detect_oscillation(losses, config) {
+        out.push(a);
+    }
+    out.sort_by_key(|a| a.iteration);
+    out
+}
+
+fn detect_divergence(losses: &[f64], config: &AnomalyConfig) -> Option<Anomaly> {
+    let mut streak = 0usize;
+    for i in 1..losses.len() {
+        if losses[i] > losses[i - 1] {
+            streak += 1;
+            if streak >= config.divergence_streak {
+                let base = losses[i - streak];
+                let rel = if base.abs() > f64::EPSILON {
+                    (losses[i] - base) / base.abs()
+                } else {
+                    losses[i] - base
+                };
+                return Some(Anomaly {
+                    kind: AnomalyKind::Divergence,
+                    iteration: i,
+                    value: rel,
+                });
+            }
+        } else {
+            streak = 0;
+        }
+    }
+    None
+}
+
+fn detect_stall(losses: &[f64], config: &AnomalyConfig) -> Option<Anomaly> {
+    let w = config.stall_window;
+    for i in w..losses.len() {
+        let prev = losses[i - w];
+        let rel = if prev.abs() > f64::EPSILON {
+            (prev - losses[i]) / prev.abs()
+        } else {
+            prev - losses[i]
+        };
+        // Tiny movement in either direction is a stall; a large increase is
+        // a divergence and is reported as such, not here.
+        if rel.abs() < config.stall_rel_eps {
+            return Some(Anomaly {
+                kind: AnomalyKind::Stall,
+                iteration: i,
+                value: rel,
+            });
+        }
+    }
+    None
+}
+
+fn detect_oscillation(losses: &[f64], config: &AnomalyConfig) -> Option<Anomaly> {
+    let w = config.oscillation_window;
+    if losses.len() < w || w < 3 {
+        return None;
+    }
+    for end in w..=losses.len() {
+        let window = &losses[end - w..end];
+        let mut flips = 0usize;
+        for k in 2..window.len() {
+            let d1 = window[k - 1] - window[k - 2];
+            let d2 = window[k] - window[k - 1];
+            if d1 * d2 < 0.0 {
+                flips += 1;
+            }
+        }
+        if flips >= config.oscillation_flips {
+            return Some(Anomaly {
+                kind: AnomalyKind::Oscillation,
+                iteration: end - 1,
+                value: flips as f64,
+            });
+        }
+    }
+    None
+}
+
+/// Telemetry hook for flow code: detects anomalies in one tile solve's loss
+/// trace, records the solve into the diagnostics sink, and emits one
+/// zero-length [`tele::names::ANOMALY`] span per anomaly (fields `kind`,
+/// `flow`, `stage`, `tile`, `iteration`, `value`) plus a `diag.anomalies`
+/// counter bump.
+///
+/// When tracing is disabled this is a no-op behind a single relaxed atomic
+/// load and allocates nothing.
+pub fn observe_solve(flow: &str, stage: &str, tile: usize, losses: &[f64]) {
+    if !tele::enabled() {
+        return;
+    }
+    let anomalies = detect(losses, &AnomalyConfig::default());
+    for a in &anomalies {
+        let mut span = tele::span(tele::names::ANOMALY);
+        span.add_field("kind", a.kind.code());
+        span.add_field("flow", flow.to_string());
+        span.add_field("stage", stage.to_string());
+        span.add_field("tile", tile);
+        span.add_field("iteration", a.iteration);
+        span.add_field("value", a.value);
+        tele::counter_add("diag.anomalies", 1);
+    }
+    crate::sink::record_solve(crate::sink::StageCell {
+        flow: flow.to_string(),
+        stage: stage.to_string(),
+        tile,
+        iterations: losses.len(),
+        final_loss: losses.last().copied(),
+        anomalies,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(anomalies: &[Anomaly]) -> Vec<AnomalyKind> {
+        anomalies.iter().map(|a| a.kind).collect()
+    }
+
+    #[test]
+    fn clean_decay_has_no_anomalies() {
+        let losses: Vec<f64> = (0..40).map(|i| 100.0 * 0.9f64.powi(i)).collect();
+        assert!(detect(&losses, &AnomalyConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn flat_tail_is_a_stall() {
+        let mut losses: Vec<f64> = (0..10).map(|i| 100.0 * 0.8f64.powi(i)).collect();
+        losses.extend(std::iter::repeat_n(losses[9], 10));
+        let found = detect(&losses, &AnomalyConfig::default());
+        assert_eq!(kinds(&found), vec![AnomalyKind::Stall]);
+        // Fires as soon as the window is flat, not at the trace end.
+        assert!(found[0].iteration < losses.len() - 1);
+    }
+
+    #[test]
+    fn rising_streak_is_a_divergence() {
+        let losses = vec![10.0, 9.0, 8.0, 9.0, 10.5, 12.0, 14.0];
+        let found = detect(&losses, &AnomalyConfig::default());
+        assert!(kinds(&found).contains(&AnomalyKind::Divergence));
+        let d = found
+            .iter()
+            .find(|a| a.kind == AnomalyKind::Divergence)
+            .unwrap();
+        assert_eq!(d.iteration, 5); // third consecutive increase
+        assert!(d.value > 0.0);
+    }
+
+    #[test]
+    fn alternating_trace_is_an_oscillation() {
+        let losses: Vec<f64> = (0..16)
+            .map(|i| 50.0 + if i % 2 == 0 { 5.0 } else { -5.0 })
+            .collect();
+        let found = detect(&losses, &AnomalyConfig::default());
+        assert!(kinds(&found).contains(&AnomalyKind::Oscillation));
+    }
+
+    #[test]
+    fn at_most_one_anomaly_per_kind() {
+        // A long flat trace stalls at many windows; only the first reports.
+        let losses = vec![5.0; 50];
+        let found = detect(&losses, &AnomalyConfig::default());
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].kind, AnomalyKind::Stall);
+        assert_eq!(found[0].iteration, AnomalyConfig::default().stall_window);
+    }
+
+    #[test]
+    fn short_traces_are_never_anomalous() {
+        for len in 0..3 {
+            let losses = vec![1.0; len];
+            assert!(detect(&losses, &AnomalyConfig::default()).is_empty());
+        }
+    }
+
+    #[test]
+    fn observe_solve_is_inert_when_disabled() {
+        let _guard = crate::testlock::lock();
+        tele::set_enabled(false);
+        let _ = crate::sink::drain();
+        observe_solve("f", "s", 0, &[5.0; 50]);
+        assert!(crate::sink::drain().solves.is_empty());
+    }
+
+    #[test]
+    fn observe_solve_records_spans_and_cells() {
+        let _guard = crate::testlock::lock();
+        tele::set_enabled(true);
+        let _ = tele::drain();
+        let _ = crate::sink::drain();
+        observe_solve("test-flow", "stage 0", 3, &[5.0; 50]);
+        tele::flush_thread();
+        let t = tele::drain();
+        tele::set_enabled(false);
+        let spans: Vec<_> = t
+            .events
+            .iter()
+            .filter(|e| e.name == tele::names::ANOMALY)
+            .collect();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(
+            spans[0].field("kind").and_then(|v| v.as_str()),
+            Some("stall")
+        );
+        assert_eq!(spans[0].field("tile").and_then(|v| v.as_u64()), Some(3));
+        assert_eq!(t.counters.get("diag.anomalies"), Some(&1));
+        let diag = crate::sink::drain();
+        assert_eq!(diag.solves.len(), 1);
+        assert_eq!(diag.solves[0].flow, "test-flow");
+        assert_eq!(diag.solves[0].iterations, 50);
+    }
+}

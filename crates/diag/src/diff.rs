@@ -1,0 +1,277 @@
+//! Report comparison for regression gating: compares two `ilt-report`
+//! files (v1 or v2) and lists quality/latency regressions of the candidate
+//! against the baseline. The `report_diff` bench binary is a thin CLI over
+//! [`compare_reports`].
+
+use crate::jsonv::Json;
+
+/// What counts as a regression.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffThresholds {
+    /// A flow's wall seconds may grow by at most this factor.
+    pub max_latency_ratio: f64,
+    /// A quality number may grow by at most this factor (plus the slack).
+    pub max_quality_ratio: f64,
+    /// Absolute slack added to every quality bound, so a 0 → 1 violation
+    /// jump on a near-clean baseline can be tolerated when loose gating is
+    /// wanted.
+    pub quality_slack: f64,
+    /// Compare latency at all (off for cross-machine comparisons).
+    pub check_latency: bool,
+}
+
+impl Default for DiffThresholds {
+    fn default() -> Self {
+        DiffThresholds {
+            max_latency_ratio: 2.0,
+            max_quality_ratio: 1.10,
+            quality_slack: 0.5,
+            check_latency: true,
+        }
+    }
+}
+
+/// One detected regression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// What regressed, e.g. `latency flow=ours:pgd` or
+    /// `quality case=c method=Ours metric=epe_p95`.
+    pub what: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Candidate value.
+    pub candidate: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: baseline {:.4} -> candidate {:.4}",
+            self.what, self.baseline, self.candidate
+        )
+    }
+}
+
+fn schema_of(report: &Json) -> Result<&str, String> {
+    let s = report
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing schema field")?;
+    if s.starts_with("ilt-report/") {
+        Ok(s)
+    } else {
+        Err(format!("not an ilt-report: schema {s:?}"))
+    }
+}
+
+/// Flow wall seconds by name.
+fn flow_seconds(report: &Json) -> Vec<(String, f64)> {
+    report
+        .get("flows")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|f| {
+            Some((
+                f.get("name")?.as_str()?.to_string(),
+                f.get("seconds")?.as_f64()?,
+            ))
+        })
+        .collect()
+}
+
+/// Quality metric values keyed by metric name.
+type MetricRow = Vec<(&'static str, f64)>;
+
+/// Quality summaries by (case, method), from the v2 diagnostics section.
+/// Empty for v1 reports.
+fn quality_summaries(report: &Json) -> Vec<((String, String), MetricRow)> {
+    const METRICS: [&str; 5] = ["epe_p95", "epe_max", "epe_violations", "stitch", "mrc"];
+    report
+        .path(&["diagnostics", "quality"])
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|q| {
+            let key = (
+                q.get("case")?.as_str()?.to_string(),
+                q.get("method")?.as_str()?.to_string(),
+            );
+            let summary = q.get("summary")?;
+            let metrics = METRICS
+                .iter()
+                .filter_map(|&m| Some((m, summary.get(m)?.as_f64()?)))
+                .collect();
+            Some((key, metrics))
+        })
+        .collect()
+}
+
+/// Compares a candidate report against a baseline.
+///
+/// Latency gates on per-flow wall seconds (ratio, with a 5 ms floor on the
+/// baseline so micro-runs don't trip on noise). Quality gates on the v2
+/// `diagnostics.quality` summaries matched by (case, method):
+/// `candidate > baseline * max_quality_ratio + quality_slack` is a
+/// regression, as is a (case, method) or flow present in the baseline but
+/// missing from the candidate. A baseline without diagnostics skips
+/// quality gating.
+///
+/// # Errors
+///
+/// Returns a message when either document is not an `ilt-report`.
+pub fn compare_reports(
+    baseline: &Json,
+    candidate: &Json,
+    thresholds: &DiffThresholds,
+) -> Result<Vec<Regression>, String> {
+    schema_of(baseline)?;
+    schema_of(candidate)?;
+    let mut regressions = Vec::new();
+
+    if thresholds.check_latency {
+        let cand_flows = flow_seconds(candidate);
+        for (name, base_s) in flow_seconds(baseline) {
+            match cand_flows.iter().find(|(n, _)| *n == name) {
+                None => regressions.push(Regression {
+                    what: format!("missing flow={name}"),
+                    baseline: base_s,
+                    candidate: 0.0,
+                }),
+                Some((_, cand_s)) => {
+                    let floor = base_s.max(0.005);
+                    if *cand_s > floor * thresholds.max_latency_ratio {
+                        regressions.push(Regression {
+                            what: format!("latency flow={name}"),
+                            baseline: base_s,
+                            candidate: *cand_s,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let cand_quality = quality_summaries(candidate);
+    for ((case, method), base_metrics) in quality_summaries(baseline) {
+        let Some((_, cand_metrics)) = cand_quality
+            .iter()
+            .find(|((c, m), _)| *c == case && *m == method)
+        else {
+            regressions.push(Regression {
+                what: format!("missing quality case={case} method={method}"),
+                baseline: 1.0,
+                candidate: 0.0,
+            });
+            continue;
+        };
+        for (metric, base_v) in base_metrics {
+            let Some((_, cand_v)) = cand_metrics.iter().find(|(m, _)| *m == metric) else {
+                continue;
+            };
+            let bound = base_v * thresholds.max_quality_ratio + thresholds.quality_slack;
+            if *cand_v > bound {
+                regressions.push(Regression {
+                    what: format!("quality case={case} method={method} metric={metric}"),
+                    baseline: base_v,
+                    candidate: *cand_v,
+                });
+            }
+        }
+    }
+    Ok(regressions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(flow_seconds: f64, epe_p95: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{"schema":"ilt-report/v2",
+                 "flows":[{{"name":"ours:pgd","seconds":{flow_seconds}}}],
+                 "diagnostics":{{"quality":[
+                   {{"case":"c1","method":"Ours",
+                     "summary":{{"epe_p95":{epe_p95},"epe_max":3,"epe_violations":0,"stitch":1.5,"mrc":0}},
+                     "tiles":[]}}],
+                   "convergence":[],"anomalies":[]}}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_reports_have_no_regressions() {
+        let r = report(1.0, 2.0);
+        assert!(compare_reports(&r, &r, &DiffThresholds::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn worse_quality_is_a_regression() {
+        let base = report(1.0, 2.0);
+        let cand = report(1.0, 4.0);
+        let found = compare_reports(&base, &cand, &DiffThresholds::default()).unwrap();
+        assert_eq!(found.len(), 1);
+        assert!(found[0].what.contains("epe_p95"), "{}", found[0].what);
+    }
+
+    #[test]
+    fn worse_latency_is_a_regression_unless_disabled() {
+        let base = report(1.0, 2.0);
+        let cand = report(10.0, 2.0);
+        let found = compare_reports(&base, &cand, &DiffThresholds::default()).unwrap();
+        assert_eq!(found.len(), 1);
+        assert!(found[0].what.contains("latency"));
+        let relaxed = DiffThresholds {
+            check_latency: false,
+            ..DiffThresholds::default()
+        };
+        assert!(compare_reports(&base, &cand, &relaxed).unwrap().is_empty());
+    }
+
+    #[test]
+    fn slack_tolerates_small_absolute_jumps() {
+        let base = report(1.0, 0.0);
+        let cand = report(1.0, 0.4);
+        assert!(compare_reports(&base, &cand, &DiffThresholds::default())
+            .unwrap()
+            .is_empty());
+        let cand = report(1.0, 0.6);
+        assert_eq!(
+            compare_reports(&base, &cand, &DiffThresholds::default())
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn missing_flow_or_case_is_a_regression() {
+        let base = report(1.0, 2.0);
+        let cand = Json::parse(r#"{"schema":"ilt-report/v2","flows":[]}"#).unwrap();
+        let found = compare_reports(&base, &cand, &DiffThresholds::default()).unwrap();
+        assert_eq!(found.len(), 2);
+        assert!(found.iter().any(|r| r.what.contains("missing flow")));
+        assert!(found.iter().any(|r| r.what.contains("missing quality")));
+    }
+
+    #[test]
+    fn v1_baseline_skips_quality_gating() {
+        let base =
+            Json::parse(r#"{"schema":"ilt-report/v1","flows":[{"name":"f","seconds":1.0}]}"#)
+                .unwrap();
+        let cand = report(1.0, 99.0);
+        let found = compare_reports(&base, &cand, &DiffThresholds::default()).unwrap();
+        assert!(found.iter().all(|r| !r.what.contains("quality")));
+    }
+
+    #[test]
+    fn non_reports_are_rejected() {
+        let junk = Json::parse(r#"{"schema":"something-else"}"#).unwrap();
+        let r = report(1.0, 2.0);
+        assert!(compare_reports(&junk, &r, &DiffThresholds::default()).is_err());
+        assert!(compare_reports(&r, &junk, &DiffThresholds::default()).is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! Renders drained diagnostics into the `diagnostics` section of
+//! `report.json` (schema `ilt-report/v2`) and extracts anomaly events back
+//! out of a telemetry snapshot.
+
+use std::fmt::Write as _;
+
+use ilt_telemetry::{json, names, FieldValue, Telemetry};
+
+use crate::sink::{CaseQuality, RunDiagnostics, StageCell};
+
+/// One anomaly event extracted from the span tree (the flattened form of
+/// the `anomaly` spans emitted by [`crate::observe_solve`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnomalyEvent {
+    /// Flow name.
+    pub flow: String,
+    /// Stage label.
+    pub stage: String,
+    /// Tile index.
+    pub tile: u64,
+    /// Anomaly kind code (`stall`, `divergence`, `oscillation`).
+    pub kind: String,
+    /// Iteration where detection fired.
+    pub iteration: u64,
+    /// Kind-specific magnitude.
+    pub value: f64,
+}
+
+fn field_str(e: &ilt_telemetry::SpanEvent, key: &str) -> String {
+    e.field(key)
+        .and_then(FieldValue::as_str)
+        .unwrap_or("?")
+        .to_string()
+}
+
+fn field_f64(e: &ilt_telemetry::SpanEvent, key: &str) -> f64 {
+    match e.field(key) {
+        Some(FieldValue::F64(v)) => *v,
+        Some(FieldValue::U64(v)) => *v as f64,
+        Some(FieldValue::I64(v)) => *v as f64,
+        _ => 0.0,
+    }
+}
+
+/// Collects every anomaly span from a drained telemetry snapshot, in
+/// record order.
+pub fn anomalies_from(telemetry: &Telemetry) -> Vec<AnomalyEvent> {
+    telemetry
+        .events
+        .iter()
+        .filter(|e| e.name == names::ANOMALY)
+        .map(|e| AnomalyEvent {
+            flow: field_str(e, "flow"),
+            stage: field_str(e, "stage"),
+            tile: e.field("tile").and_then(FieldValue::as_u64).unwrap_or(0),
+            kind: field_str(e, "kind"),
+            iteration: e
+                .field("iteration")
+                .and_then(FieldValue::as_u64)
+                .unwrap_or(0),
+            value: field_f64(e, "value"),
+        })
+        .collect()
+}
+
+/// Renders the `diagnostics` JSON object embedded in `ilt-report/v2`:
+/// the convergence matrix (one cell per observed tile solve), the per-case
+/// quality matrices with folded summaries, and the flattened anomaly list.
+pub fn render_diagnostics_json(diag: &RunDiagnostics, anomalies: &[AnomalyEvent]) -> String {
+    let mut out = String::from("{\"convergence\":[");
+    for (i, cell) in diag.solves.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_cell(&mut out, cell);
+    }
+    out.push_str("],\"quality\":[");
+    for (i, case) in diag.cases.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_case(&mut out, case);
+    }
+    out.push_str("],\"anomalies\":[");
+    for (i, a) in anomalies.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_anomaly(&mut out, a);
+    }
+    out.push_str("]}");
+    out
+}
+
+fn push_cell(out: &mut String, cell: &StageCell) {
+    out.push_str("{\"flow\":");
+    json::push_str_literal(out, &cell.flow);
+    out.push_str(",\"stage\":");
+    json::push_str_literal(out, &cell.stage);
+    let _ = write!(
+        out,
+        ",\"tile\":{},\"iterations\":{}",
+        cell.tile, cell.iterations
+    );
+    out.push_str(",\"final_loss\":");
+    match cell.final_loss {
+        Some(v) => json::push_f64(out, v),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"anomalies\":[");
+    for (i, a) in cell.anomalies.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::push_str_literal(out, a.kind.code());
+    }
+    out.push_str("]}");
+}
+
+fn push_case(out: &mut String, case: &CaseQuality) {
+    out.push_str("{\"case\":");
+    json::push_str_literal(out, &case.case);
+    out.push_str(",\"method\":");
+    json::push_str_literal(out, &case.method);
+    let s = case.summary();
+    out.push_str(",\"summary\":{\"epe_p95\":");
+    json::push_f64(out, s.epe_p95);
+    let _ = write!(
+        out,
+        ",\"epe_max\":{},\"epe_violations\":{},\"stitch\":",
+        s.epe_max, s.epe_violations
+    );
+    json::push_f64(out, s.stitch);
+    let _ = write!(out, ",\"mrc\":{}}}", s.mrc);
+    out.push_str(",\"tiles\":[");
+    for (i, t) in case.tiles.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"tile\":{},\"epe_gauges\":{}", t.tile, t.epe_gauges);
+        out.push_str(",\"epe_p50\":");
+        json::push_f64(out, t.epe_p50);
+        out.push_str(",\"epe_p95\":");
+        json::push_f64(out, t.epe_p95);
+        let _ = write!(
+            out,
+            ",\"epe_max\":{},\"epe_violations\":{},\"stitch\":",
+            t.epe_max, t.epe_violations
+        );
+        json::push_f64(out, t.stitch);
+        let _ = write!(out, ",\"mrc\":{}}}", t.mrc);
+    }
+    out.push_str("]}");
+}
+
+fn push_anomaly(out: &mut String, a: &AnomalyEvent) {
+    out.push_str("{\"flow\":");
+    json::push_str_literal(out, &a.flow);
+    out.push_str(",\"stage\":");
+    json::push_str_literal(out, &a.stage);
+    out.push_str(",\"kind\":");
+    json::push_str_literal(out, &a.kind);
+    let _ = write!(out, ",\"tile\":{},\"iteration\":{}", a.tile, a.iteration);
+    out.push_str(",\"value\":");
+    json::push_f64(out, a.value);
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anomaly::observe_solve;
+    use crate::jsonv::Json;
+    use ilt_telemetry as tele;
+
+    #[test]
+    fn diagnostics_json_parses_and_carries_the_matrix() {
+        let _guard = crate::testlock::lock();
+        tele::set_enabled(true);
+        let _ = tele::drain();
+        let _ = crate::sink::drain();
+        observe_solve("f:solver", "stage 0", 2, &[10.0, 5.0, 2.5, 1.25]);
+        observe_solve("f:solver", "stage 0", 7, &[5.0; 20]);
+        tele::flush_thread();
+        let t = tele::drain();
+        tele::set_enabled(false);
+        let diag = crate::sink::drain();
+        let anomalies = anomalies_from(&t);
+        assert_eq!(anomalies.len(), 1);
+        assert_eq!(anomalies[0].kind, "stall");
+        assert_eq!(anomalies[0].tile, 7);
+        assert_eq!(anomalies[0].stage, "stage 0");
+
+        let rendered = render_diagnostics_json(&diag, &anomalies);
+        let v = Json::parse(&rendered).expect("diagnostics JSON must parse");
+        let cells = v.get("convergence").and_then(Json::as_arr).unwrap();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].get("iterations").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(cells[1].get("final_loss").and_then(Json::as_f64), Some(5.0));
+        let listed = v.get("anomalies").and_then(Json::as_arr).unwrap();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0].get("kind").and_then(Json::as_str), Some("stall"));
+    }
+}

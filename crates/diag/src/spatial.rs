@@ -1,0 +1,252 @@
+//! Spatial quality diagnostics: the per-tile quality matrix and the coarse
+//! heatmaps (EPE hotspots, seam mismatch, MRC overlay) written as PGM
+//! artifacts.
+//!
+//! All attribution uses the partition's **core** rectangles — cores
+//! partition the layout, so every gauge, stitch intersection, and MRC
+//! violation lands in exactly one tile row.
+
+use ilt_grid::{Grid, RealGrid};
+use ilt_metrics::{EpeConfig, EpeReport, MrcReport, StitchReport};
+use ilt_tile::Partition;
+
+use crate::sink::TileQuality;
+
+/// Heatmap cell size in layout pixels: matches the default EPE gauge
+/// spacing so each cell holds on the order of one gauge per edge.
+pub const HEATMAP_CELL: usize = 8;
+
+/// Builds the per-tile quality matrix for one (case, method) result.
+///
+/// Gauges are attributed to the tile whose core contains them; EPE
+/// percentiles are exact nearest-rank statistics over the tile's found
+/// gauges. Stitch intersections attribute by their sample point, MRC
+/// violations by their bounding-box centre.
+pub fn tile_quality_matrix(
+    partition: &Partition,
+    epe: &EpeReport,
+    epe_config: &EpeConfig,
+    stitch: &StitchReport,
+    mrc: &MrcReport,
+) -> Vec<TileQuality> {
+    partition
+        .tiles()
+        .iter()
+        .map(|tile| {
+            let core = tile.core;
+            let mut abs: Vec<usize> = Vec::new();
+            let mut gauges = 0usize;
+            let mut violations = 0usize;
+            for g in &epe.gauges {
+                if !core.contains(g.x as i64, g.y as i64) {
+                    continue;
+                }
+                gauges += 1;
+                match g.epe {
+                    Some(e) => {
+                        let a = e.unsigned_abs() as usize;
+                        abs.push(a);
+                        if a > epe_config.tolerance {
+                            violations += 1;
+                        }
+                    }
+                    None => violations += 1,
+                }
+            }
+            abs.sort_unstable();
+            let stitch_loss: f64 = stitch
+                .intersections
+                .iter()
+                .filter(|i| core.contains(i.x as i64, i.y as i64))
+                .map(|i| i.loss)
+                .sum();
+            let mrc_count = mrc
+                .violations
+                .iter()
+                .filter(|v| {
+                    let cx = (v.bbox.x0 + v.bbox.x1) / 2;
+                    let cy = (v.bbox.y0 + v.bbox.y1) / 2;
+                    core.contains(cx, cy)
+                })
+                .count();
+            TileQuality {
+                tile: tile.index,
+                epe_gauges: gauges,
+                epe_p50: nearest_rank(&abs, 0.5),
+                epe_p95: nearest_rank(&abs, 0.95),
+                epe_max: abs.last().copied().unwrap_or(0),
+                epe_violations: violations,
+                stitch: stitch_loss,
+                mrc: mrc_count,
+            }
+        })
+        .collect()
+}
+
+/// Exact nearest-rank percentile of an ascending-sorted slice (0.0 when
+/// empty).
+fn nearest_rank(sorted: &[usize], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1] as f64
+}
+
+fn cell_grid(partition: &Partition, cell: usize) -> RealGrid {
+    let w = partition.width().div_ceil(cell).max(1);
+    let h = partition.height().div_ceil(cell).max(1);
+    Grid::new(w, h, 0.0)
+}
+
+/// EPE hotspot heatmap: one coarse cell per `cell x cell` block, valued at
+/// the worst |EPE| of the gauges inside it. Gauges that found no contour
+/// count as `search_range + 1` — strictly worse than anything measurable.
+pub fn epe_hotspot_grid(
+    partition: &Partition,
+    epe: &EpeReport,
+    epe_config: &EpeConfig,
+    cell: usize,
+) -> RealGrid {
+    let mut grid = cell_grid(partition, cell);
+    for g in &epe.gauges {
+        let (cx, cy) = (g.x / cell, g.y / cell);
+        if cx >= grid.width() || cy >= grid.height() {
+            continue;
+        }
+        let a = match g.epe {
+            Some(e) => e.unsigned_abs() as f64,
+            None => (epe_config.search_range + 1) as f64,
+        };
+        if a > grid.get(cx, cy) {
+            grid.set(cx, cy, a);
+        }
+    }
+    grid
+}
+
+/// Seam mismatch map: stitch loss accumulated per coarse cell along the
+/// partition's stitch lines.
+pub fn seam_mismatch_map(partition: &Partition, stitch: &StitchReport, cell: usize) -> RealGrid {
+    let mut grid = cell_grid(partition, cell);
+    for i in &stitch.intersections {
+        let (cx, cy) = (i.x / cell, i.y / cell);
+        if cx >= grid.width() || cy >= grid.height() {
+            continue;
+        }
+        grid.set(cx, cy, grid.get(cx, cy) + i.loss);
+    }
+    grid
+}
+
+/// MRC violation overlay: violation count per coarse cell (by bounding-box
+/// centre).
+pub fn mrc_overlay(partition: &Partition, mrc: &MrcReport, cell: usize) -> RealGrid {
+    let mut grid = cell_grid(partition, cell);
+    for v in &mrc.violations {
+        let cx = ((v.bbox.x0 + v.bbox.x1) / 2).max(0) as usize / cell;
+        let cy = ((v.bbox.y0 + v.bbox.y1) / 2).max(0) as usize / cell;
+        if cx >= grid.width() || cy >= grid.height() {
+            continue;
+        }
+        grid.set(cx, cy, grid.get(cx, cy) + 1.0);
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilt_grid::{BitGrid, Rect};
+    use ilt_metrics::{check_mask, edge_placement_error, stitch_loss, MrcRules, StitchConfig};
+    use ilt_tile::PartitionConfig;
+
+    fn quad_partition() -> Partition {
+        Partition::new(
+            128,
+            128,
+            PartitionConfig {
+                tile: 96,
+                overlap: 64,
+            },
+        )
+        .unwrap()
+    }
+
+    fn target() -> BitGrid {
+        let mut t: BitGrid = Grid::new(128, 128, 0);
+        // One feature per quadrant core.
+        t.fill_rect(Rect::new(16, 16, 48, 48), 1);
+        t.fill_rect(Rect::new(80, 80, 112, 112), 1);
+        t
+    }
+
+    #[test]
+    fn matrix_has_one_row_per_tile_and_attributes_by_core() {
+        let partition = quad_partition();
+        let target = target();
+        let mut printed = target.clone();
+        // Damage only the second feature (bottom-right core): 2 px shrink.
+        printed.fill_rect(Rect::new(80, 80, 112, 112), 0);
+        printed.fill_rect(Rect::new(82, 82, 110, 110), 1);
+        let config = EpeConfig::m1_default();
+        let epe = edge_placement_error(&target, &printed, &config);
+        let stitch = stitch_loss(&printed, &[], &StitchConfig::default());
+        let mrc = check_mask(&printed, &MrcRules::m1_default());
+        let rows = tile_quality_matrix(&partition, &epe, &config, &stitch, &mrc);
+        assert_eq!(rows.len(), partition.tiles().len());
+        let total_gauges: usize = rows.iter().map(|r| r.epe_gauges).sum();
+        assert_eq!(total_gauges, epe.gauges.len(), "cores partition the gauges");
+        let first = &rows[0];
+        let last = rows.last().unwrap();
+        assert_eq!(first.epe_max, 0, "undamaged quadrant is clean");
+        assert!(last.epe_max >= 2, "damaged quadrant shows the error");
+    }
+
+    #[test]
+    fn hotspot_grid_marks_damaged_cells_only() {
+        let partition = quad_partition();
+        let target = target();
+        let mut printed = target.clone();
+        printed.fill_rect(Rect::new(80, 80, 112, 112), 0); // feature missing
+        let config = EpeConfig::m1_default();
+        let epe = edge_placement_error(&target, &printed, &config);
+        let grid = epe_hotspot_grid(&partition, &epe, &config, HEATMAP_CELL);
+        assert_eq!(grid.width(), 16);
+        assert_eq!(grid.height(), 16);
+        // Cells over the intact feature stay at zero; the missing feature's
+        // gauges read search_range + 1.
+        assert_eq!(grid.get(16 / HEATMAP_CELL, 24 / HEATMAP_CELL), 0.0);
+        let worst = (0..16)
+            .flat_map(|y| (0..16).map(move |x| (x, y)))
+            .map(|(x, y)| grid.get(x, y))
+            .fold(0.0f64, f64::max);
+        assert_eq!(worst, (config.search_range + 1) as f64);
+    }
+
+    #[test]
+    fn seam_map_accumulates_on_stitch_lines() {
+        let partition = quad_partition();
+        let mask = target();
+        let lines = partition.stitch_lines();
+        assert!(!lines.is_empty());
+        let report = stitch_loss(&mask, &lines, &StitchConfig::default());
+        let map = seam_mismatch_map(&partition, &report, HEATMAP_CELL);
+        let total: f64 = (0..map.height())
+            .flat_map(|y| (0..map.width()).map(move |x| (x, y)))
+            .map(|(x, y)| map.get(x, y))
+            .sum();
+        assert!(
+            (total - report.total).abs() < 1e-9,
+            "map conserves total loss"
+        );
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        assert_eq!(nearest_rank(&[], 0.5), 0.0);
+        assert_eq!(nearest_rank(&[1, 2, 3, 4], 0.5), 2.0);
+        assert_eq!(nearest_rank(&[1, 2, 3, 4], 0.95), 4.0);
+        assert_eq!(nearest_rank(&[7], 0.5), 7.0);
+    }
+}

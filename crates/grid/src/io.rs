@@ -4,7 +4,7 @@
 //! tables (consumed by EXPERIMENTS.md).
 
 use std::fs::File;
-use std::io::{self, BufWriter, Write};
+use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 use crate::grid::{BitGrid, RealGrid};
@@ -38,6 +38,82 @@ pub fn write_pgm_to<W: Write>(mut w: W, img: &RealGrid) -> io::Result<()> {
         .map(|&v| (((v - lo) / span) * 255.0).round().clamp(0.0, 255.0) as u8)
         .collect();
     w.write_all(&bytes)
+}
+
+/// Reads an 8-bit binary PGM (P5) back into a real grid with values in
+/// `[0, 255]` — the inverse of [`write_pgm`] up to the linear range
+/// mapping (a grid already valued in `[0, 255]` with both endpoints
+/// present round-trips exactly).
+///
+/// # Errors
+///
+/// Propagates I/O errors; returns [`io::ErrorKind::InvalidData`] for a
+/// malformed header, a maxval other than 1–255, or a truncated payload.
+pub fn read_pgm<P: AsRef<Path>>(path: P) -> io::Result<RealGrid> {
+    read_pgm_from(BufReader::new(File::open(path)?))
+}
+
+/// Reads a P5 PGM from any reader (see [`read_pgm`]).
+///
+/// # Errors
+///
+/// Propagates I/O errors and malformed-PGM parse failures.
+pub fn read_pgm_from<R: Read>(mut r: R) -> io::Result<RealGrid> {
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, format!("bad PGM: {msg}"));
+    let mut pos = 0usize;
+    // Reads the next whitespace-delimited header token, skipping `#`
+    // comment lines, and leaves `pos` one byte past the token.
+    let mut token = |bytes: &[u8]| -> io::Result<String> {
+        loop {
+            while pos < bytes.len() && bytes[pos].is_ascii_whitespace() {
+                pos += 1;
+            }
+            if pos < bytes.len() && bytes[pos] == b'#' {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+                continue;
+            }
+            break;
+        }
+        let start = pos;
+        while pos < bytes.len() && !bytes[pos].is_ascii_whitespace() {
+            pos += 1;
+        }
+        if start == pos {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad PGM: truncated header",
+            ));
+        }
+        Ok(String::from_utf8_lossy(&bytes[start..pos]).into_owned())
+    };
+    if token(&bytes)? != "P5" {
+        return Err(bad("not a P5 file"));
+    }
+    let parse = |t: String| t.parse::<usize>().map_err(|_| bad("non-numeric header"));
+    let width = parse(token(&bytes)?)?;
+    let height = parse(token(&bytes)?)?;
+    let maxval = parse(token(&bytes)?)?;
+    if width == 0 || height == 0 {
+        return Err(bad("zero dimension"));
+    }
+    if maxval == 0 || maxval > 255 {
+        return Err(bad("unsupported maxval"));
+    }
+    // Exactly one whitespace byte separates the header from the payload.
+    if pos >= bytes.len() || !bytes[pos].is_ascii_whitespace() {
+        return Err(bad("missing header terminator"));
+    }
+    pos += 1;
+    let payload = &bytes[pos..];
+    if payload.len() != width * height {
+        return Err(bad("payload size does not match dimensions"));
+    }
+    let data: Vec<f64> = payload.iter().map(|&b| f64::from(b)).collect();
+    Ok(RealGrid::from_vec(width, height, data))
 }
 
 /// Writes a binary grid as a black/white PGM.
@@ -126,5 +202,72 @@ mod tests {
     fn csv_rejects_ragged_rows() {
         let dir = std::env::temp_dir();
         let _ = write_csv(dir.join("ragged.csv"), &["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn pgm_round_trip_is_bitwise_identical() {
+        // A grid valued in [0, 255] with both endpoints present is a fixed
+        // point of the write mapping, so write → read → write must produce
+        // byte-identical files.
+        let img = Grid::from_fn(16, 16, |x, y| ((x * 16 + y) % 256) as f64);
+        let mut first = Vec::new();
+        write_pgm_to(&mut first, &img).unwrap();
+        let back = read_pgm_from(&first[..]).unwrap();
+        assert_eq!(back, img);
+        let mut second = Vec::new();
+        write_pgm_to(&mut second, &back).unwrap();
+        assert_eq!(first, second, "round-trip changed the bytes");
+    }
+
+    #[test]
+    fn pgm_round_trip_preserves_non_square_shape() {
+        // Regression: width and height must not be swapped for w != h.
+        let img = Grid::from_fn(7, 3, |x, y| ((x + 10 * y) % 256) as f64);
+        let mut buf = Vec::new();
+        write_pgm_to(&mut buf, &img).unwrap();
+        let back = read_pgm_from(&buf[..]).unwrap();
+        assert_eq!((back.width(), back.height()), (7, 3));
+        // The payload is row-major: pixel (6, 0) precedes pixel (0, 1).
+        let lo = img.min();
+        let span = img.max() - lo;
+        for y in 0..3 {
+            for x in 0..7 {
+                let expect = (((img.get(x, y) - lo) / span) * 255.0).round();
+                assert_eq!(back.get(x, y), expect, "pixel ({x}, {y})");
+            }
+        }
+    }
+
+    #[test]
+    fn pgm_reader_skips_comments() {
+        let mut bytes = b"P5\n# a comment\n2 1\n# another\n255\n".to_vec();
+        bytes.extend_from_slice(&[0, 255]);
+        let img = read_pgm_from(&bytes[..]).unwrap();
+        assert_eq!((img.width(), img.height()), (2, 1));
+        assert_eq!(img.get(0, 0), 0.0);
+        assert_eq!(img.get(1, 0), 255.0);
+    }
+
+    #[test]
+    fn pgm_reader_rejects_malformed_input() {
+        for case in [
+            &b"P6\n2 2\n255\nxxxx"[..],   // wrong magic
+            &b"P5\n2 2\n255\nxxx"[..],    // truncated payload
+            &b"P5\n2 2\n65535\nxxxx"[..], // 16-bit maxval unsupported
+            &b"P5\n2\n255\nxx"[..],       // missing height
+            &b"P5\nx 2\n255\nxx"[..],     // non-numeric width
+        ] {
+            let err = read_pgm_from(case).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{case:?}");
+        }
+    }
+
+    #[test]
+    fn bit_pgm_round_trips_through_threshold() {
+        let bit = Grid::from_fn(5, 4, |x, y| u8::from((x + y) % 2 == 0));
+        let mut buf = Vec::new();
+        write_pgm_to(&mut buf, &bit.to_real()).unwrap();
+        let back = read_pgm_from(&buf[..]).unwrap().threshold(127.0);
+        assert_eq!(back, bit);
     }
 }

@@ -54,11 +54,45 @@ pub struct Gauge {
     pub epe: Option<i32>,
 }
 
+/// One straight edge segment of the target: a maximal run of gauges that
+/// share an edge line (same outward normal, same edge coordinate) at
+/// consecutive gauge spacings. Segment-level results localise error to a
+/// nameable piece of geometry instead of burying it in the clip mean.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpeSegment {
+    /// Outward normal shared by every gauge of the segment.
+    pub normal: (i32, i32),
+    /// Indices into [`EpeReport::gauges`], ordered along the edge.
+    pub gauges: Vec<usize>,
+    /// Gauges that found a contour.
+    pub found: usize,
+    /// Sum of |EPE| over found gauges (the fold carrier for the mean).
+    pub sum_abs: f64,
+    /// Maximum |EPE| over found gauges.
+    pub max_abs: usize,
+    /// Gauges beyond the tolerance plus gauges with no contour.
+    pub violations: usize,
+}
+
+impl EpeSegment {
+    /// Mean |EPE| over the segment's found gauges (0.0 if none found).
+    pub fn mean_abs(&self) -> f64 {
+        if self.found == 0 {
+            0.0
+        } else {
+            self.sum_abs / self.found as f64
+        }
+    }
+}
+
 /// Summary of an EPE measurement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EpeReport {
     /// All gauges, in scan order.
     pub gauges: Vec<Gauge>,
+    /// Per-edge-segment results; every gauge belongs to exactly one
+    /// segment, and the aggregate fields below are a fold over these.
+    pub segments: Vec<EpeSegment>,
     /// Mean |EPE| over gauges that found a contour.
     pub mean_abs: f64,
     /// Maximum |EPE| over gauges that found a contour.
@@ -111,30 +145,103 @@ pub fn edge_placement_error(target: &BitGrid, printed: &BitGrid, config: &EpeCon
         }
     }
 
-    let mut sum = 0.0f64;
-    let mut found = 0usize;
-    let mut max_abs = 0usize;
-    let mut violations = 0usize;
-    for g in &gauges {
-        match g.epe {
-            Some(e) => {
-                let a = e.unsigned_abs() as usize;
-                sum += a as f64;
-                found += 1;
-                max_abs = max_abs.max(a);
-                if a > config.tolerance {
-                    violations += 1;
-                }
-            }
-            None => violations += 1,
-        }
-    }
+    let segments = group_segments(&gauges, config);
+
+    // The clip aggregate is a pure fold over the segment summaries; the
+    // segments partition the gauges, so this matches a direct pass.
+    let (sum, found, max_abs, violations) = segments.iter().fold(
+        (0.0f64, 0usize, 0usize, 0usize),
+        |(sum, found, max_abs, violations), s| {
+            (
+                sum + s.sum_abs,
+                found + s.found,
+                max_abs.max(s.max_abs),
+                violations + s.violations,
+            )
+        },
+    );
     EpeReport {
         mean_abs: if found > 0 { sum / found as f64 } else { 0.0 },
         max_abs,
         violations,
+        segments,
         gauges,
     }
+}
+
+/// Groups gauges into maximal straight-edge segments: gauges that share an
+/// outward normal and an edge coordinate, split where consecutive gauges
+/// along the edge sit more than one gauge spacing apart (separate features
+/// on the same grid line).
+fn group_segments(gauges: &[Gauge], config: &EpeConfig) -> Vec<EpeSegment> {
+    use std::collections::BTreeMap;
+    // Key: (normal, fixed edge coordinate); value: (position along the
+    // edge, gauge index). A vertical edge fixes x and runs along y.
+    type LineKey = ((i32, i32), usize);
+    let mut lines: BTreeMap<LineKey, Vec<(usize, usize)>> = BTreeMap::new();
+    for (i, g) in gauges.iter().enumerate() {
+        let (fixed, along) = if g.normal.0 != 0 {
+            (g.x, g.y)
+        } else {
+            (g.y, g.x)
+        };
+        lines.entry((g.normal, fixed)).or_default().push((along, i));
+    }
+    let mut segments = Vec::new();
+    for ((normal, _), mut line) in lines {
+        line.sort_unstable();
+        let mut run: Vec<usize> = Vec::new();
+        let mut prev = None;
+        for (along, i) in line {
+            if let Some(p) = prev {
+                if along - p > config.gauge_spacing && !run.is_empty() {
+                    segments.push(summarise_segment(
+                        normal,
+                        std::mem::take(&mut run),
+                        gauges,
+                        config,
+                    ));
+                }
+            }
+            run.push(i);
+            prev = Some(along);
+        }
+        if !run.is_empty() {
+            segments.push(summarise_segment(normal, run, gauges, config));
+        }
+    }
+    segments
+}
+
+fn summarise_segment(
+    normal: (i32, i32),
+    indices: Vec<usize>,
+    gauges: &[Gauge],
+    config: &EpeConfig,
+) -> EpeSegment {
+    let mut seg = EpeSegment {
+        normal,
+        gauges: indices,
+        found: 0,
+        sum_abs: 0.0,
+        max_abs: 0,
+        violations: 0,
+    };
+    for &i in &seg.gauges {
+        match gauges[i].epe {
+            Some(e) => {
+                let a = e.unsigned_abs() as usize;
+                seg.found += 1;
+                seg.sum_abs += a as f64;
+                seg.max_abs = seg.max_abs.max(a);
+                if a > config.tolerance {
+                    seg.violations += 1;
+                }
+            }
+            None => seg.violations += 1,
+        }
+    }
+    seg
 }
 
 /// Finds the printed contour along the normal through `(x, y)`.
@@ -260,5 +367,99 @@ mod tests {
         let target = square_target();
         let printed: BitGrid = Grid::new(32, 32, 0);
         let _ = edge_placement_error(&target, &printed, &EpeConfig::m1_default());
+    }
+
+    #[test]
+    fn square_target_yields_four_segments() {
+        // A lone square has exactly one edge segment per side; with
+        // spacing 8 each 32-pixel side carries 4 gauges.
+        let target = square_target();
+        let report = edge_placement_error(&target, &target, &EpeConfig::m1_default());
+        assert_eq!(report.segments.len(), 4);
+        let mut normals: Vec<(i32, i32)> = report.segments.iter().map(|s| s.normal).collect();
+        normals.sort_unstable();
+        assert_eq!(normals, vec![(-1, 0), (0, -1), (0, 1), (1, 0)]);
+        for s in &report.segments {
+            assert_eq!(s.gauges.len(), 4, "segment {:?}", s.normal);
+            assert_eq!(s.found, 4);
+            assert_eq!(s.violations, 0);
+            assert_eq!(s.mean_abs(), 0.0);
+        }
+    }
+
+    #[test]
+    fn two_features_on_one_line_split_into_separate_segments() {
+        // Two squares sharing the same left-edge x coordinate, separated by
+        // a gap wider than the gauge spacing, must not merge into one
+        // segment.
+        let mut target: BitGrid = Grid::new(64, 96, 0);
+        target.fill_rect(Rect::new(16, 8, 48, 40), 1);
+        target.fill_rect(Rect::new(16, 56, 48, 88), 1);
+        let report = edge_placement_error(&target, &target, &EpeConfig::m1_default());
+        let left: Vec<_> = report
+            .segments
+            .iter()
+            .filter(|s| s.normal == (-1, 0))
+            .collect();
+        assert_eq!(left.len(), 2, "gap must split the shared edge line");
+    }
+
+    #[test]
+    fn segments_partition_the_gauges() {
+        let target = square_target();
+        let mut printed = Grid::new(64, 64, 0u8);
+        printed.fill_rect(Rect::new(18, 18, 46, 46), 1);
+        let report = edge_placement_error(&target, &printed, &EpeConfig::m1_default());
+        let mut seen = vec![0usize; report.gauges.len()];
+        for s in &report.segments {
+            for &i in &s.gauges {
+                seen[i] += 1;
+            }
+        }
+        assert!(
+            seen.iter().all(|&n| n == 1),
+            "each gauge in exactly one segment"
+        );
+    }
+
+    #[test]
+    fn aggregate_is_a_fold_over_segments() {
+        // Proves the aggregate is unchanged by the segment refactor: on the
+        // seed cases (perfect print, shrink, bloat, missing feature) the
+        // report fields must equal a direct pass over the flat gauge list.
+        let target = square_target();
+        let mut shrunk = Grid::new(64, 64, 0u8);
+        shrunk.fill_rect(Rect::new(18, 18, 46, 46), 1);
+        let mut bloated = Grid::new(64, 64, 0u8);
+        bloated.fill_rect(Rect::new(14, 14, 50, 50), 1);
+        let empty: BitGrid = Grid::new(64, 64, 0);
+        let config = EpeConfig::m1_default();
+        for printed in [&target, &shrunk, &bloated, &empty] {
+            let report = edge_placement_error(&target, printed, &config);
+            // Direct aggregate over the flat gauge list (the pre-refactor
+            // computation).
+            let mut sum = 0.0f64;
+            let mut found = 0usize;
+            let mut max_abs = 0usize;
+            let mut violations = 0usize;
+            for g in &report.gauges {
+                match g.epe {
+                    Some(e) => {
+                        let a = e.unsigned_abs() as usize;
+                        sum += a as f64;
+                        found += 1;
+                        max_abs = max_abs.max(a);
+                        if a > config.tolerance {
+                            violations += 1;
+                        }
+                    }
+                    None => violations += 1,
+                }
+            }
+            let mean = if found > 0 { sum / found as f64 } else { 0.0 };
+            assert_eq!(report.mean_abs, mean);
+            assert_eq!(report.max_abs, max_abs);
+            assert_eq!(report.violations, violations);
+        }
     }
 }

@@ -41,7 +41,7 @@ mod mrc;
 mod quality;
 mod stitch;
 
-pub use epe::{edge_placement_error, EpeConfig, EpeReport, Gauge};
+pub use epe::{edge_placement_error, EpeConfig, EpeReport, EpeSegment, Gauge};
 pub use mrc::{check_mask, MrcKind, MrcReport, MrcRules, MrcViolation};
 pub use quality::{l2_loss, mask_quality, MaskQuality};
 pub use stitch::{stitch_loss, ContinuityComparison, Intersection, StitchConfig, StitchReport};

@@ -7,6 +7,7 @@ use std::fmt::Write as _;
 
 use crate::collect::{SpanEvent, Telemetry};
 use crate::json;
+use crate::metrics::Histogram;
 use crate::names;
 
 /// Summary of one stage span, with tile/assembly attribution derived from
@@ -23,6 +24,21 @@ pub struct StageSummary {
     pub tile_seconds: f64,
     /// Total seconds across descendant assembly spans.
     pub assembly_seconds: f64,
+    /// Log-bucketed histogram of the descendant tile span durations in
+    /// microseconds — the source of the stage's p50/p95/p99 exports.
+    pub tile_us: Histogram,
+}
+
+impl StageSummary {
+    /// Interpolated percentiles `(p50, p95, p99)` of the per-tile wall
+    /// time in microseconds (0.0 for stages without tile spans).
+    pub fn tile_us_percentiles(&self) -> (f64, f64, f64) {
+        (
+            self.tile_us.quantile_interpolated(0.5),
+            self.tile_us.quantile_interpolated(0.95),
+            self.tile_us.quantile_interpolated(0.99),
+        )
+    }
 }
 
 /// Summary of one flow span and its stages.
@@ -77,6 +93,7 @@ fn display_label(e: &SpanEvent) -> String {
             .field("solver")
             .and_then(|v| v.as_str())
             .map(str::to_string),
+        names::ANOMALY => e.field("kind").and_then(|v| v.as_str()).map(str::to_string),
         _ => None,
     };
     match tag {
@@ -129,10 +146,11 @@ impl Telemetry {
             for (name, h) in &self.histograms {
                 let _ = writeln!(
                     out,
-                    "  {name}: count={} p50={} p95={} max={} mean={:.1}",
+                    "  {name}: count={} p50={} p95={} p99={} max={} mean={:.1}",
                     h.count(),
                     h.quantile(0.5),
                     h.quantile(0.95),
+                    h.quantile(0.99),
                     h.max(),
                     h.mean()
                 );
@@ -161,13 +179,14 @@ impl Telemetry {
             json::push_str_literal(&mut out, name);
             let _ = write!(
                 out,
-                ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{}}}",
+                ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
                 h.count(),
                 h.sum(),
                 h.min(),
                 h.max(),
                 h.quantile(0.5),
-                h.quantile(0.95)
+                h.quantile(0.95),
+                h.quantile(0.99)
             );
             out.push('\n');
         }
@@ -236,23 +255,15 @@ impl Telemetry {
                     .and_then(|v| v.as_str())
                     .unwrap_or("?")
                     .to_string();
-                let mut tile_count = 0usize;
-                let mut tile_seconds = 0.0;
-                let mut assembly_seconds = 0.0;
-                sum_descendants(
-                    &self.events,
-                    &tree,
-                    s,
-                    &mut tile_count,
-                    &mut tile_seconds,
-                    &mut assembly_seconds,
-                );
+                let mut acc = StageAcc::default();
+                sum_descendants(&self.events, &tree, s, &mut acc);
                 stages.push(StageSummary {
                     label,
                     seconds: se.seconds(),
-                    tile_count,
-                    tile_seconds,
-                    assembly_seconds,
+                    tile_count: acc.tile_count,
+                    tile_seconds: acc.tile_seconds,
+                    assembly_seconds: acc.assembly_seconds,
+                    tile_us: acc.tile_us,
                 });
             }
             flows.push(FlowSummary {
@@ -307,25 +318,28 @@ fn push_subtree_json(out: &mut String, events: &[SpanEvent], tree: &TreeIndex, n
     out.push(']');
 }
 
-fn sum_descendants(
-    events: &[SpanEvent],
-    tree: &TreeIndex,
-    i: usize,
-    tile_count: &mut usize,
-    tile_seconds: &mut f64,
-    assembly_seconds: &mut f64,
-) {
+/// Tile/assembly attribution accumulated over a stage's descendants.
+#[derive(Default)]
+struct StageAcc {
+    tile_count: usize,
+    tile_seconds: f64,
+    assembly_seconds: f64,
+    tile_us: Histogram,
+}
+
+fn sum_descendants(events: &[SpanEvent], tree: &TreeIndex, i: usize, acc: &mut StageAcc) {
     if let Some(kids) = tree.children.get(&events[i].id) {
         for &k in kids {
             match events[k].name {
                 names::TILE => {
-                    *tile_count += 1;
-                    *tile_seconds += events[k].seconds();
+                    acc.tile_count += 1;
+                    acc.tile_seconds += events[k].seconds();
+                    acc.tile_us.record(events[k].dur_ns / 1_000);
                 }
-                names::ASSEMBLY => *assembly_seconds += events[k].seconds(),
+                names::ASSEMBLY => acc.assembly_seconds += events[k].seconds(),
                 _ => {}
             }
-            sum_descendants(events, tree, k, tile_count, tile_seconds, assembly_seconds);
+            sum_descendants(events, tree, k, acc);
         }
     }
 }

@@ -82,6 +82,11 @@ pub mod names {
     pub const ASSEMBLY: &str = "assembly";
     /// A single-tile solver invocation.
     pub const SOLVE: &str = "solve";
+    /// A convergence anomaly detected by `ilt-diag` (fields `kind`,
+    /// `flow`, `stage`, `tile`, `iteration`, `value`). Recorded as a
+    /// zero-length span so anomalies sit inside the span tree at the
+    /// moment they were detected.
+    pub const ANOMALY: &str = "anomaly";
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);

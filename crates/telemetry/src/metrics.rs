@@ -72,6 +72,14 @@ impl Histogram {
         }
     }
 
+    fn bucket_lower(bucket: usize) -> u64 {
+        if bucket == 0 {
+            0
+        } else {
+            1u64 << (bucket - 1)
+        }
+    }
+
     /// Records one value.
     pub fn record(&mut self, value: u64) {
         self.buckets[Self::bucket_of(value)] += 1;
@@ -146,10 +154,91 @@ impl Histogram {
         }
         self.max
     }
+
+    /// Quantile with linear interpolation inside the containing bucket:
+    /// samples in a bucket are assumed evenly spread over
+    /// `[bucket_lower, bucket_upper]`, and the `⌈q·count⌉`-th smallest
+    /// sample's position within the bucket picks the point on that span.
+    /// The result is clamped to the exact `[min, max]` so single-sample and
+    /// tail quantiles stay truthful. Returns 0.0 for an empty histogram.
+    pub fn quantile_interpolated(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= target {
+                let lo = Self::bucket_lower(b) as f64;
+                let hi = Self::bucket_upper(b).min(self.max) as f64;
+                // Rank within the bucket, 1-based; map rank r of n to the
+                // fraction (r - 1) / max(n - 1, 1) so the first sample sits
+                // at the lower bound and the last at the upper bound.
+                let rank = (target - seen) as f64;
+                let frac = if n > 1 {
+                    (rank - 1.0) / (n as f64 - 1.0)
+                } else {
+                    0.0
+                };
+                let v = lo + frac * (hi - lo).max(0.0);
+                return v.clamp(self.min() as f64, self.max as f64);
+            }
+            seen += n;
+        }
+        self.max as f64
+    }
 }
 
 impl Default for Histogram {
     fn default() -> Self {
         Histogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pins the interpolation formula: on a dense uniform 1..=100 run the
+    /// evenly-spread-within-bucket assumption is exact, so the interpolated
+    /// percentiles land on the true order statistics (the bucket-upper
+    /// `quantile` would report 63/100/100 here).
+    #[test]
+    fn interpolated_percentiles_are_exact_on_uniform_data() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile_interpolated(0.5), 50.0);
+        assert_eq!(h.quantile_interpolated(0.95), 95.0);
+        assert_eq!(h.quantile_interpolated(0.99), 99.0);
+        assert_eq!(h.quantile_interpolated(1.0), 100.0);
+        assert_eq!(h.quantile_interpolated(0.0), 1.0);
+    }
+
+    #[test]
+    fn interpolated_quantile_clamps_to_observed_range() {
+        let mut h = Histogram::new();
+        h.record(7);
+        // One sample in bucket [4, 7]: interpolation alone would report the
+        // lower bound 4; the clamp to [min, max] restores the exact value.
+        assert_eq!(h.quantile_interpolated(0.5), 7.0);
+        assert_eq!(h.quantile_interpolated(1.0), 7.0);
+        assert_eq!(Histogram::new().quantile_interpolated(0.5), 0.0);
+    }
+
+    #[test]
+    fn interpolated_quantile_spreads_within_bucket() {
+        let mut h = Histogram::new();
+        // Three samples in bucket [8, 15]: ranks map to lo / mid / hi.
+        for v in [8u64, 12, 15] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile_interpolated(1.0 / 3.0), 8.0);
+        assert_eq!(h.quantile_interpolated(2.0 / 3.0), 11.5);
+        assert_eq!(h.quantile_interpolated(1.0), 15.0);
     }
 }
