@@ -21,22 +21,27 @@ use ilt_tile::Partition;
 
 fn main() {
     let opts = HarnessOptions::from_env();
-    let bank = opts.bank();
+    // The bank and inspection system are shared across every ablation
+    // point below — only the schedule/geometry knobs vary.
+    let session = opts.session();
     let executor = opts.executor();
     let clip = suite_of_size(&opts.config.generator, 1).remove(0);
-    let inspection = bank
-        .system(opts.config.clip, opts.config.inspection_scale())
-        .expect("inspection");
     let partition =
         Partition::new(clip.size(), clip.size(), opts.config.partition).expect("partition");
     let lines = partition.stitch_lines();
     let solver = PixelIlt::new();
 
     let run = |label: &str, config: &ilt_core::ExperimentConfig| {
-        let flow =
-            multigrid_schwarz(config, &bank, &clip.target, &solver, &executor).expect("flow");
-        let (q, r) = inspect_detailed(config, &inspection, &lines, &clip.target, &flow.mask)
-            .expect("inspect");
+        let flow = multigrid_schwarz(config, session.bank(), &clip.target, &solver, &executor)
+            .expect("flow");
+        let (q, r) = inspect_detailed(
+            config,
+            session.inspection(),
+            &lines,
+            &clip.target,
+            &flow.mask,
+        )
+        .expect("inspect");
         println!(
             "{label:<34} L2 {:6}  PVB {:6}  stitch {:8.1}  TAT {:6.2}s",
             q.l2, q.pvband, r.total, flow.wall_seconds
@@ -101,7 +106,7 @@ fn main() {
         );
     }
     // Print-through effect of truncation at the resist.
-    let resist = bank.resist();
+    let resist = session.bank().resist();
     let reference_print = resist.print(&reference);
     for k in [2usize, 4, 6] {
         let sim = LithoSimulator::new(n, reference_set.truncate(k)).expect("sim");

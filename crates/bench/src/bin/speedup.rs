@@ -11,27 +11,21 @@
 //! ```
 
 use ilt_bench::HarnessOptions;
-use ilt_core::flows::multigrid_schwarz;
+use ilt_core::experiment::Method;
 use ilt_core::speedup::{flow_makespan, speedup_curve, CommModel};
 use ilt_grid::io::write_csv;
 use ilt_layout::suite_of_size;
-use ilt_opt::PixelIlt;
 
 fn main() {
     let opts = HarnessOptions::from_env();
-    let bank = opts.bank();
+    let session = opts.session();
     let executor = opts.executor();
     let clip = suite_of_size(&opts.config.generator, 1).remove(0);
 
     println!("Parallel speedup experiment (schedule model over measured runtimes)");
-    let flow = multigrid_schwarz(
-        &opts.config,
-        &bank,
-        &clip.target,
-        &PixelIlt::new(),
-        &executor,
-    )
-    .expect("flow failed");
+    let flow = session
+        .run_method(Method::Ours, &clip.target, &executor)
+        .expect("flow failed");
     println!(
         "measured: {} stages, {:.2}s total tile compute, {:.2}s wall",
         flow.stages.len(),

@@ -7,13 +7,15 @@
 //! ```
 
 use ilt_bench::{row, HarnessOptions};
-use ilt_core::experiment::{averages, ratios, run_case, Method};
+use ilt_core::experiment::{averages, ratios, Method};
 use ilt_grid::io::write_csv;
 use ilt_layout::suite_of_size;
 
 fn main() {
     let opts = HarnessOptions::from_env();
-    let bank = opts.bank();
+    // One session for the whole table: the kernel bank and the full-clip
+    // inspection system are built once, not per case.
+    let session = opts.session();
     let executor = opts.executor();
     let suite = suite_of_size(&opts.config.generator, opts.cases);
 
@@ -39,7 +41,8 @@ fn main() {
     let mut cases = Vec::new();
     let mut csv_rows: Vec<Vec<String>> = Vec::new();
     for clip in &suite {
-        let result = run_case(&opts.config, &bank, clip, &executor)
+        let result = session
+            .run_case(clip, &executor)
             .unwrap_or_else(|e| panic!("{} failed: {e}", clip.name));
         let mut cells = vec![result.name.clone(), result.area.to_string()];
         for m in &result.methods {

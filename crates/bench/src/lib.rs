@@ -75,8 +75,9 @@ impl HarnessOptions {
         }
     }
 
-    /// Builds the kernel bank for the configured optics (the expensive
-    /// one-time setup every binary shares).
+    /// Builds a private kernel bank for the configured optics. Prefer
+    /// [`session`](Self::session), which shares the bank process-wide and
+    /// carries the prebuilt inspection system.
     ///
     /// # Panics
     ///
@@ -84,6 +85,21 @@ impl HarnessOptions {
     pub fn bank(&self) -> LithoBank {
         LithoBank::new(self.config.optics, ResistModel::m1_default())
             .expect("kernel bank construction failed")
+    }
+
+    /// Prepares an [`ilt_core::Session`] for the configured experiment:
+    /// the kernel bank (deduplicated process-wide via
+    /// [`ilt_litho::shared_bank`], so repeated sessions are cache hits)
+    /// plus the full-clip inspection system built once up front. Multi-case
+    /// binaries should run everything through this so TCC/SOCS kernel
+    /// construction and inspection setup happen once, not per case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if kernel or inspection construction fails — unrecoverable
+    /// for a harness.
+    pub fn session(&self) -> ilt_core::Session {
+        ilt_core::Session::new(self.config.clone()).expect("session setup failed")
     }
 
     /// The tile executor for the configured worker count.

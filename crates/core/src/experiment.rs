@@ -161,6 +161,10 @@ pub fn run_method(
 /// Runs all four methods on one clip and inspects each, producing one row
 /// of Table 1.
 ///
+/// Builds a fresh inspection system for the clip; multi-case runs should
+/// build one up front (or use [`crate::Session`]) and call [`run_case_in`]
+/// so the kernel resampling and FFT setup happen once, not per case.
+///
 /// # Errors
 ///
 /// Propagates flow and inspection failures.
@@ -171,16 +175,36 @@ pub fn run_case(
     executor: &TileExecutor,
 ) -> Result<CaseResult, CoreError> {
     let inspection = bank.system(config.clip, config.inspection_scale())?;
+    run_case_in(config, bank, &inspection, clip, executor)
+}
+
+/// Like [`run_case`], but inspects with a prebuilt full-clip system
+/// instead of constructing one internally — the entry point for callers
+/// that amortise setup across cases or jobs.
+///
+/// `inspection` must cover the whole clip at full resolution, i.e. be
+/// `bank.system(config.clip, config.inspection_scale())`.
+///
+/// # Errors
+///
+/// Propagates flow and inspection failures.
+pub fn run_case_in(
+    config: &ExperimentConfig,
+    bank: &LithoBank,
+    inspection: &LithoSystem,
+    clip: &Clip,
+    executor: &TileExecutor,
+) -> Result<CaseResult, CoreError> {
     let partition = Partition::new(clip.size(), clip.size(), config.partition)?;
     let lines = partition.stitch_lines();
     let mut methods = Vec::new();
     for method in Method::all() {
         let flow = run_method(method, config, bank, &clip.target, executor)?;
-        let metrics = inspect(config, &inspection, &lines, &clip.target, &flow)?;
+        let metrics = inspect(config, inspection, &lines, &clip.target, &flow)?;
         if ilt_telemetry::enabled() {
             record_quality_diagnostics(
                 config,
-                &inspection,
+                inspection,
                 &partition,
                 &lines,
                 &clip.name,

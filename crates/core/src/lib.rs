@@ -50,7 +50,9 @@ mod config;
 mod error;
 pub mod experiment;
 pub mod flows;
+mod session;
 pub mod speedup;
 
 pub use config::{ExperimentConfig, Schedule};
 pub use error::CoreError;
+pub use session::Session;

@@ -1,0 +1,166 @@
+//! A prepared experiment session: the kernel bank (from the process-wide
+//! [`ilt_litho::cache`]) plus the prebuilt full-clip inspection system.
+//!
+//! Everything expensive and configuration-determined is paid once here —
+//! TCC eigendecomposition via the shared bank cache, kernel resampling and
+//! FFT plan setup for the inspection system — so repeated case runs (the
+//! bench binaries) and repeated jobs (`ilt-serve`) only pay per-solve
+//! costs. A [`Session`] is cheap to construct once its bank is cached:
+//! warm construction is a cache hit plus one inspection-system resample.
+//!
+//! Sessions are deliberately **not** `Sync` (the inspection simulators
+//! keep per-instance FFT scratch): give each worker thread its own
+//! `Session` and let the bank cache dedupe the heavy state underneath.
+
+use std::sync::Arc;
+
+use ilt_grid::{BitGrid, RealGrid};
+use ilt_layout::Clip;
+use ilt_litho::{LithoBank, LithoSystem};
+use ilt_metrics::StitchReport;
+use ilt_tile::TileExecutor;
+
+use crate::config::ExperimentConfig;
+use crate::error::CoreError;
+use crate::experiment::{inspect_detailed, run_case_in, run_method, CaseResult, Method};
+use crate::flows::FlowResult;
+
+/// A reusable experiment session over one configuration.
+#[derive(Debug)]
+pub struct Session {
+    config: ExperimentConfig,
+    bank: Arc<LithoBank>,
+    inspection: LithoSystem,
+}
+
+impl Session {
+    /// Prepares a session: fetches (or builds) the shared kernel bank for
+    /// the configuration's optics and resist, and builds the full-clip
+    /// inspection system.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel-construction and inspection-system failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is internally inconsistent (see
+    /// [`ExperimentConfig::validate`]).
+    pub fn new(config: ExperimentConfig) -> Result<Self, CoreError> {
+        config.validate();
+        let bank = ilt_litho::shared_bank(&config.optics, config.resist)?;
+        let inspection = bank.system(config.clip, config.inspection_scale())?;
+        Ok(Session {
+            config,
+            bank,
+            inspection,
+        })
+    }
+
+    /// The configuration this session was prepared for.
+    #[inline]
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// The shared kernel bank.
+    #[inline]
+    pub fn bank(&self) -> &LithoBank {
+        &self.bank
+    }
+
+    /// The prebuilt full-clip inspection system.
+    #[inline]
+    pub fn inspection(&self) -> &LithoSystem {
+        &self.inspection
+    }
+
+    /// Runs one method on one target, reusing the session's bank.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flow failures.
+    pub fn run_method(
+        &self,
+        method: Method,
+        target: &BitGrid,
+        executor: &TileExecutor,
+    ) -> Result<FlowResult, CoreError> {
+        run_method(method, &self.config, &self.bank, target, executor)
+    }
+
+    /// Runs all four methods on one clip (one Table 1 row), reusing the
+    /// session's bank and inspection system.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flow and inspection failures.
+    pub fn run_case(&self, clip: &Clip, executor: &TileExecutor) -> Result<CaseResult, CoreError> {
+        run_case_in(&self.config, &self.bank, &self.inspection, clip, executor)
+    }
+
+    /// Inspects a raw mask against a target over the whole clip with the
+    /// prebuilt inspection system (see
+    /// [`inspect_detailed`](crate::experiment::inspect_detailed)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates lithography failures.
+    pub fn inspect_mask(
+        &self,
+        lines: &[ilt_tile::StitchLine],
+        target: &BitGrid,
+        mask: &RealGrid,
+    ) -> Result<(ilt_metrics::MaskQuality, StitchReport), CoreError> {
+        inspect_detailed(&self.config, &self.inspection, lines, target, mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilt_layout::suite_of_size;
+    use ilt_litho::{LithoBank, ResistModel};
+    use ilt_tile::Partition;
+
+    #[test]
+    fn session_matches_direct_run_case() {
+        let config = ExperimentConfig::test_tiny();
+        let session = Session::new(config.clone()).unwrap();
+        let clip = suite_of_size(&config.generator, 1).remove(0);
+        let executor = TileExecutor::sequential();
+        let via_session = session.run_case(&clip, &executor).unwrap();
+        let bank = LithoBank::new(config.optics, ResistModel::m1_default()).unwrap();
+        let direct = crate::experiment::run_case(&config, &bank, &clip, &executor).unwrap();
+        // Metrics must agree exactly except TAT, which is a wall clock.
+        assert_eq!(via_session.methods.len(), direct.methods.len());
+        for (a, b) in via_session.methods.iter().zip(&direct.methods) {
+            assert_eq!(a.method, b.method);
+            assert_eq!(a.metrics.l2, b.metrics.l2);
+            assert_eq!(a.metrics.pvband, b.metrics.pvband);
+            assert_eq!(a.metrics.stitch, b.metrics.stitch);
+        }
+    }
+
+    #[test]
+    fn sessions_share_the_cached_bank() {
+        let config = ExperimentConfig::test_tiny();
+        let a = Session::new(config.clone()).unwrap();
+        let b = Session::new(config).unwrap();
+        assert!(Arc::ptr_eq(&a.bank, &b.bank));
+    }
+
+    #[test]
+    fn inspect_mask_runs_on_the_prebuilt_system() {
+        let config = ExperimentConfig::test_tiny();
+        let session = Session::new(config.clone()).unwrap();
+        let clip = suite_of_size(&config.generator, 1).remove(0);
+        let partition = Partition::new(clip.size(), clip.size(), config.partition).unwrap();
+        let lines = partition.stitch_lines();
+        let (quality, report) = session
+            .inspect_mask(&lines, &clip.target, &clip.target_real())
+            .unwrap();
+        assert!(quality.l2 > 0);
+        assert!(report.total >= 0.0);
+    }
+}

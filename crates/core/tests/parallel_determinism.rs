@@ -1,6 +1,10 @@
 //! The executor changes scheduling only: every flow must produce a
-//! bit-identical mask under `TileExecutor::new(4)` and
-//! `TileExecutor::sequential()` on the tiny configuration.
+//! bit-identical mask under any worker count, and executor failures must
+//! stay contained — a panicking job propagates to the caller without
+//! deadlocking the pool or poisoning later `run` calls.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
 
 use ilt_core::flows::{divide_and_conquer, multigrid_schwarz, overlap_select, stitch_and_heal};
 use ilt_core::ExperimentConfig;
@@ -8,6 +12,28 @@ use ilt_layout::generate_clip;
 use ilt_litho::{LithoBank, ResistModel};
 use ilt_opt::PixelIlt;
 use ilt_tile::TileExecutor;
+
+/// Silences the default panic-hook backtrace for the deliberate test
+/// panics below (marker `boom-tile`) while leaving every other panic loud.
+fn quiet_marker_panics() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let deliberate = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|m| m.contains("boom-tile"))
+                || info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .is_some_and(|m| m.contains("boom-tile"));
+            if !deliberate {
+                default_hook(info);
+            }
+        }));
+    });
+}
 
 fn setup() -> (ExperimentConfig, LithoBank, ilt_grid::BitGrid) {
     let config = ExperimentConfig::test_tiny();
@@ -83,4 +109,82 @@ fn stitch_heal_parallel_matches_sequential() {
     .unwrap();
     assert_eq!(seq.result.mask, par.result.mask);
     assert_eq!(seq.new_lines, par.new_lines);
+}
+
+#[test]
+fn multigrid_identical_across_one_two_and_eight_workers() {
+    let (config, bank, target) = setup();
+    let solver = PixelIlt::new();
+    let reference =
+        multigrid_schwarz(&config, &bank, &target, &solver, &TileExecutor::new(1)).unwrap();
+    for workers in [2usize, 8] {
+        let run = multigrid_schwarz(
+            &config,
+            &bank,
+            &target,
+            &solver,
+            &TileExecutor::new(workers),
+        )
+        .unwrap();
+        assert_eq!(
+            reference.mask, run.mask,
+            "mask diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn panicking_job_propagates_and_does_not_deadlock() {
+    quiet_marker_panics();
+    let executor = TileExecutor::new(4);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        executor.run(16, |i| {
+            if i == 7 {
+                panic!("boom-tile-7");
+            }
+            i
+        })
+    }));
+    // The panic must reach the caller (not hang a worker), carrying the
+    // original payload.
+    let payload = outcome.expect_err("the job panic must propagate");
+    let message = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .unwrap_or_else(|| panic!("unexpected panic payload type"));
+    assert!(message.contains("boom-tile-7"), "payload was {message:?}");
+}
+
+#[test]
+fn pool_is_not_poisoned_by_an_earlier_panic() {
+    quiet_marker_panics();
+    let executor = TileExecutor::new(4);
+    for round in 0..3 {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            executor.run(12, |i| {
+                if i == 2 * round {
+                    panic!("boom-tile-{i}");
+                }
+                i
+            })
+        }));
+        assert!(result.is_err(), "round {round} should have panicked");
+        // The very same executor must still run healthy workloads — and a
+        // full flow — to completion with correct results.
+        assert_eq!(
+            executor.run(12, |i| i * i),
+            (0..12).map(|i| i * i).collect::<Vec<_>>()
+        );
+    }
+    let (config, bank, target) = setup();
+    let after = multigrid_schwarz(&config, &bank, &target, &PixelIlt::new(), &executor).unwrap();
+    let reference = multigrid_schwarz(
+        &config,
+        &bank,
+        &target,
+        &PixelIlt::new(),
+        &TileExecutor::sequential(),
+    )
+    .unwrap();
+    assert_eq!(after.mask, reference.mask);
 }

@@ -26,7 +26,11 @@
 
 pub mod anomaly;
 pub mod diff;
-pub mod jsonv;
+/// The JSON value parser, re-exported from [`ilt_json`] where it now lives
+/// (kept at its historical `ilt_diag::jsonv` path for compatibility).
+pub mod jsonv {
+    pub use ilt_json::Json;
+}
 pub mod report;
 pub mod sink;
 pub mod spatial;

@@ -1,0 +1,85 @@
+//! A process-wide plan cache: one [`FftPlan`] per transform length,
+//! shared behind an `Arc`.
+//!
+//! Plan construction is cheap (`O(n)`), but the workspace creates one
+//! [`crate::Fft2d`] per simulator and a long-lived service creates
+//! simulators per job — without sharing, every job would rebuild identical
+//! twiddle tables. The cache is keyed by length only (plans are
+//! direction-agnostic), lives behind a `OnceLock<Mutex<...>>`, and hands
+//! out `Arc` clones, so a hit is one lock acquisition and one refcount
+//! bump. Hits and misses feed the `fft.plan_cache.hit` / `.miss`
+//! telemetry counters.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::error::FftError;
+use crate::plan::FftPlan;
+
+static PLANS: OnceLock<Mutex<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
+
+/// Returns the shared plan for transforms of length `len`, building it on
+/// first use.
+///
+/// # Errors
+///
+/// Returns [`FftError::NonPowerOfTwo`] for invalid lengths (never cached).
+pub fn shared_plan(len: usize) -> Result<Arc<FftPlan>, FftError> {
+    let cache = PLANS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(plan) = map.get(&len) {
+        ilt_telemetry::counter_add("fft.plan_cache.hit", 1);
+        return Ok(Arc::clone(plan));
+    }
+    // Build while holding the lock: construction is O(n) and racing
+    // builders would waste more than they save.
+    let plan = Arc::new(FftPlan::new(len)?);
+    map.insert(len, Arc::clone(&plan));
+    ilt_telemetry::counter_add("fft.plan_cache.miss", 1);
+    Ok(plan)
+}
+
+/// Number of distinct lengths currently cached (diagnostics only).
+pub fn cached_plan_count() -> usize {
+    PLANS
+        .get()
+        .map(|c| c.lock().unwrap_or_else(|e| e.into_inner()).len())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_length_shares_one_plan() {
+        let a = shared_plan(64).unwrap();
+        let b = shared_plan(64).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.len(), 64);
+        assert!(cached_plan_count() >= 1);
+    }
+
+    #[test]
+    fn invalid_lengths_error_and_are_not_cached() {
+        assert!(shared_plan(12).is_err());
+        let before = cached_plan_count();
+        assert!(shared_plan(12).is_err());
+        assert_eq!(cached_plan_count(), before);
+    }
+
+    #[test]
+    fn shared_plan_transforms_like_a_fresh_plan() {
+        use crate::complex::Complex;
+        let shared = shared_plan(32).unwrap();
+        let fresh = FftPlan::new(32).unwrap();
+        let data: Vec<Complex> = (0..32)
+            .map(|i| Complex::new((i as f64 * 0.3).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let mut a = data.clone();
+        let mut b = data;
+        shared.forward(&mut a).unwrap();
+        fresh.forward(&mut b).unwrap();
+        assert_eq!(a, b);
+    }
+}

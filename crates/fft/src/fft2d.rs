@@ -5,7 +5,9 @@
 //! a scratch buffer alive across calls.
 
 use std::cell::RefCell;
+use std::sync::Arc;
 
+use crate::cache::shared_plan;
 use crate::complex::Complex;
 use crate::error::FftError;
 use crate::plan::{Direction, FftPlan};
@@ -35,8 +37,10 @@ use crate::plan::{Direction, FftPlan};
 pub struct Fft2d {
     rows: usize,
     cols: usize,
-    row_plan: FftPlan,
-    col_plan: FftPlan,
+    /// 1-D plans come from the process-wide [`crate::cache`], so every
+    /// `Fft2d` of a given shape shares one set of twiddle tables.
+    row_plan: Arc<FftPlan>,
+    col_plan: Arc<FftPlan>,
     /// Scratch column buffer; `RefCell` so transforms can take `&self` and a
     /// single `Fft2d` can be shared immutably within one thread.
     scratch: RefCell<Vec<Complex>>,
@@ -50,8 +54,8 @@ impl Fft2d {
     /// Returns [`FftError::NonPowerOfTwo`] if either dimension is not a
     /// nonzero power of two.
     pub fn new(rows: usize, cols: usize) -> Result<Self, FftError> {
-        let row_plan = FftPlan::new(cols)?;
-        let col_plan = FftPlan::new(rows)?;
+        let row_plan = shared_plan(cols)?;
+        let col_plan = shared_plan(rows)?;
         Ok(Fft2d {
             rows,
             cols,

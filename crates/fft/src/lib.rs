@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 mod complex;
 mod dft;
 mod error;
@@ -45,6 +46,7 @@ mod fft2d;
 mod plan;
 pub mod spectral;
 
+pub use cache::shared_plan;
 pub use complex::Complex;
 pub use dft::{dft2_reference, dft_reference};
 pub use error::FftError;

@@ -1,10 +1,20 @@
-//! A minimal JSON value parser for reading `report.json` files back in.
+//! # ilt-json
+//!
+//! A minimal JSON value parser shared by the workspace, dependency-free by
+//! design like everything else here.
 //!
 //! The workspace writes JSON by hand (`ilt_telemetry::json`) and has no
-//! serde; `report_diff` needs the reverse direction. This is a strict
-//! recursive-descent parser over the full JSON grammar — enough to load
-//! reports the workspace itself produced, with real error positions for
-//! hand-edited baselines.
+//! serde; `report_diff` and the `ilt-serve` request path need the reverse
+//! direction. This is a strict recursive-descent parser over the full JSON
+//! grammar — enough to load reports the workspace itself produced and to
+//! parse job-submission bodies, with real error positions for hand-edited
+//! baselines and hand-typed curl payloads.
+//!
+//! Historically this parser lived in `ilt-diag` (`ilt_diag::jsonv`); that
+//! path re-exports this crate so existing imports keep compiling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -64,6 +74,25 @@ impl Json {
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is a number that is one
+    /// (rejects negatives, non-integers, and values beyond `u64`).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= u64::MAX as f64 => {
+                Some(*v as u64)
+            }
             _ => None,
         }
     }
@@ -301,6 +330,17 @@ mod tests {
             v.path(&["nested", "a", "b"]).and_then(Json::as_f64),
             Some(7.0)
         );
+    }
+
+    #[test]
+    fn scalar_accessors() {
+        let v = Json::parse(r#"{"b":true,"n":12,"neg":-1,"frac":1.5,"s":"x"}"#).unwrap();
+        assert_eq!(v.get("b").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("n").and_then(Json::as_u64), Some(12));
+        assert_eq!(v.get("neg").and_then(Json::as_u64), None);
+        assert_eq!(v.get("frac").and_then(Json::as_u64), None);
+        assert_eq!(v.get("s").and_then(Json::as_u64), None);
+        assert_eq!(v.get("s").and_then(Json::as_bool), None);
     }
 
     #[test]

@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 mod error;
 mod kernels;
 mod optics;
@@ -40,6 +41,7 @@ mod resist;
 mod sim;
 mod system;
 
+pub use cache::shared_bank;
 pub use error::LithoError;
 pub use kernels::{Kernel, KernelSet};
 pub use optics::{OpticsConfig, SourcePoint};

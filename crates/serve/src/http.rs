@@ -1,0 +1,343 @@
+//! A minimal HTTP/1.1 request parser and response writer over `std::io`.
+//!
+//! Implements exactly the subset the job service needs: a request line,
+//! `\r\n`-terminated headers, and an optional `Content-Length` body, with
+//! hard limits on every dimension so a misbehaving client cannot make the
+//! server allocate unboundedly. No chunked transfer encoding, no
+//! `Expect: 100-continue`, no TLS — clients needing those belong behind a
+//! real proxy; the service itself stays dependency-free.
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Longest accepted request line (method + path + version), in bytes.
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Maximum number of request headers.
+pub const MAX_HEADERS: usize = 64;
+/// Largest accepted request body, in bytes. Job specs are tiny; anything
+/// bigger than this is a mistake or an attack.
+pub const MAX_BODY: usize = 256 * 1024;
+
+/// Parse/IO failures while reading a request.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The socket failed mid-request.
+    Io(std::io::Error),
+    /// The request violated the supported HTTP subset; the message is safe
+    /// to echo in a 400 response.
+    Malformed(String),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "socket error: {e}"),
+            HttpError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target as sent (path + optional query, no normalisation).
+    pub path: String,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` was present).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this request.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// Reads one request from the stream. Returns `Ok(None)` on clean EOF
+    /// before any bytes (the client closed a keep-alive connection).
+    ///
+    /// # Errors
+    ///
+    /// [`HttpError::Io`] on socket failure (including read timeout),
+    /// [`HttpError::Malformed`] when the request exceeds the supported
+    /// subset or any size limit.
+    pub fn read_from(reader: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
+        let line = match read_line(reader, MAX_REQUEST_LINE)? {
+            None => return Ok(None),
+            Some(line) if line.is_empty() => return Ok(None),
+            Some(line) => line,
+        };
+        let mut parts = line.split_ascii_whitespace();
+        let method = parts
+            .next()
+            .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+            .to_ascii_uppercase();
+        let path = parts
+            .next()
+            .ok_or_else(|| HttpError::Malformed("request line has no target".into()))?
+            .to_string();
+        let version = parts
+            .next()
+            .ok_or_else(|| HttpError::Malformed("request line has no version".into()))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed(format!(
+                "unsupported protocol {version:?}"
+            )));
+        }
+        let mut headers = Vec::new();
+        loop {
+            let line = read_line(reader, MAX_REQUEST_LINE)?
+                .ok_or_else(|| HttpError::Malformed("EOF inside headers".into()))?;
+            if line.is_empty() {
+                break;
+            }
+            if headers.len() >= MAX_HEADERS {
+                return Err(HttpError::Malformed("too many headers".into()));
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| HttpError::Malformed("header line without colon".into()))?;
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+        let mut request = Request {
+            method,
+            path,
+            headers,
+            body: Vec::new(),
+        };
+        if let Some(raw) = request.header("content-length") {
+            let len: usize = raw
+                .parse()
+                .map_err(|_| HttpError::Malformed(format!("bad Content-Length {raw:?}")))?;
+            if len > MAX_BODY {
+                return Err(HttpError::Malformed(format!(
+                    "body of {len} bytes exceeds the {MAX_BODY}-byte limit"
+                )));
+            }
+            let mut body = vec![0u8; len];
+            reader.read_exact(&mut body)?;
+            request.body = body;
+        }
+        Ok(Some(request))
+    }
+}
+
+/// Reads one `\r\n`- (or `\n`-) terminated line, bounded by `limit` bytes.
+/// Returns `None` on EOF before any byte.
+fn read_line(reader: &mut impl BufRead, limit: usize) -> Result<Option<String>, HttpError> {
+    let mut buf = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte)? {
+            0 if buf.is_empty() => return Ok(None),
+            0 => return Err(HttpError::Malformed("EOF inside a line".into())),
+            _ => {}
+        }
+        if byte[0] == b'\n' {
+            if buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+            let line = String::from_utf8(buf)
+                .map_err(|_| HttpError::Malformed("non-UTF-8 header bytes".into()))?;
+            return Ok(Some(line));
+        }
+        if buf.len() >= limit {
+            return Err(HttpError::Malformed("line exceeds the size limit".into()));
+        }
+        buf.push(byte[0]);
+    }
+}
+
+/// One HTTP response ready to serialise.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    content_type: &'static str,
+    extra_headers: Vec<(&'static str, String)>,
+    body: String,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// A plain-text response (used by `/metrics`).
+    pub fn text(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            extra_headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// A JSON error response with the message in an `"error"` field.
+    pub fn error(status: u16, message: &str) -> Self {
+        let mut body = String::from("{\"error\":");
+        ilt_telemetry::json::push_str_literal(&mut body, message);
+        body.push('}');
+        Response::json(status, body)
+    }
+
+    /// Adds an extra header (e.g. `Retry-After`).
+    pub fn with_header(mut self, name: &'static str, value: String) -> Self {
+        self.extra_headers.push((name, value));
+        self
+    }
+
+    /// Serialises the response (HTTP/1.1, explicit `Content-Length`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+            self.status,
+            status_reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(self.body.as_bytes())?;
+        stream.flush()
+    }
+}
+
+/// Reason phrase for the status codes this service emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Option<Request>, HttpError> {
+        Request::read_from(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_with_headers() {
+        let req = parse("GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert!(req.wants_close());
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_body_by_content_length() {
+        let req = parse("POST /v1/jobs HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"a\"")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"{\"a\"");
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            parse("hello\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET /x SPDY/9\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET /x HTTP/1.1\r\nbadheader\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: zebra\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        let huge = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(matches!(parse(&huge), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn response_serialises_with_extra_headers() {
+        let mut out = Vec::new();
+        Response::json(429, "{\"error\":\"queue full\"}".into())
+            .with_header("Retry-After", "1".into())
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Content-Length: 22\r\n"));
+        assert!(text.ends_with("{\"error\":\"queue full\"}"));
+    }
+
+    #[test]
+    fn error_body_escapes_the_message() {
+        let mut out = Vec::new();
+        Response::error(400, "bad \"quote\"")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("{\"error\":\"bad \\\"quote\\\"\"}"));
+    }
+}

@@ -1,0 +1,414 @@
+//! Job specifications and lifecycle state.
+//!
+//! A job names **what to optimise** (a benchmark-suite case or an inline
+//! layout spec), **how** (one of the four Table 1 methods), and **at which
+//! scale** (`tiny` or `default`, the same scales `ILT_SCALE` selects for
+//! the batch binaries), plus an optional deadline. Specs arrive as JSON in
+//! `POST /v1/jobs` bodies and are parsed with the shared strict parser
+//! ([`ilt_json`]); results are rendered back to JSON for
+//! `GET /v1/jobs/{id}`.
+
+use std::fmt::Write as _;
+
+use ilt_core::experiment::Method;
+use ilt_json::Json;
+use ilt_telemetry::json::{push_f64, push_str_literal};
+
+/// Where the job's target layout comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CaseSource {
+    /// Case `k` of the deterministic benchmark suite (1-based, `1..=20`).
+    Suite(usize),
+    /// An inline layout spec: a seeded generator run at the scale's clip
+    /// size with optional geometry overrides.
+    Inline(InlineLayout),
+}
+
+/// Geometry overrides for an inline layout. Unset fields keep the scale's
+/// defaults; the clip size is always the scale's (flows require it).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct InlineLayout {
+    /// Generator seed.
+    pub seed: u64,
+    /// Drawn wire width in pixels.
+    pub wire_width: Option<usize>,
+    /// Minimum wire spacing in pixels.
+    pub wire_space: Option<usize>,
+    /// Probability that a lattice cell on a track carries metal.
+    pub track_fill: Option<f64>,
+}
+
+/// One admitted job, as parsed from a `POST /v1/jobs` body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Target layout source.
+    pub source: CaseSource,
+    /// Which flow to run.
+    pub method: Method,
+    /// Scale name: `"tiny"` or `"default"`.
+    pub scale: String,
+    /// Optional deadline in milliseconds from admission. Jobs that exceed
+    /// it — whether still queued or mid-solve — report `failed`.
+    pub timeout_ms: Option<u64>,
+}
+
+impl JobSpec {
+    /// Parses a job spec from a request body.
+    ///
+    /// Accepted fields: `case` (integer 1..=20) **or** `layout` (object
+    /// with `seed` and optional `wire_width` / `wire_space` /
+    /// `track_fill`), `method` (`"ours"`, `"gls-dnc"`,
+    /// `"multi-level-dnc"`, `"full-chip"`; default `"ours"`), `scale`
+    /// (`"tiny"` or `"default"`; default `"tiny"`), `timeout_ms`
+    /// (positive integer).
+    ///
+    /// # Errors
+    ///
+    /// Returns a client-safe message describing the first violation.
+    pub fn parse(body: &str) -> Result<JobSpec, String> {
+        let json = Json::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
+        let Json::Obj(_) = json else {
+            return Err("job spec must be a JSON object".to_string());
+        };
+        let case = json.get("case");
+        let layout = json.get("layout");
+        let source = match (case, layout) {
+            (Some(_), Some(_)) => {
+                return Err("give either \"case\" or \"layout\", not both".to_string())
+            }
+            (None, None) => return Err("job spec needs a \"case\" or a \"layout\"".to_string()),
+            (Some(c), None) => {
+                let id = c
+                    .as_u64()
+                    .filter(|id| (1..=20).contains(id))
+                    .ok_or_else(|| "\"case\" must be an integer in 1..=20".to_string())?;
+                CaseSource::Suite(id as usize)
+            }
+            (None, Some(spec)) => CaseSource::Inline(parse_layout(spec)?),
+        };
+        let method = match json.get("method").map(|m| m.as_str()) {
+            None => Method::Ours,
+            Some(Some(name)) => parse_method(name)?,
+            Some(None) => return Err("\"method\" must be a string".to_string()),
+        };
+        let scale = match json.get("scale").map(|s| s.as_str()) {
+            None => "tiny".to_string(),
+            Some(Some(s)) if s == "tiny" || s == "default" => s.to_string(),
+            Some(_) => return Err("\"scale\" must be \"tiny\" or \"default\"".to_string()),
+        };
+        let timeout_ms = match json.get("timeout_ms") {
+            None => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .filter(|ms| *ms > 0)
+                    .ok_or_else(|| "\"timeout_ms\" must be a positive integer".to_string())?,
+            ),
+        };
+        Ok(JobSpec {
+            source,
+            method,
+            scale,
+            timeout_ms,
+        })
+    }
+
+    /// A short human label for the job's target (`"case3"` or
+    /// `"inline:seed=7"`).
+    pub fn target_label(&self) -> String {
+        match &self.source {
+            CaseSource::Suite(id) => format!("case{id}"),
+            CaseSource::Inline(l) => format!("inline:seed={}", l.seed),
+        }
+    }
+}
+
+fn parse_layout(spec: &Json) -> Result<InlineLayout, String> {
+    let Json::Obj(_) = spec else {
+        return Err("\"layout\" must be a JSON object".to_string());
+    };
+    let seed = spec
+        .get("seed")
+        .ok_or_else(|| "\"layout\" needs a \"seed\"".to_string())?
+        .as_u64()
+        .ok_or_else(|| "\"layout.seed\" must be a non-negative integer".to_string())?;
+    let dim = |name: &str| -> Result<Option<usize>, String> {
+        match spec.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .as_u64()
+                .filter(|n| (1..=1024).contains(n))
+                .map(|n| Some(n as usize))
+                .ok_or_else(|| format!("\"layout.{name}\" must be an integer in 1..=1024")),
+        }
+    };
+    let track_fill = match spec.get("track_fill") {
+        None => None,
+        Some(v) => Some(
+            v.as_f64()
+                .filter(|f| (0.0..=1.0).contains(f))
+                .ok_or_else(|| "\"layout.track_fill\" must be in [0, 1]".to_string())?,
+        ),
+    };
+    Ok(InlineLayout {
+        seed,
+        wire_width: dim("wire_width")?,
+        wire_space: dim("wire_space")?,
+        track_fill,
+    })
+}
+
+fn parse_method(name: &str) -> Result<Method, String> {
+    match name {
+        "ours" => Ok(Method::Ours),
+        "gls-dnc" => Ok(Method::GlsDnc),
+        "multi-level-dnc" => Ok(Method::MultiLevelDnc),
+        "full-chip" => Ok(Method::FullChip),
+        other => Err(format!(
+            "unknown method {other:?} (expected \"ours\", \"gls-dnc\", \
+             \"multi-level-dnc\", or \"full-chip\")"
+        )),
+    }
+}
+
+/// Wire name of a method (the inverse of the `"method"` field parser).
+pub fn method_name(method: Method) -> &'static str {
+    match method {
+        Method::Ours => "ours",
+        Method::GlsDnc => "gls-dnc",
+        Method::MultiLevelDnc => "multi-level-dnc",
+        Method::FullChip => "full-chip",
+    }
+}
+
+/// Table 1 quality metrics of a finished job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobMetrics {
+    /// L2 loss in pixels.
+    pub l2: usize,
+    /// PVBand area in pixels.
+    pub pvband: usize,
+    /// Stitch loss.
+    pub stitch: f64,
+    /// Solver turn-around time in seconds (excludes queue wait).
+    pub tat_seconds: f64,
+}
+
+/// Summary of the optimised mask (the full grid stays server-side).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaskSummary {
+    /// Mask width in pixels.
+    pub width: usize,
+    /// Mask height in pixels.
+    pub height: usize,
+    /// Pixels on after binarisation at 0.5.
+    pub on_pixels: usize,
+    /// `on_pixels / (width * height)`.
+    pub coverage: f64,
+}
+
+/// Everything a successful job reports back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Quality metrics over the whole clip.
+    pub metrics: JobMetrics,
+    /// Optimised-mask summary.
+    pub mask: MaskSummary,
+    /// Seconds the job waited in the queue before a worker picked it up.
+    pub queue_seconds: f64,
+}
+
+/// Lifecycle state of a job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobStatus {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// A worker is solving it.
+    Running,
+    /// Finished successfully.
+    Done(JobOutcome),
+    /// Failed (solver error, panic, or deadline exceeded).
+    Failed(String),
+}
+
+impl JobStatus {
+    /// Wire name of the state.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done(_) => "done",
+            JobStatus::Failed(_) => "failed",
+        }
+    }
+}
+
+/// One job in the registry.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Job id (also the path segment of `GET /v1/jobs/{id}`).
+    pub id: u64,
+    /// The spec as admitted.
+    pub spec: JobSpec,
+    /// Current state.
+    pub status: JobStatus,
+}
+
+impl JobRecord {
+    /// Renders the job as the response body of `GET /v1/jobs/{id}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\"id\":\"{}\",\"status\":", self.id);
+        push_str_literal(&mut out, self.status.name());
+        out.push_str(",\"target\":");
+        push_str_literal(&mut out, &self.spec.target_label());
+        out.push_str(",\"method\":");
+        push_str_literal(&mut out, method_name(self.spec.method));
+        out.push_str(",\"scale\":");
+        push_str_literal(&mut out, &self.spec.scale);
+        if let Some(ms) = self.spec.timeout_ms {
+            let _ = write!(out, ",\"timeout_ms\":{ms}");
+        }
+        match &self.status {
+            JobStatus::Queued | JobStatus::Running => {}
+            JobStatus::Failed(error) => {
+                out.push_str(",\"error\":");
+                push_str_literal(&mut out, error);
+            }
+            JobStatus::Done(outcome) => {
+                let m = &outcome.metrics;
+                let _ = write!(
+                    out,
+                    ",\"metrics\":{{\"l2\":{},\"pvband\":{},\"stitch\":",
+                    m.l2, m.pvband
+                );
+                push_f64(&mut out, m.stitch);
+                out.push_str(",\"tat_seconds\":");
+                push_f64(&mut out, m.tat_seconds);
+                out.push_str("},\"mask\":{");
+                let k = &outcome.mask;
+                let _ = write!(
+                    out,
+                    "\"width\":{},\"height\":{},\"on_pixels\":{},\"coverage\":",
+                    k.width, k.height, k.on_pixels
+                );
+                push_f64(&mut out, k.coverage);
+                out.push_str("},\"queue_seconds\":");
+                push_f64(&mut out, outcome.queue_seconds);
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_suite_job() {
+        let spec =
+            JobSpec::parse(r#"{"case": 3, "method": "ours", "scale": "tiny", "timeout_ms": 5000}"#)
+                .unwrap();
+        assert_eq!(spec.source, CaseSource::Suite(3));
+        assert_eq!(spec.method, Method::Ours);
+        assert_eq!(spec.scale, "tiny");
+        assert_eq!(spec.timeout_ms, Some(5000));
+        assert_eq!(spec.target_label(), "case3");
+    }
+
+    #[test]
+    fn defaults_are_ours_at_tiny_scale() {
+        let spec = JobSpec::parse(r#"{"case": 1}"#).unwrap();
+        assert_eq!(spec.method, Method::Ours);
+        assert_eq!(spec.scale, "tiny");
+        assert_eq!(spec.timeout_ms, None);
+    }
+
+    #[test]
+    fn parses_an_inline_layout_job() {
+        let spec = JobSpec::parse(
+            r#"{"layout": {"seed": 7, "wire_width": 9, "track_fill": 0.5}, "method": "full-chip"}"#,
+        )
+        .unwrap();
+        let CaseSource::Inline(layout) = &spec.source else {
+            panic!("expected inline source");
+        };
+        assert_eq!(layout.seed, 7);
+        assert_eq!(layout.wire_width, Some(9));
+        assert_eq!(layout.wire_space, None);
+        assert_eq!(layout.track_fill, Some(0.5));
+        assert_eq!(spec.method, Method::FullChip);
+        assert_eq!(spec.target_label(), "inline:seed=7");
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        for (body, needle) in [
+            ("[]", "object"),
+            ("{}", "needs"),
+            (r#"{"case": 1, "layout": {"seed": 1}}"#, "not both"),
+            (r#"{"case": 0}"#, "1..=20"),
+            (r#"{"case": 21}"#, "1..=20"),
+            (r#"{"case": 1.5}"#, "1..=20"),
+            (r#"{"case": 1, "method": "magic"}"#, "unknown method"),
+            (r#"{"case": 1, "scale": "huge"}"#, "scale"),
+            (r#"{"case": 1, "timeout_ms": 0}"#, "positive"),
+            (r#"{"layout": {}}"#, "seed"),
+            (r#"{"layout": {"seed": 1, "wire_width": 0}}"#, "1..=1024"),
+            (r#"{"layout": {"seed": 1, "track_fill": 1.5}}"#, "[0, 1]"),
+            ("{", "invalid JSON"),
+        ] {
+            let err = JobSpec::parse(body).unwrap_err();
+            assert!(err.contains(needle), "{body}: {err:?} missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn every_method_name_round_trips() {
+        for method in Method::all() {
+            let body = format!(r#"{{"case": 1, "method": "{}"}}"#, method_name(method));
+            assert_eq!(JobSpec::parse(&body).unwrap().method, method);
+        }
+    }
+
+    #[test]
+    fn record_json_carries_state_specific_fields() {
+        let spec = JobSpec::parse(r#"{"case": 2}"#).unwrap();
+        let mut record = JobRecord {
+            id: 5,
+            spec,
+            status: JobStatus::Queued,
+        };
+        let queued = record.to_json();
+        assert!(queued.contains("\"status\":\"queued\""));
+        assert!(!queued.contains("metrics"));
+        record.status = JobStatus::Done(JobOutcome {
+            metrics: JobMetrics {
+                l2: 100,
+                pvband: 50,
+                stitch: 1.25,
+                tat_seconds: 0.5,
+            },
+            mask: MaskSummary {
+                width: 128,
+                height: 128,
+                on_pixels: 4096,
+                coverage: 0.25,
+            },
+            queue_seconds: 0.1,
+        });
+        let done = record.to_json();
+        assert!(done.contains("\"status\":\"done\""));
+        assert!(done.contains("\"l2\":100"));
+        assert!(done.contains("\"coverage\":0.25"));
+        let parsed = Json::parse(&done).expect("well-formed job JSON");
+        assert_eq!(
+            parsed.path(&["metrics", "pvband"]).and_then(|v| v.as_u64()),
+            Some(50)
+        );
+        record.status = JobStatus::Failed("deadline exceeded".into());
+        let failed = record.to_json();
+        assert!(failed.contains("\"error\":\"deadline exceeded\""));
+    }
+}

@@ -1,0 +1,44 @@
+//! The `ilt-serve` daemon.
+//!
+//! Binds `ILT_SERVE_ADDR` (default `127.0.0.1:8117`) and serves jobs until
+//! `POST /admin/shutdown` starts the graceful drain; every queued and
+//! in-flight job finishes before the process exits. Telemetry collection
+//! is on by default so `/metrics` has something to say; set `ILT_TRACE=0`
+//! to switch it off.
+//!
+//! Environment: `ILT_SERVE_ADDR`, `ILT_SERVE_QUEUE` (queue depth, default
+//! 64), `ILT_SERVE_WORKERS` (job workers, default 1), `ILT_WORKERS`
+//! (tile threads per job, default 1), `ILT_TRACE`.
+
+use ilt_serve::ServeConfig;
+
+fn main() {
+    // Opposite default from the batch binaries: a service should expose
+    // metrics unless explicitly muted.
+    if !ilt_telemetry::init_from_env() && std::env::var("ILT_TRACE").is_err() {
+        ilt_telemetry::set_enabled(true);
+    }
+    let config = ServeConfig::from_env();
+    let handle = match ilt_serve::start(config.clone()) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("ilt-serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "ilt-serve listening on {} (queue depth {}, {} worker{})",
+        handle.addr(),
+        config.queue_depth,
+        config.workers,
+        if config.workers == 1 { "" } else { "s" }
+    );
+    let summary = handle.wait();
+    println!(
+        "ilt-serve drained: {} completed, {} failed, {} unfinished",
+        summary.completed, summary.failed, summary.unfinished
+    );
+    if summary.unfinished > 0 {
+        std::process::exit(1);
+    }
+}

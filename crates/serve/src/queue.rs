@@ -1,0 +1,230 @@
+//! The bounded FIFO job queue behind admission control.
+//!
+//! Depth is fixed at construction: a `push` beyond it fails immediately
+//! with [`PushError::Full`] — the server turns that into a `429` with a
+//! `Retry-After` hint instead of letting latency grow without bound.
+//! Workers block in [`JobQueue::pop`]; closing the queue starts the
+//! graceful drain: new pushes are refused, but `pop` keeps handing out
+//! queued jobs until the queue is empty and only then returns `None`, so
+//! every admitted job runs to completion before the workers exit.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// The `Retry-After` hint (seconds) sent with queue-full rejections.
+pub const RETRY_AFTER_SECONDS: u64 = 1;
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at depth; retry after [`RETRY_AFTER_SECONDS`].
+    Full,
+    /// The queue is draining for shutdown; do not retry here.
+    Closed,
+}
+
+#[derive(Debug)]
+struct Inner {
+    items: VecDeque<u64>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer FIFO of job ids.
+#[derive(Debug)]
+pub struct JobQueue {
+    inner: Mutex<Inner>,
+    ready: Condvar,
+    depth: usize,
+}
+
+impl JobQueue {
+    /// Creates a queue admitting at most `depth` waiting jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero — a queue that can never admit anything
+    /// is a misconfiguration, not a policy.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "queue depth must be at least 1");
+        JobQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            depth,
+        }
+    }
+
+    /// Admission depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Jobs currently waiting (not counting running ones).
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether no jobs are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues a job id, returning its 1-based queue position.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at depth, [`PushError::Closed`] once draining.
+    pub fn push(&self, id: u64) -> Result<usize, PushError> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.items.len() >= self.depth {
+            return Err(PushError::Full);
+        }
+        inner.items.push_back(id);
+        let position = inner.items.len();
+        drop(inner);
+        self.ready.notify_one();
+        Ok(position)
+    }
+
+    /// Blocks until a job is available and returns it, or returns `None`
+    /// once the queue is closed **and** empty.
+    pub fn pop(&self) -> Option<u64> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(id) = inner.items.pop_front() {
+                return Some(id);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Starts the drain: refuses new pushes, wakes every waiting worker.
+    /// Already-queued jobs are still handed out.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_positions() {
+        let q = JobQueue::new(4);
+        assert_eq!(q.push(10), Ok(1));
+        assert_eq!(q.push(11), Ok(2));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), Some(11));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn rejects_beyond_depth_until_space_frees() {
+        let q = JobQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err(PushError::Full));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.push(3), Ok(2));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = JobQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.push(3), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let q = Arc::new(JobQueue::new(1));
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        // Give the waiter time to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_lose_nothing() {
+        let q = Arc::new(JobQueue::new(64));
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(id) = q.pop() {
+                        got.push(id);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..16 {
+                        loop {
+                            match q.push(p * 100 + i) {
+                                Ok(_) => break,
+                                Err(PushError::Full) => std::thread::yield_now(),
+                                Err(PushError::Closed) => panic!("closed early"),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let mut expected: Vec<u64> = (0..4)
+            .flat_map(|p| (0..16).map(move |i| p * 100 + i))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth")]
+    fn zero_depth_rejected() {
+        let _ = JobQueue::new(0);
+    }
+}

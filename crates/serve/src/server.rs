@@ -1,0 +1,574 @@
+//! The job service: accept loop, connection handling, job workers, and
+//! graceful drain.
+//!
+//! Threading model: one accept thread spawning one (detached, bounded by
+//! read timeouts) thread per connection, plus a fixed pool of job workers
+//! popping the bounded [`JobQueue`]. Connection threads only touch the
+//! registry and queue under short lock holds; all solving happens on the
+//! workers, each of which owns a [`SessionCache`] so repeated jobs at the
+//! same scale skip kernel construction entirely.
+//!
+//! Shutdown is a two-stage drain. Stage one (`POST /admin/shutdown` or
+//! [`ServerHandle::initiate_drain`]) closes the queue: new submissions get
+//! `503`, but workers keep running until every queued and in-flight job
+//! has finished, and status polls keep working throughout. Stage two
+//! ([`ServerHandle::shutdown`] / [`ServerHandle::wait`]) joins the
+//! workers, then stops the accept loop (a loopback self-connect unblocks
+//! `accept`) and reports what the drain completed.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ilt_grid::BitGrid;
+use ilt_layout::generate_clip;
+use ilt_telemetry as tele;
+use ilt_tile::{Partition, TileExecutor};
+
+use crate::cache::SessionCache;
+use crate::http::{HttpError, Request, Response};
+use crate::job::{CaseSource, JobMetrics, JobOutcome, JobRecord, JobSpec, JobStatus, MaskSummary};
+use crate::queue::{JobQueue, PushError, RETRY_AFTER_SECONDS};
+
+/// Idle keep-alive connections are dropped after this long, which also
+/// bounds how long a connection thread can outlive the server.
+const READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Finished jobs are evicted oldest-first once the registry holds this
+/// many records, so a long-lived server's memory stays bounded.
+const MAX_JOBS_RETAINED: usize = 4096;
+
+/// Server configuration (see the `ILT_SERVE_*` environment variables).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`ILT_SERVE_ADDR`, default `127.0.0.1:8117`; use port
+    /// 0 to let the OS pick, e.g. in tests).
+    pub addr: String,
+    /// Queue depth for admission control (`ILT_SERVE_QUEUE`, default 64).
+    pub queue_depth: usize,
+    /// Job worker threads (`ILT_SERVE_WORKERS`, default 1).
+    pub workers: usize,
+    /// Worker threads for per-tile execution inside each job
+    /// (`ILT_WORKERS`, default 1).
+    pub tile_workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:8117".to_string(),
+            queue_depth: 64,
+            workers: 1,
+            tile_workers: 1,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Reads the configuration from the environment, falling back to the
+    /// defaults above and warning on stderr about unparsable values.
+    pub fn from_env() -> Self {
+        let defaults = ServeConfig::default();
+        ServeConfig {
+            addr: std::env::var("ILT_SERVE_ADDR").unwrap_or(defaults.addr),
+            queue_depth: env_usize("ILT_SERVE_QUEUE", defaults.queue_depth).max(1),
+            workers: env_usize("ILT_SERVE_WORKERS", defaults.workers).max(1),
+            tile_workers: env_usize("ILT_WORKERS", defaults.tile_workers).max(1),
+        }
+    }
+}
+
+fn env_usize(var: &str, fallback: usize) -> usize {
+    match std::env::var(var) {
+        Err(_) => fallback,
+        Ok(raw) => match raw.trim().parse() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!("warning: invalid {var}={raw:?}; using default {fallback}");
+                fallback
+            }
+        },
+    }
+}
+
+/// A job plus the timing state the registry tracks alongside it.
+#[derive(Debug)]
+struct Tracked {
+    record: JobRecord,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+}
+
+/// State shared by the accept loop, connection threads, and workers.
+struct Shared {
+    config: ServeConfig,
+    addr: SocketAddr,
+    jobs: Mutex<Vec<Tracked>>,
+    queue: JobQueue,
+    next_id: AtomicU64,
+    /// Submissions refused, queue draining, workers exit when dry.
+    draining: AtomicBool,
+    /// Accept loop exits (set only after workers are joined).
+    stopped: AtomicBool,
+}
+
+impl Shared {
+    fn lock_jobs(&self) -> std::sync::MutexGuard<'_, Vec<Tracked>> {
+        self.jobs.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn with_job<R>(&self, id: u64, f: impl FnOnce(&mut Tracked) -> R) -> Option<R> {
+        self.lock_jobs()
+            .iter_mut()
+            .find(|t| t.record.id == id)
+            .map(f)
+    }
+}
+
+/// What the drain finished with, returned by [`ServerHandle::shutdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainSummary {
+    /// Jobs that reached `done`.
+    pub completed: u64,
+    /// Jobs that reached `failed`.
+    pub failed: u64,
+    /// Jobs still `queued`/`running` after the drain — always 0 unless a
+    /// worker itself died.
+    pub unfinished: u64,
+}
+
+/// Failures starting the server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Could not bind the listen address.
+    Bind(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Bind(e) => write!(f, "cannot bind listen address: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A running server. Dropping the handle leaves the server running
+/// (detached); call [`shutdown`](Self::shutdown) or [`wait`](Self::wait)
+/// to join it.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Starts the drain: submissions now get `503` and workers exit once
+    /// the queue is dry. Idempotent; status polls keep working.
+    pub fn initiate_drain(&self) {
+        initiate_drain(&self.shared);
+    }
+
+    /// Drains and joins everything: initiates the drain, waits for every
+    /// queued and in-flight job to finish, stops the accept loop.
+    pub fn shutdown(mut self) -> DrainSummary {
+        self.initiate_drain();
+        self.finish()
+    }
+
+    /// Like [`shutdown`](Self::shutdown) but without initiating the drain
+    /// itself — blocks until something else does (`POST /admin/shutdown`).
+    pub fn wait(mut self) -> DrainSummary {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> DrainSummary {
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.shared.stopped.store(true, Ordering::SeqCst);
+        // Unblock `accept` so the loop observes the stop flag.
+        let _ = TcpStream::connect(self.shared.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let mut summary = DrainSummary {
+            completed: 0,
+            failed: 0,
+            unfinished: 0,
+        };
+        for tracked in self.shared.lock_jobs().iter() {
+            match tracked.record.status {
+                JobStatus::Done(_) => summary.completed += 1,
+                JobStatus::Failed(_) => summary.failed += 1,
+                JobStatus::Queued | JobStatus::Running => summary.unfinished += 1,
+            }
+        }
+        summary
+    }
+}
+
+fn initiate_drain(shared: &Shared) {
+    if shared.draining.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    shared.queue.close();
+}
+
+/// Binds the address and starts the accept loop and worker pool.
+///
+/// # Errors
+///
+/// [`ServeError::Bind`] if the listen address is unavailable.
+pub fn start(config: ServeConfig) -> Result<ServerHandle, ServeError> {
+    let listener = TcpListener::bind(&config.addr).map_err(ServeError::Bind)?;
+    let addr = listener.local_addr().map_err(ServeError::Bind)?;
+    let shared = Arc::new(Shared {
+        queue: JobQueue::new(config.queue_depth),
+        config,
+        addr,
+        jobs: Mutex::new(Vec::new()),
+        next_id: AtomicU64::new(1),
+        draining: AtomicBool::new(false),
+        stopped: AtomicBool::new(false),
+    });
+    let workers = (0..shared.config.workers)
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("ilt-serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("cannot spawn worker thread")
+        })
+        .collect();
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("ilt-serve-accept".to_string())
+            .spawn(move || accept_loop(&listener, &shared))
+            .expect("cannot spawn accept thread")
+    };
+    Ok(ServerHandle {
+        shared,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.stopped.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        // Detached: bounded by READ_TIMEOUT, not joined on shutdown.
+        let _ = std::thread::Builder::new()
+            .name("ilt-serve-conn".to_string())
+            .spawn(move || handle_connection(&shared, stream));
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        match Request::read_from(&mut reader) {
+            Ok(None) => break,
+            Ok(Some(request)) => {
+                let close = request.wants_close();
+                let mut span = tele::span(tele::names::REQUEST);
+                let response = route(shared, &request);
+                span.add_field("method", request.method.as_str());
+                span.add_field("path", request.path.as_str());
+                span.add_field("status", u64::from(response.status));
+                drop(span);
+                if response.write_to(&mut writer).is_err() {
+                    break;
+                }
+                if close {
+                    break;
+                }
+            }
+            Err(HttpError::Io(_)) => break,
+            Err(HttpError::Malformed(message)) => {
+                let _ = Response::error(400, &message)
+                    .with_header("Connection", "close".to_string())
+                    .write_to(&mut writer);
+                break;
+            }
+        }
+    }
+    tele::flush_thread();
+}
+
+fn route(shared: &Shared, request: &Request) -> Response {
+    tele::counter_add("serve.http.requests", 1);
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => health(shared),
+        ("GET", "/metrics") => Response::text(200, tele::snapshot().to_prometheus()),
+        ("POST", "/v1/jobs") => submit(shared, &request.body),
+        ("POST", "/admin/shutdown") => {
+            initiate_drain(shared);
+            Response::json(200, "{\"status\":\"draining\"}".to_string())
+        }
+        ("GET", path) if path.starts_with("/v1/jobs/") => job_status(shared, path),
+        (_, "/healthz" | "/metrics" | "/v1/jobs" | "/admin/shutdown") => {
+            Response::error(405, "method not allowed")
+        }
+        _ => Response::error(404, "no such resource"),
+    }
+}
+
+fn health(shared: &Shared) -> Response {
+    let status = if shared.draining.load(Ordering::SeqCst) {
+        "draining"
+    } else {
+        "ok"
+    };
+    Response::json(
+        200,
+        format!(
+            "{{\"status\":\"{status}\",\"queue_depth\":{},\"queue_capacity\":{},\"workers\":{}}}",
+            shared.queue.len(),
+            shared.queue.depth(),
+            shared.config.workers
+        ),
+    )
+}
+
+fn submit(shared: &Shared, body: &[u8]) -> Response {
+    if shared.draining.load(Ordering::SeqCst) {
+        return Response::error(503, "server is draining; submit elsewhere");
+    }
+    let Ok(body) = std::str::from_utf8(body) else {
+        return Response::error(400, "body is not UTF-8");
+    };
+    let spec = match JobSpec::parse(body) {
+        Ok(spec) => spec,
+        Err(message) => return Response::error(400, &message),
+    };
+    let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
+    let now = Instant::now();
+    {
+        let mut jobs = shared.lock_jobs();
+        if jobs.len() >= MAX_JOBS_RETAINED {
+            if let Some(oldest_finished) = jobs
+                .iter()
+                .position(|t| matches!(t.record.status, JobStatus::Done(_) | JobStatus::Failed(_)))
+            {
+                jobs.remove(oldest_finished);
+            }
+        }
+        jobs.push(Tracked {
+            record: JobRecord {
+                id,
+                spec: spec.clone(),
+                status: JobStatus::Queued,
+            },
+            enqueued: now,
+            deadline: spec.timeout_ms.map(|ms| now + Duration::from_millis(ms)),
+        });
+    }
+    match shared.queue.push(id) {
+        Ok(position) => {
+            tele::counter_add("serve.jobs.accepted", 1);
+            Response::json(
+                202,
+                format!("{{\"id\":\"{id}\",\"status\":\"queued\",\"position\":{position}}}"),
+            )
+        }
+        Err(reason) => {
+            shared.lock_jobs().retain(|t| t.record.id != id);
+            match reason {
+                PushError::Full => {
+                    tele::counter_add("serve.jobs.rejected_full", 1);
+                    Response::error(429, "job queue is full; retry later")
+                        .with_header("Retry-After", RETRY_AFTER_SECONDS.to_string())
+                }
+                PushError::Closed => Response::error(503, "server is draining; submit elsewhere"),
+            }
+        }
+    }
+}
+
+fn job_status(shared: &Shared, path: &str) -> Response {
+    let raw = &path["/v1/jobs/".len()..];
+    let Ok(id) = raw.parse::<u64>() else {
+        return Response::error(400, "job ids are decimal integers");
+    };
+    match shared.with_job(id, |t| t.record.to_json()) {
+        Some(body) => Response::json(200, body),
+        None => Response::error(404, "no such job"),
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut cache = SessionCache::new();
+    let executor = TileExecutor::new(shared.config.tile_workers);
+    while let Some(id) = shared.queue.pop() {
+        run_job(shared, &mut cache, &executor, id);
+        tele::flush_thread();
+    }
+}
+
+fn run_job(shared: &Shared, cache: &mut SessionCache, executor: &TileExecutor, id: u64) {
+    let Some((spec, enqueued, deadline)) = shared.with_job(id, |t| {
+        t.record.status = JobStatus::Running;
+        (t.record.spec.clone(), t.enqueued, t.deadline)
+    }) else {
+        return; // Submission lost the registry race; nothing to run.
+    };
+    let queue_seconds = enqueued.elapsed().as_secs_f64();
+    tele::record_value("serve.job.queue_us", (queue_seconds * 1e6) as u64);
+    let finish = |status: JobStatus| {
+        tele::counter_add(
+            match status {
+                JobStatus::Done(_) => "serve.jobs.completed",
+                _ => "serve.jobs.failed",
+            },
+            1,
+        );
+        shared.with_job(id, |t| t.record.status = status);
+    };
+    if deadline.is_some_and(|d| Instant::now() > d) {
+        finish(JobStatus::Failed(format!(
+            "deadline exceeded after {queue_seconds:.3}s in queue"
+        )));
+        return;
+    }
+    let started = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| execute(&spec, cache, executor)));
+    tele::record_value(
+        "serve.job.run_us",
+        (started.elapsed().as_secs_f64() * 1e6) as u64,
+    );
+    let status = match outcome {
+        Ok(Ok(mut outcome)) => {
+            outcome.queue_seconds = queue_seconds;
+            if deadline.is_some_and(|d| Instant::now() > d) {
+                JobStatus::Failed("deadline exceeded while solving".to_string())
+            } else {
+                JobStatus::Done(outcome)
+            }
+        }
+        Ok(Err(message)) => JobStatus::Failed(message),
+        Err(panic) => JobStatus::Failed(format!("job panicked: {}", panic_message(&panic))),
+    };
+    finish(status);
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    panic
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| panic.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("opaque panic payload")
+}
+
+/// Runs one job on this worker's session: resolve the target layout, run
+/// the requested flow, inspect the result over the whole clip.
+fn execute(
+    spec: &JobSpec,
+    cache: &mut SessionCache,
+    executor: &TileExecutor,
+) -> Result<JobOutcome, String> {
+    let session = cache
+        .session(&spec.scale)
+        .map_err(|e| format!("session setup failed: {e}"))?;
+    let target = resolve_target(spec, session.config());
+    let flow = session
+        .run_method(spec.method, &target, executor)
+        .map_err(|e| format!("flow failed: {e}"))?;
+    let partition = Partition::new(target.width(), target.height(), session.config().partition)
+        .map_err(|e| format!("partitioning failed: {e}"))?;
+    let lines = partition.stitch_lines();
+    let (quality, stitch) = session
+        .inspect_mask(&lines, &target, &flow.mask)
+        .map_err(|e| format!("inspection failed: {e}"))?;
+    let binary = flow.mask.threshold(0.5);
+    let on_pixels = binary.count_ones();
+    Ok(JobOutcome {
+        metrics: JobMetrics {
+            l2: quality.l2,
+            pvband: quality.pvband,
+            stitch: stitch.total,
+            tat_seconds: flow.wall_seconds,
+        },
+        mask: MaskSummary {
+            width: binary.width(),
+            height: binary.height(),
+            on_pixels,
+            coverage: on_pixels as f64 / binary.len() as f64,
+        },
+        queue_seconds: 0.0, // filled in by the caller, which knows the wait
+    })
+}
+
+/// Materialises the job's target layout at the session's clip size.
+fn resolve_target(spec: &JobSpec, config: &ilt_core::ExperimentConfig) -> BitGrid {
+    match &spec.source {
+        // Suite case k is, by construction, the generator at seed k.
+        CaseSource::Suite(id) => generate_clip(&config.generator, *id as u64),
+        CaseSource::Inline(layout) => {
+            let mut generator = config.generator;
+            if let Some(w) = layout.wire_width {
+                generator.wire_width = w;
+            }
+            if let Some(s) = layout.wire_space {
+                generator.wire_space = s;
+            }
+            if let Some(f) = layout.track_fill {
+                generator.track_fill = f;
+            }
+            // Panics on inconsistent geometry are caught by the job runner
+            // and reported as a failed job, not a dead worker.
+            generator.validate();
+            generate_clip(&generator, layout.seed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_target_matches_the_benchmark_suite() {
+        let config = ilt_core::ExperimentConfig::test_tiny();
+        let spec = JobSpec::parse(r#"{"case": 2}"#).unwrap();
+        let target = resolve_target(&spec, &config);
+        let suite = ilt_layout::suite_of_size(&config.generator, 2);
+        assert_eq!(target, suite[1].target);
+    }
+
+    #[test]
+    fn inline_overrides_change_the_layout() {
+        let config = ilt_core::ExperimentConfig::test_tiny();
+        let base = JobSpec::parse(r#"{"layout": {"seed": 3}}"#).unwrap();
+        let wide = JobSpec::parse(r#"{"layout": {"seed": 3, "wire_width": 11}}"#).unwrap();
+        let a = resolve_target(&base, &config);
+        let b = resolve_target(&wide, &config);
+        assert_eq!(a.width(), config.clip);
+        assert_eq!(b.width(), config.clip);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn env_parsing_falls_back() {
+        assert_eq!(env_usize("ILT_SERVE_NO_SUCH_VAR", 7), 7);
+    }
+}

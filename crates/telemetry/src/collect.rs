@@ -151,6 +151,28 @@ pub(crate) fn sink_event(event: SpanEvent) {
     sink.get_or_insert_with(Sink::default).events.push(event);
 }
 
+/// A non-destructive copy of everything flushed so far: the calling
+/// thread's buffer plus the global sink. Unlike [`drain`], the sink keeps
+/// its contents, so long-lived processes (the `ilt-serve` `/metrics`
+/// endpoint) can expose running totals while a final [`drain`] at shutdown
+/// still sees the full run. Buffers on *other* live threads are not
+/// visible until those threads flush (see [`flush_thread`]).
+pub fn snapshot() -> Telemetry {
+    let _ = with_local(LocalBuf::flush);
+    let guard = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut t = match guard.as_ref() {
+        Some(sink) => Telemetry {
+            events: sink.events.clone(),
+            counters: sink.counters.clone(),
+            histograms: sink.histograms.clone(),
+        },
+        None => return Telemetry::default(),
+    };
+    drop(guard);
+    t.events.sort_by_key(|e| (e.start_ns, e.id));
+    t
+}
+
 /// Takes everything collected so far: the calling thread's buffer plus the
 /// global sink (which worker threads flushed into when they exited). Call
 /// from the thread that drove the work, after its worker threads joined.

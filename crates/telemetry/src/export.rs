@@ -193,6 +193,46 @@ impl Telemetry {
         out
     }
 
+    /// Renders counters and histograms in the Prometheus text exposition
+    /// format (version 0.0.4), the shape `GET /metrics` endpoints serve.
+    ///
+    /// Metric names are the workspace's dotted counter/histogram names with
+    /// every non-alphanumeric character mapped to `_` and an `ilt_` prefix
+    /// (so `fft.forward` becomes `ilt_fft_forward`). Counters get a
+    /// `_total` suffix; histograms are exported as `_count`/`_sum` plus
+    /// `quantile`-labelled summary samples. Spans are not exported — they
+    /// belong to traces, not scrape targets.
+    pub fn to_prometheus(&self) -> String {
+        fn metric_name(raw: &str) -> String {
+            let mut name = String::with_capacity(raw.len() + 4);
+            name.push_str("ilt_");
+            for c in raw.chars() {
+                name.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+            }
+            name
+        }
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let m = metric_name(name);
+            let _ = writeln!(out, "# TYPE {m}_total counter");
+            let _ = writeln!(out, "{m}_total {v}");
+        }
+        for (name, h) in &self.histograms {
+            let m = metric_name(name);
+            let _ = writeln!(out, "# TYPE {m} summary");
+            for (q, v) in [
+                (0.5, h.quantile_interpolated(0.5)),
+                (0.95, h.quantile_interpolated(0.95)),
+                (0.99, h.quantile_interpolated(0.99)),
+            ] {
+                let _ = writeln!(out, "{m}{{quantile=\"{q}\"}} {v}");
+            }
+            let _ = writeln!(out, "{m}_sum {}", h.sum());
+            let _ = writeln!(out, "{m}_count {}", h.count());
+        }
+        out
+    }
+
     /// Serialises the spans in the Chrome `trace_event` JSON format
     /// (load the file in `chrome://tracing` or Perfetto).
     pub fn to_chrome_trace(&self) -> String {

@@ -58,7 +58,7 @@ pub mod json;
 mod metrics;
 mod span;
 
-pub use collect::{drain, flush_thread, SpanEvent, Telemetry};
+pub use collect::{drain, flush_thread, snapshot, SpanEvent, Telemetry};
 pub use export::{FlowSummary, StageSummary};
 pub use metrics::{counter_add, record_value, Histogram};
 pub use span::{current_span, parent_scope, span, FieldValue, ParentScope, SpanGuard, SpanRef};
@@ -82,6 +82,10 @@ pub mod names {
     pub const ASSEMBLY: &str = "assembly";
     /// A single-tile solver invocation.
     pub const SOLVE: &str = "solve";
+    /// One served request in `ilt-serve` (fields `method`, `path`,
+    /// `status`); job execution spans nest underneath it, so traces and
+    /// diagnostics work unchanged in server mode.
+    pub const REQUEST: &str = "request";
     /// A convergence anomaly detected by `ilt-diag` (fields `kind`,
     /// `flow`, `stage`, `tile`, `iteration`, `value`). Recorded as a
     /// zero-length span so anomalies sit inside the span tree at the

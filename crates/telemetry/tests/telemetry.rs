@@ -199,3 +199,54 @@ fn tiles_found_below_job_spans() {
     let flows = t.flow_summaries();
     assert_eq!(flows[0].stages[0].tile_count, 2);
 }
+
+#[test]
+fn snapshot_is_non_destructive_and_drain_still_sees_everything() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = tele::drain();
+    tele::set_enabled(true);
+    tele::counter_add("unit.snap_counter", 2);
+    tele::record_value("unit.snap_hist", 7);
+    {
+        let mut s = tele::span("unit.snap_span");
+        s.add_field("k", 1u64);
+    }
+    let first = tele::snapshot();
+    assert_eq!(first.counters["unit.snap_counter"], 2);
+    assert_eq!(first.histograms["unit.snap_hist"].count(), 1);
+    assert_eq!(first.span_count("unit.snap_span"), 1);
+    // A second snapshot sees the same totals plus anything new.
+    tele::counter_add("unit.snap_counter", 3);
+    let second = tele::snapshot();
+    assert_eq!(second.counters["unit.snap_counter"], 5);
+    // The final drain still holds the full run, then resets.
+    tele::set_enabled(false);
+    let t = tele::drain();
+    assert_eq!(t.counters["unit.snap_counter"], 5);
+    assert_eq!(t.span_count("unit.snap_span"), 1);
+    assert!(tele::snapshot().is_empty());
+}
+
+#[test]
+fn prometheus_exposition_shape() {
+    let ((), t) = with_tracing(|| {
+        tele::counter_add("unit.promo.requests", 4);
+        for v in [10u64, 20, 30] {
+            tele::record_value("unit.promo.latency_us", v);
+        }
+    });
+    let text = t.to_prometheus();
+    assert!(text.contains("# TYPE ilt_unit_promo_requests_total counter"));
+    assert!(text.contains("ilt_unit_promo_requests_total 4"));
+    assert!(text.contains("# TYPE ilt_unit_promo_latency_us summary"));
+    assert!(text.contains("ilt_unit_promo_latency_us{quantile=\"0.5\"}"));
+    assert!(text.contains("ilt_unit_promo_latency_us_count 3"));
+    assert!(text.contains("ilt_unit_promo_latency_us_sum 60"));
+    // Every non-comment line is "name[{labels}] value".
+    for line in text.lines().filter(|l| !l.starts_with('#')) {
+        let mut parts = line.rsplitn(2, ' ');
+        let value = parts.next().unwrap();
+        assert!(value.parse::<f64>().is_ok(), "unparsable sample: {line}");
+        assert!(parts.next().unwrap().starts_with("ilt_"));
+    }
+}

@@ -5,8 +5,9 @@
 //! the executor still exercises the identical scheduling structure, which
 //! the speedup model in `ilt-core` builds on.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
 
 use ilt_telemetry as tele;
 
@@ -55,7 +56,10 @@ impl TileExecutor {
     ///
     /// # Panics
     ///
-    /// Propagates a panic from any job.
+    /// Re-raises the first panicking job's payload on the calling thread.
+    /// Other workers stop claiming new jobs, the pool winds down cleanly
+    /// (no deadlock, no poisoned state), and the executor remains usable
+    /// for subsequent `run` calls.
     pub fn run<T, F>(&self, count: usize, job: F) -> Vec<T>
     where
         T: Send,
@@ -68,29 +72,53 @@ impl TileExecutor {
         // worker threads attach to it instead of becoming roots.
         let parent = tele::current_span();
         let next = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        // First panic payload wins; it is re-raised after the pool drains.
+        let panicked: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
         let (sender, receiver) = mpsc::channel::<(usize, T)>();
         std::thread::scope(|scope| {
             for worker in 0..self.workers.min(count) {
                 let sender = sender.clone();
                 let next = &next;
+                let stop = &stop;
+                let panicked = &panicked;
                 let job = &job;
                 scope.spawn(move || {
                     let _adopted = tele::parent_scope(parent);
                     loop {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= count {
                             break;
                         }
-                        // The receiver outlives the scope; send cannot fail
-                        // unless a sibling panicked, which propagates anyway.
-                        if sender.send((i, traced_job(job, i, worker))).is_err() {
-                            break;
+                        // AssertUnwindSafe: on panic the payload is
+                        // re-raised to the caller and no partial results
+                        // escape, so no broken invariant is observable.
+                        match catch_unwind(AssertUnwindSafe(|| traced_job(job, i, worker))) {
+                            // The receiver outlives the scope; send cannot
+                            // fail unless a sibling panicked first.
+                            Ok(value) => {
+                                if sender.send((i, value)).is_err() {
+                                    break;
+                                }
+                            }
+                            Err(payload) => {
+                                stop.store(true, Ordering::Relaxed);
+                                let mut slot = panicked.lock().unwrap_or_else(|e| e.into_inner());
+                                slot.get_or_insert(payload);
+                                break;
+                            }
                         }
                     }
                 });
             }
         });
         drop(sender);
+        if let Some(payload) = panicked.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            resume_unwind(payload);
+        }
         let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
         for (i, value) in receiver {
             slots[i] = Some(value);
