@@ -1,0 +1,255 @@
+//! `microbench`: fast-path micro-benchmarks for the litho hot loop.
+//!
+//! Times the building blocks the solvers spend their iterations in — 2-D
+//! FFT forward/inverse passes (dense and sparse-support), the Hopkins
+//! forward/adjoint simulator passes, and a full pixel-ILT iteration — at
+//! the grid sizes of the configured experiment scale (`base_n` for the
+//! simulator benches, plus the full `clip` edge for the large FFT).
+//!
+//! The full-iteration bench runs twice: once through the historical
+//! allocate-per-call API (`simulate`/`gradient`, serial) and once through
+//! the workspace fast path (`simulate_into`/`gradient_into` with the
+//! `ILT_INNER_THREADS` budget), and prints the speedup between them.
+//!
+//! Each benchmark is wrapped in a named flow span, so the emitted
+//! `report.json` (schema `ilt-report/v2`) carries one flow per benchmark
+//! and can be gated against `results/baselines/microbench.json` with the
+//! `report_diff` bin. Telemetry is force-enabled so the flows are recorded
+//! even without `ILT_TRACE=1`. A compact single-point summary (schema
+//! `ilt-bench-trajectory/v1`) is also written for the `BENCH_*` trajectory
+//! files under `results/`.
+//!
+//! ```text
+//! ILT_SCALE=tiny ILT_INNER_THREADS=4 cargo run --release -p ilt-bench --bin microbench
+//! ```
+
+use std::fmt::Write as _;
+
+use ilt_bench::HarnessOptions;
+use ilt_fft::{spectral, Complex, Fft2d};
+use ilt_grid::Grid;
+use ilt_opt::evaluate_loss;
+use ilt_par::InnerPool;
+use ilt_telemetry as tele;
+
+/// Deterministic xorshift values in [-1, 1) so benchmark buffers are
+/// reproducible and free of denormal-heavy patterns.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    }
+}
+
+/// One benchmark result: `iters` timed repetitions in `seconds` total.
+struct BenchPoint {
+    name: String,
+    iters: usize,
+    seconds: f64,
+}
+
+impl BenchPoint {
+    fn us_per_iter(&self) -> f64 {
+        self.seconds / self.iters as f64 * 1e6
+    }
+}
+
+/// Runs `f` twice untimed (warm-up), then `iters` times inside a flow span
+/// named `name`, and returns the timed total.
+fn bench(points: &mut Vec<BenchPoint>, name: String, iters: usize, mut f: impl FnMut()) {
+    f();
+    f();
+    let mut flow = tele::span(tele::names::FLOW);
+    flow.add_field("name", name.as_str());
+    for _ in 0..iters {
+        f();
+    }
+    let seconds = flow.end();
+    let point = BenchPoint {
+        name,
+        iters,
+        seconds,
+    };
+    println!(
+        "{:<28} {:>5} iters  {:>10.1} us/iter",
+        point.name,
+        point.iters,
+        point.us_per_iter()
+    );
+    points.push(point);
+}
+
+/// The wrapped spectrum rows of a centered `p`-wide support on an `n` grid
+/// (the exact support `LithoSimulator` hands to `inverse_support`).
+fn support_bins(p: usize, n: usize) -> Vec<usize> {
+    let half = p as i64 / 2;
+    (0..p)
+        .map(|i| spectral::wrap_index(i as i64 - half, n))
+        .collect()
+}
+
+fn spectrum(rng: &mut Rng, n: usize, bins: &[usize]) -> Vec<Complex> {
+    let mut data = vec![Complex::ZERO; n * n];
+    for &r in bins {
+        for &c in bins {
+            data[r * n + c] = Complex::new(rng.next(), rng.next());
+        }
+    }
+    data
+}
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    // Flows must be recorded for the report gate even without ILT_TRACE=1.
+    tele::set_enabled(true);
+    let tiny = opts.scale == "tiny";
+    let base_n = opts.config.optics.base_n;
+    let clip = opts.config.clip;
+    println!(
+        "microbench: scale={} base_n={} clip={} inner_threads={}",
+        opts.scale, base_n, clip, opts.inner_threads
+    );
+
+    let mut rng = Rng(0x5eed_5eed_5eed_5eed);
+    let mut points = Vec::new();
+
+    // FFT stages at the tile grid size.
+    let (fft_iters, sim_iters, iter_iters) = if tiny { (200, 30, 50) } else { (40, 8, 10) };
+    let fft = Fft2d::new(base_n, base_n).unwrap();
+    let mut buf: Vec<Complex> = (0..base_n * base_n)
+        .map(|_| Complex::new(rng.next(), rng.next()))
+        .collect();
+    bench(
+        &mut points,
+        format!("fft_forward_{base_n}"),
+        fft_iters,
+        || fft.forward(&mut buf).unwrap(),
+    );
+    bench(
+        &mut points,
+        format!("fft_inverse_{base_n}"),
+        fft_iters,
+        || fft.inverse(&mut buf).unwrap(),
+    );
+
+    // Large-area FFT at the clip edge (the inspection-system size).
+    let clip_fft = Fft2d::new(clip, clip).unwrap();
+    let mut clip_buf: Vec<Complex> = (0..clip * clip)
+        .map(|_| Complex::new(rng.next(), rng.next()))
+        .collect();
+    bench(
+        &mut points,
+        format!("fft_forward_{clip}"),
+        fft_iters / 8,
+        || clip_fft.forward(&mut clip_buf).unwrap(),
+    );
+
+    // Simulator passes at the tile grid size, through the workspace arena.
+    let bank = opts.bank();
+    let system = bank.system(base_n, 1).expect("system construction failed");
+    let support = system.simulator().kernels().support();
+    let mut ws = system.workspace();
+    let mask = Grid::from_fn(base_n, base_n, |x, y| {
+        0.3 + 0.2 * ((x as f64 * 0.3).sin() * (y as f64 * 0.21).cos())
+    });
+    let dldi = Grid::from_fn(base_n, base_n, |x, y| ((x as f64 - y as f64) * 0.01).tanh());
+    let target = Grid::from_fn(base_n, base_n, |x, y| {
+        f64::from(u8::from(
+            x > base_n / 4 && x < 3 * base_n / 4 && y > base_n / 3,
+        ))
+    });
+
+    // Sparse-support inverse on the simulator's actual P x P support.
+    let bins = support_bins(support, base_n);
+    let supported = spectrum(&mut rng, base_n, &bins);
+    let mut sparse_buf = supported.clone();
+    bench(
+        &mut points,
+        format!("fft_inverse_sparse_{base_n}"),
+        fft_iters,
+        || {
+            sparse_buf.copy_from_slice(&supported);
+            fft.inverse_support(&mut sparse_buf, &bins).unwrap();
+        },
+    );
+
+    bench(&mut points, format!("simulate_{base_n}"), sim_iters, || {
+        system.simulate_into(&mask, &mut ws).unwrap();
+    });
+    bench(&mut points, format!("gradient_{base_n}"), sim_iters, || {
+        system.gradient_into(&mut ws, &dldi).unwrap();
+    });
+
+    // Full solver iteration, pre-fast-path shape: allocate-per-call
+    // simulate/gradient on a serial pool (what the solvers did before the
+    // workspace arena and inner-thread budget existed).
+    let mut alloc_system = bank.system(base_n, 1).expect("system construction failed");
+    alloc_system.set_inner_pool(InnerPool::serial());
+    bench(
+        &mut points,
+        format!("ilt_iteration_alloc_{base_n}"),
+        iter_iters,
+        || {
+            let state = alloc_system.simulate(&mask).unwrap();
+            let eval = evaluate_loss(alloc_system.resist(), &state.intensity, &target);
+            let _ = alloc_system.gradient(&state, &eval.dldi).unwrap();
+        },
+    );
+    // Full solver iteration, fast path: workspace arena + inner pool.
+    bench(
+        &mut points,
+        format!("ilt_iteration_fast_{base_n}"),
+        iter_iters,
+        || {
+            system.simulate_into(&mask, &mut ws).unwrap();
+            let eval = evaluate_loss(system.resist(), ws.intensity(), &target);
+            let _ = system.gradient_into(&mut ws, &eval.dldi).unwrap();
+        },
+    );
+
+    let alloc = points[points.len() - 2].seconds;
+    let fast = points[points.len() - 1].seconds;
+    let speedup = alloc / fast;
+    println!(
+        "\niteration speedup (alloc-per-call vs workspace fast path, \
+         inner_threads={}): {speedup:.2}x",
+        opts.inner_threads
+    );
+
+    let path = opts.artifact("microbench_summary.json");
+    std::fs::write(&path, render_summary(&opts, &points, speedup)).expect("cannot write summary");
+    println!("wrote {}", path.display());
+
+    opts.finish_run("microbench");
+}
+
+/// Renders the single-point `ilt-bench-trajectory/v1` summary.
+fn render_summary(opts: &HarnessOptions, points: &[BenchPoint], speedup: f64) -> String {
+    use tele::json;
+    let mut out = String::from("{\"schema\":\"ilt-bench-trajectory/v1\",\"binary\":\"microbench\"");
+    out.push_str(",\"scale\":");
+    json::push_str_literal(&mut out, &opts.scale);
+    let _ = write!(out, ",\"inner_threads\":{}", opts.inner_threads);
+    out.push_str(",\"iteration_speedup\":");
+    json::push_f64(&mut out, speedup);
+    out.push_str(",\"benches\":[");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        json::push_str_literal(&mut out, &p.name);
+        let _ = write!(out, ",\"iters\":{}", p.iters);
+        out.push_str(",\"seconds\":");
+        json::push_f64(&mut out, p.seconds);
+        out.push_str(",\"us_per_iter\":");
+        json::push_f64(&mut out, p.us_per_iter());
+        out.push('}');
+    }
+    out.push_str("]}\n");
+    out
+}

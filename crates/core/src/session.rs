@@ -8,8 +8,9 @@
 //! costs. A [`Session`] is cheap to construct once its bank is cached:
 //! warm construction is a cache hit plus one inspection-system resample.
 //!
-//! Sessions are deliberately **not** `Sync` (the inspection simulators
-//! keep per-instance FFT scratch): give each worker thread its own
+//! Simulators and FFT plans are `Sync` (scratch lives in per-call
+//! [`ilt_litho::SimWorkspace`] arenas, not in the plans), but sessions are
+//! still best treated as per-worker state: give each worker thread its own
 //! `Session` and let the bank cache dedupe the heavy state underneath.
 
 use std::sync::Arc;

@@ -1,21 +1,39 @@
 //! Two-dimensional FFT built from row/column 1-D transforms.
 //!
 //! Lithography simulation spends nearly all of its time in 2-D transforms of
-//! the mask and of per-kernel products, so [`Fft2d`] keeps both 1-D plans and
-//! a scratch buffer alive across calls.
+//! the mask and of per-kernel products, so [`Fft2d`] keeps both 1-D plans
+//! alive across calls. The column pass runs as blocked transpose → row pass
+//! → transpose back (cache-friendly contiguous transforms instead of a
+//! strided gather/scatter), with the inverse `1/(rows*cols)` normalisation
+//! fused into the final transpose. Square transforms — the only shape on
+//! the litho hot path — transpose in place and perform **no** heap
+//! allocation.
+//!
+//! For the per-kernel inverse of Eq. (2) the spectrum is zero outside a
+//! small `P x P` support, so [`Fft2d::inverse_support`] skips the
+//! `rows - P` all-zero first-pass transforms entirely; the skipped work is
+//! counted on the `fft.rows_skipped` telemetry counter.
 
-use std::cell::RefCell;
 use std::sync::Arc;
+
+use ilt_par::InnerPool;
 
 use crate::cache::shared_plan;
 use crate::complex::Complex;
 use crate::error::FftError;
 use crate::plan::{Direction, FftPlan};
 
+/// Edge length of the blocked-transpose tiles. 32 complex values per row of
+/// a block is 512 bytes — two blocks fit comfortably in L1 alongside the
+/// twiddle tables.
+const TRANSPOSE_BLOCK: usize = 32;
+
 /// A reusable 2-D FFT for row-major `rows x cols` buffers.
 ///
 /// Both dimensions must be powers of two. The transform is separable: each
-/// row is transformed, then each column.
+/// row is transformed, then each column (via transposes). The plan holds no
+/// per-call state, so one `Fft2d` can be shared freely across threads
+/// (`Fft2d: Sync`), e.g. by [`ilt_par::InnerPool`] workers.
 ///
 /// # Examples
 ///
@@ -41,9 +59,6 @@ pub struct Fft2d {
     /// `Fft2d` of a given shape shares one set of twiddle tables.
     row_plan: Arc<FftPlan>,
     col_plan: Arc<FftPlan>,
-    /// Scratch column buffer; `RefCell` so transforms can take `&self` and a
-    /// single `Fft2d` can be shared immutably within one thread.
-    scratch: RefCell<Vec<Complex>>,
 }
 
 impl Fft2d {
@@ -61,7 +76,6 @@ impl Fft2d {
             cols,
             row_plan,
             col_plan,
-            scratch: RefCell::new(vec![Complex::ZERO; rows]),
         })
     }
 
@@ -95,8 +109,7 @@ impl Fft2d {
     ///
     /// Returns [`FftError::ShapeMismatch`] if `data.len() != rows * cols`.
     pub fn forward(&self, data: &mut [Complex]) -> Result<(), FftError> {
-        ilt_telemetry::counter_add("fft.forward", 1);
-        self.transform(data, Direction::Forward)
+        self.forward_with_pool(data, &InnerPool::serial())
     }
 
     /// In-place inverse 2-D FFT with `1/(rows*cols)` normalisation.
@@ -105,13 +118,38 @@ impl Fft2d {
     ///
     /// Returns [`FftError::ShapeMismatch`] if `data.len() != rows * cols`.
     pub fn inverse(&self, data: &mut [Complex]) -> Result<(), FftError> {
+        self.inverse_with_pool(data, &InnerPool::serial())
+    }
+
+    /// [`Fft2d::forward`] with row batches spread across `pool` workers.
+    ///
+    /// Every 1-D transform writes a disjoint row, so the result is
+    /// bit-identical to the serial transform for any worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::ShapeMismatch`] if `data.len() != rows * cols`.
+    pub fn forward_with_pool(
+        &self,
+        data: &mut [Complex],
+        pool: &InnerPool,
+    ) -> Result<(), FftError> {
+        ilt_telemetry::counter_add("fft.forward", 1);
+        self.transform_with_pool(data, Direction::Forward, pool)
+    }
+
+    /// [`Fft2d::inverse`] with row batches spread across `pool` workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::ShapeMismatch`] if `data.len() != rows * cols`.
+    pub fn inverse_with_pool(
+        &self,
+        data: &mut [Complex],
+        pool: &InnerPool,
+    ) -> Result<(), FftError> {
         ilt_telemetry::counter_add("fft.inverse", 1);
-        self.transform(data, Direction::Inverse)?;
-        let inv = 1.0 / self.len() as f64;
-        for z in data.iter_mut() {
-            *z = z.scale(inv);
-        }
-        Ok(())
+        self.transform_normalised(data, Direction::Inverse, pool, None)
     }
 
     /// In-place 2-D transform without normalisation.
@@ -120,32 +158,204 @@ impl Fft2d {
     ///
     /// Returns [`FftError::ShapeMismatch`] if `data.len() != rows * cols`.
     pub fn transform(&self, data: &mut [Complex], dir: Direction) -> Result<(), FftError> {
+        self.transform_with_pool(data, dir, &InnerPool::serial())
+    }
+
+    /// In-place 2-D transform without normalisation, row batches on `pool`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::ShapeMismatch`] if `data.len() != rows * cols`.
+    pub fn transform_with_pool(
+        &self,
+        data: &mut [Complex],
+        dir: Direction,
+        pool: &InnerPool,
+    ) -> Result<(), FftError> {
+        self.transform_normalised(data, dir, pool, None)
+    }
+
+    /// In-place inverse of a spectrum known to be zero outside the listed
+    /// rows.
+    ///
+    /// `support_rows` are the (unshifted) indices of the rows that may hold
+    /// nonzero bins; every other row **must** already be zero in `data` —
+    /// the first transform pass simply skips them (the FFT of a zero row is
+    /// the zero row). For the paper's per-kernel inverse, where only a
+    /// centered `P x P` support survives the crop-multiply, this removes
+    /// `rows - P` of the `rows` first-pass transforms. The skipped count
+    /// feeds the `fft.rows_skipped` telemetry counter.
+    ///
+    /// The `1/(rows*cols)` normalisation is applied exactly as in
+    /// [`Fft2d::inverse`], so the output is bit-identical to a dense
+    /// inverse of the same (zero-padded) spectrum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::ShapeMismatch`] if `data.len() != rows * cols`,
+    /// or [`FftError::LengthMismatch`] if a support row index is out of
+    /// range.
+    pub fn inverse_support(
+        &self,
+        data: &mut [Complex],
+        support_rows: &[usize],
+    ) -> Result<(), FftError> {
+        self.inverse_support_with_pool(data, support_rows, &InnerPool::serial())
+    }
+
+    /// [`Fft2d::inverse_support`] with second-pass row batches on `pool`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Fft2d::inverse_support`].
+    pub fn inverse_support_with_pool(
+        &self,
+        data: &mut [Complex],
+        support_rows: &[usize],
+        pool: &InnerPool,
+    ) -> Result<(), FftError> {
+        if let Some(&bad) = support_rows.iter().find(|&&r| r >= self.rows) {
+            return Err(FftError::LengthMismatch {
+                expected: self.rows,
+                actual: bad,
+            });
+        }
+        ilt_telemetry::counter_add("fft.inverse", 1);
+        ilt_telemetry::counter_add(
+            "fft.rows_skipped",
+            (self.rows - support_rows.len().min(self.rows)) as u64,
+        );
+        self.transform_normalised(data, Direction::Inverse, pool, Some(support_rows))
+    }
+
+    /// The shared implementation: first-pass row transforms (optionally
+    /// restricted to a sparse support), transpose, second-pass row
+    /// transforms over the former columns, transpose back. For
+    /// [`Direction::Inverse`] the `1/(rows*cols)` scale is fused into the
+    /// final transpose, saving one full sweep over the buffer.
+    fn transform_normalised(
+        &self,
+        data: &mut [Complex],
+        dir: Direction,
+        pool: &InnerPool,
+        support_rows: Option<&[usize]>,
+    ) -> Result<(), FftError> {
         if data.len() != self.len() {
             return Err(FftError::ShapeMismatch {
                 expected: self.len(),
                 actual: data.len(),
             });
         }
-        // Rows.
-        for row in data.chunks_exact_mut(self.cols) {
-            self.row_plan
-                .transform(row, dir)
-                .expect("row length matches plan by construction");
-        }
-        // Columns, via a gather/transform/scatter through the scratch buffer.
-        let mut scratch = self.scratch.borrow_mut();
-        for c in 0..self.cols {
-            for r in 0..self.rows {
-                scratch[r] = data[r * self.cols + c];
+        let scale = match dir {
+            Direction::Forward => None,
+            Direction::Inverse => Some(1.0 / self.len() as f64),
+        };
+        // First pass: transform the rows (only the support rows when the
+        // caller vouches the rest are zero).
+        match support_rows {
+            Some(rows) => {
+                for &r in rows {
+                    self.row_plan
+                        .transform(&mut data[r * self.cols..(r + 1) * self.cols], dir)
+                        .expect("row length matches plan by construction");
+                }
             }
-            self.col_plan
-                .transform(&mut scratch, dir)
-                .expect("column length matches plan by construction");
-            for r in 0..self.rows {
-                data[r * self.cols + c] = scratch[r];
+            None => {
+                let plan = &self.row_plan;
+                pool.for_each_chunk_mut(data, self.cols, |_, row| {
+                    plan.transform(row, dir)
+                        .expect("row length matches plan by construction");
+                });
+            }
+        }
+        if self.rows == self.cols {
+            // Square: transpose in place, no scratch at all.
+            transpose_square(data, self.rows);
+            let plan = &self.col_plan;
+            pool.for_each_chunk_mut(data, self.rows, |_, row| {
+                plan.transform(row, dir)
+                    .expect("column length matches plan by construction");
+            });
+            transpose_square_scaled(data, self.rows, scale);
+        } else {
+            // Rectangular (test/diagnostic shapes only — the litho hot path
+            // is square): transpose through a temporary.
+            let mut t = vec![Complex::ZERO; data.len()];
+            transpose_into(data, self.rows, self.cols, &mut t);
+            let plan = &self.col_plan;
+            pool.for_each_chunk_mut(&mut t, self.rows, |_, row| {
+                plan.transform(row, dir)
+                    .expect("column length matches plan by construction");
+            });
+            transpose_into(&t, self.cols, self.rows, data);
+            if let Some(s) = scale {
+                for z in data.iter_mut() {
+                    *z = z.scale(s);
+                }
             }
         }
         Ok(())
+    }
+}
+
+/// In-place blocked transpose of a square `n x n` row-major buffer.
+fn transpose_square(data: &mut [Complex], n: usize) {
+    for bi in (0..n).step_by(TRANSPOSE_BLOCK) {
+        for bj in (bi..n).step_by(TRANSPOSE_BLOCK) {
+            let i_end = (bi + TRANSPOSE_BLOCK).min(n);
+            let j_end = (bj + TRANSPOSE_BLOCK).min(n);
+            for i in bi..i_end {
+                let j_start = if bi == bj { i + 1 } else { bj };
+                for j in j_start..j_end {
+                    data.swap(i * n + j, j * n + i);
+                }
+            }
+        }
+    }
+}
+
+/// [`transpose_square`] with an optional per-element scale fused into the
+/// swap (each element is scaled exactly once).
+fn transpose_square_scaled(data: &mut [Complex], n: usize, scale: Option<f64>) {
+    let Some(s) = scale else {
+        transpose_square(data, n);
+        return;
+    };
+    for bi in (0..n).step_by(TRANSPOSE_BLOCK) {
+        for bj in (bi..n).step_by(TRANSPOSE_BLOCK) {
+            let i_end = (bi + TRANSPOSE_BLOCK).min(n);
+            let j_end = (bj + TRANSPOSE_BLOCK).min(n);
+            for i in bi..i_end {
+                if bi == bj {
+                    let d = i * n + i;
+                    data[d] = data[d].scale(s);
+                }
+                let j_start = if bi == bj { i + 1 } else { bj };
+                for j in j_start..j_end {
+                    let a = i * n + j;
+                    let b = j * n + i;
+                    let t = data[a].scale(s);
+                    data[a] = data[b].scale(s);
+                    data[b] = t;
+                }
+            }
+        }
+    }
+}
+
+/// Blocked out-of-place transpose: `src` is `rows x cols`, `dst` becomes
+/// `cols x rows`.
+fn transpose_into(src: &[Complex], rows: usize, cols: usize, dst: &mut [Complex]) {
+    debug_assert_eq!(src.len(), rows * cols);
+    debug_assert_eq!(dst.len(), rows * cols);
+    for bi in (0..rows).step_by(TRANSPOSE_BLOCK) {
+        for bj in (0..cols).step_by(TRANSPOSE_BLOCK) {
+            for i in bi..(bi + TRANSPOSE_BLOCK).min(rows) {
+                for j in bj..(bj + TRANSPOSE_BLOCK).min(cols) {
+                    dst[j * rows + i] = src[i * cols + j];
+                }
+            }
+        }
     }
 }
 
@@ -165,6 +375,12 @@ mod tests {
         (0..rows * cols)
             .map(|i| Complex::new((i as f64 * 0.13).sin(), (i as f64 * 0.41).cos()))
             .collect()
+    }
+
+    #[test]
+    fn plan_is_sync_and_send() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<Fft2d>();
     }
 
     #[test]
@@ -202,6 +418,17 @@ mod tests {
     #[test]
     fn roundtrip_identity() {
         let (rows, cols) = (16, 16);
+        let data = ramp(rows, cols);
+        let fft = Fft2d::new(rows, cols).unwrap();
+        let mut working = data.clone();
+        fft.forward(&mut working).unwrap();
+        fft.inverse(&mut working).unwrap();
+        assert!(max_err(&working, &data) < 1e-10);
+    }
+
+    #[test]
+    fn rectangular_roundtrip_identity() {
+        let (rows, cols) = (8, 32);
         let data = ramp(rows, cols);
         let fft = Fft2d::new(rows, cols).unwrap();
         let mut working = data.clone();
@@ -276,5 +503,82 @@ mod tests {
         let mut prod: Vec<Complex> = fa.iter().zip(&fb).map(|(x, y)| *x * *y).collect();
         fft.inverse(&mut prod).unwrap();
         assert!(max_err(&prod, &direct) < 1e-9);
+    }
+
+    #[test]
+    fn pooled_transform_is_bit_identical_to_serial() {
+        for (rows, cols) in [(64usize, 64usize), (16, 64)] {
+            let fft = Fft2d::new(rows, cols).unwrap();
+            let data = ramp(rows, cols);
+            let pool = InnerPool::new(4);
+            let mut serial = data.clone();
+            let mut pooled = data;
+            fft.forward(&mut serial).unwrap();
+            fft.forward_with_pool(&mut pooled, &pool).unwrap();
+            assert_eq!(serial, pooled, "{rows}x{cols} forward");
+            fft.inverse(&mut serial).unwrap();
+            fft.inverse_with_pool(&mut pooled, &pool).unwrap();
+            assert_eq!(serial, pooled, "{rows}x{cols} inverse");
+        }
+    }
+
+    #[test]
+    fn sparse_support_matches_dense_inverse() {
+        // A spectrum nonzero only on a few wrapped rows: the sparse entry
+        // point must agree with the dense inverse bit for bit.
+        let n = 32;
+        let support = [30usize, 31, 0, 1, 2]; // wrapped centered support
+        let fft = Fft2d::new(n, n).unwrap();
+        let mut dense = vec![Complex::ZERO; n * n];
+        for &r in &support {
+            for c in 0..n {
+                dense[r * n + c] = Complex::new((r as f64 * 0.31 + c as f64).sin(), c as f64 * 0.1);
+            }
+        }
+        let mut sparse = dense.clone();
+        fft.inverse(&mut dense).unwrap();
+        fft.inverse_support(&mut sparse, &support).unwrap();
+        assert_eq!(dense, sparse);
+    }
+
+    #[test]
+    fn sparse_support_rejects_out_of_range_rows() {
+        let fft = Fft2d::new(8, 8).unwrap();
+        let mut data = vec![Complex::ZERO; 64];
+        assert!(matches!(
+            fft.inverse_support(&mut data, &[8]),
+            Err(FftError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn transpose_square_roundtrip() {
+        for n in [1usize, 2, 31, 32, 33, 64] {
+            let data: Vec<Complex> = (0..n * n).map(|i| Complex::from_re(i as f64)).collect();
+            let mut t = data.clone();
+            transpose_square(&mut t, n);
+            for i in 0..n {
+                for j in 0..n {
+                    assert_eq!(t[j * n + i], data[i * n + j]);
+                }
+            }
+            transpose_square(&mut t, n);
+            assert_eq!(t, data);
+        }
+    }
+
+    #[test]
+    fn transpose_scaled_scales_every_element_once() {
+        let n = 33; // exercises partial blocks and the diagonal
+        let data: Vec<Complex> = (0..n * n)
+            .map(|i| Complex::from_re(i as f64 + 1.0))
+            .collect();
+        let mut t = data.clone();
+        transpose_square_scaled(&mut t, n, Some(0.5));
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(t[j * n + i], data[i * n + j].scale(0.5));
+            }
+        }
     }
 }

@@ -1,0 +1,66 @@
+//! Dense vs sparse-support inverse parity on random `P x P`-supported
+//! spectra — the exact shape the per-kernel inverse of Eq. (2) sees.
+
+use ilt_fft::{spectral, Complex, Fft2d};
+
+/// Deterministic xorshift values in [-1, 1).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    }
+}
+
+/// The wrapped (unshifted) spectrum indices of a centered `p`-wide support,
+/// exactly as `LithoSimulator` computes them.
+fn support_bins(p: usize, n: usize) -> Vec<usize> {
+    let half = p as i64 / 2;
+    (0..p)
+        .map(|i| spectral::wrap_index(i as i64 - half, n))
+        .collect()
+}
+
+#[test]
+fn sparse_inverse_is_bit_identical_to_dense_on_random_supported_spectra() {
+    let mut rng = Rng(0x9e37_79b9_7f4a_7c15);
+    for &(n, p) in &[(64usize, 23usize), (32, 9), (128, 23), (16, 16)] {
+        let fft = Fft2d::new(n, n).unwrap();
+        let bins = support_bins(p, n);
+        for trial in 0..5 {
+            // Random spectrum supported only on the centered P x P block.
+            let mut dense = vec![Complex::ZERO; n * n];
+            for &r in &bins {
+                for &c in &bins {
+                    dense[r * n + c] = Complex::new(rng.next(), rng.next());
+                }
+            }
+            let mut sparse = dense.clone();
+            fft.inverse(&mut dense).unwrap();
+            fft.inverse_support(&mut sparse, &bins).unwrap();
+            assert_eq!(dense, sparse, "n={n} p={p} trial={trial}");
+        }
+    }
+}
+
+#[test]
+fn sparse_inverse_with_pool_matches_serial() {
+    let mut rng = Rng(42);
+    let (n, p) = (64usize, 23usize);
+    let fft = Fft2d::new(n, n).unwrap();
+    let bins = support_bins(p, n);
+    let mut data = vec![Complex::ZERO; n * n];
+    for &r in &bins {
+        for &c in &bins {
+            data[r * n + c] = Complex::new(rng.next(), rng.next());
+        }
+    }
+    let mut pooled = data.clone();
+    fft.inverse_support(&mut data, &bins).unwrap();
+    fft.inverse_support_with_pool(&mut pooled, &bins, &ilt_par::InnerPool::new(4))
+        .unwrap();
+    assert_eq!(data, pooled);
+}

@@ -6,9 +6,33 @@
 //! `P^2` bins while the transforms dominate the cost. The adjoint
 //! (`gradient`) backpropagates a loss derivative `dL/dI` to the mask:
 //! `dL/dM = 2 Re IFFT( sum_i w_i conj(H_i) . FFT((dL/dI) . A_i) )`.
+//!
+//! # Hot-path engineering
+//!
+//! The simulate/gradient pair is the inner loop of every ILT solver, so it
+//! is built to run allocation-free at steady state and to parallelise
+//! deterministically:
+//!
+//! * [`SimWorkspace`] is a scratch arena holding every buffer the two
+//!   passes need (mask spectrum, per-kernel fields, per-kernel adjoint
+//!   partials, per-worker scratch, the adjoint accumulator, and the output
+//!   grids). [`LithoSimulator::simulate_into`] /
+//!   [`LithoSimulator::gradient_into`] reuse it across iterations without
+//!   touching the heap; the original [`LithoSimulator::simulate`] /
+//!   [`LithoSimulator::gradient`] survive as thin allocate-per-call
+//!   wrappers.
+//! * Per-kernel work (the `K` inverse transforms of `simulate`, the `K`
+//!   forward transforms of `gradient`) is spread across an
+//!   [`ilt_par::InnerPool`]. Each kernel writes its own buffer and all
+//!   cross-kernel reductions happen serially in kernel order afterwards, so
+//!   results are **bit-identical** for any thread count.
+//! * Per-kernel inverses use [`Fft2d::inverse_support`], skipping the
+//!   `n - P` first-pass transforms of rows that the `P x P` crop-multiply
+//!   left zero.
 
 use ilt_fft::{spectral, Complex, Fft2d};
-use ilt_grid::RealGrid;
+use ilt_grid::{Grid, RealGrid};
+use ilt_par::InnerPool;
 
 use crate::error::LithoError;
 use crate::kernels::KernelSet;
@@ -22,6 +46,9 @@ pub struct LithoSimulator {
     /// `bin[i]` is the unshifted spectrum index of centered support row or
     /// column `i`.
     bin: Vec<usize>,
+    /// Worker pool for per-kernel and per-row-batch parallelism. Serial by
+    /// default; see [`LithoSimulator::with_inner_pool`].
+    pool: InnerPool,
 }
 
 /// Everything the forward pass produced, retained for the adjoint pass.
@@ -33,9 +60,125 @@ pub struct SimulationState {
     pub intensity: RealGrid,
 }
 
+/// Reusable scratch arena for [`LithoSimulator::simulate_into`] and
+/// [`LithoSimulator::gradient_into`].
+///
+/// Holds every intermediate buffer of the forward and adjoint passes so
+/// steady-state solver iterations perform no heap allocation. Create one
+/// with [`LithoSimulator::workspace`] and reuse it across iterations; if it
+/// is ever handed to a simulator of a different shape it transparently
+/// reallocates (counted on the `litho.workspace.realloc` telemetry
+/// counter).
+#[derive(Debug)]
+pub struct SimWorkspace {
+    n: usize,
+    /// Mask spectrum `FFT(M)`, `n^2`.
+    spectrum: Vec<Complex>,
+    /// Per-kernel fields `A_i`, each `n^2`.
+    fields: Vec<Vec<Complex>>,
+    /// Per-kernel adjoint support products, each `P^2`.
+    partials: Vec<Vec<Complex>>,
+    /// Per-worker dense scratch for the adjoint forward transforms, each
+    /// `n^2`.
+    scratch: Vec<Vec<Complex>>,
+    /// Adjoint spectral accumulator, `n^2`.
+    accum: Vec<Complex>,
+    /// The aerial image written by the forward pass.
+    intensity: RealGrid,
+    /// The mask gradient written by the adjoint pass.
+    grad: RealGrid,
+}
+
+impl SimWorkspace {
+    fn new(n: usize, kernel_count: usize, support: usize, workers: usize) -> Self {
+        let cells = n * n;
+        SimWorkspace {
+            n,
+            spectrum: vec![Complex::ZERO; cells],
+            fields: (0..kernel_count)
+                .map(|_| vec![Complex::ZERO; cells])
+                .collect(),
+            partials: (0..kernel_count)
+                .map(|_| vec![Complex::ZERO; support * support])
+                .collect(),
+            scratch: (0..workers.max(1))
+                .map(|_| vec![Complex::ZERO; cells])
+                .collect(),
+            accum: vec![Complex::ZERO; cells],
+            intensity: Grid::new(n, n, 0.0),
+            grad: Grid::new(n, n, 0.0),
+        }
+    }
+
+    /// Grid edge length this workspace is currently sized for.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The aerial image produced by the most recent
+    /// [`LithoSimulator::simulate_into`].
+    #[inline]
+    pub fn intensity(&self) -> &RealGrid {
+        &self.intensity
+    }
+
+    /// Per-kernel fields produced by the most recent
+    /// [`LithoSimulator::simulate_into`].
+    #[inline]
+    pub fn fields(&self) -> &[Vec<Complex>] {
+        &self.fields
+    }
+
+    /// The mask gradient produced by the most recent
+    /// [`LithoSimulator::gradient_into`].
+    #[inline]
+    pub fn grad(&self) -> &RealGrid {
+        &self.grad
+    }
+
+    /// Consumes the workspace, moving the forward-pass results out as a
+    /// [`SimulationState`] (no copies).
+    pub fn into_state(self) -> SimulationState {
+        SimulationState {
+            fields: self.fields,
+            intensity: self.intensity,
+        }
+    }
+
+    /// Resizes any buffer that does not match the requested shape.
+    /// Steady-state calls compare a handful of lengths and touch nothing.
+    fn ensure(&mut self, n: usize, kernel_count: usize, support: usize, workers: usize) {
+        let cells = n * n;
+        let p2 = support * support;
+        let workers = workers.max(1);
+        let shape_ok = self.n == n
+            && self.spectrum.len() == cells
+            && self.fields.len() == kernel_count
+            && self.fields.iter().all(|f| f.len() == cells)
+            && self.partials.len() == kernel_count
+            && self.partials.iter().all(|p| p.len() == p2)
+            && self.scratch.len() >= workers
+            && self.scratch.iter().all(|s| s.len() == cells)
+            && self.accum.len() == cells
+            && self.intensity.width() == n
+            && self.intensity.height() == n
+            && self.grad.width() == n
+            && self.grad.height() == n;
+        if !shape_ok {
+            ilt_telemetry::counter_add("litho.workspace.realloc", 1);
+            *self = SimWorkspace::new(n, kernel_count, support, workers);
+        }
+    }
+}
+
 impl LithoSimulator {
     /// Creates a simulator for `n x n` masks using the given (already
     /// scaled) kernel set.
+    ///
+    /// The simulator starts with the process-configured inner pool
+    /// ([`InnerPool::current`], i.e. the `ILT_INNER_THREADS` budget); use
+    /// [`LithoSimulator::with_inner_pool`] to override it explicitly.
     ///
     /// # Errors
     ///
@@ -59,7 +202,26 @@ impl LithoSimulator {
             fft,
             kernels,
             bin,
+            pool: InnerPool::current(),
         })
+    }
+
+    /// Returns `self` with the given inner pool (builder style).
+    #[must_use]
+    pub fn with_inner_pool(mut self, pool: InnerPool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Replaces the inner pool used for per-kernel parallelism.
+    pub fn set_inner_pool(&mut self, pool: InnerPool) {
+        self.pool = pool;
+    }
+
+    /// The inner pool currently in use.
+    #[inline]
+    pub fn inner_pool(&self) -> InnerPool {
+        self.pool
     }
 
     /// Simulation grid edge length.
@@ -74,49 +236,81 @@ impl LithoSimulator {
         &self.kernels
     }
 
+    /// Creates a scratch arena sized for this simulator and its pool.
+    pub fn workspace(&self) -> SimWorkspace {
+        SimWorkspace::new(
+            self.n,
+            self.kernels.len(),
+            self.kernels.support(),
+            self.pool.threads(),
+        )
+    }
+
     /// Runs the forward model, returning the aerial image together with the
     /// per-kernel fields needed by [`LithoSimulator::gradient`].
+    ///
+    /// Allocates a fresh workspace per call; inner solver loops should use
+    /// [`LithoSimulator::simulate_into`] instead.
     ///
     /// # Errors
     ///
     /// Returns [`LithoError::MaskShape`] if the mask is not `n x n`.
     pub fn simulate(&self, mask: &RealGrid) -> Result<SimulationState, LithoError> {
+        let mut ws = self.workspace();
+        self.simulate_into(mask, &mut ws)?;
+        Ok(ws.into_state())
+    }
+
+    /// Runs the forward model into a reusable workspace: the aerial image
+    /// lands in [`SimWorkspace::intensity`], the per-kernel fields (needed
+    /// by the adjoint) in [`SimWorkspace::fields`]. Performs no heap
+    /// allocation when the workspace already matches this simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError::MaskShape`] if the mask is not `n x n`.
+    pub fn simulate_into(&self, mask: &RealGrid, ws: &mut SimWorkspace) -> Result<(), LithoError> {
         ilt_telemetry::counter_add("litho.simulate", 1);
         self.check_shape(mask)?;
         let n = self.n;
         let p = self.kernels.support();
+        ws.ensure(n, self.kernels.len(), p, self.pool.threads());
 
-        let mut spectrum: Vec<Complex> = mask
-            .as_slice()
-            .iter()
-            .map(|&v| Complex::from_re(v))
-            .collect();
-        self.fft.forward(&mut spectrum)?;
+        for (dst, &v) in ws.spectrum.iter_mut().zip(mask.as_slice()) {
+            *dst = Complex::from_re(v);
+        }
+        self.fft.forward_with_pool(&mut ws.spectrum, &self.pool)?;
 
-        let mut fields = Vec::with_capacity(self.kernels.len());
-        let mut intensity = vec![0.0f64; n * n];
-        for kernel in self.kernels.iter() {
-            let mut field = vec![Complex::ZERO; n * n];
-            let h = kernel.spectrum();
+        // Per-kernel crop-multiply + sparse inverse, one kernel per buffer:
+        // disjoint writes, so the pool changes nothing about the result.
+        let kernels = self.kernels.iter().as_slice();
+        let spectrum = &ws.spectrum;
+        let bin = &self.bin;
+        let fft = &self.fft;
+        self.pool.for_each_mut(&mut ws.fields, |k, field| {
+            let h = kernels[k].spectrum();
+            field.fill(Complex::ZERO);
             for r in 0..p {
-                let row = self.bin[r] * n;
+                let row = bin[r] * n;
                 for c in 0..p {
-                    let idx = row + self.bin[c];
+                    let idx = row + bin[c];
                     field[idx] = spectrum[idx] * h[r * p + c];
                 }
             }
-            self.fft.inverse(&mut field)?;
+            fft.inverse_support(field, bin)
+                .expect("field buffer matches plan by construction");
+        });
+
+        // Intensity reduction stays serial and in kernel order so the sum
+        // is bit-identical regardless of the pool.
+        ws.intensity.as_mut_slice().fill(0.0);
+        for (kernel, field) in kernels.iter().zip(&ws.fields) {
             let w = kernel.weight();
-            for (acc, z) in intensity.iter_mut().zip(&field) {
+            for (acc, z) in ws.intensity.as_mut_slice().iter_mut().zip(field) {
                 *acc += w * z.norm_sqr();
             }
-            fields.push(field);
         }
-
-        Ok(SimulationState {
-            fields,
-            intensity: RealGrid::from_vec(n, n, intensity),
-        })
+        Ok(())
     }
 
     /// Convenience wrapper returning only the aerial image.
@@ -129,6 +323,9 @@ impl LithoSimulator {
     }
 
     /// Backpropagates `dL/dI` through the forward model, returning `dL/dM`.
+    ///
+    /// Allocates per call; inner solver loops should use
+    /// [`LithoSimulator::gradient_into`] instead.
     ///
     /// # Errors
     ///
@@ -144,37 +341,111 @@ impl LithoSimulator {
         state: &SimulationState,
         dldi: &RealGrid,
     ) -> Result<RealGrid, LithoError> {
+        let mut ws = self.workspace();
+        self.gradient_core(&state.fields, dldi, &mut ws)?;
+        Ok(ws.grad)
+    }
+
+    /// Backpropagates `dL/dI` using the fields left in the workspace by the
+    /// preceding [`LithoSimulator::simulate_into`] call. The gradient lands
+    /// in [`SimWorkspace::grad`] (also returned by reference). Performs no
+    /// heap allocation when the workspace already matches this simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError::MaskShape`] if `dldi` is not `n x n`.
+    pub fn gradient_into<'w>(
+        &self,
+        ws: &'w mut SimWorkspace,
+        dldi: &RealGrid,
+    ) -> Result<&'w RealGrid, LithoError> {
+        // Shape-check before splitting the fields out: `ensure` must see the
+        // complete workspace, and the core borrows the fields immutably
+        // while writing the other buffers.
+        ws.ensure(
+            self.n,
+            self.kernels.len(),
+            self.kernels.support(),
+            self.pool.threads(),
+        );
+        let fields = std::mem::take(&mut ws.fields);
+        let result = self.gradient_core(&fields, dldi, ws);
+        ws.fields = fields;
+        result?;
+        Ok(&ws.grad)
+    }
+
+    /// The shared adjoint implementation. `fields` are the forward-pass
+    /// fields (from a [`SimulationState`] or a workspace); every scratch
+    /// buffer comes from `ws`.
+    fn gradient_core(
+        &self,
+        fields: &[Vec<Complex>],
+        dldi: &RealGrid,
+        ws: &mut SimWorkspace,
+    ) -> Result<(), LithoError> {
         ilt_telemetry::counter_add("litho.gradient", 1);
         self.check_shape(dldi)?;
         let n = self.n;
         let p = self.kernels.support();
         assert_eq!(
-            state.fields.len(),
+            fields.len(),
             self.kernels.len(),
             "state does not match this simulator's kernel count"
         );
-
-        let mut accum = vec![Complex::ZERO; n * n];
-        let mut scratch = vec![Complex::ZERO; n * n];
-        for (kernel, field) in self.kernels.iter().zip(&state.fields) {
+        for field in fields {
             assert_eq!(field.len(), n * n, "field length mismatch");
-            for ((dst, a), &g) in scratch.iter_mut().zip(field).zip(dldi.as_slice()) {
-                *dst = a.scale(g);
-            }
-            self.fft.forward(&mut scratch)?;
-            let h = kernel.spectrum();
-            let w = kernel.weight();
+        }
+
+        // Per-kernel: scratch = A_i . dL/dI, forward transform, then record
+        // the weighted conjugate-kernel product on the P x P support only.
+        // Each kernel owns its partial buffer; workers never share scratch.
+        let kernels = self.kernels.iter().as_slice();
+        let bin = &self.bin;
+        let fft = &self.fft;
+        let dldi_slice = dldi.as_slice();
+        self.pool.for_each_with_scratch(
+            &mut ws.partials,
+            &mut ws.scratch,
+            |k, partial, scratch| {
+                for ((dst, a), &g) in scratch.iter_mut().zip(&fields[k]).zip(dldi_slice) {
+                    *dst = a.scale(g);
+                }
+                fft.forward(scratch)
+                    .expect("scratch buffer matches plan by construction");
+                let h = kernels[k].spectrum();
+                let w = kernels[k].weight();
+                for r in 0..p {
+                    let row = bin[r] * n;
+                    for c in 0..p {
+                        let idx = row + bin[c];
+                        partial[r * p + c] =
+                            Complex::ZERO.mul_add(scratch[idx], h[r * p + c].conj().scale(w));
+                    }
+                }
+            },
+        );
+
+        // Fixed-order reduction over the P x P support keeps the sum
+        // bit-identical for any pool size.
+        ws.accum.fill(Complex::ZERO);
+        for partial in &ws.partials {
             for r in 0..p {
-                let row = self.bin[r] * n;
+                let row = bin[r] * n;
                 for c in 0..p {
-                    let idx = row + self.bin[c];
-                    accum[idx] = accum[idx].mul_add(scratch[idx], h[r * p + c].conj().scale(w));
+                    let idx = row + bin[c];
+                    ws.accum[idx] += partial[r * p + c];
                 }
             }
         }
-        self.fft.inverse(&mut accum)?;
-        let grad: Vec<f64> = accum.iter().map(|z| 2.0 * z.re).collect();
-        Ok(RealGrid::from_vec(n, n, grad))
+        // The accumulator is zero outside the support rows, so the inverse
+        // can skip the remaining first-pass transforms.
+        self.fft
+            .inverse_support_with_pool(&mut ws.accum, bin, &self.pool)?;
+        for (dst, z) in ws.grad.as_mut_slice().iter_mut().zip(&ws.accum) {
+            *dst = 2.0 * z.re;
+        }
+        Ok(())
     }
 
     fn check_shape(&self, grid: &RealGrid) -> Result<(), LithoError> {
@@ -201,6 +472,12 @@ mod tests {
         LithoSimulator::new(cfg.base_n, kernels).unwrap()
     }
 
+    fn wavy_mask(n: usize) -> RealGrid {
+        Grid::from_fn(n, n, |x, y| {
+            0.3 + 0.2 * ((x as f64 * 0.3).sin() * (y as f64 * 0.21).cos())
+        })
+    }
+
     #[test]
     fn rejects_oversized_support() {
         let cfg = OpticsConfig::test_small();
@@ -217,6 +494,13 @@ mod tests {
         let mask = Grid::new(32, 32, 0.0);
         assert!(matches!(
             sim.aerial_image(&mask),
+            Err(LithoError::MaskShape { .. })
+        ));
+        let good = Grid::new(sim.n(), sim.n(), 0.5);
+        let mut ws = sim.workspace();
+        sim.simulate_into(&good, &mut ws).unwrap();
+        assert!(matches!(
+            sim.gradient_into(&mut ws, &mask),
             Err(LithoError::MaskShape { .. })
         ));
     }
@@ -303,9 +587,7 @@ mod tests {
     fn gradient_matches_finite_difference() {
         let sim = simulator();
         let n = sim.n();
-        let mut mask = Grid::from_fn(n, n, |x, y| {
-            0.3 + 0.2 * ((x as f64 * 0.3).sin() * (y as f64 * 0.21).cos())
-        });
+        let mut mask = wavy_mask(n);
         // Loss: L = sum I (so dL/dI = 1 everywhere).
         let dldi = Grid::new(n, n, 1.0);
         let state = sim.simulate(&mask).unwrap();
@@ -357,5 +639,70 @@ mod tests {
             (numeric - analytic).abs() < 1e-3 * (1.0 + numeric.abs()),
             "numeric {numeric} vs analytic {analytic}"
         );
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical_to_fresh_allocation() {
+        let sim = simulator();
+        let n = sim.n();
+        let mask = wavy_mask(n);
+        let dldi = Grid::from_fn(n, n, |x, y| ((x * 3 + y) % 7) as f64 * 0.1 - 0.3);
+
+        // Fresh workspace per call.
+        let state = sim.simulate(&mask).unwrap();
+        let grad = sim.gradient(&state, &dldi).unwrap();
+
+        // One workspace reused across three iterations.
+        let mut ws = sim.workspace();
+        for _ in 0..3 {
+            sim.simulate_into(&mask, &mut ws).unwrap();
+            sim.gradient_into(&mut ws, &dldi).unwrap();
+        }
+        assert_eq!(state.intensity.as_slice(), ws.intensity().as_slice());
+        assert_eq!(grad.as_slice(), ws.grad().as_slice());
+    }
+
+    #[test]
+    fn parallel_pool_is_bit_identical_to_serial() {
+        let cfg = OpticsConfig::test_small();
+        let kernels = KernelSet::build(&cfg, false).unwrap();
+        let serial = LithoSimulator::new(cfg.base_n, kernels.clone())
+            .unwrap()
+            .with_inner_pool(InnerPool::serial());
+        let parallel = LithoSimulator::new(cfg.base_n, kernels)
+            .unwrap()
+            .with_inner_pool(InnerPool::new(4));
+        let n = serial.n();
+        let mask = wavy_mask(n);
+        let dldi = Grid::from_fn(n, n, |x, y| ((x as f64 - y as f64) * 0.01).tanh());
+
+        let mut ws_s = serial.workspace();
+        serial.simulate_into(&mask, &mut ws_s).unwrap();
+        serial.gradient_into(&mut ws_s, &dldi).unwrap();
+
+        let mut ws_p = parallel.workspace();
+        parallel.simulate_into(&mask, &mut ws_p).unwrap();
+        parallel.gradient_into(&mut ws_p, &dldi).unwrap();
+
+        assert_eq!(ws_s.intensity().as_slice(), ws_p.intensity().as_slice());
+        assert_eq!(ws_s.grad().as_slice(), ws_p.grad().as_slice());
+        for (a, b) in ws_s.fields().iter().zip(ws_p.fields()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn workspace_adapts_to_mismatched_simulator() {
+        let cfg = OpticsConfig::test_small();
+        let kernels = KernelSet::build(&cfg, false).unwrap();
+        let sim = LithoSimulator::new(cfg.base_n, kernels.clone()).unwrap();
+        let big = LithoSimulator::new(cfg.base_n * 2, kernels.scaled(2).unwrap()).unwrap();
+        // A workspace sized for `sim` must still produce correct results
+        // when handed to `big`.
+        let mut ws = sim.workspace();
+        let mask = wavy_mask(big.n());
+        big.simulate_into(&mask, &mut ws).unwrap();
+        let fresh = big.simulate(&mask).unwrap();
+        assert_eq!(fresh.intensity.as_slice(), ws.intensity().as_slice());
     }
 }

@@ -7,7 +7,8 @@ use crate::error::LithoError;
 use crate::kernels::KernelSet;
 use crate::optics::OpticsConfig;
 use crate::resist::ResistModel;
-use crate::sim::{LithoSimulator, SimulationState};
+use crate::sim::{LithoSimulator, SimWorkspace, SimulationState};
+use ilt_par::InnerPool;
 
 /// A process corner of the variation band (Definition 3 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -163,6 +164,44 @@ impl LithoSystem {
         dldi: &RealGrid,
     ) -> Result<RealGrid, LithoError> {
         self.nominal.gradient(state, dldi)
+    }
+
+    /// Creates a scratch arena sized for the nominal simulator; reuse it
+    /// across [`LithoSystem::simulate_into`] / [`LithoSystem::gradient_into`]
+    /// iterations for allocation-free solver loops.
+    pub fn workspace(&self) -> SimWorkspace {
+        self.nominal.workspace()
+    }
+
+    /// Allocation-free forward pass into a reusable workspace (nominal
+    /// focus). See [`LithoSimulator::simulate_into`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator shape errors.
+    pub fn simulate_into(&self, mask: &RealGrid, ws: &mut SimWorkspace) -> Result<(), LithoError> {
+        self.nominal.simulate_into(mask, ws)
+    }
+
+    /// Allocation-free adjoint pass using the fields left in `ws` by
+    /// [`LithoSystem::simulate_into`] (nominal focus). See
+    /// [`LithoSimulator::gradient_into`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator shape errors.
+    pub fn gradient_into<'w>(
+        &self,
+        ws: &'w mut SimWorkspace,
+        dldi: &RealGrid,
+    ) -> Result<&'w RealGrid, LithoError> {
+        self.nominal.gradient_into(ws, dldi)
+    }
+
+    /// Replaces the inner pool on both optical paths.
+    pub fn set_inner_pool(&mut self, pool: InnerPool) {
+        self.nominal.set_inner_pool(pool);
+        self.defocused.set_inner_pool(pool);
     }
 
     /// Prints the wafer at a process corner.

@@ -1,0 +1,91 @@
+//! Pins the tentpole guarantee: steady-state simulate/gradient iterations
+//! through a reused [`ilt_litho::SimWorkspace`] perform **zero** heap
+//! allocations.
+//!
+//! Uses a counting `#[global_allocator]` with a thread-local counter so
+//! allocations from unrelated runtime threads cannot pollute the
+//! measurement. Single test, own binary: a global allocator is
+//! process-wide state.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use ilt_grid::Grid;
+use ilt_litho::{KernelSet, LithoSimulator, OpticsConfig};
+use ilt_par::InnerPool;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+// SAFETY: defers every operation to `System`; the bookkeeping only touches
+// a thread-local counter (via `try_with`, so TLS teardown is safe).
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations_on_this_thread() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+#[test]
+fn steady_state_simulate_gradient_is_allocation_free() {
+    let cfg = OpticsConfig::test_small();
+    let kernels = KernelSet::build(&cfg, false).unwrap();
+    // Serial pool: spawning scoped workers necessarily allocates, so the
+    // zero-allocation guarantee is about the compute path itself.
+    let sim = LithoSimulator::new(cfg.base_n, kernels)
+        .unwrap()
+        .with_inner_pool(InnerPool::serial());
+    let n = sim.n();
+    let mask = Grid::from_fn(n, n, |x, y| {
+        0.3 + 0.2 * ((x as f64 * 0.3).sin() * (y as f64 * 0.21).cos())
+    });
+    let dldi = Grid::from_fn(n, n, |x, y| ((x as f64 - y as f64) * 0.01).tanh());
+    let mut ws = sim.workspace();
+
+    // Warm-up: first iteration may fault in lazily initialised state
+    // (shared FFT plan cache, etc.).
+    sim.simulate_into(&mask, &mut ws).unwrap();
+    sim.gradient_into(&mut ws, &dldi).unwrap();
+
+    let before = allocations_on_this_thread();
+    for _ in 0..3 {
+        sim.simulate_into(&mask, &mut ws).unwrap();
+        sim.gradient_into(&mut ws, &dldi).unwrap();
+    }
+    let after = allocations_on_this_thread();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state simulate/gradient iterations must not allocate"
+    );
+
+    // Sanity: the measurement itself works — a fresh-workspace call does
+    // allocate.
+    let before = allocations_on_this_thread();
+    let _ = sim.simulate(&mask).unwrap();
+    assert!(allocations_on_this_thread() > before);
+}

@@ -124,12 +124,15 @@ impl LevelSetIlt {
         let mut history = Vec::with_capacity(request.iterations);
         let lr = cfg.lr * request.lr_scale;
 
+        // Reused forward/adjoint scratch arena: the simulate/gradient pair
+        // allocates nothing at steady state.
+        let mut ws = system.workspace();
         for iter in 0..request.iterations {
             let mask = smooth_mask(&phi, cfg.band_eps);
-            let state = system.simulate(&mask)?;
-            let eval = evaluate_loss(system.resist(), &state.intensity, request.target);
+            system.simulate_into(&mask, &mut ws)?;
+            let eval = evaluate_loss(system.resist(), ws.intensity(), request.target);
             history.push(eval.value);
-            let grad_mask = system.gradient(&state, &eval.dldi)?;
+            let grad_mask = system.gradient_into(&mut ws, &eval.dldi)?;
             let dmask_dphi = smooth_mask_derivative(&phi, cfg.band_eps);
 
             // Gradient descent direction on phi, then a CFL clamp so the

@@ -242,22 +242,28 @@ fn run_loop(
     history: &mut Vec<f64>,
 ) -> Result<(), OptError> {
     let steepness = config.mask_steepness;
+    // One scratch arena for the whole loop: steady-state iterations run the
+    // forward/adjoint passes without heap allocation.
+    let mut ws = system.workspace();
+    let mut coarse_mask: Option<RealGrid> = None;
     for _ in 0..iterations {
         let mask = latent_to_mask(latent, steepness);
-        let sim_mask = if sim_scale > 1 {
-            resample::downsample(&mask, sim_scale)
+        let sim_mask: &RealGrid = if sim_scale > 1 {
+            coarse_mask.insert(resample::downsample(&mask, sim_scale))
         } else {
-            mask.clone()
+            &mask
         };
-        let state = system.simulate(&sim_mask)?;
-        let eval = evaluate_loss(system.resist(), &state.intensity, target);
+        system.simulate_into(sim_mask, &mut ws)?;
+        let eval = evaluate_loss(system.resist(), ws.intensity(), target);
         history.push(eval.value);
-        let grad_sim = system.gradient(&state, &eval.dldi)?;
+        let grad_sim = system.gradient_into(&mut ws, &eval.dldi)?;
         // Adjoint of s x s block averaging: each fine pixel receives its
         // coarse pixel's gradient divided by s^2.
-        let grad_mask = if sim_scale > 1 {
+        let upsampled;
+        let grad_mask: &RealGrid = if sim_scale > 1 {
             let inv = 1.0 / (sim_scale * sim_scale) as f64;
-            resample::upsample_nearest(&grad_sim, sim_scale).map(|&g| g * inv)
+            upsampled = resample::upsample_nearest(grad_sim, sim_scale).map(|&g| g * inv);
+            &upsampled
         } else {
             grad_sim
         };

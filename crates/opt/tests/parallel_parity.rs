@@ -1,0 +1,41 @@
+//! End-to-end determinism: a full pixel-ILT solve must produce a
+//! bit-identical mask whether the simulators run serial or with the
+//! `ILT_INNER_THREADS` budget set to 4.
+//!
+//! Single test, own binary: `ilt_par::set_inner_threads` mutates the
+//! process-global budget that `LithoSimulator::new` reads (the same global
+//! the `ILT_INNER_THREADS` environment knob feeds).
+
+use ilt_grid::{Grid, Rect};
+use ilt_litho::{LithoBank, OpticsConfig, ResistModel};
+use ilt_opt::{PixelIlt, SolveContext, SolveRequest, TileSolver};
+
+fn solve_mask() -> ilt_grid::RealGrid {
+    let bank = LithoBank::new(OpticsConfig::test_small(), ResistModel::default()).unwrap();
+    let ctx = SolveContext {
+        bank: &bank,
+        n: 64,
+        scale: 1,
+    };
+    let mut target = Grid::new(64, 64, 0.0);
+    target.fill_rect(Rect::new(14, 18, 30, 28), 1.0);
+    target.fill_rect(Rect::new(38, 30, 50, 44), 1.0);
+    let outcome = PixelIlt::new()
+        .solve(&ctx, &SolveRequest::new(&target, &target, 6))
+        .unwrap();
+    outcome.mask
+}
+
+#[test]
+fn solver_output_is_bit_identical_serial_vs_four_inner_threads() {
+    ilt_par::set_inner_threads(1);
+    let serial = solve_mask();
+    ilt_par::set_inner_threads(4);
+    let parallel = solve_mask();
+    ilt_par::set_inner_threads(1);
+    assert_eq!(
+        serial.as_slice(),
+        parallel.as_slice(),
+        "inner-thread parallelism must not change solver results"
+    );
+}
