@@ -57,10 +57,13 @@ pub struct HarnessOptions {
 }
 
 impl HarnessOptions {
-    /// Reads options from the environment (see the crate docs) and
-    /// initialises telemetry collection from `ILT_TRACE`.
+    /// Reads options from the environment (see the crate docs),
+    /// initialises telemetry collection from `ILT_TRACE`, and arms the
+    /// fault-injection registry from `ILT_FAULTS` (fault drills run the
+    /// same binaries as clean benchmarks).
     pub fn from_env() -> Self {
         ilt_telemetry::init_from_env();
+        ilt_fault::configure_from_env();
         let scale = scale_or_warn(std::env::var("ILT_SCALE").ok());
         let config = match scale.as_str() {
             "tiny" => ExperimentConfig::test_tiny(),
@@ -462,13 +465,18 @@ mod tests {
             Some("ilt-report/v2")
         );
         let diagnostics = json.get("diagnostics").expect("diagnostics section");
-        for key in ["convergence", "quality", "anomalies"] {
+        for key in ["convergence", "quality", "anomalies", "degraded"] {
             let arr = diagnostics
                 .get(key)
                 .and_then(|v| v.as_arr())
                 .unwrap_or_else(|| panic!("diagnostics.{key} is an array"));
             assert!(arr.is_empty());
         }
+        assert_eq!(
+            diagnostics.get("tiles_degraded").and_then(|v| v.as_u64()),
+            Some(0),
+            "a clean run reports zero degraded tiles"
+        );
     }
 
     #[test]

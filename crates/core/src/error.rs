@@ -18,6 +18,16 @@ pub enum CoreError {
     Litho(LithoError),
 }
 
+impl CoreError {
+    /// True when the error is a solver [`OptError::DeadlineExceeded`].
+    /// Degradation logic treats this as fatal: the job's budget is spent,
+    /// so falling back to a coarse mask and continuing would only burn
+    /// more of it.
+    pub fn is_deadline_exceeded(&self) -> bool {
+        matches!(self, CoreError::Solver(OptError::DeadlineExceeded { .. }))
+    }
+}
+
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -60,6 +60,7 @@ pub fn divide_and_conquer(
         mask,
         stages: vec![timing],
         wall_seconds,
+        degraded: Vec::new(),
     })
 }
 

@@ -55,6 +55,7 @@ pub fn full_chip(
         mask,
         stages: vec![timing],
         wall_seconds,
+        degraded: Vec::new(),
     })
 }
 

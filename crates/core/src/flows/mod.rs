@@ -36,6 +36,18 @@ impl StageTiming {
     }
 }
 
+/// One tile that fell back to its pre-stage mask after its solve failed
+/// every retry attempt (see `multigrid_schwarz` graceful degradation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedTile {
+    /// Stage label whose solve failed (e.g. `"fine stage 1"`).
+    pub stage: String,
+    /// Tile index within the stage's partition.
+    pub tile: usize,
+    /// The failure that exhausted the retries.
+    pub error: String,
+}
+
 /// Result of one flow: the optimised mask plus its runtime breakdown.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FlowResult {
@@ -47,6 +59,9 @@ pub struct FlowResult {
     pub stages: Vec<StageTiming>,
     /// Total wall-clock seconds of the flow as actually executed.
     pub wall_seconds: f64,
+    /// Tiles that kept their coarse-grid (pre-stage) mask because their
+    /// solve failed after retries. Empty on a fully healthy run.
+    pub degraded: Vec<DegradedTile>,
 }
 
 impl FlowResult {
@@ -88,6 +103,7 @@ mod tests {
                 },
             ],
             wall_seconds: 7.0,
+            degraded: Vec::new(),
         };
         assert_eq!(flow.stages[0].total_tile_seconds(), 3.0);
         assert_eq!(flow.total_tile_seconds(), 6.0);

@@ -20,14 +20,64 @@
 use ilt_grid::{resample, BitGrid, RealGrid};
 use ilt_litho::LithoBank;
 use ilt_opt::{SolveContext, SolveRequest, TileSolver};
+use ilt_telemetry as tele;
 use ilt_tile::{
     assemble, multi_coloring, restrict, weight_map, AssemblyMode, Partition, PartitionConfig,
-    TileExecutor,
+    RetryPolicy, TileExecutor, TileFailure,
 };
 
 use crate::config::ExperimentConfig;
 use crate::error::CoreError;
-use crate::flows::{trace, FlowResult};
+use crate::flows::{trace, DegradedTile, FlowResult};
+
+/// What [`TileExecutor::run_recoverable`] hands back per tile: the outer
+/// layer is panic-vs-completed, the inner the solver's own result.
+type RecoveredTile = Result<Result<(RealGrid, f64), CoreError>, TileFailure>;
+
+/// Folds one recoverable stage's per-tile results into the `(mask, seconds)`
+/// pairs the assembly expects. A tile whose solve failed after retries —
+/// by panicking ([`TileFailure`]) or by returning a typed error — degrades
+/// gracefully: it keeps `fallback` (its pre-stage, i.e. coarse-grid, mask),
+/// gets flagged in diagnostics and the `flow.tiles_degraded` counter, and
+/// the stage's normal weighted-smoothing assembly stitches it in. The one
+/// exception is [`ilt_opt::OptError::DeadlineExceeded`]: the job's budget is
+/// already blown, so the whole flow aborts with the typed error instead of
+/// burning the remaining stages.
+fn recover_stage(
+    flow: &str,
+    label: &str,
+    results: Vec<RecoveredTile>,
+    tile_of: impl Fn(usize) -> usize,
+    fallback: impl Fn(usize) -> RealGrid,
+    degraded: &mut Vec<DegradedTile>,
+) -> Result<Vec<(RealGrid, f64)>, CoreError> {
+    let mut solved = Vec::with_capacity(results.len());
+    for (k, result) in results.into_iter().enumerate() {
+        let error = match result {
+            Ok(Ok(pair)) => {
+                solved.push(pair);
+                continue;
+            }
+            Ok(Err(e)) => {
+                if e.is_deadline_exceeded() {
+                    return Err(e);
+                }
+                e.to_string()
+            }
+            Err(failure) => failure.to_string(),
+        };
+        let tile = tile_of(k);
+        tele::counter_add("flow.tiles_degraded", 1);
+        ilt_diag::observe_degraded(flow, label, tile, &error);
+        degraded.push(DegradedTile {
+            stage: label.to_string(),
+            tile,
+            error,
+        });
+        solved.push((fallback(k), 0.0));
+    }
+    Ok(solved)
+}
 
 /// Runs the multigrid-Schwarz flow.
 ///
@@ -51,6 +101,8 @@ pub fn multigrid_schwarz(
     // Algorithm 1 line 4: M <- Z_t.
     let mut mask = target_real.clone();
     let mut stages = Vec::new();
+    let mut degraded: Vec<DegradedTile> = Vec::new();
+    let policy = RetryPolicy::from_env();
 
     // Phase 1: coarse grids, s = s_max .. 2 (Algorithm 1 stops addressing
     // stitching; assembly is the plain Eq. (6)).
@@ -63,7 +115,7 @@ pub fn multigrid_schwarz(
         let partition = Partition::new(clip_w, clip_h, coarse)?;
         let label = format!("coarse s={s}");
         let stage = trace::stage(label.clone());
-        let solved = executor.run_fallible(partition.tiles().len(), |i| {
+        let results = executor.run_recoverable(partition.tiles().len(), policy, |i| {
             let tile = partition.tile(i);
             let tile_target = resample::downsample(&restrict(&target_real, tile), s);
             let tile_init = resample::downsample(&restrict(&mask, tile), s);
@@ -82,7 +134,15 @@ pub fn multigrid_schwarz(
             let up = resample::upsample_bilinear(&outcome.mask, s);
             let filter = ilt_grid::GaussianFilter::new(0.5 * s as f64);
             Ok::<_, CoreError>((filter.apply(&up), elapsed))
-        })?;
+        });
+        let solved = recover_stage(
+            &name,
+            &label,
+            results,
+            |k| k,
+            |k| restrict(&mask, partition.tile(k)),
+            &mut degraded,
+        )?;
         let (assembled, timing) = stage.finish(solved, |masks| {
             assemble(&partition, &masks, AssemblyMode::Restricted).map_err(CoreError::from)
         })?;
@@ -104,7 +164,7 @@ pub fn multigrid_schwarz(
         let iterations = config.schedule.fine_per_stage(fine_stage);
         let label = format!("fine stage {}", fine_stage + 1);
         let stage = trace::stage(label.clone());
-        let solved = executor.run_fallible(partition.tiles().len(), |i| {
+        let results = executor.run_recoverable(partition.tiles().len(), policy, |i| {
             let tile = partition.tile(i);
             let tile_target = restrict(&target_real, tile);
             let tile_init = restrict(&mask, tile);
@@ -121,7 +181,17 @@ pub fn multigrid_schwarz(
                 trace::timed_tile(i, || Ok::<_, CoreError>(solver.solve(&ctx, &request)?))?;
             ilt_diag::observe_solve(&name, &label, i, &outcome.loss_history);
             Ok::<_, CoreError>((outcome.mask, elapsed))
-        })?;
+        });
+        // A degraded fine tile keeps its coarse-grid mask (= its crop of
+        // the assembled layout) and is stitched by the same weighted blend.
+        let solved = recover_stage(
+            &name,
+            &label,
+            results,
+            |k| k,
+            |k| restrict(&mask, partition.tile(k)),
+            &mut degraded,
+        )?;
         let (assembled, timing) = stage.finish(solved, |masks| {
             assemble(&partition, &masks, blend).map_err(CoreError::from)
         })?;
@@ -145,7 +215,7 @@ pub fn multigrid_schwarz(
         }
         let label = format!("refine color {}", color + 1);
         let stage = trace::stage(label.clone());
-        let solved = executor.run_fallible(group.len(), |k| {
+        let results = executor.run_recoverable(group.len(), policy, |k| {
             let tile = partition.tile(group[k]);
             let tile_target = restrict(&target_real, tile);
             let tile_init = restrict(&mask, tile);
@@ -163,7 +233,17 @@ pub fn multigrid_schwarz(
             })?;
             ilt_diag::observe_solve(&name, &label, group[k], &outcome.loss_history);
             Ok::<_, CoreError>((outcome.mask, elapsed))
-        })?;
+        });
+        // A degraded refine tile keeps its fine-stage mask: feeding its
+        // current crop back through the weighted update is a no-op.
+        let solved = recover_stage(
+            &name,
+            &label,
+            results,
+            |k| group[k],
+            |k| restrict(&mask, partition.tile(group[k])),
+            &mut degraded,
+        )?;
         // Multiplicative replacement over the extended core: later colours
         // re-author the boundary bands consistently instead of averaging
         // into them.
@@ -188,6 +268,7 @@ pub fn multigrid_schwarz(
         mask,
         stages,
         wall_seconds,
+        degraded,
     })
 }
 

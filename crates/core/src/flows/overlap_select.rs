@@ -88,6 +88,7 @@ pub fn overlap_select(
         mask,
         stages: vec![timing],
         wall_seconds,
+        degraded: Vec::new(),
     })
 }
 

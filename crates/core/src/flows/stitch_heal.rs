@@ -164,6 +164,7 @@ pub fn stitch_and_heal(
             mask,
             stages,
             wall_seconds,
+            degraded: Vec::new(),
         },
         healed_lines: lines,
         new_lines,

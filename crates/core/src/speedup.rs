@@ -116,6 +116,7 @@ mod tests {
             mask: Grid::new(2, 2, 0.0),
             stages,
             wall_seconds: 0.0,
+            degraded: Vec::new(),
         }
     }
 

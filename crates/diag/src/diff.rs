@@ -108,6 +108,15 @@ fn quality_summaries(report: &Json) -> Vec<((String, String), MetricRow)> {
         .collect()
 }
 
+/// Degraded-tile count from the v2 diagnostics section (0 for v1 reports
+/// and pre-degradation v2 reports).
+fn tiles_degraded(report: &Json) -> u64 {
+    report
+        .path(&["diagnostics", "tiles_degraded"])
+        .and_then(Json::as_f64)
+        .map_or(0, |v| v.max(0.0) as u64)
+}
+
 /// Compares a candidate report against a baseline.
 ///
 /// Latency gates on per-flow wall seconds (ratio, with a 5 ms floor on the
@@ -151,6 +160,20 @@ pub fn compare_reports(
                 }
             }
         }
+    }
+
+    // Graceful degradation is a quality surface too: a candidate that
+    // degrades more tiles than the baseline regressed, however good its
+    // metrics look (degraded tiles keep their coarse-grid mask, so the
+    // quality summaries alone can hide a broken fine stage).
+    let base_degraded = tiles_degraded(baseline);
+    let cand_degraded = tiles_degraded(candidate);
+    if cand_degraded > base_degraded {
+        regressions.push(Regression {
+            what: "tiles_degraded".to_string(),
+            baseline: base_degraded as f64,
+            candidate: cand_degraded as f64,
+        });
     }
 
     let cand_quality = quality_summaries(candidate);
@@ -265,6 +288,48 @@ mod tests {
         let cand = report(1.0, 99.0);
         let found = compare_reports(&base, &cand, &DiffThresholds::default()).unwrap();
         assert!(found.iter().all(|r| !r.what.contains("quality")));
+    }
+
+    fn report_with_degraded(count: usize) -> Json {
+        Json::parse(&format!(
+            r#"{{"schema":"ilt-report/v2","flows":[{{"name":"ours:pgd","seconds":1.0}}],
+                 "diagnostics":{{"convergence":[],"quality":[],"anomalies":[],
+                   "degraded":[],"tiles_degraded":{count}}}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn extra_degraded_tiles_are_a_regression() {
+        let base = report_with_degraded(1);
+        let same = compare_reports(&base, &report_with_degraded(1), &DiffThresholds::default());
+        assert!(same.unwrap().is_empty());
+        // Fewer degraded tiles than the baseline is an improvement, not a
+        // regression.
+        let fewer = compare_reports(&base, &report_with_degraded(0), &DiffThresholds::default());
+        assert!(fewer.unwrap().is_empty());
+        let found =
+            compare_reports(&base, &report_with_degraded(3), &DiffThresholds::default()).unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].what, "tiles_degraded");
+        assert_eq!(found[0].baseline, 1.0);
+        assert_eq!(found[0].candidate, 3.0);
+    }
+
+    #[test]
+    fn reports_without_degraded_counts_gate_as_zero() {
+        // Pre-degradation baselines (and v1 reports) have no
+        // tiles_degraded field; a clean candidate must still pass.
+        let base = report(1.0, 2.0);
+        assert!(
+            compare_reports(&base, &report_with_degraded(0), &DiffThresholds::default())
+                .unwrap()
+                .iter()
+                .all(|r| r.what != "tiles_degraded")
+        );
+        let found =
+            compare_reports(&base, &report_with_degraded(2), &DiffThresholds::default()).unwrap();
+        assert!(found.iter().any(|r| r.what == "tiles_degraded"));
     }
 
     #[test]

@@ -39,7 +39,10 @@ pub use anomaly::{detect, observe_solve, Anomaly, AnomalyConfig, AnomalyKind};
 pub use diff::{compare_reports, DiffThresholds, Regression};
 pub use jsonv::Json;
 pub use report::{anomalies_from, render_diagnostics_json, AnomalyEvent};
-pub use sink::{CaseQuality, QualitySummary, RunDiagnostics, StageCell, TileQuality};
+pub use sink::{
+    observe_degraded, CaseQuality, DegradedTileRecord, QualitySummary, RunDiagnostics, StageCell,
+    TileQuality,
+};
 pub use spatial::{
     epe_hotspot_grid, mrc_overlay, seam_mismatch_map, tile_quality_matrix, HEATMAP_CELL,
 };

@@ -88,7 +88,14 @@ pub fn render_diagnostics_json(diag: &RunDiagnostics, anomalies: &[AnomalyEvent]
         }
         push_anomaly(&mut out, a);
     }
-    out.push_str("]}");
+    out.push_str("],\"degraded\":[");
+    for (i, d) in diag.degraded.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_degraded(&mut out, d);
+    }
+    let _ = write!(out, "],\"tiles_degraded\":{}}}", diag.degraded.len());
     out
 }
 
@@ -153,6 +160,16 @@ fn push_case(out: &mut String, case: &CaseQuality) {
     out.push_str("]}");
 }
 
+fn push_degraded(out: &mut String, d: &crate::sink::DegradedTileRecord) {
+    out.push_str("{\"flow\":");
+    json::push_str_literal(out, &d.flow);
+    out.push_str(",\"stage\":");
+    json::push_str_literal(out, &d.stage);
+    let _ = write!(out, ",\"tile\":{},\"error\":", d.tile);
+    json::push_str_literal(out, &d.error);
+    out.push('}');
+}
+
 fn push_anomaly(out: &mut String, a: &AnomalyEvent) {
     out.push_str("{\"flow\":");
     json::push_str_literal(out, &a.flow);
@@ -200,5 +217,50 @@ mod tests {
         let listed = v.get("anomalies").and_then(Json::as_arr).unwrap();
         assert_eq!(listed.len(), 1);
         assert_eq!(listed[0].get("kind").and_then(Json::as_str), Some("stall"));
+        assert_eq!(v.get("tiles_degraded").and_then(Json::as_f64), Some(0.0));
+        assert!(v.get("degraded").and_then(Json::as_arr).unwrap().is_empty());
+    }
+
+    #[test]
+    fn degraded_tiles_render_into_the_diagnostics_section() {
+        let _guard = crate::testlock::lock();
+        tele::set_enabled(true);
+        let _ = tele::drain();
+        let _ = crate::sink::drain();
+        crate::sink::observe_degraded("ours:pgd", "fine stage 1", 4, "tile 4 failed: boom");
+        tele::flush_thread();
+        let t = tele::drain();
+        tele::set_enabled(false);
+        let diag = crate::sink::drain();
+        assert_eq!(diag.degraded.len(), 1);
+        // The zero-length span is visible in the trace too.
+        assert!(t
+            .events
+            .iter()
+            .any(|e| e.name == ilt_telemetry::names::DEGRADED));
+
+        let rendered = render_diagnostics_json(&diag, &[]);
+        let v = Json::parse(&rendered).expect("diagnostics JSON must parse");
+        assert_eq!(v.get("tiles_degraded").and_then(Json::as_f64), Some(1.0));
+        let listed = v.get("degraded").and_then(Json::as_arr).unwrap();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(
+            listed[0].get("stage").and_then(Json::as_str),
+            Some("fine stage 1")
+        );
+        assert_eq!(listed[0].get("tile").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(
+            listed[0].get("error").and_then(Json::as_str),
+            Some("tile 4 failed: boom")
+        );
+    }
+
+    #[test]
+    fn observe_degraded_is_inert_when_disabled() {
+        let _guard = crate::testlock::lock();
+        tele::set_enabled(false);
+        let _ = crate::sink::drain();
+        crate::sink::observe_degraded("f", "s", 0, "boom");
+        assert!(crate::sink::drain().degraded.is_empty());
     }
 }

@@ -102,6 +102,20 @@ pub struct QualitySummary {
     pub mrc: usize,
 }
 
+/// One tile that fell back to its pre-stage (coarse-grid) mask after its
+/// solve failed every retry attempt. Recorded by [`crate::observe_degraded`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedTileRecord {
+    /// Flow name (e.g. `ours:pgd`).
+    pub flow: String,
+    /// Stage label whose solve failed (e.g. `fine stage 1`).
+    pub stage: String,
+    /// Tile index within the partition.
+    pub tile: usize,
+    /// The failure that exhausted the retries.
+    pub error: String,
+}
+
 /// Everything recorded since the last [`drain`].
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct RunDiagnostics {
@@ -109,18 +123,21 @@ pub struct RunDiagnostics {
     pub solves: Vec<StageCell>,
     /// Quality matrices, one per (case, method) inspected under tracing.
     pub cases: Vec<CaseQuality>,
+    /// Tiles that degraded to their coarse-grid mask, in record order.
+    pub degraded: Vec<DegradedTileRecord>,
 }
 
 impl RunDiagnostics {
     /// True when nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.solves.is_empty() && self.cases.is_empty()
+        self.solves.is_empty() && self.cases.is_empty() && self.degraded.is_empty()
     }
 }
 
 static SINK: Mutex<RunDiagnostics> = Mutex::new(RunDiagnostics {
     solves: Vec::new(),
     cases: Vec::new(),
+    degraded: Vec::new(),
 });
 
 fn lock() -> std::sync::MutexGuard<'static, RunDiagnostics> {
@@ -142,6 +159,35 @@ pub fn record_case(case: CaseQuality) {
         return;
     }
     lock().cases.push(case);
+}
+
+/// Records one degraded tile. No-op unless telemetry is enabled.
+pub fn record_degraded(record: DegradedTileRecord) {
+    if !tele::enabled() {
+        return;
+    }
+    lock().degraded.push(record);
+}
+
+/// Observes a tile falling back to its coarse-grid mask: emits a
+/// zero-length `degraded` span (so the event sits inside the span tree at
+/// the moment it happened) and records a [`DegradedTileRecord`] for the
+/// report's diagnostics section. No-op unless telemetry is enabled.
+pub fn observe_degraded(flow: &str, stage: &str, tile: usize, error: &str) {
+    if !tele::enabled() {
+        return;
+    }
+    let mut span = tele::span(tele::names::DEGRADED);
+    span.add_field("flow", flow.to_string());
+    span.add_field("stage", stage.to_string());
+    span.add_field("tile", tile);
+    span.add_field("error", error.to_string());
+    record_degraded(DegradedTileRecord {
+        flow: flow.to_string(),
+        stage: stage.to_string(),
+        tile,
+        error: error.to_string(),
+    });
 }
 
 /// Takes and resets the recorded diagnostics.

@@ -1,0 +1,115 @@
+//! Ambient per-thread deadlines.
+//!
+//! A job deadline set at the serve layer must be visible inside the solver's
+//! innermost iteration loop, several crates below, without threading an
+//! `Option<Instant>` through every signature. This module keeps the current
+//! deadline in a thread-local that callers set with an RAII [`scope`]; the
+//! tile executor re-applies the submitting thread's deadline on its worker
+//! threads (the same pattern telemetry uses for span parents), so tile jobs
+//! observe the job deadline no matter which thread runs them.
+//!
+//! Checks are cheap (`Instant::now()` against a `Cell`), so solver loops can
+//! afford one per iteration.
+
+use std::cell::Cell;
+use std::time::{Duration, Instant};
+
+thread_local! {
+    static DEADLINE: Cell<Option<Instant>> = const { Cell::new(None) };
+}
+
+/// Restores the previous deadline when dropped.
+#[derive(Debug)]
+pub struct DeadlineScope {
+    previous: Option<Instant>,
+}
+
+impl Drop for DeadlineScope {
+    fn drop(&mut self) {
+        DEADLINE.with(|cell| cell.set(self.previous));
+    }
+}
+
+/// Sets the current thread's deadline (or clears it with `None`) until the
+/// returned guard drops. Scopes nest; the innermost wins.
+#[must_use = "the deadline is cleared when the scope guard drops"]
+pub fn scope(deadline: Option<Instant>) -> DeadlineScope {
+    let previous = DEADLINE.with(|cell| cell.replace(deadline));
+    DeadlineScope { previous }
+}
+
+/// The deadline currently in scope on this thread, if any.
+#[inline]
+pub fn current() -> Option<Instant> {
+    DEADLINE.with(Cell::get)
+}
+
+/// Whether the current deadline (if any) has passed.
+#[inline]
+pub fn exceeded() -> bool {
+    match current() {
+        Some(deadline) => Instant::now() >= deadline,
+        None => false,
+    }
+}
+
+/// Time left before the current deadline: `None` when no deadline is in
+/// scope, `Some(ZERO)` once it has passed.
+pub fn remaining() -> Option<Duration> {
+    current().map(|deadline| deadline.saturating_duration_since(Instant::now()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_deadline_by_default() {
+        assert_eq!(current(), None);
+        assert!(!exceeded());
+        assert_eq!(remaining(), None);
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        let far = Instant::now() + Duration::from_secs(60);
+        let near = Instant::now() + Duration::from_secs(1);
+        {
+            let _outer = scope(Some(far));
+            assert_eq!(current(), Some(far));
+            {
+                let _inner = scope(Some(near));
+                assert_eq!(current(), Some(near));
+                {
+                    let _cleared = scope(None);
+                    assert_eq!(current(), None);
+                }
+                assert_eq!(current(), Some(near));
+            }
+            assert_eq!(current(), Some(far));
+            assert!(!exceeded());
+            assert!(remaining().unwrap() > Duration::from_secs(30));
+        }
+        assert_eq!(current(), None);
+    }
+
+    #[test]
+    fn expired_deadline_is_exceeded() {
+        let past = Instant::now() - Duration::from_millis(1);
+        let _g = scope(Some(past));
+        assert!(exceeded());
+        assert_eq!(remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn deadlines_are_thread_local() {
+        let soon = Instant::now() + Duration::from_secs(5);
+        let _g = scope(Some(soon));
+        std::thread::spawn(|| {
+            assert_eq!(current(), None);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(current(), Some(soon));
+    }
+}

@@ -61,6 +61,11 @@ pub fn read_pgm<P: AsRef<Path>>(path: P) -> io::Result<RealGrid> {
 pub fn read_pgm_from<R: Read>(mut r: R) -> io::Result<RealGrid> {
     let mut bytes = Vec::new();
     r.read_to_end(&mut bytes)?;
+    // Fault drill: simulate a payload cut short on the wire/disk; the
+    // size check below must turn it into a typed error, never a panic.
+    if ilt_fault::should_fire(ilt_fault::points::GRID_PGM_TRUNCATE) {
+        bytes.pop();
+    }
     let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, format!("bad PGM: {msg}"));
     let mut pos = 0usize;
     // Reads the next whitespace-delimited header token, skipping `#`
@@ -130,20 +135,74 @@ pub fn write_bit_pgm<P: AsRef<Path>>(path: P, img: &BitGrid) -> io::Result<()> {
 ///
 /// # Errors
 ///
-/// Propagates I/O errors.
-///
-/// # Panics
-///
-/// Panics if a row's length differs from the header's.
+/// Propagates I/O errors; returns [`io::ErrorKind::InvalidInput`] when a
+/// row's length differs from the header's (checked before any bytes are
+/// written, so a rejected table never leaves a half-written file).
 pub fn write_csv<P: AsRef<Path>>(path: P, header: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
+    for (i, row) in rows.iter().enumerate() {
+        if row.len() != header.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "CSV row arity mismatch: row {i} has {} cells, header has {}",
+                    row.len(),
+                    header.len()
+                ),
+            ));
+        }
+    }
     let file = File::create(path)?;
     let mut out = BufWriter::new(file);
     writeln!(out, "{}", header.join(","))?;
     for row in rows {
-        assert_eq!(row.len(), header.len(), "CSV row arity mismatch");
         writeln!(out, "{}", row.join(","))?;
     }
     Ok(())
+}
+
+/// Reads a CSV written by [`write_csv`] back into a header plus rows.
+/// Cells are split on plain commas (no quoting, matching the writer).
+///
+/// # Errors
+///
+/// Propagates I/O errors; returns [`io::ErrorKind::InvalidData`] for an
+/// empty file or a row whose arity differs from the header's.
+pub fn read_csv<P: AsRef<Path>>(path: P) -> io::Result<(Vec<String>, Vec<Vec<String>>)> {
+    read_csv_from(BufReader::new(File::open(path)?))
+}
+
+/// Reads CSV from any reader (see [`read_csv`]).
+///
+/// # Errors
+///
+/// Propagates I/O errors and malformed-CSV parse failures.
+pub fn read_csv_from<R: Read>(mut r: R) -> io::Result<(Vec<String>, Vec<Vec<String>>)> {
+    let mut text = String::new();
+    r.read_to_string(&mut text)?;
+    let mut lines = text.lines();
+    let header: Vec<String> = lines
+        .next()
+        .filter(|l| !l.is_empty())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad CSV: empty file"))?
+        .split(',')
+        .map(str::to_string)
+        .collect();
+    let mut rows = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let row: Vec<String> = line.split(',').map(str::to_string).collect();
+        if row.len() != header.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "bad CSV: row {i} has {} cells, header has {}",
+                    row.len(),
+                    header.len()
+                ),
+            ));
+        }
+        rows.push(row);
+    }
+    Ok((header, rows))
 }
 
 #[cfg(test)]
@@ -198,10 +257,55 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "arity")]
-    fn csv_rejects_ragged_rows() {
-        let dir = std::env::temp_dir();
-        let _ = write_csv(dir.join("ragged.csv"), &["a", "b"], &[vec!["1".into()]]);
+    fn csv_rejects_ragged_rows_without_writing() {
+        let dir = std::env::temp_dir().join("ilt_grid_io_ragged");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ragged.csv");
+        let err = write_csv(&path, &["a", "b"], &[vec!["1".into()]]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("arity"), "{err}");
+        assert!(!path.exists(), "rejected table must not leave a file");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn csv_round_trips_and_rejects_corruption() {
+        let dir = std::env::temp_dir().join("ilt_grid_io_csv_rt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("table.csv");
+        let rows = vec![
+            vec!["1".to_string(), "2".to_string()],
+            vec!["3".to_string(), "4".to_string()],
+        ];
+        write_csv(&path, &["a", "b"], &rows).unwrap();
+        let (header, back) = read_csv(&path).unwrap();
+        assert_eq!(header, vec!["a", "b"]);
+        assert_eq!(back, rows);
+
+        // Corrupt the file: drop a cell from the last row.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replace("3,4", "3")).unwrap();
+        let err = read_csv(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("row 1"), "{err}");
+
+        // An empty file is typed, not a panic or a silent empty table.
+        std::fs::write(&path, "").unwrap();
+        let err = read_csv(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_pgm_payload_is_a_typed_error() {
+        let img = Grid::from_fn(8, 8, |x, y| (x * 8 + y) as f64);
+        let mut buf = Vec::new();
+        write_pgm_to(&mut buf, &img).unwrap();
+        for cut in [1, 7, buf.len() - 12] {
+            let short = &buf[..buf.len() - cut];
+            let err = read_pgm_from(short).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "cut {cut}");
+        }
     }
 
     #[test]

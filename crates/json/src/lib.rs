@@ -1,7 +1,8 @@
 //! # ilt-json
 //!
-//! A minimal JSON value parser shared by the workspace, dependency-free by
-//! design like everything else here.
+//! A minimal JSON value parser shared by the workspace, std-only by design
+//! like everything else here (its single in-workspace dependency is the
+//! `ilt-fault` injection registry).
 //!
 //! The workspace writes JSON by hand (`ilt_telemetry::json`) and has no
 //! serde; `report_diff` and the `ilt-serve` request path need the reverse
@@ -44,6 +45,11 @@ impl Json {
     ///
     /// Returns a message with a byte offset for any syntax error.
     pub fn parse(text: &str) -> Result<Json, String> {
+        // Fault drill: a corrupt payload on the wire surfaces here as a
+        // parse failure; every caller must treat it as a typed error.
+        if ilt_fault::should_fire(ilt_fault::points::JSON_INVALID) {
+            return Err("injected fault: json.invalid".to_string());
+        }
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,

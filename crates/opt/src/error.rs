@@ -22,6 +22,14 @@ pub enum OptError {
         /// Human-readable cause.
         reason: String,
     },
+    /// The ambient job deadline (see `ilt_fault::deadline`) expired while
+    /// the solver was iterating. Checked once per iteration, so a tile stops
+    /// within one forward/adjoint pass of its budget instead of relying on
+    /// the harness to reap the worker.
+    DeadlineExceeded {
+        /// Iterations completed before the deadline check tripped.
+        completed_iterations: usize,
+    },
 }
 
 impl fmt::Display for OptError {
@@ -34,6 +42,12 @@ impl fmt::Display for OptError {
                 actual.0, actual.1
             ),
             OptError::BadConfig { reason } => write!(f, "invalid solver configuration: {reason}"),
+            OptError::DeadlineExceeded {
+                completed_iterations,
+            } => write!(
+                f,
+                "deadline exceeded after {completed_iterations} solver iterations"
+            ),
         }
     }
 }

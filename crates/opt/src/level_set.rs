@@ -128,6 +128,11 @@ impl LevelSetIlt {
         // allocates nothing at steady state.
         let mut ws = system.workspace();
         for iter in 0..request.iterations {
+            if ilt_fault::deadline::exceeded() {
+                return Err(OptError::DeadlineExceeded {
+                    completed_iterations: history.len(),
+                });
+            }
             let mask = smooth_mask(&phi, cfg.band_eps);
             system.simulate_into(&mask, &mut ws)?;
             let eval = evaluate_loss(system.resist(), ws.intensity(), request.target);
@@ -320,5 +325,24 @@ mod tests {
             .unwrap();
         assert!(outcome.mask.as_slice().iter().all(|m| m.is_finite()));
         assert!(outcome.mask.min() >= 0.0 && outcome.mask.max() <= 1.0);
+    }
+
+    #[test]
+    fn expired_deadline_stops_the_iteration_loop() {
+        let bank = bank();
+        let ctx = SolveContext {
+            bank: &bank,
+            n: 64,
+            scale: 1,
+        };
+        let target = target_grid(64);
+        let solver = LevelSetIlt::new();
+        let _scope = ilt_fault::deadline::scope(Some(std::time::Instant::now()));
+        match solver.solve(&ctx, &SolveRequest::new(&target, &target, 20)) {
+            Err(OptError::DeadlineExceeded {
+                completed_iterations,
+            }) => assert_eq!(completed_iterations, 0),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
     }
 }

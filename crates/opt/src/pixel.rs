@@ -247,6 +247,11 @@ fn run_loop(
     let mut ws = system.workspace();
     let mut coarse_mask: Option<RealGrid> = None;
     for _ in 0..iterations {
+        if ilt_fault::deadline::exceeded() {
+            return Err(OptError::DeadlineExceeded {
+                completed_iterations: history.len(),
+            });
+        }
         let mask = latent_to_mask(latent, steepness);
         let sim_mask: &RealGrid = if sim_scale > 1 {
             coarse_mask.insert(resample::downsample(&mask, sim_scale))
@@ -618,5 +623,45 @@ mod tests {
             ..PixelIltConfig::default()
         };
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn expired_deadline_stops_the_iteration_loop() {
+        let bank = bank();
+        let ctx = SolveContext {
+            bank: &bank,
+            n: 64,
+            scale: 1,
+        };
+        let target = target_grid(64);
+        let solver = PixelIlt::new();
+        let request = SolveRequest::new(&target, &target, 50);
+        let _scope = ilt_fault::deadline::scope(Some(std::time::Instant::now()));
+        match solver.solve(&ctx, &request) {
+            Err(OptError::DeadlineExceeded {
+                completed_iterations,
+            }) => assert_eq!(completed_iterations, 0),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_deadline_does_not_perturb_the_solve() {
+        let bank = bank();
+        let ctx = SolveContext {
+            bank: &bank,
+            n: 64,
+            scale: 1,
+        };
+        let target = target_grid(64);
+        let solver = PixelIlt::new();
+        let request = SolveRequest::new(&target, &target, 5);
+        let free = solver.solve(&ctx, &request).unwrap();
+        let _scope = ilt_fault::deadline::scope(Some(
+            std::time::Instant::now() + std::time::Duration::from_secs(600),
+        ));
+        let bounded = solver.solve(&ctx, &request).unwrap();
+        assert_eq!(free.mask.as_slice(), bounded.mask.as_slice());
+        assert_eq!(free.loss_history, bounded.loss_history);
     }
 }

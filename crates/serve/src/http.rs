@@ -3,29 +3,78 @@
 //! Implements exactly the subset the job service needs: a request line,
 //! `\r\n`-terminated headers, and an optional `Content-Length` body, with
 //! hard limits on every dimension so a misbehaving client cannot make the
-//! server allocate unboundedly. No chunked transfer encoding, no
+//! server allocate unboundedly. Violations map to typed [`HttpError`]
+//! variants that carry the right status code (`400`, `408`, `411`, `413`,
+//! `431`), so the connection handler can answer before closing instead of
+//! hanging up silently. No chunked transfer encoding, no
 //! `Expect: 100-continue`, no TLS — clients needing those belong behind a
 //! real proxy; the service itself stays dependency-free.
 
 use std::fmt;
 use std::io::{BufRead, Write};
 
+use ilt_fault::points;
+
 /// Longest accepted request line (method + path + version), in bytes.
 pub const MAX_REQUEST_LINE: usize = 8 * 1024;
 /// Maximum number of request headers.
 pub const MAX_HEADERS: usize = 64;
+/// Total byte budget for the request line plus the whole header block.
+/// A client trickling an endless header stream hits this long before it
+/// can make the server allocate anything interesting.
+pub const MAX_HEADER_BLOCK: usize = 16 * 1024;
 /// Largest accepted request body, in bytes. Job specs are tiny; anything
 /// bigger than this is a mistake or an attack.
 pub const MAX_BODY: usize = 256 * 1024;
 
-/// Parse/IO failures while reading a request.
+/// Parse/IO failures while reading a request. Every variant except
+/// [`Io`](HttpError::Io) carries a client-safe message and maps to a
+/// status code via [`status`](HttpError::status).
 #[derive(Debug)]
 pub enum HttpError {
-    /// The socket failed mid-request.
+    /// The socket failed mid-request; no response can be delivered.
     Io(std::io::Error),
-    /// The request violated the supported HTTP subset; the message is safe
-    /// to echo in a 400 response.
+    /// The request violated the supported HTTP subset (`400`).
     Malformed(String),
+    /// The client stalled past the socket read timeout with a request
+    /// partially sent — the slowloris case (`408`).
+    TimedOut(String),
+    /// The request used a transfer coding instead of declaring its body
+    /// size with `Content-Length` (`411`).
+    LengthRequired(String),
+    /// The declared body size exceeds [`MAX_BODY`] (`413`).
+    BodyTooLarge(String),
+    /// The request line + header block exceeds [`MAX_HEADER_BLOCK`] or
+    /// [`MAX_HEADERS`] (`431`).
+    HeadersTooLarge(String),
+}
+
+impl HttpError {
+    /// Status code to answer with before closing the connection, or
+    /// `None` when the socket is already beyond answering.
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            HttpError::Io(_) => None,
+            HttpError::Malformed(_) => Some(400),
+            HttpError::TimedOut(_) => Some(408),
+            HttpError::LengthRequired(_) => Some(411),
+            HttpError::BodyTooLarge(_) => Some(413),
+            HttpError::HeadersTooLarge(_) => Some(431),
+        }
+    }
+
+    /// The message that is safe to echo to the client (`None` for
+    /// [`Io`](HttpError::Io), which carries OS error text instead).
+    pub fn client_message(&self) -> Option<&str> {
+        match self {
+            HttpError::Io(_) => None,
+            HttpError::Malformed(m)
+            | HttpError::TimedOut(m)
+            | HttpError::LengthRequired(m)
+            | HttpError::BodyTooLarge(m)
+            | HttpError::HeadersTooLarge(m) => Some(m),
+        }
+    }
 }
 
 impl fmt::Display for HttpError {
@@ -33,6 +82,10 @@ impl fmt::Display for HttpError {
         match self {
             HttpError::Io(e) => write!(f, "socket error: {e}"),
             HttpError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+            HttpError::TimedOut(msg) => write!(f, "request timed out: {msg}"),
+            HttpError::LengthRequired(msg) => write!(f, "length required: {msg}"),
+            HttpError::BodyTooLarge(msg) => write!(f, "body too large: {msg}"),
+            HttpError::HeadersTooLarge(msg) => write!(f, "headers too large: {msg}"),
         }
     }
 }
@@ -43,6 +96,15 @@ impl From<std::io::Error> for HttpError {
     fn from(e: std::io::Error) -> Self {
         HttpError::Io(e)
     }
+}
+
+/// Whether an IO error is the socket read timeout firing (the kind
+/// depends on the platform).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
 }
 
 /// One parsed HTTP request.
@@ -75,18 +137,42 @@ impl Request {
     }
 
     /// Reads one request from the stream. Returns `Ok(None)` on clean EOF
-    /// before any bytes (the client closed a keep-alive connection).
+    /// — or a read timeout — before any byte of the next request (an idle
+    /// keep-alive connection winding down).
     ///
     /// # Errors
     ///
-    /// [`HttpError::Io`] on socket failure (including read timeout),
-    /// [`HttpError::Malformed`] when the request exceeds the supported
-    /// subset or any size limit.
+    /// [`HttpError::Io`] on socket failure, [`HttpError::TimedOut`] when
+    /// the client stalls mid-request, [`HttpError::LengthRequired`] /
+    /// [`HttpError::BodyTooLarge`] / [`HttpError::HeadersTooLarge`] on
+    /// limit violations, [`HttpError::Malformed`] for everything else
+    /// outside the supported subset.
     pub fn read_from(reader: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
-        let line = match read_line(reader, MAX_REQUEST_LINE)? {
-            None => return Ok(None),
-            Some(line) if line.is_empty() => return Ok(None),
-            Some(line) => line,
+        let mut consumed = 0usize;
+        let line = match read_line(reader, MAX_REQUEST_LINE, &mut consumed) {
+            Ok(line) if line.is_empty() => return Ok(None),
+            Ok(line) => line,
+            Err(LineError::CleanEof) => return Ok(None),
+            // An idle keep-alive client that never started the next
+            // request is a clean close, not a protocol violation.
+            Err(LineError::Io(e)) if is_timeout(&e) && consumed == 0 => return Ok(None),
+            Err(LineError::Io(e)) if is_timeout(&e) => {
+                return Err(HttpError::TimedOut(format!(
+                    "client stalled after {consumed} bytes of the request line"
+                )))
+            }
+            Err(LineError::Io(e)) => return Err(HttpError::Io(e)),
+            Err(LineError::TruncatedEof) => {
+                return Err(HttpError::Malformed("EOF inside the request line".into()))
+            }
+            Err(LineError::TooLong) => {
+                return Err(HttpError::HeadersTooLarge(format!(
+                    "request line exceeds the {MAX_REQUEST_LINE}-byte limit"
+                )))
+            }
+            Err(LineError::NotUtf8) => {
+                return Err(HttpError::Malformed("non-UTF-8 request line".into()))
+            }
         };
         let mut parts = line.split_ascii_whitespace();
         let method = parts
@@ -107,13 +193,34 @@ impl Request {
         }
         let mut headers = Vec::new();
         loop {
-            let line = read_line(reader, MAX_REQUEST_LINE)?
-                .ok_or_else(|| HttpError::Malformed("EOF inside headers".into()))?;
+            let budget = MAX_HEADER_BLOCK.saturating_sub(consumed);
+            let line = match read_line(reader, MAX_REQUEST_LINE.min(budget), &mut consumed) {
+                Ok(line) => line,
+                Err(LineError::CleanEof | LineError::TruncatedEof) => {
+                    return Err(HttpError::Malformed("EOF inside headers".into()))
+                }
+                Err(LineError::Io(e)) if is_timeout(&e) => {
+                    return Err(HttpError::TimedOut(format!(
+                        "client stalled after {consumed} header bytes"
+                    )))
+                }
+                Err(LineError::Io(e)) => return Err(HttpError::Io(e)),
+                Err(LineError::TooLong) => {
+                    return Err(HttpError::HeadersTooLarge(format!(
+                        "header block exceeds the {MAX_HEADER_BLOCK}-byte limit"
+                    )))
+                }
+                Err(LineError::NotUtf8) => {
+                    return Err(HttpError::Malformed("non-UTF-8 header bytes".into()))
+                }
+            };
             if line.is_empty() {
                 break;
             }
             if headers.len() >= MAX_HEADERS {
-                return Err(HttpError::Malformed("too many headers".into()));
+                return Err(HttpError::HeadersTooLarge(format!(
+                    "more than {MAX_HEADERS} headers"
+                )));
             }
             let (name, value) = line
                 .split_once(':')
@@ -126,44 +233,108 @@ impl Request {
             headers,
             body: Vec::new(),
         };
-        if let Some(raw) = request.header("content-length") {
-            let len: usize = raw
-                .parse()
-                .map_err(|_| HttpError::Malformed(format!("bad Content-Length {raw:?}")))?;
-            if len > MAX_BODY {
-                return Err(HttpError::Malformed(format!(
-                    "body of {len} bytes exceeds the {MAX_BODY}-byte limit"
-                )));
+        // No transfer coding is supported, so a framed body must declare
+        // its size up front: Transfer-Encoding without Content-Length is
+        // the RFC 7230 case for 411. Absent both, the body is empty.
+        if request.header("transfer-encoding").is_some() {
+            return Err(HttpError::LengthRequired(
+                "transfer codings are not supported; send a Content-Length".into(),
+            ));
+        }
+        match request.header("content-length") {
+            None => {}
+            Some(raw) => {
+                let trimmed = raw.trim().to_string();
+                let mut len: u64 = match trimmed.parse() {
+                    Ok(len) => len,
+                    // All-digit but unparsable means the value overflowed
+                    // u64 — an absurd size claim, not a syntax error.
+                    Err(_)
+                        if !trimmed.is_empty() && trimmed.bytes().all(|b| b.is_ascii_digit()) =>
+                    {
+                        return Err(HttpError::BodyTooLarge(format!(
+                            "Content-Length {trimmed:?} overflows the supported range"
+                        )))
+                    }
+                    Err(_) => {
+                        return Err(HttpError::Malformed(format!(
+                            "bad Content-Length {trimmed:?}"
+                        )))
+                    }
+                };
+                if ilt_fault::should_fire(points::SERVE_BODY_OVERSIZE) {
+                    len = MAX_BODY as u64 + 1;
+                }
+                if len > MAX_BODY as u64 {
+                    return Err(HttpError::BodyTooLarge(format!(
+                        "body of {len} bytes exceeds the {MAX_BODY}-byte limit"
+                    )));
+                }
+                let mut body = vec![0u8; len as usize];
+                let read = if ilt_fault::should_fire(points::SERVE_BODY_TRUNCATE) {
+                    Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "injected fault: serve.body_truncate",
+                    ))
+                } else {
+                    reader.read_exact(&mut body)
+                };
+                match read {
+                    Ok(()) => request.body = body,
+                    Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                        return Err(HttpError::Malformed(
+                            "request body shorter than Content-Length".into(),
+                        ))
+                    }
+                    Err(e) if is_timeout(&e) => {
+                        return Err(HttpError::TimedOut("client stalled mid-body".into()))
+                    }
+                    Err(e) => return Err(HttpError::Io(e)),
+                }
             }
-            let mut body = vec![0u8; len];
-            reader.read_exact(&mut body)?;
-            request.body = body;
         }
         Ok(Some(request))
     }
 }
 
-/// Reads one `\r\n`- (or `\n`-) terminated line, bounded by `limit` bytes.
-/// Returns `None` on EOF before any byte.
-fn read_line(reader: &mut impl BufRead, limit: usize) -> Result<Option<String>, HttpError> {
+/// Why [`read_line`] stopped short of a complete line.
+enum LineError {
+    Io(std::io::Error),
+    /// EOF before any byte of the line.
+    CleanEof,
+    /// EOF after the line started.
+    TruncatedEof,
+    /// The line exceeds the caller's byte limit.
+    TooLong,
+    NotUtf8,
+}
+
+/// Reads one `\r\n`- (or `\n`-) terminated line, bounded by `limit`
+/// bytes. Every byte read (terminators included) is added to `consumed`,
+/// which lets the caller budget a whole header block across calls.
+fn read_line(
+    reader: &mut impl BufRead,
+    limit: usize,
+    consumed: &mut usize,
+) -> Result<String, LineError> {
     let mut buf = Vec::new();
     loop {
         let mut byte = [0u8; 1];
-        match reader.read(&mut byte)? {
-            0 if buf.is_empty() => return Ok(None),
-            0 => return Err(HttpError::Malformed("EOF inside a line".into())),
-            _ => {}
+        match reader.read(&mut byte) {
+            Ok(0) if buf.is_empty() => return Err(LineError::CleanEof),
+            Ok(0) => return Err(LineError::TruncatedEof),
+            Ok(_) => {}
+            Err(e) => return Err(LineError::Io(e)),
         }
+        *consumed += 1;
         if byte[0] == b'\n' {
             if buf.last() == Some(&b'\r') {
                 buf.pop();
             }
-            let line = String::from_utf8(buf)
-                .map_err(|_| HttpError::Malformed("non-UTF-8 header bytes".into()))?;
-            return Ok(Some(line));
+            return String::from_utf8(buf).map_err(|_| LineError::NotUtf8);
         }
         if buf.len() >= limit {
-            return Err(HttpError::Malformed("line exceeds the size limit".into()));
+            return Err(LineError::TooLong);
         }
         buf.push(byte[0]);
     }
@@ -248,7 +419,11 @@ pub fn status_reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
         429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -310,11 +485,96 @@ mod tests {
             parse("POST /x HTTP/1.1\r\nContent-Length: zebra\r\n\r\n"),
             Err(HttpError::Malformed(_))
         ));
-        let huge = format!(
+    }
+
+    #[test]
+    fn transfer_encoding_is_411() {
+        let err =
+            parse("POST /v1/jobs HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err();
+        assert!(matches!(err, HttpError::LengthRequired(_)), "{err}");
+        assert_eq!(err.status(), Some(411));
+    }
+
+    #[test]
+    fn missing_content_length_means_empty_body() {
+        // No Content-Length and no Transfer-Encoding frames a bodyless
+        // request (the `curl -X POST /admin/shutdown` shape).
+        let req = parse("POST /admin/shutdown HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.body.is_empty());
+        assert!(parse("GET /healthz HTTP/1.1\r\n\r\n").unwrap().is_some());
+    }
+
+    #[test]
+    fn oversized_and_overflowing_bodies_are_413() {
+        let declared = format!(
             "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
             MAX_BODY + 1
         );
-        assert!(matches!(parse(&huge), Err(HttpError::Malformed(_))));
+        let err = parse(&declared).unwrap_err();
+        assert!(matches!(err, HttpError::BodyTooLarge(_)), "{err}");
+        assert_eq!(err.status(), Some(413));
+
+        let overflow = "POST /x HTTP/1.1\r\nContent-Length: 99999999999999999999999\r\n\r\n";
+        let err = parse(overflow).unwrap_err();
+        assert!(matches!(err, HttpError::BodyTooLarge(_)), "{err}");
+    }
+
+    #[test]
+    fn truncated_body_is_a_400_not_a_hang() {
+        let err = parse("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort").unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)), "{err}");
+        assert!(err.to_string().contains("shorter than Content-Length"));
+    }
+
+    #[test]
+    fn oversized_header_block_is_431() {
+        let mut raw = String::from("GET /x HTTP/1.1\r\n");
+        for i in 0..8 {
+            raw.push_str(&format!("x-pad-{i}: {}\r\n", "v".repeat(4096)));
+        }
+        raw.push_str("\r\n");
+        let err = parse(&raw).unwrap_err();
+        assert!(matches!(err, HttpError::HeadersTooLarge(_)), "{err}");
+        assert_eq!(err.status(), Some(431));
+    }
+
+    #[test]
+    fn too_many_headers_is_431() {
+        let mut raw = String::from("GET /x HTTP/1.1\r\n");
+        for i in 0..=MAX_HEADERS {
+            raw.push_str(&format!("h{i}: v\r\n"));
+        }
+        raw.push_str("\r\n");
+        let err = parse(&raw).unwrap_err();
+        assert!(matches!(err, HttpError::HeadersTooLarge(_)), "{err}");
+    }
+
+    #[test]
+    fn overlong_request_line_is_431() {
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE));
+        let err = parse(&raw).unwrap_err();
+        assert!(matches!(err, HttpError::HeadersTooLarge(_)), "{err}");
+    }
+
+    #[test]
+    fn every_typed_error_has_a_status_and_message() {
+        let cases: Vec<(HttpError, u16)> = vec![
+            (HttpError::Malformed("m".into()), 400),
+            (HttpError::TimedOut("m".into()), 408),
+            (HttpError::LengthRequired("m".into()), 411),
+            (HttpError::BodyTooLarge("m".into()), 413),
+            (HttpError::HeadersTooLarge("m".into()), 431),
+        ];
+        for (err, status) in cases {
+            assert_eq!(err.status(), Some(status));
+            assert_eq!(err.client_message(), Some("m"));
+            assert_ne!(status_reason(status), "Unknown");
+        }
+        let io = HttpError::Io(std::io::Error::other("x"));
+        assert_eq!(io.status(), None);
+        assert_eq!(io.client_message(), None);
     }
 
     #[test]

@@ -213,6 +213,11 @@ pub struct JobOutcome {
     pub metrics: JobMetrics,
     /// Optimised-mask summary.
     pub mask: MaskSummary,
+    /// Tiles that fell back to their coarse-grid mask after fine-stage
+    /// failures. Zero on a healthy run; non-zero means the mask is
+    /// complete but locally at coarse quality — check the run report's
+    /// diagnostics for which tiles.
+    pub tiles_degraded: usize,
     /// Seconds the job waited in the queue before a worker picked it up.
     pub queue_seconds: f64,
 }
@@ -292,7 +297,8 @@ impl JobRecord {
                     k.width, k.height, k.on_pixels
                 );
                 push_f64(&mut out, k.coverage);
-                out.push_str("},\"queue_seconds\":");
+                let _ = write!(out, "}},\"tiles_degraded\":{}", outcome.tiles_degraded);
+                out.push_str(",\"queue_seconds\":");
                 push_f64(&mut out, outcome.queue_seconds);
             }
         }
@@ -396,6 +402,7 @@ mod tests {
                 on_pixels: 4096,
                 coverage: 0.25,
             },
+            tiles_degraded: 2,
             queue_seconds: 0.1,
         });
         let done = record.to_json();
@@ -406,6 +413,10 @@ mod tests {
         assert_eq!(
             parsed.path(&["metrics", "pvband"]).and_then(|v| v.as_u64()),
             Some(50)
+        );
+        assert_eq!(
+            parsed.path(&["tiles_degraded"]).and_then(|v| v.as_u64()),
+            Some(2)
         );
         record.status = JobStatus::Failed("deadline exceeded".into());
         let failed = record.to_json();

@@ -23,13 +23,14 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use ilt_fault::points;
 use ilt_grid::BitGrid;
 use ilt_layout::generate_clip;
 use ilt_telemetry as tele;
 use ilt_tile::{Partition, TileExecutor};
 
 use crate::cache::SessionCache;
-use crate::http::{HttpError, Request, Response};
+use crate::http::{Request, Response};
 use crate::job::{CaseSource, JobMetrics, JobOutcome, JobRecord, JobSpec, JobStatus, MaskSummary};
 use crate::queue::{JobQueue, PushError, RETRY_AFTER_SECONDS};
 
@@ -329,6 +330,11 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
                 span.add_field("path", request.path.as_str());
                 span.add_field("status", u64::from(response.status));
                 drop(span);
+                if ilt_fault::should_fire(points::SERVE_CONN_DROP) {
+                    // Hang up without answering, as a flaky network would.
+                    tele::counter_add("serve.http.conn_dropped", 1);
+                    break;
+                }
                 if response.write_to(&mut writer).is_err() {
                     break;
                 }
@@ -336,11 +342,16 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
                     break;
                 }
             }
-            Err(HttpError::Io(_)) => break,
-            Err(HttpError::Malformed(message)) => {
-                let _ = Response::error(400, &message)
-                    .with_header("Connection", "close".to_string())
-                    .write_to(&mut writer);
+            Err(error) => {
+                // Answer with the typed status when the socket still
+                // works (400/408/411/413/431), then close; pure IO
+                // failures get a silent close — nobody is listening.
+                if let (Some(status), Some(message)) = (error.status(), error.client_message()) {
+                    tele::counter_add("serve.http.rejected", 1);
+                    let _ = Response::error(status, message)
+                        .with_header("Connection", "close".to_string())
+                        .write_to(&mut writer);
+                }
                 break;
             }
         }
@@ -416,7 +427,14 @@ fn submit(shared: &Shared, body: &[u8]) -> Response {
             deadline: spec.timeout_ms.map(|ms| now + Duration::from_millis(ms)),
         });
     }
-    match shared.queue.push(id) {
+    // The injected overflow takes the exact production rejection path —
+    // 429 body, Retry-After hint, and registry cleanup included.
+    let pushed = if ilt_fault::should_fire(points::SERVE_QUEUE_FULL) {
+        Err(PushError::Full)
+    } else {
+        shared.queue.push(id)
+    };
+    match pushed {
         Ok(position) => {
             tele::counter_add("serve.jobs.accepted", 1);
             Response::json(
@@ -483,8 +501,23 @@ fn run_job(shared: &Shared, cache: &mut SessionCache, executor: &TileExecutor, i
         )));
         return;
     }
+    // `serve.deadline` simulates a budget that expires mid-solve: the job
+    // passed admission, but the solver's in-loop deadline checks trip on
+    // the first iteration.
+    let solve_deadline = if ilt_fault::should_fire(points::SERVE_DEADLINE) {
+        let now = Instant::now();
+        Some(now.checked_sub(Duration::from_millis(1)).unwrap_or(now))
+    } else {
+        deadline
+    };
     let started = Instant::now();
-    let outcome = catch_unwind(AssertUnwindSafe(|| execute(&spec, cache, executor)));
+    let outcome = {
+        // Publish the deadline to this thread and, via the tile
+        // executor, to every tile worker, so iteration loops deep in the
+        // solvers can stop instead of burning a blown budget.
+        let _scope = ilt_fault::deadline::scope(solve_deadline);
+        catch_unwind(AssertUnwindSafe(|| execute(&spec, cache, executor)))
+    };
     tele::record_value(
         "serve.job.run_us",
         (started.elapsed().as_secs_f64() * 1e6) as u64,
@@ -495,6 +528,9 @@ fn run_job(shared: &Shared, cache: &mut SessionCache, executor: &TileExecutor, i
             if deadline.is_some_and(|d| Instant::now() > d) {
                 JobStatus::Failed("deadline exceeded while solving".to_string())
             } else {
+                if outcome.tiles_degraded > 0 {
+                    tele::counter_add("serve.jobs.degraded", 1);
+                }
                 JobStatus::Done(outcome)
             }
         }
@@ -525,7 +561,13 @@ fn execute(
     let target = resolve_target(spec, session.config());
     let flow = session
         .run_method(spec.method, &target, executor)
-        .map_err(|e| format!("flow failed: {e}"))?;
+        .map_err(|e| {
+            if e.is_deadline_exceeded() {
+                "deadline exceeded while solving".to_string()
+            } else {
+                format!("flow failed: {e}")
+            }
+        })?;
     let partition = Partition::new(target.width(), target.height(), session.config().partition)
         .map_err(|e| format!("partitioning failed: {e}"))?;
     let lines = partition.stitch_lines();
@@ -547,6 +589,7 @@ fn execute(
             on_pixels,
             coverage: on_pixels as f64 / binary.len() as f64,
         },
+        tiles_degraded: flow.degraded.len(),
         queue_seconds: 0.0, // filled in by the caller, which knows the wait
     })
 }

@@ -91,6 +91,10 @@ pub mod names {
     /// zero-length span so anomalies sit inside the span tree at the
     /// moment they were detected.
     pub const ANOMALY: &str = "anomaly";
+    /// A tile falling back to its coarse-grid mask after its fine-grid
+    /// solve failed every retry (fields `flow`, `stage`, `tile`, `error`).
+    /// Recorded as a zero-length span by `ilt-diag`.
+    pub const DEGRADED: &str = "degraded";
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);

@@ -8,8 +8,14 @@
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
+use std::time::Duration;
 
+use ilt_fault as fault;
 use ilt_telemetry as tele;
+
+/// How long an injected `tile.slow` fault stalls a job attempt. Long enough
+/// to trip a short job deadline, short enough to keep fault drills fast.
+const INJECTED_SLOWDOWN: Duration = Duration::from_millis(25);
 
 /// Runs one job inside a `job` span tagged with the job and worker index,
 /// and feeds its wall time into the `executor.job_us` histogram. The span
@@ -23,6 +29,103 @@ fn traced_job<T, F: Fn(usize) -> T>(job: &F, i: usize, worker: usize) -> T {
     let seconds = span.end();
     tele::record_value("executor.job_us", (seconds * 1e6) as u64);
     out
+}
+
+/// Retry behaviour for [`TileExecutor::run_recoverable`]: how many attempts
+/// a tile job gets and how long to back off between them (exponential,
+/// doubling per failed attempt).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per tile (minimum 1; the first run counts).
+    pub attempts: usize,
+    /// Backoff slept after the first failed attempt; doubles each retry.
+    pub backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// A policy with `attempts` total attempts and `backoff` base backoff.
+    pub fn new(attempts: usize, backoff: Duration) -> Self {
+        RetryPolicy {
+            attempts: attempts.max(1),
+            backoff,
+        }
+    }
+
+    /// One attempt, no retries.
+    pub fn no_retry() -> Self {
+        RetryPolicy::new(1, Duration::ZERO)
+    }
+
+    /// Reads `ILT_TILE_RETRIES` (extra attempts after the first, default 1)
+    /// and `ILT_TILE_BACKOFF_MS` (base backoff, default 5). Unparsable
+    /// values warn on stderr and fall back to the defaults.
+    pub fn from_env() -> Self {
+        fn read(name: &str, default: u64) -> u64 {
+            match std::env::var(name) {
+                Ok(raw) => match raw.trim().parse() {
+                    Ok(v) => v,
+                    Err(_) => {
+                        eprintln!("ilt-tile: ignoring unparsable {name}={raw:?}");
+                        default
+                    }
+                },
+                Err(_) => default,
+            }
+        }
+        let retries = read("ILT_TILE_RETRIES", 1) as usize;
+        let backoff = Duration::from_millis(read("ILT_TILE_BACKOFF_MS", 5));
+        RetryPolicy::new(1 + retries, backoff)
+    }
+
+    /// Backoff to sleep after failed attempt number `attempt` (1-based):
+    /// `backoff * 2^(attempt-1)`, saturating.
+    fn backoff_for(&self, attempt: usize) -> Duration {
+        self.backoff
+            .saturating_mul(1u32 << (attempt - 1).min(16) as u32)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::new(2, Duration::from_millis(5))
+    }
+}
+
+/// A tile job that panicked on every attempt it was given.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileFailure {
+    /// Index of the failed tile job.
+    pub tile: usize,
+    /// Number of attempts made before giving up.
+    pub attempts: usize,
+    /// The final panic message (stringified payload).
+    pub message: String,
+}
+
+impl std::fmt::Display for TileFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "tile {} failed after {} attempt{}: {}",
+            self.tile,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for TileFailure {}
+
+/// Stringifies a panic payload (the common `String`/`&str` cases).
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Runs per-index jobs across a fixed number of worker threads.
@@ -78,8 +181,10 @@ impl TileExecutor {
             return (0..count).map(|i| traced_job(&job, i, 0)).collect();
         }
         // Capture the caller's active span so per-job spans recorded on
-        // worker threads attach to it instead of becoming roots.
+        // worker threads attach to it instead of becoming roots, and the
+        // caller's ambient deadline so jobs keep honouring it off-thread.
         let parent = tele::current_span();
+        let deadline = fault::deadline::current();
         let next = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
         // First panic payload wins; it is re-raised after the pool drains.
@@ -94,6 +199,7 @@ impl TileExecutor {
                 let job = &job;
                 scope.spawn(move || {
                     let _adopted = tele::parent_scope(parent);
+                    let _deadline = fault::deadline::scope(deadline);
                     loop {
                         if stop.load(Ordering::Relaxed) {
                             break;
@@ -156,6 +262,67 @@ impl TileExecutor {
             return Err(results.swap_remove(pos).err().expect("checked is_err"));
         }
         results.into_iter().collect()
+    }
+
+    /// Recoverable variant: each job attempt runs under `catch_unwind` and
+    /// panicking attempts are retried per `policy` (exponential backoff
+    /// between attempts). A job that panics on every attempt yields
+    /// `Err(TileFailure)` in its slot instead of taking down the whole run,
+    /// so callers can substitute a degraded per-tile answer.
+    ///
+    /// This is also where the `tile.panic` / `tile.slow` fault-injection
+    /// points live (see `ilt-fault`): injection happens inside the attempt,
+    /// so an injected panic exercises exactly the retry and degradation
+    /// machinery a real one would.
+    pub fn run_recoverable<T, F>(
+        &self,
+        count: usize,
+        policy: RetryPolicy,
+        job: F,
+    ) -> Vec<Result<T, TileFailure>>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.run(count, |i| {
+            let mut attempt = 0;
+            loop {
+                attempt += 1;
+                if fault::should_fire(fault::points::TILE_SLOW) {
+                    std::thread::sleep(INJECTED_SLOWDOWN);
+                }
+                // AssertUnwindSafe: a panicking attempt's partial state is
+                // dropped and either retried from scratch or surfaced as a
+                // TileFailure; no partial result escapes.
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    if fault::should_fire(fault::points::TILE_PANIC) {
+                        panic!(
+                            "{} tile.panic (tile {i}, attempt {attempt})",
+                            fault::INJECTED_PANIC_PREFIX
+                        );
+                    }
+                    job(i)
+                }));
+                match outcome {
+                    Ok(value) => return Ok(value),
+                    Err(payload) => {
+                        tele::counter_add("executor.tile_panics", 1);
+                        if attempt >= policy.attempts {
+                            return Err(TileFailure {
+                                tile: i,
+                                attempts: attempt,
+                                message: panic_text(payload.as_ref()),
+                            });
+                        }
+                        tele::counter_add("executor.tile_retries", 1);
+                        let backoff = policy.backoff_for(attempt);
+                        if !backoff.is_zero() {
+                            std::thread::sleep(backoff);
+                        }
+                    }
+                }
+            }
+        })
     }
 }
 
@@ -240,5 +407,95 @@ mod tests {
     #[test]
     fn default_is_sequential() {
         assert_eq!(TileExecutor::default().workers(), 1);
+    }
+
+    #[test]
+    fn retry_policy_floors_attempts_and_scales_backoff() {
+        let p = RetryPolicy::new(0, Duration::from_millis(4));
+        assert_eq!(p.attempts, 1);
+        assert_eq!(p.backoff_for(1), Duration::from_millis(4));
+        assert_eq!(p.backoff_for(2), Duration::from_millis(8));
+        assert_eq!(p.backoff_for(3), Duration::from_millis(16));
+        assert_eq!(RetryPolicy::no_retry().attempts, 1);
+        assert_eq!(RetryPolicy::default().attempts, 2);
+    }
+
+    #[test]
+    fn recoverable_matches_run_when_nothing_panics() {
+        let e = TileExecutor::new(3);
+        let out = e.run_recoverable(8, RetryPolicy::default(), |i| i * 3);
+        let values: Vec<usize> = out.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(values, (0..8).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recoverable_retries_flaky_jobs_to_success() {
+        ilt_fault::quiet_injected_panics();
+        let attempts: Vec<AtomicUsize> = (0..6).map(|_| AtomicUsize::new(0)).collect();
+        let out =
+            TileExecutor::new(2).run_recoverable(6, RetryPolicy::new(3, Duration::ZERO), |i| {
+                let n = attempts[i].fetch_add(1, Ordering::Relaxed);
+                // Even tiles fail on their first two attempts, then succeed.
+                if i % 2 == 0 && n < 2 {
+                    panic!("{} flaky tile {i}", ilt_fault::INJECTED_PANIC_PREFIX);
+                }
+                i
+            });
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(*r.as_ref().unwrap(), i);
+        }
+        for (i, a) in attempts.iter().enumerate() {
+            let expected = if i % 2 == 0 { 3 } else { 1 };
+            assert_eq!(a.load(Ordering::Relaxed), expected, "tile {i}");
+        }
+    }
+
+    #[test]
+    fn recoverable_surfaces_persistent_failures_without_aborting_others() {
+        ilt_fault::quiet_injected_panics();
+        let out =
+            TileExecutor::new(4).run_recoverable(10, RetryPolicy::new(2, Duration::ZERO), |i| {
+                if i == 7 {
+                    panic!("{} always broken", ilt_fault::INJECTED_PANIC_PREFIX);
+                }
+                i * i
+            });
+        for (i, r) in out.iter().enumerate() {
+            if i == 7 {
+                let failure = r.as_ref().unwrap_err();
+                assert_eq!(failure.tile, 7);
+                assert_eq!(failure.attempts, 2);
+                assert!(failure.message.contains("always broken"));
+                assert!(failure.to_string().contains("after 2 attempts"));
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i * i);
+            }
+        }
+    }
+
+    #[test]
+    fn recoverable_sequential_and_parallel_agree() {
+        ilt_fault::quiet_injected_panics();
+        let run = |workers: usize| -> Vec<Result<usize, usize>> {
+            TileExecutor::new(workers)
+                .run_recoverable(9, RetryPolicy::no_retry(), |i| {
+                    if i % 4 == 1 {
+                        panic!("{} tile {i}", ilt_fault::INJECTED_PANIC_PREFIX);
+                    }
+                    i
+                })
+                .into_iter()
+                .map(|r| r.map_err(|f| f.tile))
+                .collect()
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn deadline_propagates_to_worker_threads() {
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        let _scope = ilt_fault::deadline::scope(Some(deadline));
+        let seen = TileExecutor::new(4).run(8, |_| ilt_fault::deadline::current());
+        assert!(seen.iter().all(|d| *d == Some(deadline)));
     }
 }

@@ -41,5 +41,5 @@ mod partition;
 pub use assemble::{assemble, restrict, weight_map, AssemblyMode};
 pub use color::{multi_coloring, Coloring};
 pub use error::TileError;
-pub use executor::TileExecutor;
+pub use executor::{RetryPolicy, TileExecutor, TileFailure};
 pub use partition::{Orientation, Partition, PartitionConfig, StitchLine, Tile};
