@@ -9,7 +9,10 @@
 //! The full-iteration bench runs twice: once through the historical
 //! allocate-per-call API (`simulate`/`gradient`, serial) and once through
 //! the workspace fast path (`simulate_into`/`gradient_into` with the
-//! `ILT_INNER_THREADS` budget), and prints the speedup between them.
+//! `ILT_INNER_THREADS` budget), and prints the speedup between them. A
+//! final A/B pair re-runs the fast-path iteration with a span per
+//! iteration, flight recorder on vs off, and emits `obs_overhead_ratio`
+//! in the summary — CI asserts the always-on recorder costs <= 2%.
 //!
 //! Each benchmark is wrapped in a named flow span, so the emitted
 //! `report.json` (schema `ilt-report/v2`) carries one flow per benchmark
@@ -220,15 +223,50 @@ fn main() {
         opts.inner_threads
     );
 
+    // Always-on flight-recorder overhead: the same fast-path iteration
+    // with a span per iteration, recorder on vs off (the only difference
+    // between the arms is `flight::record`). Best-of-3 per arm so the
+    // ratio measures the recorder, not scheduler jitter; CI gates it at
+    // <= 2%.
+    let mut obs_arm = |recording: bool| -> f64 {
+        tele::flight::set_recording(recording);
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let started = std::time::Instant::now();
+            for _ in 0..iter_iters {
+                let _span = tele::span(tele::names::SOLVE);
+                system.simulate_into(&mask, &mut ws).unwrap();
+                let eval = evaluate_loss(system.resist(), ws.intensity(), &target);
+                let _ = system.gradient_into(&mut ws, &eval.dldi).unwrap();
+            }
+            best = best.min(started.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let recorder_off = obs_arm(false);
+    let recorder_on = obs_arm(true);
+    tele::flight::set_recording(true);
+    let obs_overhead = recorder_on / recorder_off;
+    println!(
+        "flight-recorder overhead (span per iteration, on vs off): {:.4}x",
+        obs_overhead
+    );
+
     let path = opts.artifact("microbench_summary.json");
-    std::fs::write(&path, render_summary(&opts, &points, speedup)).expect("cannot write summary");
+    std::fs::write(&path, render_summary(&opts, &points, speedup, obs_overhead))
+        .expect("cannot write summary");
     println!("wrote {}", path.display());
 
     opts.finish_run("microbench");
 }
 
 /// Renders the single-point `ilt-bench-trajectory/v1` summary.
-fn render_summary(opts: &HarnessOptions, points: &[BenchPoint], speedup: f64) -> String {
+fn render_summary(
+    opts: &HarnessOptions,
+    points: &[BenchPoint],
+    speedup: f64,
+    obs_overhead: f64,
+) -> String {
     use tele::json;
     let mut out = String::from("{\"schema\":\"ilt-bench-trajectory/v1\",\"binary\":\"microbench\"");
     out.push_str(",\"scale\":");
@@ -236,6 +274,8 @@ fn render_summary(opts: &HarnessOptions, points: &[BenchPoint], speedup: f64) ->
     let _ = write!(out, ",\"inner_threads\":{}", opts.inner_threads);
     out.push_str(",\"iteration_speedup\":");
     json::push_f64(&mut out, speedup);
+    out.push_str(",\"obs_overhead_ratio\":");
+    json::push_f64(&mut out, obs_overhead);
     out.push_str(",\"benches\":[");
     for (i, p) in points.iter().enumerate() {
         if i > 0 {

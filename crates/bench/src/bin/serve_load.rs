@@ -3,9 +3,13 @@
 //! Runs `ILT_LOAD_CONNS` client connections (default 2) that together
 //! submit `ILT_LOAD_JOBS` jobs (default 8) and poll each to completion,
 //! then reports end-to-end latency percentiles, throughput, the
-//! queue-rejection rate, and the kernel-cache hit ratio, and writes the
-//! usual `ilt-report/v2` `report.json` so `report_diff` can gate runs
-//! against `results/baselines/serve_smoke.json`.
+//! queue-rejection rate, and the kernel-cache hit ratio. Client-side
+//! histograms split each job's end-to-end latency into queue wait
+//! (`serve.load.queue_wait_us`, from the done body's `queue_seconds`)
+//! and service time (`serve.load.service_us`), alongside the combined
+//! `serve.load.latency_us`, and everything lands in the usual
+//! `ilt-report/v2` `report.json` so `report_diff` can gate runs against
+//! `results/baselines/serve_smoke.json`.
 //!
 //! By default the target server is started **in-process** (so a smoke run
 //! needs exactly one command and the report also carries the server-side
@@ -214,10 +218,12 @@ fn run_one_job(target: &str, index: usize, scale: &str, stats: &mut LoadStats) {
             ilt_telemetry::counter_add("serve.load.lost", 1);
             return;
         }
-        let status = http_request(target, "GET", &path, None)
+        let last_body = http_request(target, "GET", &path, None)
             .ok()
             .filter(|r| r.status == 200)
-            .and_then(|r| Json::parse(&r.body).ok())
+            .and_then(|r| Json::parse(&r.body).ok());
+        let status = last_body
+            .as_ref()
             .and_then(|j| j.get("status").and_then(|s| s.as_str().map(String::from)));
         match status.as_deref() {
             Some("done") => {
@@ -226,6 +232,19 @@ fn run_one_job(target: &str, index: usize, scale: &str, stats: &mut LoadStats) {
                 stats.latencies_s.push(latency);
                 ilt_telemetry::counter_add("serve.load.jobs_ok", 1);
                 ilt_telemetry::record_value("serve.load.latency_us", (latency * 1e6) as u64);
+                // Split the wait from the work: the done body reports how
+                // long the job sat queued, so queue wait and service time
+                // land in separate histograms and a saturated queue is
+                // distinguishable from a slow solver.
+                let queue_s = last_body
+                    .as_ref()
+                    .and_then(|j| j.path(&["queue_seconds"]).and_then(|v| v.as_f64()))
+                    .unwrap_or(0.0);
+                ilt_telemetry::record_value("serve.load.queue_wait_us", (queue_s * 1e6) as u64);
+                ilt_telemetry::record_value(
+                    "serve.load.service_us",
+                    ((latency - queue_s).max(0.0) * 1e6) as u64,
+                );
                 return;
             }
             Some("failed") => {

@@ -300,9 +300,12 @@ where
 
 /// Renders the `ilt-report/v2` run report: run parameters, per-flow stage
 /// summaries (with interpolated per-tile latency percentiles), merged
-/// counters/histograms, the diagnostics section (convergence matrix,
-/// quality matrix, anomalies), and the nested span tree. v2 is a strict
-/// superset of v1: every v1 field is unchanged.
+/// counters/gauges/histograms, the per-stage latency budget (queue wait
+/// vs kernel build vs tile classes vs assembly), the diagnostics section
+/// (convergence matrix, quality matrix, anomalies), and the nested span
+/// tree. v2 is a strict superset of v1: every v1 field is unchanged, and
+/// the `gauges`/`latency_budget` sections are optional for report
+/// consumers (`report_diff` skips sections absent from either side).
 fn render_report(
     binary: &str,
     opts: &HarnessOptions,
@@ -384,7 +387,18 @@ fn render_report(
             h.quantile(0.99)
         );
     }
-    out.push_str("},\"diagnostics\":");
+    out.push_str("},\"gauges\":{");
+    for (i, (name, v)) in tele.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::push_str_literal(&mut out, name);
+        out.push(':');
+        json::push_f64(&mut out, *v);
+    }
+    out.push_str("},\"latency_budget\":");
+    out.push_str(&tele.latency_budget().to_json());
+    out.push_str(",\"diagnostics\":");
     out.push_str(&ilt_diag::render_diagnostics_json(diag, anomalies));
     out.push_str(",\"spans\":");
     out.push_str(&tele.span_tree_json());
@@ -477,6 +491,21 @@ mod tests {
             Some(0),
             "a clean run reports zero degraded tiles"
         );
+        let budget = json.get("latency_budget").expect("latency_budget section");
+        for key in [
+            "queue_wait_s",
+            "kernel_build_s",
+            "coarse_tiles_s",
+            "fine_tiles_s",
+            "assembly_s",
+            "unattributed_s",
+        ] {
+            assert!(
+                budget.get(key).and_then(|v| v.as_f64()).is_some(),
+                "latency_budget.{key} is a number"
+            );
+        }
+        assert!(json.get("gauges").is_some(), "gauges section present");
     }
 
     #[test]

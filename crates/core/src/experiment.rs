@@ -195,6 +195,13 @@ pub fn run_case_in(
     clip: &Clip,
     executor: &TileExecutor,
 ) -> Result<CaseResult, CoreError> {
+    // Each bench case gets its own trace id (unless the caller already
+    // installed one, e.g. a serve job), so the flight recorder can tell
+    // concurrent or consecutive cases apart.
+    let _trace = match ilt_telemetry::current_trace() {
+        Some(_) => None,
+        None => Some(ilt_telemetry::new_trace_scope()),
+    };
     let partition = Partition::new(clip.size(), clip.size(), config.partition)?;
     let lines = partition.stitch_lines();
     let mut methods = Vec::new();

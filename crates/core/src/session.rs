@@ -50,7 +50,13 @@ impl Session {
     pub fn new(config: ExperimentConfig) -> Result<Self, CoreError> {
         config.validate();
         let bank = ilt_litho::shared_bank(&config.optics, config.resist)?;
+        // The inspection-system resample is the other construction cost a
+        // cold session pays; the `build` span makes it visible in the
+        // latency budget next to the bank build.
+        let mut build = ilt_telemetry::span(ilt_telemetry::names::BUILD);
+        build.add_field("what", "inspection_system");
         let inspection = bank.system(config.clip, config.inspection_scale())?;
+        drop(build);
         Ok(Session {
             config,
             bank,
@@ -87,6 +93,11 @@ impl Session {
         target: &BitGrid,
         executor: &TileExecutor,
     ) -> Result<FlowResult, CoreError> {
+        // The `session` span groups the flow (and its stages/tiles) under
+        // one node of the per-job trace: queue → session → tiles →
+        // assembly in `/debug/jobs/{id}/trace`.
+        let mut span = ilt_telemetry::span(ilt_telemetry::names::SESSION);
+        span.add_field("method", method.label());
         run_method(method, &self.config, &self.bank, target, executor)
     }
 

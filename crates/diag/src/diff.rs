@@ -333,6 +333,60 @@ mod tests {
     }
 
     #[test]
+    fn optional_sections_never_gate() {
+        // Newer reports carry optional sections (gauges, latency_budget)
+        // that older baselines lack — and vice versa after a rollback.
+        // Neither direction may produce a regression.
+        let plain = report(1.0, 2.0);
+        let enriched = Json::parse(
+            r#"{"schema":"ilt-report/v2",
+                "flows":[{"name":"ours:pgd","seconds":1.0}],
+                "gauges":{"serve.queue.depth":3.0},
+                "latency_budget":{"queue_wait_s":0.5,"kernel_build_s":1.0,
+                  "coarse_tiles_s":0.1,"fine_tiles_s":0.2,"refine_tiles_s":0.0,
+                  "other_tiles_s":0.0,"assembly_s":0.05,"unattributed_s":0.0,
+                  "flow_total_s":1.0},
+                "diagnostics":{"quality":[
+                  {"case":"c1","method":"Ours",
+                   "summary":{"epe_p95":2.0,"epe_max":3,"epe_violations":0,"stitch":1.5,"mrc":0},
+                   "tiles":[]}],
+                  "convergence":[],"anomalies":[]}}"#,
+        )
+        .unwrap();
+        assert!(
+            compare_reports(&plain, &enriched, &DiffThresholds::default())
+                .unwrap()
+                .is_empty()
+        );
+        assert!(
+            compare_reports(&enriched, &plain, &DiffThresholds::default())
+                .unwrap()
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn candidate_missing_an_optional_metric_is_skipped() {
+        // A candidate whose quality summary lacks a metric the baseline
+        // has (e.g. a diagnostics field made optional later) is tolerated;
+        // only metrics present on both sides gate.
+        let base = report(1.0, 2.0);
+        let cand = Json::parse(
+            r#"{"schema":"ilt-report/v2",
+                "flows":[{"name":"ours:pgd","seconds":1.0}],
+                "diagnostics":{"quality":[
+                  {"case":"c1","method":"Ours",
+                   "summary":{"epe_p95":2.0},
+                   "tiles":[]}],
+                  "convergence":[],"anomalies":[]}}"#,
+        )
+        .unwrap();
+        assert!(compare_reports(&base, &cand, &DiffThresholds::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
     fn non_reports_are_rejected() {
         let junk = Json::parse(r#"{"schema":"something-else"}"#).unwrap();
         let r = report(1.0, 2.0);

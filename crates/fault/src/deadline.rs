@@ -5,8 +5,10 @@
 //! `Option<Instant>` through every signature. This module keeps the current
 //! deadline in a thread-local that callers set with an RAII [`scope`]; the
 //! tile executor re-applies the submitting thread's deadline on its worker
-//! threads (the same pattern telemetry uses for span parents), so tile jobs
-//! observe the job deadline no matter which thread runs them.
+//! threads (the same pattern telemetry uses for span parents and for the
+//! per-job trace ids of `ilt_telemetry::trace_scope` — the three ambient
+//! contexts are captured and re-applied together), so tile jobs observe
+//! the job deadline no matter which thread runs them.
 //!
 //! Checks are cheap (`Instant::now()` against a `Cell`), so solver loops can
 //! afford one per iteration.

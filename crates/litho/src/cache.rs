@@ -85,7 +85,10 @@ pub fn shared_bank(
         ilt_telemetry::counter_add("litho.bank_cache.hit", 1);
         return Ok(bank);
     }
+    let mut build = ilt_telemetry::span(ilt_telemetry::names::BUILD);
+    build.add_field("what", "kernel_bank");
     let built = Arc::new(LithoBank::new(*config, resist)?);
+    drop(build);
     let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
     let bank = map
         .entry(BankKey::new(config, &resist))

@@ -72,6 +72,7 @@ impl SessionCache {
                 .unwrap_or_else(|| panic!("unvalidated scale {scale:?} reached the cache"));
             let session = Session::new(config)?;
             self.sessions.insert(scale.to_string(), session);
+            ilt_telemetry::gauge_add("serve.session_cache.entries", 1.0);
         } else {
             ilt_telemetry::counter_add("serve.session_cache.hit", 1);
         }

@@ -1,0 +1,204 @@
+//! Renderers for the live `/debug` introspection endpoints.
+//!
+//! Everything here reads *copies* — a flight-recorder snapshot, a job-list
+//! excerpt, cache counts — gathered by the route handler in one short
+//! registry lock, so rendering never holds a job-path lock. The functions
+//! take plain data and return JSON strings, which keeps them unit-testable
+//! without a running server.
+
+use std::collections::BTreeMap;
+
+use ilt_telemetry as tele;
+use ilt_telemetry::json::push_str_literal;
+
+/// One job's debug-view row (a cheap excerpt of the tracked record).
+#[derive(Debug, Clone)]
+pub(crate) struct JobDebug {
+    pub id: u64,
+    pub trace: u64,
+    pub status: &'static str,
+    pub target: String,
+    pub method: &'static str,
+    /// Milliseconds since the job was enqueued.
+    pub age_ms: u64,
+}
+
+/// `GET /debug/queue`: admission state plus the most recent jobs (newest
+/// last), each with its trace id so `/debug/jobs/{id}/trace` is one hop
+/// away.
+pub(crate) fn render_queue(
+    depth: usize,
+    capacity: usize,
+    draining: bool,
+    jobs: &[JobDebug],
+) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!(
+        "\"queue_depth\":{depth},\"queue_capacity\":{capacity},\"draining\":{draining},\"jobs\":["
+    ));
+    for (i, job) in jobs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":\"{}\",\"trace\":{},\"status\":",
+            job.id, job.trace
+        ));
+        push_str_literal(&mut out, job.status);
+        out.push_str(",\"target\":");
+        push_str_literal(&mut out, &job.target);
+        out.push_str(",\"method\":");
+        push_str_literal(&mut out, job.method);
+        out.push_str(&format!(",\"age_ms\":{}}}", job.age_ms));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// `GET /debug/caches`: entry counts of the process-wide kernel-bank and
+/// FFT-plan caches plus the per-worker session caches, with their
+/// hit/miss counters and gauges pulled from the telemetry snapshot.
+pub(crate) fn render_caches(
+    litho_banks: usize,
+    fft_plans: usize,
+    counters: &BTreeMap<String, u64>,
+    gauges: &BTreeMap<String, f64>,
+) -> String {
+    let counter = |name: &str| counters.get(name).copied().unwrap_or(0);
+    let mut out = String::from("{");
+    out.push_str(&format!(
+        "\"litho_bank_cache\":{{\"entries\":{},\"hits\":{},\"misses\":{}}}",
+        litho_banks,
+        counter("litho.bank_cache.hit"),
+        counter("litho.bank_cache.miss")
+    ));
+    out.push_str(&format!(
+        ",\"fft_plan_cache\":{{\"entries\":{},\"hits\":{},\"misses\":{}}}",
+        fft_plans,
+        counter("fft.plan_cache.hit"),
+        counter("fft.plan_cache.miss")
+    ));
+    out.push_str(&format!(
+        ",\"session_cache\":{{\"entries\":{},\"hits\":{},\"misses\":{}}}",
+        gauges
+            .get("serve.session_cache.entries")
+            .copied()
+            .unwrap_or(0.0),
+        counter("serve.session_cache.hit"),
+        counter("serve.session_cache.miss")
+    ));
+    out.push('}');
+    out
+}
+
+/// `GET /debug/jobs/{id}/trace`: the job's span forest as recorded by the
+/// flight recorder, plus the counters attributed to its trace. In-flight
+/// jobs show the spans that have already closed (tiles land as they
+/// finish); finished jobs show the complete queue → session → tiles →
+/// assembly tree.
+pub(crate) fn render_job_trace(
+    id: u64,
+    trace: u64,
+    status: &str,
+    spans: &[tele::SpanEvent],
+) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!("\"id\":\"{id}\",\"trace\":{trace},\"status\":"));
+    push_str_literal(&mut out, status);
+    out.push_str(&format!(",\"span_count\":{}", spans.len()));
+    out.push_str(",\"counters\":{");
+    for (i, (name, v)) in tele::trace_counters(trace).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str_literal(&mut out, name);
+        out.push_str(&format!(":{v}"));
+    }
+    out.push('}');
+    out.push_str(",\"spans_dropped_total\":");
+    out.push_str(&tele::flight::spans_dropped().to_string());
+    out.push_str(",\"spans\":");
+    out.push_str(&tele::span_forest_json(spans));
+    out.push('}');
+    out
+}
+
+/// Shared footer for `/metrics`: the flight recorder's drop counter as a
+/// Prometheus line, appended after the snapshot and SLO series.
+pub(crate) fn obs_prometheus() -> String {
+    let mut out = String::from("# TYPE ilt_obs_spans_dropped_total counter\n");
+    out.push_str(&format!(
+        "ilt_obs_spans_dropped_total {}\n",
+        tele::flight::spans_dropped()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilt_json::Json;
+
+    #[test]
+    fn queue_render_is_well_formed() {
+        let jobs = vec![JobDebug {
+            id: 3,
+            trace: 17,
+            status: "running",
+            target: "case2".to_string(),
+            method: "ours",
+            age_ms: 12,
+        }];
+        let body = render_queue(1, 8, false, &jobs);
+        let parsed = Json::parse(&body).expect("valid JSON");
+        assert_eq!(
+            parsed.path(&["queue_depth"]).and_then(|v| v.as_u64()),
+            Some(1)
+        );
+        assert_eq!(
+            parsed
+                .path(&["jobs"])
+                .and_then(|v| v.as_arr())
+                .map(|a| a.len()),
+            Some(1)
+        );
+        assert!(body.contains("\"trace\":17"));
+    }
+
+    #[test]
+    fn caches_render_is_well_formed() {
+        let mut counters = BTreeMap::new();
+        counters.insert("litho.bank_cache.hit".to_string(), 4u64);
+        let mut gauges = BTreeMap::new();
+        gauges.insert("serve.session_cache.entries".to_string(), 2.0);
+        let body = render_caches(1, 3, &counters, &gauges);
+        let parsed = Json::parse(&body).expect("valid JSON");
+        assert_eq!(
+            parsed
+                .path(&["litho_bank_cache", "hits"])
+                .and_then(|v| v.as_u64()),
+            Some(4)
+        );
+        assert_eq!(
+            parsed
+                .path(&["fft_plan_cache", "entries"])
+                .and_then(|v| v.as_u64()),
+            Some(3)
+        );
+        assert!(body.contains("\"session_cache\":{\"entries\":2"));
+    }
+
+    #[test]
+    fn job_trace_render_is_well_formed_when_empty() {
+        let body = render_job_trace(9, 1234567, "queued", &[]);
+        let parsed = Json::parse(&body).expect("valid JSON");
+        assert_eq!(
+            parsed.path(&["trace"]).and_then(|v| v.as_u64()),
+            Some(1234567)
+        );
+        assert_eq!(
+            parsed.path(&["span_count"]).and_then(|v| v.as_u64()),
+            Some(0)
+        );
+    }
+}

@@ -252,6 +252,10 @@ impl JobStatus {
 pub struct JobRecord {
     /// Job id (also the path segment of `GET /v1/jobs/{id}`).
     pub id: u64,
+    /// Trace id attributing every span the job produces (see
+    /// `ilt_telemetry::trace_scope`); surfaced in the status JSON so
+    /// clients can fetch `/debug/jobs/{id}/trace`.
+    pub trace: u64,
     /// The spec as admitted.
     pub spec: JobSpec,
     /// Current state.
@@ -262,7 +266,11 @@ impl JobRecord {
     /// Renders the job as the response body of `GET /v1/jobs/{id}`.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
-        let _ = write!(out, "{{\"id\":\"{}\",\"status\":", self.id);
+        let _ = write!(
+            out,
+            "{{\"id\":\"{}\",\"trace\":{},\"status\":",
+            self.id, self.trace
+        );
         push_str_literal(&mut out, self.status.name());
         out.push_str(",\"target\":");
         push_str_literal(&mut out, &self.spec.target_label());
@@ -383,11 +391,13 @@ mod tests {
         let spec = JobSpec::parse(r#"{"case": 2}"#).unwrap();
         let mut record = JobRecord {
             id: 5,
+            trace: 41,
             spec,
             status: JobStatus::Queued,
         };
         let queued = record.to_json();
         assert!(queued.contains("\"status\":\"queued\""));
+        assert!(queued.contains("\"trace\":41"));
         assert!(!queued.contains("metrics"));
         record.status = JobStatus::Done(JobOutcome {
             metrics: JobMetrics {

@@ -13,7 +13,11 @@
 //! | `POST /v1/jobs` | Admit a job (JSON spec); `202` with an id, or `429` + `Retry-After` when the queue is full |
 //! | `GET /v1/jobs/{id}` | Job status; when `done`, Table 1 quality metrics and a mask summary |
 //! | `GET /healthz` | Liveness plus queue depth/capacity |
-//! | `GET /metrics` | Prometheus text exposition of the telemetry counters and histograms |
+//! | `GET /metrics` | Prometheus text exposition of counters, gauges, histograms, and SLO burn rates |
+//! | `GET /debug/jobs/{id}/trace` | The job's span tree (queue → session → tiles → assembly) from the flight recorder |
+//! | `GET /debug/queue` | Admission state plus recent jobs with their trace ids |
+//! | `GET /debug/caches` | Kernel-bank / FFT-plan / session-cache sizes and hit rates |
+//! | `GET /debug/slo` | Burn rates per objective and window, with raw good/bad counts |
 //! | `POST /admin/shutdown` | Start the graceful drain (in-flight and queued jobs still finish) |
 //!
 //! ## Job spec
@@ -45,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+mod debug;
 pub mod http;
 pub mod job;
 pub mod queue;

@@ -9,7 +9,10 @@
 //! Environment: `ILT_SERVE_ADDR`, `ILT_SERVE_QUEUE` (queue depth, default
 //! 64), `ILT_SERVE_WORKERS` (job workers, default 1), `ILT_WORKERS`
 //! (tile threads per job, default 1), `ILT_TRACE`, `ILT_FAULTS`
-//! (deterministic fault-injection profile for drills, see `ilt-fault`).
+//! (deterministic fault-injection profile for drills, see `ilt-fault`),
+//! `ILT_OBS_RING` (flight-recorder capacity per shard, or `off`),
+//! `ILT_SLO` / `ILT_SLO_WINDOWS` (burn-rate objectives, see
+//! `ilt_telemetry::slo`).
 
 use ilt_serve::ServeConfig;
 
@@ -19,6 +22,7 @@ fn main() {
     if !ilt_telemetry::init_from_env() && std::env::var("ILT_TRACE").is_err() {
         ilt_telemetry::set_enabled(true);
     }
+    ilt_telemetry::flight::init_from_env();
     ilt_fault::configure_from_env();
     let config = ServeConfig::from_env();
     let handle = match ilt_serve::start(config.clone()) {

@@ -20,19 +20,31 @@ use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use ilt_fault::points;
 use ilt_grid::BitGrid;
 use ilt_layout::generate_clip;
 use ilt_telemetry as tele;
+use ilt_telemetry::slo::{SloConfig, SloEngine};
 use ilt_tile::{Partition, TileExecutor};
 
 use crate::cache::SessionCache;
+use crate::debug::{self, JobDebug};
 use crate::http::{Request, Response};
-use crate::job::{CaseSource, JobMetrics, JobOutcome, JobRecord, JobSpec, JobStatus, MaskSummary};
+use crate::job::{
+    method_name, CaseSource, JobMetrics, JobOutcome, JobRecord, JobSpec, JobStatus, MaskSummary,
+};
 use crate::queue::{JobQueue, PushError, RETRY_AFTER_SECONDS};
+
+/// The process-wide SLO burn-rate engine, configured from `ILT_SLO` /
+/// `ILT_SLO_WINDOWS` on first use and fed by every job completion.
+static SLO: OnceLock<SloEngine> = OnceLock::new();
+
+fn slo_engine() -> &'static SloEngine {
+    SLO.get_or_init(|| SloEngine::new(SloConfig::from_env()))
+}
 
 /// Idle keep-alive connections are dropped after this long, which also
 /// bounds how long a connection thread can outlive the server.
@@ -128,7 +140,10 @@ fn env_usize(var: &str, fallback: usize) -> usize {
     }
 }
 
-/// A job plus the timing state the registry tracks alongside it.
+/// A job plus the timing state the registry tracks alongside it. The
+/// job's trace id lives on the record itself (`record.trace`), assigned
+/// at admission so even a job that never reaches a worker is addressable
+/// in `/debug/jobs/{id}/trace`.
 #[derive(Debug)]
 struct Tracked {
     record: JobRecord,
@@ -363,18 +378,100 @@ fn route(shared: &Shared, request: &Request) -> Response {
     tele::counter_add("serve.http.requests", 1);
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => health(shared),
-        ("GET", "/metrics") => Response::text(200, tele::snapshot().to_prometheus()),
+        ("GET", "/metrics") => metrics(),
         ("POST", "/v1/jobs") => submit(shared, &request.body),
         ("POST", "/admin/shutdown") => {
             initiate_drain(shared);
             Response::json(200, "{\"status\":\"draining\"}".to_string())
         }
         ("GET", path) if path.starts_with("/v1/jobs/") => job_status(shared, path),
-        (_, "/healthz" | "/metrics" | "/v1/jobs" | "/admin/shutdown") => {
-            Response::error(405, "method not allowed")
-        }
+        ("GET", "/debug/queue") => debug_queue(shared),
+        ("GET", "/debug/caches") => debug_caches(),
+        ("GET", "/debug/slo") => Response::json(200, slo_engine().to_json()),
+        ("GET", path) if path.starts_with("/debug/jobs/") => debug_job_trace(shared, path),
+        (
+            _,
+            "/healthz" | "/metrics" | "/v1/jobs" | "/admin/shutdown" | "/debug/queue"
+            | "/debug/caches" | "/debug/slo",
+        ) => Response::error(405, "method not allowed"),
         _ => Response::error(404, "no such resource"),
     }
+}
+
+/// `GET /metrics`: the telemetry snapshot (counters, gauges, histogram
+/// summaries) plus the SLO burn-rate series and the flight recorder's
+/// drop counter.
+fn metrics() -> Response {
+    let mut body = tele::snapshot().to_prometheus();
+    body.push_str(&slo_engine().to_prometheus());
+    body.push_str(&debug::obs_prometheus());
+    Response::text(200, body)
+}
+
+/// `GET /debug/queue`: one short registry lock to excerpt the job list,
+/// then render outside it.
+fn debug_queue(shared: &Shared) -> Response {
+    const MAX_JOBS_LISTED: usize = 64;
+    let jobs: Vec<JobDebug> = {
+        let jobs = shared.lock_jobs();
+        jobs.iter()
+            .rev()
+            .take(MAX_JOBS_LISTED)
+            .map(|t| JobDebug {
+                id: t.record.id,
+                trace: t.record.trace,
+                status: t.record.status.name(),
+                target: t.record.spec.target_label(),
+                method: method_name(t.record.spec.method),
+                age_ms: t.enqueued.elapsed().as_millis() as u64,
+            })
+            .collect()
+    };
+    Response::json(
+        200,
+        debug::render_queue(
+            shared.queue.len(),
+            shared.queue.depth(),
+            shared.draining.load(Ordering::SeqCst),
+            &jobs,
+        ),
+    )
+}
+
+/// `GET /debug/caches`: process-wide cache sizes plus hit/miss counters.
+fn debug_caches() -> Response {
+    let snapshot = tele::snapshot();
+    Response::json(
+        200,
+        debug::render_caches(
+            ilt_litho::cached_bank_count(),
+            ilt_fft::cached_plan_count(),
+            &snapshot.counters,
+            &snapshot.gauges,
+        ),
+    )
+}
+
+/// `GET /debug/jobs/{id}/trace`: the job's span tree from the flight
+/// recorder. Works for finished and in-flight jobs (an in-flight job
+/// shows the spans closed so far).
+fn debug_job_trace(shared: &Shared, path: &str) -> Response {
+    let raw = &path["/debug/jobs/".len()..];
+    let Some(raw_id) = raw.strip_suffix("/trace") else {
+        return Response::error(404, "no such resource");
+    };
+    let Ok(id) = raw_id.parse::<u64>() else {
+        return Response::error(400, "job ids are decimal integers");
+    };
+    let Some((trace, status)) = shared.with_job(id, |t| (t.record.trace, t.record.status.name()))
+    else {
+        return Response::error(404, "no such job");
+    };
+    // Flush this connection thread's buffer only; worker threads flush at
+    // the end of every job, so finished jobs are fully visible.
+    tele::flush_thread();
+    let spans = tele::flight::trace_spans(trace);
+    Response::json(200, debug::render_job_trace(id, trace, status, &spans))
 }
 
 fn health(shared: &Shared) -> Response {
@@ -420,6 +517,7 @@ fn submit(shared: &Shared, body: &[u8]) -> Response {
         jobs.push(Tracked {
             record: JobRecord {
                 id,
+                trace: tele::next_trace_id().0,
                 spec: spec.clone(),
                 status: JobStatus::Queued,
             },
@@ -437,6 +535,7 @@ fn submit(shared: &Shared, body: &[u8]) -> Response {
     match pushed {
         Ok(position) => {
             tele::counter_add("serve.jobs.accepted", 1);
+            tele::gauge_set("serve.queue.depth", shared.queue.len() as f64);
             Response::json(
                 202,
                 format!("{{\"id\":\"{id}\",\"status\":\"queued\",\"position\":{position}}}"),
@@ -477,14 +576,40 @@ fn worker_loop(shared: &Shared) {
 }
 
 fn run_job(shared: &Shared, cache: &mut SessionCache, executor: &TileExecutor, id: u64) {
-    let Some((spec, enqueued, deadline)) = shared.with_job(id, |t| {
+    let Some((spec, trace, enqueued, deadline)) = shared.with_job(id, |t| {
         t.record.status = JobStatus::Running;
-        (t.record.spec.clone(), t.enqueued, t.deadline)
+        (
+            t.record.spec.clone(),
+            t.record.trace,
+            t.enqueued,
+            t.deadline,
+        )
     }) else {
         return; // Submission lost the registry race; nothing to run.
     };
+    let picked_up = Instant::now();
     let queue_seconds = enqueued.elapsed().as_secs_f64();
     tele::record_value("serve.job.queue_us", (queue_seconds * 1e6) as u64);
+    tele::gauge_set("serve.queue.depth", shared.queue.len() as f64);
+    tele::gauge_add("serve.jobs.in_flight", 1.0);
+    // The admission-assigned trace flows from here through the session,
+    // the tile executor's workers, and the solver loops below; declared
+    // before the job span so the span closes (and records) while the
+    // trace is still in scope.
+    let _trace_scope = tele::trace_scope(Some(tele::TraceId(trace)));
+    let mut job_span = tele::span(tele::names::SERVE_JOB);
+    job_span.add_field("job", id);
+    job_span.add_field("target", spec.target_label());
+    job_span.add_field("method", method_name(spec.method));
+    job_span.add_field("scale", spec.scale.as_str());
+    // Backfill the wait as a queue span, so the trace tree shows queue
+    // time next to solve time.
+    tele::record_span_at(
+        tele::names::QUEUE,
+        enqueued,
+        picked_up,
+        vec![("job", tele::FieldValue::U64(id))],
+    );
     let finish = |status: JobStatus| {
         tele::counter_add(
             match status {
@@ -493,6 +618,14 @@ fn run_job(shared: &Shared, cache: &mut SessionCache, executor: &TileExecutor, i
             },
             1,
         );
+        let failed = !matches!(status, JobStatus::Done(_));
+        let degraded = matches!(&status, JobStatus::Done(o) if o.tiles_degraded > 0);
+        slo_engine().observe_job(
+            (enqueued.elapsed().as_secs_f64() * 1e6) as u64,
+            failed,
+            degraded,
+        );
+        tele::gauge_add("serve.jobs.in_flight", -1.0);
         shared.with_job(id, |t| t.record.status = status);
     };
     if deadline.is_some_and(|d| Instant::now() > d) {

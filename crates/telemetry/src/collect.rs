@@ -5,7 +5,7 @@
 //! exit) and once per [`drain`].
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -19,6 +19,10 @@ pub struct SpanEvent {
     pub id: u64,
     /// Parent span id, if the span had an enclosing span on its thread.
     pub parent: Option<u64>,
+    /// Trace id attributing the span to one job/case/request (see
+    /// [`crate::trace_scope`]); `0` only for events predating trace
+    /// support in serialized traces — live spans always carry one.
+    pub trace: u64,
     /// Span name (one of [`crate::names`] for workspace spans).
     pub name: &'static str,
     /// Structured key/value fields.
@@ -45,13 +49,15 @@ impl SpanEvent {
 }
 
 /// Everything one [`drain`] call collected: completed spans plus merged
-/// counters and histograms.
+/// counters, gauges, and histograms.
 #[derive(Debug, Clone, Default)]
 pub struct Telemetry {
     /// Completed spans, ordered by start time.
     pub events: Vec<SpanEvent>,
     /// Merged named counters.
     pub counters: BTreeMap<String, u64>,
+    /// Last-written named gauges (see [`crate::gauge_set`]).
+    pub gauges: BTreeMap<String, f64>,
     /// Merged named histograms.
     pub histograms: BTreeMap<String, Histogram>,
 }
@@ -59,7 +65,10 @@ pub struct Telemetry {
 impl Telemetry {
     /// Returns `true` if nothing was collected.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty() && self.counters.is_empty() && self.histograms.is_empty()
+        self.events.is_empty()
+            && self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
     }
 
     /// The number of completed spans with the given name.
@@ -78,6 +87,17 @@ struct Sink {
 static SINK: Mutex<Option<Sink>> = Mutex::new(None);
 static THREAD_SEQ: AtomicU64 = AtomicU64::new(0);
 
+/// One trace's accumulated counter totals: `(trace, name -> total)`.
+type TraceCounterEntry = (u64, BTreeMap<String, u64>);
+
+/// Per-trace counter totals, so `/debug/jobs/{id}/trace` can say "this
+/// job bumped `flow.tiles_degraded` once" without a process-wide diff.
+/// Bounded drop-oldest by trace, like the flight recorder.
+static TRACE_COUNTERS: Mutex<Option<VecDeque<TraceCounterEntry>>> = Mutex::new(None);
+
+/// Maximum distinct traces retained in the per-trace counter registry.
+const TRACE_COUNTER_TRACES: usize = 256;
+
 pub(crate) struct LocalBuf {
     pub thread: u64,
     /// Stack of open span ids (innermost last); adopted parents from
@@ -85,6 +105,9 @@ pub(crate) struct LocalBuf {
     pub stack: Vec<u64>,
     pub events: Vec<SpanEvent>,
     pub counters: HashMap<&'static str, u64>,
+    /// Counter increments attributed to an ambient trace, keyed
+    /// `(trace, name)`.
+    pub trace_counters: HashMap<(u64, &'static str), u64>,
     pub histograms: HashMap<&'static str, Histogram>,
 }
 
@@ -95,11 +118,29 @@ impl LocalBuf {
             stack: Vec::new(),
             events: Vec::new(),
             counters: HashMap::new(),
+            trace_counters: HashMap::new(),
             histograms: HashMap::new(),
         }
     }
 
     fn flush(&mut self) {
+        if !self.trace_counters.is_empty() {
+            let mut guard = TRACE_COUNTERS.lock().unwrap_or_else(|e| e.into_inner());
+            let registry = guard.get_or_insert_with(VecDeque::new);
+            for ((trace, name), v) in self.trace_counters.drain() {
+                let idx = match registry.iter().position(|(t, _)| *t == trace) {
+                    Some(idx) => idx,
+                    None => {
+                        while registry.len() >= TRACE_COUNTER_TRACES {
+                            registry.pop_front();
+                        }
+                        registry.push_back((trace, BTreeMap::new()));
+                        registry.len() - 1
+                    }
+                };
+                *registry[idx].1.entry(name.to_string()).or_insert(0) += v;
+            }
+        }
         if self.events.is_empty() && self.counters.is_empty() && self.histograms.is_empty() {
             return;
         }
@@ -151,6 +192,19 @@ pub(crate) fn sink_event(event: SpanEvent) {
     sink.get_or_insert_with(Sink::default).events.push(event);
 }
 
+/// Counter totals attributed to `trace` across all flushed threads (see
+/// [`crate::counter_add`]; attribution requires an ambient trace and
+/// enabled collection). Returns an empty map for unknown traces.
+pub fn trace_counters(trace: u64) -> BTreeMap<String, u64> {
+    let _ = with_local(LocalBuf::flush);
+    let guard = TRACE_COUNTERS.lock().unwrap_or_else(|e| e.into_inner());
+    guard
+        .as_ref()
+        .and_then(|registry| registry.iter().find(|(t, _)| *t == trace))
+        .map(|(_, counters)| counters.clone())
+        .unwrap_or_default()
+}
+
 /// A non-destructive copy of everything flushed so far: the calling
 /// thread's buffer plus the global sink. Unlike [`drain`], the sink keeps
 /// its contents, so long-lived processes (the `ilt-serve` `/metrics`
@@ -159,14 +213,21 @@ pub(crate) fn sink_event(event: SpanEvent) {
 /// visible until those threads flush (see [`flush_thread`]).
 pub fn snapshot() -> Telemetry {
     let _ = with_local(LocalBuf::flush);
+    let gauges = crate::metrics::gauges_snapshot();
     let guard = SINK.lock().unwrap_or_else(|e| e.into_inner());
     let mut t = match guard.as_ref() {
         Some(sink) => Telemetry {
             events: sink.events.clone(),
             counters: sink.counters.clone(),
+            gauges,
             histograms: sink.histograms.clone(),
         },
-        None => return Telemetry::default(),
+        None => {
+            return Telemetry {
+                gauges,
+                ..Telemetry::default()
+            }
+        }
     };
     drop(guard);
     t.events.sort_by_key(|e| (e.start_ns, e.id));
@@ -176,17 +237,26 @@ pub fn snapshot() -> Telemetry {
 /// Takes everything collected so far: the calling thread's buffer plus the
 /// global sink (which worker threads flushed into when they exited). Call
 /// from the thread that drove the work, after its worker threads joined.
+/// Gauges are taken too (the registry is cleared), so back-to-back runs in
+/// one process start clean.
 pub fn drain() -> Telemetry {
     let _ = with_local(LocalBuf::flush);
+    let gauges = crate::metrics::gauges_take();
     let mut guard = SINK.lock().unwrap_or_else(|e| e.into_inner());
     let sink = match guard.take() {
         Some(sink) => sink,
-        None => return Telemetry::default(),
+        None => {
+            return Telemetry {
+                gauges,
+                ..Telemetry::default()
+            }
+        }
     };
     drop(guard);
     let mut t = Telemetry {
         events: sink.events,
         counters: sink.counters,
+        gauges,
         histograms: sink.histograms,
     };
     t.events.sort_by_key(|e| (e.start_ns, e.id));

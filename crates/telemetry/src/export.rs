@@ -112,6 +112,8 @@ fn push_event_json(out: &mut String, e: &SpanEvent) {
         }
         None => out.push_str("null"),
     }
+    out.push_str(",\"trace\":");
+    let _ = write!(out, "{}", e.trace);
     out.push_str(",\"name\":");
     json::push_str_literal(out, e.name);
     out.push_str(",\"thread\":");
@@ -138,6 +140,12 @@ impl Telemetry {
         if !self.counters.is_empty() {
             out.push_str("counters:\n");
             for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name} = {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, v) in &self.gauges {
                 let _ = writeln!(out, "  {name} = {v}");
             }
         }
@@ -172,6 +180,14 @@ impl Telemetry {
             out.push_str("{\"type\":\"counter\",\"name\":");
             json::push_str_literal(&mut out, name);
             let _ = write!(out, ",\"value\":{v}}}");
+            out.push('\n');
+        }
+        for (name, v) in &self.gauges {
+            out.push_str("{\"type\":\"gauge\",\"name\":");
+            json::push_str_literal(&mut out, name);
+            out.push_str(",\"value\":");
+            json::push_f64(&mut out, *v);
+            out.push('}');
             out.push('\n');
         }
         for (name, h) in &self.histograms {
@@ -217,6 +233,11 @@ impl Telemetry {
             let _ = writeln!(out, "# TYPE {m}_total counter");
             let _ = writeln!(out, "{m}_total {v}");
         }
+        for (name, v) in &self.gauges {
+            let m = metric_name(name);
+            let _ = writeln!(out, "# TYPE {m} gauge");
+            let _ = writeln!(out, "{m} {v}");
+        }
         for (name, h) in &self.histograms {
             let m = metric_name(name);
             let _ = writeln!(out, "# TYPE {m} summary");
@@ -261,10 +282,7 @@ impl Telemetry {
 
     /// Serialises the span tree as nested JSON (used inside `report.json`).
     pub fn span_tree_json(&self) -> String {
-        let tree = index_tree(&self.events);
-        let mut out = String::new();
-        push_subtree_json(&mut out, &self.events, &tree, &tree.roots);
-        out
+        span_forest_json(&self.events)
     }
 
     /// Derives per-flow summaries from the span tree: every `flow` span
@@ -335,6 +353,18 @@ fn render_node(out: &mut String, events: &[SpanEvent], tree: &TreeIndex, i: usiz
     }
 }
 
+/// Serialises any span slice as a nested JSON forest — the same shape as
+/// [`Telemetry::span_tree_json`], usable over flight-recorder snapshots
+/// (the `/debug/jobs/{id}/trace` endpoint) without building a
+/// [`Telemetry`]. Events whose parent is absent from `events` become
+/// roots; events should be sorted by `(start_ns, id)` for stable order.
+pub fn span_forest_json(events: &[SpanEvent]) -> String {
+    let tree = index_tree(events);
+    let mut out = String::new();
+    push_subtree_json(&mut out, events, &tree, &tree.roots);
+    out
+}
+
 fn push_subtree_json(out: &mut String, events: &[SpanEvent], tree: &TreeIndex, nodes: &[usize]) {
     out.push('[');
     for (n, &i) in nodes.iter().enumerate() {
@@ -344,6 +374,7 @@ fn push_subtree_json(out: &mut String, events: &[SpanEvent], tree: &TreeIndex, n
         let e = &events[i];
         out.push_str("{\"name\":");
         json::push_str_literal(out, e.name);
+        let _ = write!(out, ",\"id\":{},\"trace\":{}", e.id, e.trace);
         let _ = write!(out, ",\"thread\":{},\"seconds\":", e.thread);
         json::push_f64(out, e.seconds());
         out.push_str(",\"fields\":");
@@ -365,6 +396,106 @@ struct StageAcc {
     tile_seconds: f64,
     assembly_seconds: f64,
     tile_us: Histogram,
+}
+
+/// Per-stage latency-budget attribution over a run: where the wall time
+/// went, split along the axes the serving and scale-out work tune
+/// (admission, kernel setup, which grid level, stitching).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LatencyBudget {
+    /// Time jobs spent queued before a worker picked them up, from the
+    /// `serve.job.queue_us` histogram (0 outside server mode).
+    pub queue_wait_s: f64,
+    /// Time inside `build` spans (litho kernel-bank and inspection-system
+    /// construction).
+    pub kernel_build_s: f64,
+    /// Tile-solve seconds under stages labelled `coarse*`.
+    pub coarse_tiles_s: f64,
+    /// Tile-solve seconds under stages labelled `fine*`.
+    pub fine_tiles_s: f64,
+    /// Tile-solve seconds under stages labelled `refine*`.
+    pub refine_tiles_s: f64,
+    /// Tile-solve seconds under stages with any other label.
+    pub other_tiles_s: f64,
+    /// Sequential assembly seconds across all stages.
+    pub assembly_s: f64,
+    /// Flow wall seconds across all flow spans.
+    pub flow_total_s: f64,
+}
+
+impl LatencyBudget {
+    /// Flow wall time not attributed to tiles or assembly (per-stage
+    /// orchestration, partitioning, restriction/prolongation, ...).
+    pub fn unattributed_s(&self) -> f64 {
+        (self.flow_total_s
+            - self.coarse_tiles_s
+            - self.fine_tiles_s
+            - self.refine_tiles_s
+            - self.other_tiles_s
+            - self.assembly_s)
+            .max(0.0)
+    }
+
+    /// JSON object rendering (the `latency_budget` section of
+    /// `ilt-report/v2`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (key, v)) in [
+            ("queue_wait_s", self.queue_wait_s),
+            ("kernel_build_s", self.kernel_build_s),
+            ("coarse_tiles_s", self.coarse_tiles_s),
+            ("fine_tiles_s", self.fine_tiles_s),
+            ("refine_tiles_s", self.refine_tiles_s),
+            ("other_tiles_s", self.other_tiles_s),
+            ("assembly_s", self.assembly_s),
+            ("unattributed_s", self.unattributed_s()),
+            ("flow_total_s", self.flow_total_s),
+        ]
+        .iter()
+        .enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{key}\":");
+            json::push_f64(&mut out, *v);
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl Telemetry {
+    /// Derives the [`LatencyBudget`] from the snapshot's spans and the
+    /// `serve.job.queue_us` histogram.
+    pub fn latency_budget(&self) -> LatencyBudget {
+        let mut budget = LatencyBudget::default();
+        if let Some(h) = self.histograms.get("serve.job.queue_us") {
+            budget.queue_wait_s = h.sum() as f64 / 1e6;
+        }
+        for e in &self.events {
+            if e.name == names::BUILD {
+                budget.kernel_build_s += e.seconds();
+            }
+        }
+        for flow in self.flow_summaries() {
+            budget.flow_total_s += flow.seconds;
+            for stage in &flow.stages {
+                let bucket = if stage.label.starts_with("coarse") {
+                    &mut budget.coarse_tiles_s
+                } else if stage.label.starts_with("fine") {
+                    &mut budget.fine_tiles_s
+                } else if stage.label.starts_with("refine") {
+                    &mut budget.refine_tiles_s
+                } else {
+                    &mut budget.other_tiles_s
+                };
+                *bucket += stage.tile_seconds;
+                budget.assembly_s += stage.assembly_seconds;
+            }
+        }
+        budget
+    }
 }
 
 fn sum_descendants(events: &[SpanEvent], tree: &TreeIndex, i: usize, acc: &mut StageAcc) {

@@ -21,15 +21,25 @@
 //!   [`flush_thread`], automatically when a [`ParentScope`] drops, or at
 //!   thread exit as a backstop; [`drain`] takes the merged [`Telemetry`]
 //!   snapshot.
+//! * Every span carries a **trace id** attributing it to one job, bench
+//!   case, or request: install one with [`trace_scope`] (an ambient
+//!   thread-local, same pattern as `ilt_fault::deadline`), carry it to
+//!   workers with [`current_trace`], and spans opened with neither a
+//!   parent nor an ambient trace mint their own.
 //!
 //! ## Gating
 //!
-//! Collection is off by default. [`init_from_env`] enables it when
-//! `ILT_TRACE` is set to `1`/`true`/`on`; when disabled, every entry point
-//! is a no-op behind a single relaxed atomic load and allocates nothing.
-//! [`SpanGuard`]s still measure wall time when disabled (an `Instant` is a
-//! plain value), so flows can derive their stage timings from the same
-//! guards unconditionally.
+//! Spans are **always on**: every closed span lands in the bounded
+//! [`flight`] recorder (drop-oldest ring, a few thousand recent spans), so
+//! live introspection — `ilt-serve`'s `/debug/jobs/{id}/trace` — works
+//! without restarting with tracing enabled. The `ILT_TRACE` flag
+//! ([`init_from_env`]/[`set_enabled`]) gates the *unbounded* collection:
+//! whether spans also reach the drainable sink, and whether counters,
+//! gauges, and histograms record at all. When disabled those entry points
+//! are no-ops behind a single relaxed atomic load, and [`drain`] stays
+//! empty. [`SpanGuard`]s measure wall time regardless (an `Instant` is a
+//! plain value), so flows derive their stage timings from the same guards
+//! unconditionally.
 //!
 //! ## Example
 //!
@@ -54,14 +64,20 @@
 
 mod collect;
 mod export;
+pub mod flight;
 pub mod json;
 mod metrics;
+pub mod slo;
 mod span;
+mod trace;
 
-pub use collect::{drain, flush_thread, snapshot, SpanEvent, Telemetry};
-pub use export::{FlowSummary, StageSummary};
-pub use metrics::{counter_add, record_value, Histogram};
-pub use span::{current_span, parent_scope, span, FieldValue, ParentScope, SpanGuard, SpanRef};
+pub use collect::{drain, flush_thread, snapshot, trace_counters, SpanEvent, Telemetry};
+pub use export::{span_forest_json, FlowSummary, LatencyBudget, StageSummary};
+pub use metrics::{counter_add, gauge_add, gauge_set, record_value, Histogram};
+pub use span::{
+    current_span, parent_scope, record_span_at, span, FieldValue, ParentScope, SpanGuard, SpanRef,
+};
+pub use trace::{current_trace, new_trace_scope, next_trace_id, trace_scope, TraceId, TraceScope};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
@@ -95,6 +111,19 @@ pub mod names {
     /// solve failed every retry (fields `flow`, `stage`, `tile`, `error`).
     /// Recorded as a zero-length span by `ilt-diag`.
     pub const DEGRADED: &str = "degraded";
+    /// One serve job's execution, from worker pickup to completion
+    /// (fields `job`, `target`, `method`, `scale`). The root of the job's
+    /// trace; `queue` and `session` spans nest underneath.
+    pub const SERVE_JOB: &str = "serve.job";
+    /// Time a serve job spent queued before a worker picked it up
+    /// (field `job`). Backfilled with [`crate::record_span_at`].
+    pub const QUEUE: &str = "queue";
+    /// One `Session::run_method` invocation (field `method`): the
+    /// cache-amortised solve a serve job or bench case runs.
+    pub const SESSION: &str = "session";
+    /// Expensive one-off construction: litho kernel-bank or
+    /// inspection-system builds (field `what`).
+    pub const BUILD: &str = "build";
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);

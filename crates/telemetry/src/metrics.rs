@@ -1,16 +1,69 @@
-//! Counters and log-bucketed histograms.
+//! Counters, gauges, and log-bucketed histograms.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 use crate::collect::with_local;
-use crate::enabled;
+use crate::{enabled, trace};
 
 /// Adds `delta` to the named counter. No-op (one relaxed atomic load) when
 /// telemetry is disabled; otherwise touches only the thread-local buffer.
+/// When an ambient trace is in scope ([`crate::trace_scope`]), the
+/// increment is additionally attributed to that trace (see
+/// [`crate::trace_counters`]).
 #[inline]
 pub fn counter_add(name: &'static str, delta: u64) {
     if !enabled() {
         return;
     }
-    with_local(|l| *l.counters.entry(name).or_insert(0) += delta);
+    with_local(|l| {
+        *l.counters.entry(name).or_insert(0) += delta;
+        let trace = trace::current_raw();
+        if trace != 0 {
+            *l.trace_counters.entry((trace, name)).or_insert(0) += delta;
+        }
+    });
+}
+
+/// Last-written-wins gauges. Unlike counters they represent *current*
+/// state (queue depth, in-flight jobs), so they live in one small global
+/// registry rather than per-thread buffers: writers are rare (admission
+/// and completion paths, not solver loops) and readers want the latest
+/// value, not a merge.
+static GAUGES: Mutex<BTreeMap<&'static str, f64>> = Mutex::new(BTreeMap::new());
+
+/// Sets the named gauge to `value`. No-op when telemetry is disabled.
+pub fn gauge_set(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    let mut gauges = GAUGES.lock().unwrap_or_else(|e| e.into_inner());
+    gauges.insert(name, value);
+}
+
+/// Adds `delta` (may be negative) to the named gauge, creating it at `0`.
+/// No-op when telemetry is disabled.
+pub fn gauge_add(name: &'static str, delta: f64) {
+    if !enabled() {
+        return;
+    }
+    let mut gauges = GAUGES.lock().unwrap_or_else(|e| e.into_inner());
+    *gauges.entry(name).or_insert(0.0) += delta;
+}
+
+/// Current gauge values (copied; the registry keeps them).
+pub(crate) fn gauges_snapshot() -> BTreeMap<String, f64> {
+    let gauges = GAUGES.lock().unwrap_or_else(|e| e.into_inner());
+    gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+}
+
+/// Current gauge values, clearing the registry (for [`crate::drain`]).
+pub(crate) fn gauges_take() -> BTreeMap<String, f64> {
+    let mut gauges = GAUGES.lock().unwrap_or_else(|e| e.into_inner());
+    std::mem::take(&mut *gauges)
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect()
 }
 
 /// Records `value` into the named histogram. No-op when disabled.

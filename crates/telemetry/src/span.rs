@@ -1,11 +1,12 @@
-//! RAII spans and cross-thread parent propagation.
+//! RAII spans, trace attribution, and cross-thread parent propagation.
 
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::collect::{self, SpanEvent};
-use crate::{enabled, epoch};
+use crate::trace::{self, TraceId};
+use crate::{enabled, epoch, flight};
 
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
 
@@ -90,13 +91,18 @@ pub struct SpanRef(pub(crate) u64);
 struct Rec {
     id: u64,
     parent: Option<u64>,
+    trace: u64,
+    /// This span is a process root that allocated its own trace id; clear
+    /// the ambient slot (back to "none") when the span closes.
+    owns_trace: bool,
     name: &'static str,
     fields: Vec<(&'static str, FieldValue)>,
 }
 
 /// An open span. Records a [`SpanEvent`] when dropped (or via
-/// [`SpanGuard::end`]); always measures wall time, even when telemetry is
-/// disabled, so callers can reuse the guard as a stopwatch.
+/// [`SpanGuard::end`]); always measures wall time, and since the
+/// flight recorder is always on, always records — the `ILT_TRACE` flag
+/// only decides whether the event additionally reaches the drainable sink.
 pub struct SpanGuard {
     start: Instant,
     rec: Option<Rec>,
@@ -106,17 +112,12 @@ pub struct SpanGuard {
 }
 
 /// Opens a span named `name` under the innermost open span of the current
-/// thread. When telemetry is disabled this allocates nothing and performs a
-/// single relaxed atomic load (plus the `Instant` read).
+/// thread, attributed to the ambient trace ([`crate::trace_scope`]). A
+/// span with neither a parent nor an ambient trace is a process root and
+/// allocates a fresh trace id for its subtree, so every recorded span
+/// carries a non-zero trace id.
 pub fn span(name: &'static str) -> SpanGuard {
     let start = Instant::now();
-    if !enabled() {
-        return SpanGuard {
-            start,
-            rec: None,
-            _not_send: PhantomData,
-        };
-    }
     let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
     let parent = collect::with_local(|l| {
         let parent = l.stack.last().copied();
@@ -124,11 +125,22 @@ pub fn span(name: &'static str) -> SpanGuard {
         parent
     })
     .flatten();
+    let mut trace_id = trace::current_raw();
+    let mut owns_trace = false;
+    if trace_id == 0 && parent.is_none() {
+        trace_id = trace::next_trace_id().0;
+        // Installed without a guard object: the span clears the slot back
+        // to "no trace" (what held before it opened) when it closes.
+        trace::set_raw(trace_id);
+        owns_trace = true;
+    }
     SpanGuard {
         start,
         rec: Some(Rec {
             id,
             parent,
+            trace: trace_id,
+            owns_trace,
             name,
             fields: Vec::new(),
         }),
@@ -144,16 +156,24 @@ impl SpanGuard {
         self.start.elapsed().as_secs_f64()
     }
 
-    /// Attaches a structured field (no-op when the span is not recording).
+    /// Attaches a structured field.
     pub fn add_field(&mut self, key: &'static str, value: impl Into<FieldValue>) {
         if let Some(rec) = &mut self.rec {
             rec.fields.push((key, value.into()));
         }
     }
 
-    /// A reference to this span for cross-thread propagation, if recording.
+    /// A reference to this span for cross-thread propagation.
     pub fn span_ref(&self) -> Option<SpanRef> {
         self.rec.as_ref().map(|r| SpanRef(r.id))
+    }
+
+    /// The trace id this span is attributed to.
+    pub fn trace_id(&self) -> Option<TraceId> {
+        match self.rec.as_ref().map(|r| r.trace) {
+            Some(t) if t != 0 => Some(TraceId(t)),
+            _ => None,
+        }
     }
 
     /// Closes the span now and returns its duration in seconds. The
@@ -167,6 +187,11 @@ impl SpanGuard {
 
     fn record(&mut self, dur: Duration) {
         let Some(rec) = self.rec.take() else { return };
+        if rec.owns_trace {
+            // Restore "no ambient trace", which is what held before this
+            // root span opened.
+            trace::set_raw(0);
+        }
         let start_ns = self
             .start
             .checked_duration_since(epoch())
@@ -177,28 +202,37 @@ impl SpanGuard {
             if let Some(pos) = l.stack.iter().rposition(|&x| x == rec.id) {
                 l.stack.truncate(pos);
             }
-            let thread = l.thread;
-            l.events.push(SpanEvent {
+            let event = SpanEvent {
                 id: rec.id,
                 parent: rec.parent,
+                trace: rec.trace,
                 name: rec.name,
                 fields: rec.fields,
                 start_ns,
                 dur_ns: dur.as_nanos() as u64,
-                thread,
-            });
+                thread: l.thread,
+            };
+            flight::record(&event);
+            if enabled() {
+                l.events.push(event);
+            }
         });
         if recorded.is_none() {
             if let Some(rec) = rec {
-                collect::sink_event(SpanEvent {
+                let event = SpanEvent {
                     id: rec.id,
                     parent: rec.parent,
+                    trace: rec.trace,
                     name: rec.name,
                     fields: rec.fields,
                     start_ns,
                     dur_ns: dur.as_nanos() as u64,
                     thread: u64::MAX,
-                });
+                };
+                flight::record(&event);
+                if enabled() {
+                    collect::sink_event(event);
+                }
             }
         }
     }
@@ -221,11 +255,47 @@ impl std::fmt::Debug for SpanGuard {
     }
 }
 
+/// Records a span for an interval that already happened (`start..end`),
+/// without having held a guard over it. The span is attributed to the
+/// current thread's innermost open span and ambient trace at the *call*
+/// site — `ilt-serve` uses this to backfill a `queue` span under the job
+/// root once a worker picks the job up.
+pub fn record_span_at(
+    name: &'static str,
+    start: Instant,
+    end: Instant,
+    fields: Vec<(&'static str, FieldValue)>,
+) {
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = collect::with_local(|l| l.stack.last().copied()).flatten();
+    let start_ns = start
+        .checked_duration_since(epoch())
+        .map_or(0, |d| d.as_nanos() as u64);
+    let dur_ns = end
+        .checked_duration_since(start)
+        .map_or(0, |d| d.as_nanos() as u64);
+    let thread = collect::with_local(|l| l.thread).unwrap_or(u64::MAX);
+    let event = SpanEvent {
+        id,
+        parent,
+        trace: trace::current_raw(),
+        name,
+        fields,
+        start_ns,
+        dur_ns,
+        thread,
+    };
+    flight::record(&event);
+    if enabled() {
+        let pushed = collect::with_local(|l| l.events.push(event.clone()));
+        if pushed.is_none() {
+            collect::sink_event(event);
+        }
+    }
+}
+
 /// The innermost open span on the current thread, if any.
 pub fn current_span() -> Option<SpanRef> {
-    if !enabled() {
-        return None;
-    }
     collect::with_local(|l| l.stack.last().copied())
         .flatten()
         .map(SpanRef)
@@ -236,11 +306,11 @@ pub fn current_span() -> Option<SpanRef> {
 /// to the span that was active where the jobs were submitted.
 pub fn parent_scope(parent: Option<SpanRef>) -> ParentScope {
     let id = match parent {
-        Some(p) if enabled() => {
+        Some(p) => {
             collect::with_local(|l| l.stack.push(p.0));
             Some(p.0)
         }
-        _ => None,
+        None => None,
     };
     ParentScope {
         id,

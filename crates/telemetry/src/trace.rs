@@ -1,0 +1,136 @@
+//! Ambient per-thread trace ids.
+//!
+//! A trace id names one unit of attribution — one serve job, one bench
+//! case, one HTTP request — and every span recorded while the id is in
+//! scope carries it, so the flight recorder can reassemble a single job's
+//! span tree even when concurrent jobs interleave on shared worker
+//! threads. The mechanism mirrors `ilt_fault::deadline`: a thread-local
+//! set with an RAII [`trace_scope`], re-applied by the tile executor on
+//! its worker threads next to the adopted span parent and deadline.
+//!
+//! Spans opened with *no* ambient trace and no parent (process roots)
+//! allocate a fresh trace id for their subtree, so every recorded span has
+//! a non-zero trace id.
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-unique trace id. Never zero (zero is the "no trace" sentinel in
+/// the thread-local slot and on the wire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u64);
+
+static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CURRENT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Allocates a fresh process-unique trace id (does not install it; pair
+/// with [`trace_scope`]).
+pub fn next_trace_id() -> TraceId {
+    TraceId(NEXT_TRACE.fetch_add(1, Ordering::Relaxed))
+}
+
+/// The trace id currently in scope on this thread, if any.
+#[inline]
+pub fn current_trace() -> Option<TraceId> {
+    match CURRENT.with(Cell::get) {
+        0 => None,
+        id => Some(TraceId(id)),
+    }
+}
+
+/// Raw accessor for the span layer: `0` means "no trace".
+#[inline]
+pub(crate) fn current_raw() -> u64 {
+    CURRENT.with(Cell::get)
+}
+
+/// Raw setter for the span layer's root-span auto-trace (which installs a
+/// fresh id when a root opens and clears it when the root closes, without
+/// a guard object).
+#[inline]
+pub(crate) fn set_raw(id: u64) {
+    CURRENT.with(|cell| cell.set(id));
+}
+
+/// Installs `trace` (or clears it with `None`) as the calling thread's
+/// ambient trace until the returned guard drops. Scopes nest; the
+/// innermost wins. Worker pools re-apply the submitting thread's trace
+/// with this, exactly like `ilt_fault::deadline::scope`.
+#[must_use = "the trace id is restored when the scope guard drops"]
+pub fn trace_scope(trace: Option<TraceId>) -> TraceScope {
+    let previous = CURRENT.with(|cell| cell.replace(trace.map_or(0, |t| t.0)));
+    TraceScope {
+        previous,
+        _not_send: PhantomData,
+    }
+}
+
+/// Guard restoring the thread's previous ambient trace (see
+/// [`trace_scope`]).
+#[derive(Debug)]
+pub struct TraceScope {
+    previous: u64,
+    /// Must drop on the installing thread (thread-local slot).
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        CURRENT.with(|cell| cell.set(self.previous));
+    }
+}
+
+/// Installs (and returns) a freshly allocated trace id in one call — the
+/// common "start a new job here" entry point.
+#[must_use = "the trace id is restored when the scope guard drops"]
+pub fn new_trace_scope() -> (TraceId, TraceScope) {
+    let id = next_trace_id();
+    (id, trace_scope(Some(id)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_trace_by_default() {
+        assert_eq!(current_trace(), None);
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert_ne!(a, b);
+        {
+            let _outer = trace_scope(Some(a));
+            assert_eq!(current_trace(), Some(a));
+            {
+                let _inner = trace_scope(Some(b));
+                assert_eq!(current_trace(), Some(b));
+                {
+                    let _cleared = trace_scope(None);
+                    assert_eq!(current_trace(), None);
+                }
+                assert_eq!(current_trace(), Some(b));
+            }
+            assert_eq!(current_trace(), Some(a));
+        }
+        assert_eq!(current_trace(), None);
+    }
+
+    #[test]
+    fn traces_are_thread_local() {
+        let (id, _scope) = new_trace_scope();
+        std::thread::spawn(|| {
+            assert_eq!(current_trace(), None);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(current_trace(), Some(id));
+    }
+}

@@ -26,15 +26,20 @@ fn disabled_spans_record_nothing_but_still_time() {
     tele::set_enabled(false);
     let mut s = tele::span("unit.disabled");
     s.add_field("k", 1u64);
-    assert!(s.span_ref().is_none());
+    // Spans are always on (the flight recorder needs ids and the stack),
+    // but the drainable sink stays empty while collection is disabled.
+    assert!(s.span_ref().is_some());
+    assert!(s.trace_id().is_some(), "root spans mint a trace id");
     let secs = s.end();
     assert!(secs >= 0.0);
     tele::counter_add("unit.disabled_counter", 5);
     tele::record_value("unit.disabled_hist", 5);
+    tele::gauge_set("unit.disabled_gauge", 1.0);
     let t = tele::drain();
     assert_eq!(t.span_count("unit.disabled"), 0);
     assert!(!t.counters.contains_key("unit.disabled_counter"));
     assert!(!t.histograms.contains_key("unit.disabled_hist"));
+    assert!(!t.gauges.contains_key("unit.disabled_gauge"));
 }
 
 #[test]
@@ -249,4 +254,230 @@ fn prometheus_exposition_shape() {
         assert!(value.parse::<f64>().is_ok(), "unparsable sample: {line}");
         assert!(parts.next().unwrap().starts_with("ilt_"));
     }
+}
+
+#[test]
+fn spans_carry_the_ambient_trace_and_roots_mint_their_own() {
+    let ((), t) = with_tracing(|| {
+        let (id, _scope) = tele::new_trace_scope();
+        let outer = tele::span("unit.traced_outer");
+        assert_eq!(outer.trace_id(), Some(id));
+        let inner = tele::span("unit.traced_inner");
+        assert_eq!(inner.trace_id(), Some(id));
+        drop(inner);
+        drop(outer);
+        drop(_scope);
+        // No ambient trace: a root span mints a fresh id, children
+        // inherit it, and the slot is cleared once the root closes.
+        let root = tele::span("unit.minted_root");
+        let minted = root.trace_id().expect("root minted a trace");
+        assert_ne!(minted, id);
+        assert_eq!(tele::current_trace(), Some(minted));
+        let child = tele::span("unit.minted_child");
+        assert_eq!(child.trace_id(), Some(minted));
+        drop(child);
+        drop(root);
+        assert_eq!(tele::current_trace(), None);
+    });
+    let outer = t
+        .events
+        .iter()
+        .find(|e| e.name == "unit.traced_outer")
+        .unwrap();
+    let inner = t
+        .events
+        .iter()
+        .find(|e| e.name == "unit.traced_inner")
+        .unwrap();
+    let root = t
+        .events
+        .iter()
+        .find(|e| e.name == "unit.minted_root")
+        .unwrap();
+    let child = t
+        .events
+        .iter()
+        .find(|e| e.name == "unit.minted_child")
+        .unwrap();
+    assert_eq!(outer.trace, inner.trace);
+    assert_eq!(root.trace, child.trace);
+    assert_ne!(outer.trace, root.trace);
+    assert!(
+        t.events.iter().all(|e| e.trace != 0),
+        "no unattributed span"
+    );
+}
+
+#[test]
+fn trace_crosses_threads_via_trace_scope() {
+    let ((), t) = with_tracing(|| {
+        let (id, _scope) = tele::new_trace_scope();
+        let flow = tele::span("unit.cross_flow");
+        let parent = flow.span_ref();
+        let trace = tele::current_trace();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                let _adopted = tele::parent_scope(parent);
+                let _trace = tele::trace_scope(trace);
+                let worker = tele::span("unit.cross_worker");
+                assert_eq!(worker.trace_id(), Some(id));
+            });
+        });
+    });
+    let flow = t
+        .events
+        .iter()
+        .find(|e| e.name == "unit.cross_flow")
+        .unwrap();
+    let worker = t
+        .events
+        .iter()
+        .find(|e| e.name == "unit.cross_worker")
+        .unwrap();
+    assert_eq!(worker.parent, Some(flow.id));
+    assert_eq!(worker.trace, flow.trace);
+    assert_ne!(worker.thread, flow.thread);
+}
+
+#[test]
+fn flight_recorder_keeps_spans_without_ilt_trace() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = tele::drain();
+    tele::set_enabled(false);
+    let (id, scope) = tele::new_trace_scope();
+    let root = tele::span("unit.flight_root");
+    drop(tele::span("unit.flight_child"));
+    drop(root);
+    drop(scope);
+    assert!(
+        tele::drain().is_empty(),
+        "sink must stay empty when disabled"
+    );
+    let spans = tele::flight::trace_spans(id.0);
+    let names: Vec<&str> = spans.iter().map(|e| e.name).collect();
+    assert!(names.contains(&"unit.flight_root"), "{names:?}");
+    assert!(names.contains(&"unit.flight_child"), "{names:?}");
+    assert!(spans.iter().all(|e| e.trace == id.0));
+}
+
+#[test]
+fn flight_recorder_overflow_drops_oldest_and_counts() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = tele::drain();
+    tele::set_enabled(false);
+    let before_cap = tele::flight::capacity();
+    tele::flight::set_capacity(16);
+    let dropped_before = tele::flight::spans_dropped();
+    let (id, _scope) = tele::new_trace_scope();
+    for _ in 0..100 {
+        drop(tele::span("unit.flight_overflow"));
+    }
+    // All 100 spans came from this thread, so they share one shard of
+    // capacity 16: memory stayed bounded and the rest were evicted.
+    let kept = tele::flight::trace_spans(id.0).len();
+    assert!(kept <= 16, "ring kept {kept} spans over capacity");
+    assert!(kept > 0, "ring kept the newest spans");
+    let dropped = tele::flight::spans_dropped() - dropped_before;
+    assert!(dropped >= 100 - 16, "only {dropped} drops counted");
+    tele::flight::set_capacity(before_cap);
+}
+
+#[test]
+fn record_span_at_backfills_under_the_current_span() {
+    let ((), t) = with_tracing(|| {
+        let (_id, _scope) = tele::new_trace_scope();
+        let start = std::time::Instant::now();
+        let _job = tele::span("unit.backfill_job");
+        let end = std::time::Instant::now();
+        tele::record_span_at(
+            "unit.backfill_queue",
+            start,
+            end,
+            vec![("job", tele::FieldValue::U64(7))],
+        );
+    });
+    let job = t
+        .events
+        .iter()
+        .find(|e| e.name == "unit.backfill_job")
+        .unwrap();
+    let queue = t
+        .events
+        .iter()
+        .find(|e| e.name == "unit.backfill_queue")
+        .unwrap();
+    assert_eq!(queue.parent, Some(job.id));
+    assert_eq!(queue.trace, job.trace);
+    assert_eq!(queue.field("job").and_then(|v| v.as_u64()), Some(7));
+}
+
+#[test]
+fn gauges_snapshot_export_and_drain() {
+    let ((), t) = with_tracing(|| {
+        tele::gauge_set("unit.gauge_depth", 3.0);
+        tele::gauge_add("unit.gauge_inflight", 2.0);
+        tele::gauge_add("unit.gauge_inflight", -1.0);
+        let snap = tele::snapshot();
+        assert_eq!(snap.gauges["unit.gauge_depth"], 3.0);
+        assert_eq!(snap.gauges["unit.gauge_inflight"], 1.0);
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("# TYPE ilt_unit_gauge_depth gauge"), "{prom}");
+        assert!(prom.contains("ilt_unit_gauge_depth 3"), "{prom}");
+        let jsonl = snap.to_jsonl();
+        assert!(jsonl.contains("{\"type\":\"gauge\",\"name\":\"unit.gauge_depth\",\"value\":3"));
+    });
+    assert_eq!(t.gauges["unit.gauge_depth"], 3.0);
+    // drain() took the registry with it.
+    assert!(tele::snapshot().gauges.is_empty());
+}
+
+#[test]
+fn counters_attribute_to_the_ambient_trace() {
+    let ((a, b), _t) = with_tracing(|| {
+        let (a, scope_a) = tele::new_trace_scope();
+        tele::counter_add("unit.trace_counter", 2);
+        drop(scope_a);
+        let (b, scope_b) = tele::new_trace_scope();
+        tele::counter_add("unit.trace_counter", 5);
+        drop(scope_b);
+        (a, b)
+    });
+    assert_eq!(tele::trace_counters(a.0)["unit.trace_counter"], 2);
+    assert_eq!(tele::trace_counters(b.0)["unit.trace_counter"], 5);
+    assert!(tele::trace_counters(u64::MAX).is_empty());
+}
+
+#[test]
+fn latency_budget_attributes_stage_classes() {
+    let ((), t) = with_tracing(|| {
+        let mut build = tele::span(tele::names::BUILD);
+        build.add_field("what", "kernel_bank");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        drop(build);
+        let mut flow = tele::span(tele::names::FLOW);
+        flow.add_field("name", "unit-budget");
+        for label in ["coarse", "fine stage 1", "refine color 0", "exotic"] {
+            let mut stage = tele::span(tele::names::STAGE);
+            stage.add_field("label", label);
+            {
+                let mut tile = tele::span(tele::names::TILE);
+                tile.add_field("tile", 0u64);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            let _assembly = tele::span(tele::names::ASSEMBLY);
+        }
+        tele::record_value("serve.job.queue_us", 2_000_000);
+    });
+    let budget = t.latency_budget();
+    assert!(budget.kernel_build_s > 0.0);
+    assert!(budget.coarse_tiles_s > 0.0);
+    assert!(budget.fine_tiles_s > 0.0);
+    assert!(budget.refine_tiles_s > 0.0);
+    assert!(budget.other_tiles_s > 0.0);
+    assert!(budget.flow_total_s > 0.0);
+    assert!((budget.queue_wait_s - 2.0).abs() < 1e-9);
+    assert!(budget.unattributed_s() >= 0.0);
+    let json = budget.to_json();
+    assert!(json.starts_with("{\"queue_wait_s\":"), "{json}");
+    assert!(json.contains("\"flow_total_s\":"), "{json}");
 }

@@ -181,9 +181,12 @@ impl TileExecutor {
             return (0..count).map(|i| traced_job(&job, i, 0)).collect();
         }
         // Capture the caller's active span so per-job spans recorded on
-        // worker threads attach to it instead of becoming roots, and the
-        // caller's ambient deadline so jobs keep honouring it off-thread.
+        // worker threads attach to it instead of becoming roots, the
+        // caller's ambient trace so those spans stay attributable to the
+        // job/request that submitted them, and the caller's ambient
+        // deadline so jobs keep honouring it off-thread.
         let parent = tele::current_span();
+        let trace = tele::current_trace();
         let deadline = fault::deadline::current();
         let next = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
@@ -199,6 +202,7 @@ impl TileExecutor {
                 let job = &job;
                 scope.spawn(move || {
                     let _adopted = tele::parent_scope(parent);
+                    let _trace = tele::trace_scope(trace);
                     let _deadline = fault::deadline::scope(deadline);
                     loop {
                         if stop.load(Ordering::Relaxed) {
@@ -497,5 +501,12 @@ mod tests {
         let _scope = ilt_fault::deadline::scope(Some(deadline));
         let seen = TileExecutor::new(4).run(8, |_| ilt_fault::deadline::current());
         assert!(seen.iter().all(|d| *d == Some(deadline)));
+    }
+
+    #[test]
+    fn trace_propagates_to_worker_threads() {
+        let (id, _scope) = tele::new_trace_scope();
+        let seen = TileExecutor::new(4).run(8, |_| tele::current_trace());
+        assert!(seen.iter().all(|t| *t == Some(id)), "{seen:?}");
     }
 }
