@@ -22,6 +22,9 @@
 //!   `baseline * F + slack` (default 1.10);
 //! * `--quality-slack F` — absolute slack added to every quality bound
 //!   (default 0.5), so near-zero baselines don't fail on noise;
+//! * `--max-rss-ratio F` — fail when the candidate's `memory.peak_rss_bytes`
+//!   exceeds `baseline * F` (default 1.10); skipped when either report
+//!   lacks the memory section;
 //! * `--ignore-latency` — skip the latency comparison entirely (useful
 //!   across machines of different speed).
 
@@ -48,7 +51,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: report_diff <baseline.json> <candidate.json> \
                  [--max-latency-ratio F] [--max-quality-ratio F] \
-                 [--quality-slack F] [--ignore-latency]"
+                 [--quality-slack F] [--max-rss-ratio F] [--ignore-latency]"
             );
             ExitCode::from(2)
         }
@@ -64,6 +67,7 @@ fn run(args: &[String]) -> Result<Vec<ilt_diag::Regression>, String> {
             "--max-latency-ratio" => thresholds.max_latency_ratio = ratio_arg(arg, it.next())?,
             "--max-quality-ratio" => thresholds.max_quality_ratio = ratio_arg(arg, it.next())?,
             "--quality-slack" => thresholds.quality_slack = ratio_arg(arg, it.next())?,
+            "--max-rss-ratio" => thresholds.max_rss_ratio = ratio_arg(arg, it.next())?,
             "--ignore-latency" => thresholds.check_latency = false,
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             path => paths.push(path.to_string()),

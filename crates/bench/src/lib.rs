@@ -304,8 +304,11 @@ where
 /// vs kernel build vs tile classes vs assembly), the diagnostics section
 /// (convergence matrix, quality matrix, anomalies), and the nested span
 /// tree. v2 is a strict superset of v1: every v1 field is unchanged, and
-/// the `gauges`/`latency_budget` sections are optional for report
-/// consumers (`report_diff` skips sections absent from either side).
+/// the `gauges`/`latency_budget`/`profile`/`memory` sections are optional
+/// for report consumers (`report_diff` skips sections absent from either
+/// side). `profile` appears only when the `ilt-prof` CPU sampler collected
+/// anything this run; `memory` appears whenever RSS is readable
+/// (`/proc/self/status`) or allocation tracking is on.
 fn render_report(
     binary: &str,
     opts: &HarnessOptions,
@@ -396,7 +399,10 @@ fn render_report(
         out.push(':');
         json::push_f64(&mut out, *v);
     }
-    out.push_str("},\"latency_budget\":");
+    out.push('}');
+    push_profile_section(&mut out);
+    push_memory_section(&mut out);
+    out.push_str(",\"latency_budget\":");
     out.push_str(&tele.latency_budget().to_json());
     out.push_str(",\"diagnostics\":");
     out.push_str(&ilt_diag::render_diagnostics_json(diag, anomalies));
@@ -404,6 +410,80 @@ fn render_report(
     out.push_str(&tele.span_tree_json());
     out.push('}');
     out
+}
+
+/// Appends the optional `profile` report section: CPU-sampler state, the
+/// top self-time frames, and the per-stage sample split. Skipped entirely
+/// when the sampler neither ran nor collected anything, so reports from
+/// unprofiled runs keep the pre-profiling shape.
+fn push_profile_section(out: &mut String) {
+    use ilt_telemetry::json;
+    let (samples, ticks) = ilt_prof::cpu::sample_counts();
+    if samples == 0 && !ilt_prof::sampler_running() {
+        return;
+    }
+    out.push_str(",\"profile\":{\"sampler_hz\":");
+    json::push_f64(out, ilt_prof::sampler_hz());
+    let _ = write!(out, ",\"samples\":{samples},\"ticks\":{ticks}");
+    out.push_str(",\"top_self\":[");
+    for (i, (frame, n)) in ilt_prof::cpu::top_self(20).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"frame\":");
+        json::push_str_literal(out, frame);
+        let _ = write!(out, ",\"samples\":{n}}}");
+    }
+    out.push_str("],\"samples_per_stage\":{");
+    for (i, (stage, n)) in ilt_prof::cpu::samples_per_stage().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::push_str_literal(out, stage);
+        let _ = write!(out, ":{n}");
+    }
+    out.push_str("}}");
+}
+
+/// Appends the optional `memory` report section: current/peak RSS (the
+/// field the `report_diff` `--max-rss-ratio` gate reads) plus, when the
+/// tracking allocator is on, global and per-stage allocation counters.
+fn push_memory_section(out: &mut String) {
+    use ilt_telemetry::json;
+    let rss = ilt_prof::rss::read();
+    let alloc = ilt_prof::alloc::stats();
+    if rss.is_none() && !alloc.enabled {
+        return;
+    }
+    out.push_str(",\"memory\":{");
+    let (current, peak) = rss.map_or((0, 0), |r| (r.current_bytes, r.peak_bytes));
+    let _ = write!(
+        out,
+        "\"current_rss_bytes\":{current},\"peak_rss_bytes\":{peak}"
+    );
+    if alloc.enabled {
+        let _ = write!(
+            out,
+            ",\"alloc\":{{\"allocated_bytes\":{},\"allocation_calls\":{},\
+             \"freed_bytes\":{},\"free_calls\":{},\"live_bytes\":{},\
+             \"peak_live_bytes\":{},\"stages\":{{",
+            alloc.allocated_bytes,
+            alloc.allocation_calls,
+            alloc.freed_bytes,
+            alloc.free_calls,
+            alloc.live_bytes,
+            alloc.peak_live_bytes
+        );
+        for (i, s) in alloc.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_str_literal(out, s.stage.name());
+            let _ = write!(out, ":{{\"bytes\":{},\"calls\":{}}}", s.bytes, s.calls);
+        }
+        out.push_str("}}");
+    }
+    out.push('}');
 }
 
 /// Formats a fixed-width table row for terminal output.
@@ -506,6 +586,66 @@ mod tests {
             );
         }
         assert!(json.get("gauges").is_some(), "gauges section present");
+        // On Linux the RSS reader always has something to say, so every
+        // report carries the memory section the RSS regression gate reads.
+        #[cfg(target_os = "linux")]
+        {
+            let memory = json.get("memory").expect("memory section");
+            assert!(
+                memory
+                    .get("peak_rss_bytes")
+                    .and_then(|v| v.as_f64())
+                    .is_some_and(|v| v > 0.0),
+                "peak_rss_bytes is a positive number"
+            );
+        }
+    }
+
+    #[test]
+    fn profile_section_renders_after_a_sample() {
+        ilt_telemetry::set_enabled(true);
+        ilt_telemetry::flight::set_recording(true);
+        {
+            let mut flow = ilt_telemetry::span(ilt_telemetry::names::FLOW);
+            flow.add_field("name", "profile shape test");
+            ilt_prof::sample_now();
+        }
+        let opts = HarnessOptions {
+            config: ExperimentConfig::test_tiny(),
+            scale: "tiny".to_string(),
+            cases: 1,
+            workers: 1,
+            inner_threads: 1,
+            out_dir: PathBuf::from("results"),
+        };
+        let report = render_report(
+            "smoke",
+            &opts,
+            &Telemetry::default(),
+            false,
+            &ilt_diag::RunDiagnostics::default(),
+            &[],
+        );
+        let json = ilt_diag::Json::parse(&report).expect("report parses");
+        let profile = json.get("profile").expect("profile section");
+        assert!(
+            profile
+                .get("samples")
+                .and_then(|v| v.as_u64())
+                .is_some_and(|v| v > 0),
+            "sample recorded"
+        );
+        assert!(
+            profile
+                .get("top_self")
+                .and_then(|v| v.as_arr())
+                .is_some_and(|a| !a.is_empty()),
+            "top_self has the sampled frame"
+        );
+        assert!(
+            profile.get("samples_per_stage").is_some(),
+            "samples_per_stage present"
+        );
     }
 
     #[test]

@@ -94,7 +94,9 @@ pub fn inspect_detailed(
     target: &BitGrid,
     mask: &RealGrid,
 ) -> Result<(ilt_metrics::MaskQuality, StitchReport), CoreError> {
-    // Manufactured masks are binary; inspect the binarised mask.
+    // Manufactured masks are binary; inspect the binarised mask. The
+    // whole-clip print and metric pass bills to the inspect stage.
+    let _stage = ilt_prof::stage_scope(ilt_prof::Stage::Inspect);
     let binary = mask.threshold(0.5);
     let quality = mask_quality(inspection, &binary.to_real(), target)?;
     let report = stitch_loss(&binary, lines, &config.stitch);

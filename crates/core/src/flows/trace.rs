@@ -28,13 +28,22 @@ pub(crate) fn flow_span(name: &str) -> tele::SpanGuard {
 pub(crate) struct StageGuard {
     label: String,
     span: tele::SpanGuard,
+    /// Profiling stage tag derived from the label: while the guard is
+    /// alive, allocations on this thread (and on executor workers, which
+    /// inherit the tag) bill to the matching `ilt-prof` stage bucket.
+    stage_tag: ilt_prof::StageScope,
 }
 
 /// Opens a `stage` span labelled `label`.
 pub(crate) fn stage(label: String) -> StageGuard {
     let mut span = tele::span(tele::names::STAGE);
     span.add_field("label", label.clone());
-    StageGuard { label, span }
+    let stage_tag = ilt_prof::stage_scope(ilt_prof::Stage::from_label(&label));
+    StageGuard {
+        label,
+        span,
+        stage_tag,
+    }
 }
 
 impl StageGuard {
@@ -49,8 +58,14 @@ impl StageGuard {
         solved: Vec<(T, f64)>,
         apply: impl FnOnce(Vec<T>) -> Result<R, E>,
     ) -> Result<(R, StageTiming), E> {
-        let StageGuard { label, span } = self;
+        let StageGuard {
+            label,
+            span,
+            stage_tag,
+        } = self;
+        drop(stage_tag);
         let (payloads, times): (Vec<_>, Vec<_>) = solved.into_iter().unzip();
+        let _assembly_tag = ilt_prof::stage_scope(ilt_prof::Stage::Assembly);
         let asm = tele::span(tele::names::ASSEMBLY);
         let out = apply(payloads)?;
         let assembly_seconds = asm.end();

@@ -49,6 +49,9 @@ impl Session {
     /// [`ExperimentConfig::validate`]).
     pub fn new(config: ExperimentConfig) -> Result<Self, CoreError> {
         config.validate();
+        // Construction costs (TCC eigendecomposition, kernel resampling,
+        // FFT plan setup) bill to the kernel-build profiling stage.
+        let _stage = ilt_prof::stage_scope(ilt_prof::Stage::KernelBuild);
         let bank = ilt_litho::shared_bank(&config.optics, config.resist)?;
         // The inspection-system resample is the other construction cost a
         // cold session pays; the `build` span makes it visible in the

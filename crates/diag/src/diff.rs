@@ -16,6 +16,10 @@ pub struct DiffThresholds {
     /// jump on a near-clean baseline can be tolerated when loose gating is
     /// wanted.
     pub quality_slack: f64,
+    /// Peak RSS (`memory.peak_rss_bytes`) may grow by at most this factor.
+    /// Only gates when both reports carry the section, so memory gating
+    /// activates the moment a baseline is re-seeded with one.
+    pub max_rss_ratio: f64,
     /// Compare latency at all (off for cross-machine comparisons).
     pub check_latency: bool,
 }
@@ -26,6 +30,7 @@ impl Default for DiffThresholds {
             max_latency_ratio: 2.0,
             max_quality_ratio: 1.10,
             quality_slack: 0.5,
+            max_rss_ratio: 1.10,
             check_latency: true,
         }
     }
@@ -117,6 +122,16 @@ fn tiles_degraded(report: &Json) -> u64 {
         .map_or(0, |v| v.max(0.0) as u64)
 }
 
+/// Peak RSS from the optional v2 `memory` section (`None` for reports
+/// written before the profiling layer, or on platforms without
+/// `/proc/self/status`).
+fn peak_rss_bytes(report: &Json) -> Option<f64> {
+    report
+        .path(&["memory", "peak_rss_bytes"])
+        .and_then(Json::as_f64)
+        .filter(|v| *v > 0.0)
+}
+
 /// Compares a candidate report against a baseline.
 ///
 /// Latency gates on per-flow wall seconds (ratio, with a 5 ms floor on the
@@ -125,7 +140,8 @@ fn tiles_degraded(report: &Json) -> u64 {
 /// `candidate > baseline * max_quality_ratio + quality_slack` is a
 /// regression, as is a (case, method) or flow present in the baseline but
 /// missing from the candidate. A baseline without diagnostics skips
-/// quality gating.
+/// quality gating. Peak RSS gates on the optional `memory.peak_rss_bytes`
+/// field when both reports carry it.
 ///
 /// # Errors
 ///
@@ -174,6 +190,20 @@ pub fn compare_reports(
             baseline: base_degraded as f64,
             candidate: cand_degraded as f64,
         });
+    }
+
+    // Memory is gated like latency: a ratio over the baseline peak RSS.
+    // Skipped unless both sides carry the section (old baselines, non-Linux
+    // candidates) so the rule never fires on schema evolution alone.
+    if let (Some(base_rss), Some(cand_rss)) = (peak_rss_bytes(baseline), peak_rss_bytes(candidate))
+    {
+        if cand_rss > base_rss * thresholds.max_rss_ratio {
+            regressions.push(Regression {
+                what: "peak_rss_bytes".to_string(),
+                baseline: base_rss,
+                candidate: cand_rss,
+            });
+        }
     }
 
     let cand_quality = quality_summaries(candidate);
@@ -384,6 +414,75 @@ mod tests {
         assert!(compare_reports(&base, &cand, &DiffThresholds::default())
             .unwrap()
             .is_empty());
+    }
+
+    fn report_with_rss(peak_rss_bytes: u64) -> Json {
+        Json::parse(&format!(
+            r#"{{"schema":"ilt-report/v2","flows":[{{"name":"ours:pgd","seconds":1.0}}],
+                 "memory":{{"peak_rss_bytes":{peak_rss_bytes},"current_rss_bytes":1000}}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn peak_rss_growth_beyond_the_ratio_is_a_regression() {
+        let base = report_with_rss(100_000_000);
+        // Within the default 10% budget: fine.
+        let ok = compare_reports(
+            &base,
+            &report_with_rss(109_000_000),
+            &DiffThresholds::default(),
+        );
+        assert!(ok.unwrap().is_empty());
+        // Shrinking is an improvement, never a regression.
+        let smaller = compare_reports(
+            &base,
+            &report_with_rss(50_000_000),
+            &DiffThresholds::default(),
+        );
+        assert!(smaller.unwrap().is_empty());
+        let found = compare_reports(
+            &base,
+            &report_with_rss(120_000_000),
+            &DiffThresholds::default(),
+        )
+        .unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].what, "peak_rss_bytes");
+        assert_eq!(found[0].baseline, 100_000_000.0);
+        assert_eq!(found[0].candidate, 120_000_000.0);
+        // A looser ratio tolerates the same candidate.
+        let loose = DiffThresholds {
+            max_rss_ratio: 1.5,
+            ..DiffThresholds::default()
+        };
+        assert!(
+            compare_reports(&base, &report_with_rss(120_000_000), &loose)
+                .unwrap()
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn missing_memory_section_skips_rss_gating() {
+        // Old baseline, new candidate (and vice versa): no regression from
+        // the section appearing or disappearing.
+        let plain = report(1.0, 2.0);
+        let with_rss = report_with_rss(900_000_000_000);
+        for (a, b) in [(&plain, &with_rss), (&with_rss, &plain)] {
+            assert!(compare_reports(a, b, &DiffThresholds::default())
+                .unwrap()
+                .iter()
+                .all(|r| r.what != "peak_rss_bytes"));
+        }
+        // A zero peak (platform without /proc/self/status) is treated as
+        // absent, not as an infinitely-regressable baseline.
+        let zero = report_with_rss(0);
+        assert!(
+            compare_reports(&zero, &report_with_rss(1), &DiffThresholds::default())
+                .unwrap()
+                .is_empty()
+        );
     }
 
     #[test]

@@ -47,6 +47,21 @@ pub fn cached_plan_count() -> usize {
         .unwrap_or(0)
 }
 
+/// Estimated resident bytes of all cached plans (sum of
+/// [`FftPlan::estimated_bytes`]; diagnostics only).
+pub fn cached_plan_bytes() -> u64 {
+    PLANS
+        .get()
+        .map(|c| {
+            c.lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .values()
+                .map(|plan| plan.estimated_bytes())
+                .sum()
+        })
+        .unwrap_or(0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,6 +73,9 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(a.len(), 64);
         assert!(cached_plan_count() >= 1);
+        // rev: 64 u32s; twiddles: 32 complex values.
+        assert_eq!(a.estimated_bytes(), 64 * 4 + 32 * 16);
+        assert!(cached_plan_bytes() >= a.estimated_bytes());
     }
 
     #[test]

@@ -46,7 +46,7 @@ mod fft2d;
 mod plan;
 pub mod spectral;
 
-pub use cache::{cached_plan_count, shared_plan};
+pub use cache::{cached_plan_bytes, cached_plan_count, shared_plan};
 pub use complex::Complex;
 pub use dft::{dft2_reference, dft_reference};
 pub use error::FftError;

@@ -97,6 +97,14 @@ impl FftPlan {
         self.len == 0
     }
 
+    /// Estimated resident bytes of this plan's tables (bit-reversal
+    /// indices + twiddle factors). Used by cache introspection
+    /// (`/debug/caches`).
+    pub fn estimated_bytes(&self) -> u64 {
+        (self.rev.len() * std::mem::size_of::<u32>()
+            + self.twiddles.len() * std::mem::size_of::<Complex>()) as u64
+    }
+
     /// In-place forward FFT.
     ///
     /// # Errors

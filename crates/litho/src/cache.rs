@@ -105,6 +105,21 @@ pub fn cached_bank_count() -> usize {
         .unwrap_or(0)
 }
 
+/// Estimated resident bytes of all cached banks (sum of
+/// [`LithoBank::estimated_bytes`]; diagnostics only).
+pub fn cached_bank_bytes() -> u64 {
+    BANKS
+        .get()
+        .map(|c| {
+            c.lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .values()
+                .map(|bank| bank.estimated_bytes())
+                .sum()
+        })
+        .unwrap_or(0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +131,12 @@ mod tests {
         let b = shared_bank(&config, ResistModel::m1_default()).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         assert!(cached_bank_count() >= 1);
+        // Spectra dominate: kernels x support^2 complex values each for
+        // the nominal and defocused sets.
+        let per_set = (a.config().kernel_count * a.config().base_n.pow(2) * 16) as u64;
+        assert!(cached_bank_bytes() >= a.estimated_bytes());
+        assert!(a.estimated_bytes() <= 2 * per_set);
+        assert!(a.estimated_bytes() > 0);
     }
 
     #[test]

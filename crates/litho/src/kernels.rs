@@ -218,6 +218,16 @@ impl KernelSet {
         self.scale
     }
 
+    /// Estimated resident bytes of this set's kernel spectra (the
+    /// `support x support` complex tables dominate; per-kernel headers are
+    /// ignored). Used by cache introspection (`/debug/caches`).
+    pub fn estimated_bytes(&self) -> u64 {
+        self.kernels
+            .iter()
+            .map(|k| (k.spectrum.len() * std::mem::size_of::<Complex>()) as u64)
+            .sum()
+    }
+
     /// Iterates over the kernels, largest weight first.
     pub fn iter(&self) -> std::slice::Iter<'_, Kernel> {
         self.kernels.iter()

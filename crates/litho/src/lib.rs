@@ -41,7 +41,7 @@ mod resist;
 mod sim;
 mod system;
 
-pub use cache::{cached_bank_count, shared_bank};
+pub use cache::{cached_bank_bytes, cached_bank_count, shared_bank};
 pub use error::LithoError;
 pub use kernels::{Kernel, KernelSet};
 pub use optics::{OpticsConfig, SourcePoint};

@@ -63,17 +63,30 @@ impl ResistModel {
         aerial.map(|&i| u8::from(i * dose >= self.threshold))
     }
 
+    /// Sigmoid-relaxed wafer value `Z = sigmoid(k (I - th))` at one
+    /// intensity. The scalar form of [`ResistModel::sigmoid`], for
+    /// allocation-free per-pixel loops.
+    #[inline]
+    pub fn sigmoid_at(&self, intensity: f64) -> f64 {
+        logistic(self.steepness * (intensity - self.threshold))
+    }
+
+    /// Derivative `dZ/dI = k Z (1 - Z)` at one intensity (scalar form of
+    /// [`ResistModel::sigmoid_derivative`]).
+    #[inline]
+    pub fn sigmoid_derivative_at(&self, intensity: f64) -> f64 {
+        let z = self.sigmoid_at(intensity);
+        self.steepness * z * (1.0 - z)
+    }
+
     /// Sigmoid-relaxed wafer image `Z = sigmoid(k (I - th))`.
     pub fn sigmoid(&self, aerial: &RealGrid) -> RealGrid {
-        aerial.map(|&i| logistic(self.steepness * (i - self.threshold)))
+        aerial.map(|&i| self.sigmoid_at(i))
     }
 
     /// Derivative `dZ/dI = k Z (1 - Z)` evaluated from the aerial image.
     pub fn sigmoid_derivative(&self, aerial: &RealGrid) -> RealGrid {
-        aerial.map(|&i| {
-            let z = logistic(self.steepness * (i - self.threshold));
-            self.steepness * z * (1.0 - z)
-        })
+        aerial.map(|&i| self.sigmoid_derivative_at(i))
     }
 }
 

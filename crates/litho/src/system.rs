@@ -65,6 +65,12 @@ impl LithoBank {
         &self.resist
     }
 
+    /// Estimated resident bytes of this bank (nominal + defocused kernel
+    /// spectra; see [`KernelSet::estimated_bytes`]).
+    pub fn estimated_bytes(&self) -> u64 {
+        self.nominal.estimated_bytes() + self.defocused.estimated_bytes()
+    }
+
     /// Creates a [`LithoSystem`] for a grid of `n x n` pixels covering a
     /// physical region `scale` times larger than the base grid (Eq. (3):
     /// the kernels are resampled at bins `j/scale`).

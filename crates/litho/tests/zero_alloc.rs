@@ -4,42 +4,49 @@
 //!
 //! Uses a counting `#[global_allocator]` with a thread-local counter so
 //! allocations from unrelated runtime threads cannot pollute the
-//! measurement. Single test, own binary: a global allocator is
+//! measurement. The counter delegates through [`ilt_prof::TrackingAlloc`]
+//! rather than `System` directly, so the profiling allocator's per-stage
+//! counters watch the identical allocation stream and must agree with the
+//! test's own count. Single test, own binary: a global allocator is
 //! process-wide state.
 
-use std::alloc::{GlobalAlloc, Layout, System};
+use std::alloc::{GlobalAlloc, Layout};
 use std::cell::Cell;
 
 use ilt_grid::Grid;
 use ilt_litho::{KernelSet, LithoSimulator, OpticsConfig};
 use ilt_par::InnerPool;
+use ilt_prof::Stage;
 
 thread_local! {
     static ALLOCS: Cell<u64> = const { Cell::new(0) };
 }
 
+static TRACKING: ilt_prof::TrackingAlloc = ilt_prof::TrackingAlloc::new();
+
 struct CountingAlloc;
 
-// SAFETY: defers every operation to `System`; the bookkeeping only touches
-// a thread-local counter (via `try_with`, so TLS teardown is safe).
+// SAFETY: defers every operation to the tracking allocator (which defers
+// to `System`); the bookkeeping only touches a thread-local counter (via
+// `try_with`, so TLS teardown is safe).
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
-        unsafe { System.alloc(layout) }
+        unsafe { TRACKING.alloc(layout) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
-        unsafe { System.alloc_zeroed(layout) }
+        unsafe { TRACKING.alloc_zeroed(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
-        unsafe { System.realloc(ptr, layout, new_size) }
+        unsafe { TRACKING.realloc(ptr, layout, new_size) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) }
+        unsafe { TRACKING.dealloc(ptr, layout) }
     }
 }
 
@@ -71,16 +78,31 @@ fn steady_state_simulate_gradient_is_allocation_free() {
     sim.simulate_into(&mask, &mut ws).unwrap();
     sim.gradient_into(&mut ws, &dldi).unwrap();
 
-    let before = allocations_on_this_thread();
-    for _ in 0..3 {
-        sim.simulate_into(&mask, &mut ws).unwrap();
-        sim.gradient_into(&mut ws, &dldi).unwrap();
-    }
-    let after = allocations_on_this_thread();
+    // Watch the steady-state window with the tracking allocator too: only
+    // this thread wears the stage tag, so its per-stage counter sees
+    // exactly the events the thread-local counter sees — both must be 0.
+    ilt_prof::alloc::set_enabled(true);
+    let (delta, tracked_delta) = {
+        let _tag = ilt_prof::stage_scope(Stage::Fine);
+        let before = allocations_on_this_thread();
+        let tracked_before = ilt_prof::alloc::stats().stages[Stage::Fine as usize].calls;
+        for _ in 0..3 {
+            sim.simulate_into(&mask, &mut ws).unwrap();
+            sim.gradient_into(&mut ws, &dldi).unwrap();
+        }
+        (
+            allocations_on_this_thread() - before,
+            ilt_prof::alloc::stats().stages[Stage::Fine as usize].calls - tracked_before,
+        )
+    };
+    ilt_prof::alloc::set_enabled(false);
     assert_eq!(
-        after - before,
-        0,
+        delta, 0,
         "steady-state simulate/gradient iterations must not allocate"
+    );
+    assert_eq!(
+        tracked_delta, 0,
+        "tracking allocator per-stage count must agree: zero allocations in the window"
     );
 
     // Sanity: the measurement itself works — a fresh-workspace call does

@@ -11,8 +11,8 @@
 use ilt_grid::RealGrid;
 
 use crate::error::OptError;
-use crate::loss::evaluate_loss;
-use crate::sdf::{signed_distance, smooth_mask, smooth_mask_derivative};
+use crate::loss::{evaluate_loss_into, LossEval};
+use crate::sdf::{signed_distance, smooth_mask, smooth_mask_derivative_into, smooth_mask_into};
 use crate::solver::{IltOutcome, SolveContext, SolveRequest, TileSolver};
 
 /// Configuration of the level-set solver.
@@ -124,30 +124,43 @@ impl LevelSetIlt {
         let mut history = Vec::with_capacity(request.iterations);
         let lr = cfg.lr * request.lr_scale;
 
-        // Reused forward/adjoint scratch arena: the simulate/gradient pair
-        // allocates nothing at steady state.
+        // Reused scratch, hoisted out of the loop: the forward/adjoint
+        // arena plus the mask/derivative/loss/step buffers. With
+        // everything preallocated, iterations between re-initialisations
+        // perform zero heap allocations (pinned by the counting-allocator
+        // test in `tests/zero_alloc.rs`).
         let mut ws = system.workspace();
+        let (w, h) = (phi.width(), phi.height());
+        let mut mask = RealGrid::new(w, h, 0.0);
+        let mut dmask_dphi = RealGrid::new(w, h, 0.0);
+        let mut eval = LossEval {
+            value: 0.0,
+            dldi: RealGrid::new(w, h, 0.0),
+            wafer: RealGrid::new(w, h, 0.0),
+        };
+        let mut step = vec![0.0f64; w * h];
         for iter in 0..request.iterations {
             if ilt_fault::deadline::exceeded() {
                 return Err(OptError::DeadlineExceeded {
                     completed_iterations: history.len(),
                 });
             }
-            let mask = smooth_mask(&phi, cfg.band_eps);
+            smooth_mask_into(&phi, cfg.band_eps, &mut mask);
             system.simulate_into(&mask, &mut ws)?;
-            let eval = evaluate_loss(system.resist(), ws.intensity(), request.target);
+            evaluate_loss_into(system.resist(), ws.intensity(), request.target, &mut eval);
             history.push(eval.value);
             let grad_mask = system.gradient_into(&mut ws, &eval.dldi)?;
-            let dmask_dphi = smooth_mask_derivative(&phi, cfg.band_eps);
+            smooth_mask_derivative_into(&phi, cfg.band_eps, &mut dmask_dphi);
 
             // Gradient descent direction on phi, then a CFL clamp so the
             // contour never jumps more than `cfl` pixels per step.
-            let mut step: Vec<f64> = grad_mask
-                .as_slice()
-                .iter()
+            for ((s, g), d) in step
+                .iter_mut()
+                .zip(grad_mask.as_slice())
                 .zip(dmask_dphi.as_slice())
-                .map(|(g, d)| -lr * g * d)
-                .collect();
+            {
+                *s = -lr * g * d;
+            }
             let peak = step.iter().fold(0.0f64, |m, v| m.max(v.abs()));
             if peak > cfg.cfl {
                 let scale = cfg.cfl / peak;

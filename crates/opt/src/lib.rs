@@ -48,10 +48,13 @@ mod solver;
 
 pub use error::OptError;
 pub use level_set::{LevelSetIlt, LevelSetIltConfig};
-pub use loss::{evaluate_loss, LossEval};
+pub use loss::{evaluate_loss, evaluate_loss_into, LossEval};
 pub use optimizer::{AdamState, Optimizer};
 pub use pixel::{PixelIlt, PixelIltConfig};
-pub use sdf::{signed_distance, smooth_mask, smooth_mask_derivative};
+pub use sdf::{
+    signed_distance, smooth_mask, smooth_mask_derivative, smooth_mask_derivative_into,
+    smooth_mask_into,
+};
 pub use solver::{
     ConvergenceTrace, IltOutcome, SolveContext, SolveRequest, TileSolver, TraceSegment,
 };

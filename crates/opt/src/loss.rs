@@ -37,30 +37,56 @@ pub struct LossEval {
 /// assert!((eval.value - 16.0 * 0.25).abs() < 1e-12);
 /// ```
 pub fn evaluate_loss(resist: &ResistModel, aerial: &RealGrid, target: &RealGrid) -> LossEval {
+    let mut out = LossEval {
+        value: 0.0,
+        dldi: RealGrid::new(aerial.width(), aerial.height(), 0.0),
+        wafer: RealGrid::new(aerial.width(), aerial.height(), 0.0),
+    };
+    evaluate_loss_into(resist, aerial, target, &mut out);
+    out
+}
+
+/// Evaluates the relaxed L2 objective into reusable buffers: at steady
+/// state (matching shapes) this performs zero heap allocations, which is
+/// what lets the level-set solver's iteration loop stay allocation-free.
+/// Mismatched buffer shapes are (re)allocated on first use.
+///
+/// # Panics
+///
+/// Panics if `aerial` and `target` shapes differ.
+pub fn evaluate_loss_into(
+    resist: &ResistModel,
+    aerial: &RealGrid,
+    target: &RealGrid,
+    out: &mut LossEval,
+) {
     assert_eq!(
         (aerial.width(), aerial.height()),
         (target.width(), target.height()),
         "aerial and target shapes differ"
     );
-    let wafer = resist.sigmoid(aerial);
-    let dz = resist.sigmoid_derivative(aerial);
+    let (w, h) = (aerial.width(), aerial.height());
+    if (out.dldi.width(), out.dldi.height()) != (w, h) {
+        out.dldi = RealGrid::new(w, h, 0.0);
+    }
+    if (out.wafer.width(), out.wafer.height()) != (w, h) {
+        out.wafer = RealGrid::new(w, h, 0.0);
+    }
     let mut value = 0.0;
-    let mut dldi = Vec::with_capacity(aerial.len());
-    for ((z, zt), dzdi) in wafer
+    for (((i, zt), dldi), wafer) in aerial
         .as_slice()
         .iter()
         .zip(target.as_slice())
-        .zip(dz.as_slice())
+        .zip(out.dldi.as_mut_slice())
+        .zip(out.wafer.as_mut_slice())
     {
+        let z = resist.sigmoid_at(*i);
         let e = z - zt;
         value += e * e;
-        dldi.push(2.0 * e * dzdi);
+        *dldi = 2.0 * e * resist.sigmoid_derivative_at(*i);
+        *wafer = z;
     }
-    LossEval {
-        value,
-        dldi: RealGrid::from_vec(aerial.width(), aerial.height(), dldi),
-        wafer,
-    }
+    out.value = value;
 }
 
 #[cfg(test)]

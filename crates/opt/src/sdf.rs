@@ -116,32 +116,64 @@ fn chamfer(mask: &BitGrid, to_background: bool) -> RealGrid {
     RealGrid::from_vec(w, h, d)
 }
 
+#[inline]
+fn heaviside(p: f64, eps: f64) -> f64 {
+    if p <= -eps {
+        1.0
+    } else if p >= eps {
+        0.0
+    } else {
+        0.5 * (1.0 - p / eps - (std::f64::consts::PI * p / eps).sin() / std::f64::consts::PI)
+    }
+}
+
+#[inline]
+fn heaviside_derivative(p: f64, eps: f64) -> f64 {
+    if p.abs() >= eps {
+        0.0
+    } else {
+        -0.5 / eps * (1.0 + (std::f64::consts::PI * p / eps).cos())
+    }
+}
+
 /// Smooth Heaviside of `-phi`: 1 deep inside the mask (`phi << 0`), 0 deep
 /// outside, with a cosine ramp of half-width `eps`.
 pub fn smooth_mask(phi: &RealGrid, eps: f64) -> RealGrid {
     assert!(eps > 0.0, "transition half-width must be positive");
-    phi.map(|&p| {
-        if p <= -eps {
-            1.0
-        } else if p >= eps {
-            0.0
-        } else {
-            0.5 * (1.0 - p / eps - (std::f64::consts::PI * p / eps).sin() / std::f64::consts::PI)
-        }
-    })
+    phi.map(|&p| heaviside(p, eps))
+}
+
+/// [`smooth_mask`] into a reusable buffer: allocation-free once `out` has
+/// `phi`'s shape (mismatched buffers are reallocated).
+pub fn smooth_mask_into(phi: &RealGrid, eps: f64, out: &mut RealGrid) {
+    assert!(eps > 0.0, "transition half-width must be positive");
+    reshape_to(phi, out);
+    for (o, p) in out.as_mut_slice().iter_mut().zip(phi.as_slice()) {
+        *o = heaviside(*p, eps);
+    }
 }
 
 /// Derivative of [`smooth_mask`] with respect to `phi` (non-positive,
 /// supported on the `|phi| < eps` band).
 pub fn smooth_mask_derivative(phi: &RealGrid, eps: f64) -> RealGrid {
     assert!(eps > 0.0, "transition half-width must be positive");
-    phi.map(|&p| {
-        if p.abs() >= eps {
-            0.0
-        } else {
-            -0.5 / eps * (1.0 + (std::f64::consts::PI * p / eps).cos())
-        }
-    })
+    phi.map(|&p| heaviside_derivative(p, eps))
+}
+
+/// [`smooth_mask_derivative`] into a reusable buffer (see
+/// [`smooth_mask_into`]).
+pub fn smooth_mask_derivative_into(phi: &RealGrid, eps: f64, out: &mut RealGrid) {
+    assert!(eps > 0.0, "transition half-width must be positive");
+    reshape_to(phi, out);
+    for (o, p) in out.as_mut_slice().iter_mut().zip(phi.as_slice()) {
+        *o = heaviside_derivative(*p, eps);
+    }
+}
+
+fn reshape_to(like: &RealGrid, out: &mut RealGrid) {
+    if (out.width(), out.height()) != (like.width(), like.height()) {
+        *out = RealGrid::new(like.width(), like.height(), 0.0);
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,262 @@
+//! The sampling CPU profiler: a timer thread over live span stacks.
+//!
+//! Every tick (at `ILT_PROF_HZ`, default [`crate::DEFAULT_HZ`]) the
+//! sampler walks [`ilt_telemetry::sample_stacks`] — the open-span stack
+//! of every live recording thread — and charges one sample to each
+//! thread's span path. Paths accumulate into a collapsed-stack profile:
+//! the standard flamegraph input format, one line per distinct path,
+//! `frame;frame;frame count`. Frames are `name` or `name:detail`
+//! (`stage:coarse_s=4`), with spaces and semicolons sanitized so the
+//! output stays line-oriented.
+//!
+//! This profiles *span-attributed wall time*, not true CPU time: a thread
+//! blocked inside an open span still accrues samples. For this workspace
+//! that is the useful number — span paths are exactly the flow → stage →
+//! tile → solve decomposition the latency budget uses, and worker threads
+//! sit in spans only while working. Threads with no open span (idle serve
+//! workers, the listener) are not charged.
+//!
+//! The sampler also feeds the RSS window high-water mark
+//! ([`crate::rss::window_peak`]) on every tick, so any run with the
+//! sampler on gets a peak-RSS trajectory for free.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::rss;
+
+#[derive(Default)]
+struct Profile {
+    /// Collapsed path -> sample count.
+    paths: BTreeMap<String, u64>,
+    /// Total samples charged (one per thread with an open span, per tick).
+    samples: u64,
+    /// Sampler wakeups.
+    ticks: u64,
+}
+
+static PROFILE: Mutex<Option<Profile>> = Mutex::new(None);
+static RUNNING: AtomicBool = AtomicBool::new(false);
+/// Sampling interval in microseconds (for [`sampler_hz`] reporting).
+static INTERVAL_US: AtomicU64 = AtomicU64::new(0);
+static HANDLE: Mutex<Option<std::thread::JoinHandle<()>>> = Mutex::new(None);
+
+fn with_profile<R>(f: impl FnOnce(&mut Profile) -> R) -> R {
+    let mut guard = PROFILE.lock().unwrap_or_else(|e| e.into_inner());
+    f(guard.get_or_insert_with(Profile::default))
+}
+
+/// Sanitizes one frame label for the collapsed format: `;` separates
+/// frames, space separates path from count, so neither may appear inside
+/// a frame.
+fn frame_label(frame: &ilt_telemetry::LiveFrame) -> String {
+    let mut label = match &frame.detail {
+        Some(detail) => format!("{}:{}", frame.name, detail),
+        None => frame.name.to_string(),
+    };
+    label = label.replace(' ', "_").replace(';', ",");
+    label
+}
+
+/// Takes one sample synchronously: charges every live span stack and the
+/// RSS window. The sampler thread calls this on every tick; tests and
+/// harnesses may call it directly for deterministic profiles.
+pub fn sample_now() {
+    let stacks = ilt_telemetry::sample_stacks();
+    rss::note_window_sample();
+    with_profile(|p| {
+        p.ticks += 1;
+        for (_thread, frames) in &stacks {
+            let path = frames.iter().map(frame_label).collect::<Vec<_>>().join(";");
+            *p.paths.entry(path).or_insert(0) += 1;
+            p.samples += 1;
+        }
+    });
+}
+
+/// Starts the sampler thread at `hz` samples per second. Returns `false`
+/// (and does nothing) if `hz` is not positive-finite or a sampler is
+/// already running.
+pub fn start_sampler(hz: f64) -> bool {
+    if !(hz.is_finite() && hz > 0.0) {
+        return false;
+    }
+    if RUNNING.swap(true, Ordering::SeqCst) {
+        return false;
+    }
+    let interval = Duration::from_secs_f64((1.0 / hz).clamp(1e-4, 10.0));
+    INTERVAL_US.store(interval.as_micros() as u64, Ordering::Relaxed);
+    let handle = std::thread::Builder::new()
+        .name("ilt-prof-sampler".to_string())
+        .spawn(move || {
+            while RUNNING.load(Ordering::Relaxed) {
+                sample_now();
+                std::thread::sleep(interval);
+            }
+        });
+    match handle {
+        Ok(h) => {
+            *HANDLE.lock().unwrap_or_else(|e| e.into_inner()) = Some(h);
+            true
+        }
+        Err(_) => {
+            RUNNING.store(false, Ordering::SeqCst);
+            false
+        }
+    }
+}
+
+/// Stops the sampler thread (joining it) if one is running.
+pub fn stop_sampler() {
+    RUNNING.store(false, Ordering::SeqCst);
+    let handle = HANDLE.lock().unwrap_or_else(|e| e.into_inner()).take();
+    if let Some(h) = handle {
+        let _ = h.join();
+    }
+}
+
+/// Whether a sampler thread is currently running.
+pub fn sampler_running() -> bool {
+    RUNNING.load(Ordering::Relaxed)
+}
+
+/// The running sampler's rate in Hz (`0.0` when no sampler has started).
+pub fn sampler_hz() -> f64 {
+    let us = INTERVAL_US.load(Ordering::Relaxed);
+    if us == 0 {
+        0.0
+    } else {
+        1e6 / us as f64
+    }
+}
+
+/// Discards all accumulated samples (the sampler, if running, keeps
+/// going). Measurement windows reset before and export after.
+pub fn reset_profile() {
+    with_profile(|p| *p = Profile::default());
+}
+
+/// `(samples charged, sampler ticks)` so far.
+pub fn sample_counts() -> (u64, u64) {
+    with_profile(|p| (p.samples, p.ticks))
+}
+
+/// The accumulated profile in collapsed-stack (flamegraph) format: one
+/// `path count` line per distinct span path, sorted by path.
+pub fn collapsed() -> String {
+    with_profile(|p| {
+        let mut out = String::new();
+        for (path, count) in &p.paths {
+            out.push_str(path);
+            out.push(' ');
+            out.push_str(&count.to_string());
+            out.push('\n');
+        }
+        out
+    })
+}
+
+/// The `n` leaf frames with the most self-time samples, descending, as
+/// `(leaf frame, samples)`. A path's samples are the leaf's *self* time:
+/// ticks where that frame was innermost.
+pub fn top_self(n: usize) -> Vec<(String, u64)> {
+    let mut by_leaf: BTreeMap<String, u64> = BTreeMap::new();
+    with_profile(|p| {
+        for (path, count) in &p.paths {
+            let leaf = path.rsplit(';').next().unwrap_or(path).to_string();
+            *by_leaf.entry(leaf).or_insert(0) += count;
+        }
+    });
+    let mut entries: Vec<(String, u64)> = by_leaf.into_iter().collect();
+    entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    entries.truncate(n);
+    entries
+}
+
+/// Per-stage sample counts: paths are bucketed by their outermost `stage`
+/// frame's attribution stage (see [`crate::Stage::from_label`]); paths
+/// with no stage frame land in `untagged`.
+pub fn samples_per_stage() -> BTreeMap<&'static str, u64> {
+    let mut out = BTreeMap::new();
+    with_profile(|p| {
+        for (path, count) in &p.paths {
+            let stage = path
+                .split(';')
+                .find_map(|frame| {
+                    frame
+                        .strip_prefix("stage:")
+                        .map(|label| crate::Stage::from_label(&label.replace('_', " ")).name())
+                })
+                .unwrap_or("untagged");
+            *out.entry(stage).or_insert(0) += count;
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that reset the shared profile.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn manual_samples_accumulate_collapsed_paths() {
+        let _lock = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset_profile();
+        {
+            let mut flow = ilt_telemetry::span(ilt_telemetry::names::FLOW);
+            flow.add_field("name", "profile test");
+            let mut stage = ilt_telemetry::span(ilt_telemetry::names::STAGE);
+            stage.add_field("label", "coarse s=2");
+            sample_now();
+            sample_now();
+        }
+        let text = collapsed();
+        let line = text
+            .lines()
+            .find(|l| l.contains("flow:profile_test"))
+            .expect("own path sampled");
+        assert!(
+            line.starts_with("flow:profile_test;stage:coarse_s=2 "),
+            "unexpected collapsed line: {line}"
+        );
+        let count: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(count >= 2);
+        let (samples, ticks) = sample_counts();
+        assert!(samples >= 2);
+        assert!(ticks >= 2);
+        let top = top_self(10);
+        assert!(top.iter().any(|(leaf, _)| leaf == "stage:coarse_s=2"));
+        let per_stage = samples_per_stage();
+        assert!(*per_stage.get("coarse").unwrap_or(&0) >= 2);
+        reset_profile();
+    }
+
+    #[test]
+    fn sampler_thread_starts_and_stops() {
+        let _lock = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(start_sampler(200.0));
+        assert!(sampler_running());
+        assert!(!start_sampler(200.0), "second start must be refused");
+        assert!((sampler_hz() - 200.0).abs() < 1.0);
+        let _span = ilt_telemetry::span(ilt_telemetry::names::SOLVE);
+        std::thread::sleep(Duration::from_millis(50));
+        stop_sampler();
+        assert!(!sampler_running());
+        let (samples, ticks) = sample_counts();
+        assert!(ticks > 0, "sampler must have ticked");
+        assert!(samples > 0, "open span must have been sampled");
+        reset_profile();
+    }
+
+    #[test]
+    fn rejects_bad_rates() {
+        assert!(!start_sampler(0.0));
+        assert!(!start_sampler(-5.0));
+        assert!(!start_sampler(f64::NAN));
+    }
+}

@@ -1,0 +1,116 @@
+//! Process resident-set-size sampling from `/proc/self/status`.
+//!
+//! Two numbers per read: `VmRSS` (current resident bytes) and `VmHWM`
+//! (the kernel's monotonic process-lifetime high-water mark). For
+//! per-window trajectories (one peak per tile-grid size in `memprofile`)
+//! the kernel HWM is useless after the first window, so this module also
+//! keeps a resettable *window* high-water mark fed by
+//! [`note_window_sample`] — which the CPU sampler calls on every tick,
+//! and harnesses may call directly.
+//!
+//! On non-Linux targets [`read`] returns `None` and the window peak
+//! stays zero; everything downstream treats RSS as optional.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One resident-set reading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RssSample {
+    /// Current resident set (`VmRSS`), bytes.
+    pub current_bytes: u64,
+    /// Kernel lifetime high-water mark (`VmHWM`), bytes.
+    pub peak_bytes: u64,
+}
+
+static WINDOW_PEAK: AtomicU64 = AtomicU64::new(0);
+
+/// Reads the current process RSS. Returns `None` where `/proc` is
+/// unavailable (non-Linux) or unparseable.
+pub fn read() -> Option<RssSample> {
+    read_impl()
+}
+
+#[cfg(target_os = "linux")]
+fn read_impl() -> Option<RssSample> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_status(&status)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn read_impl() -> Option<RssSample> {
+    None
+}
+
+/// Parses `VmRSS`/`VmHWM` lines (`VmRSS:     1234 kB`) out of a
+/// `/proc/self/status` body.
+fn parse_status(status: &str) -> Option<RssSample> {
+    let mut current = None;
+    let mut peak = None;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            current = parse_kb(rest);
+        } else if let Some(rest) = line.strip_prefix("VmHWM:") {
+            peak = parse_kb(rest);
+        }
+    }
+    Some(RssSample {
+        current_bytes: current?,
+        peak_bytes: peak?,
+    })
+}
+
+fn parse_kb(rest: &str) -> Option<u64> {
+    let rest = rest.trim();
+    let number = rest.strip_suffix("kB").unwrap_or(rest).trim();
+    number.parse::<u64>().ok().map(|kb| kb * 1024)
+}
+
+/// Samples RSS once and folds it into the window high-water mark.
+/// Returns the reading.
+pub fn note_window_sample() -> Option<RssSample> {
+    let sample = read()?;
+    WINDOW_PEAK.fetch_max(sample.current_bytes, Ordering::Relaxed);
+    Some(sample)
+}
+
+/// The highest `VmRSS` seen by [`note_window_sample`] since the last
+/// [`reset_window`] (`0` if never sampled).
+pub fn window_peak() -> u64 {
+    WINDOW_PEAK.load(Ordering::Relaxed)
+}
+
+/// Re-arms the window high-water mark to the current RSS (or zero where
+/// RSS is unavailable), then returns the new mark.
+pub fn reset_window() -> u64 {
+    let now = read().map_or(0, |s| s.current_bytes);
+    WINDOW_PEAK.store(now, Ordering::Relaxed);
+    now
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_proc_status_fields() {
+        let body = "Name:\tilt\nVmHWM:\t  204800 kB\nVmRSS:\t  102400 kB\nThreads:\t4\n";
+        let sample = parse_status(body).unwrap();
+        assert_eq!(sample.current_bytes, 102400 * 1024);
+        assert_eq!(sample.peak_bytes, 204800 * 1024);
+        assert!(parse_status("Name:\tilt\n").is_none());
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn live_read_reports_nonzero_rss() {
+        let sample = read().expect("/proc/self/status readable on linux");
+        assert!(sample.current_bytes > 0);
+        assert!(sample.peak_bytes >= sample.current_bytes);
+        let peak = note_window_sample().unwrap();
+        assert!(window_peak() >= peak.current_bytes);
+        let rearmed = reset_window();
+        // `>=`, not `==`: a concurrently running sampler (other tests)
+        // may fold in a fresh reading right after the re-arm.
+        assert!(window_peak() >= rearmed);
+    }
+}

@@ -55,26 +55,31 @@ pub(crate) fn render_queue(
     out
 }
 
-/// `GET /debug/caches`: entry counts of the process-wide kernel-bank and
-/// FFT-plan caches plus the per-worker session caches, with their
-/// hit/miss counters and gauges pulled from the telemetry snapshot.
+/// `GET /debug/caches`: entry counts and estimated resident bytes of the
+/// process-wide kernel-bank and FFT-plan caches plus the per-worker
+/// session caches, with their hit/miss counters and gauges pulled from
+/// the telemetry snapshot.
 pub(crate) fn render_caches(
     litho_banks: usize,
+    litho_bank_bytes: u64,
     fft_plans: usize,
+    fft_plan_bytes: u64,
     counters: &BTreeMap<String, u64>,
     gauges: &BTreeMap<String, f64>,
 ) -> String {
     let counter = |name: &str| counters.get(name).copied().unwrap_or(0);
     let mut out = String::from("{");
     out.push_str(&format!(
-        "\"litho_bank_cache\":{{\"entries\":{},\"hits\":{},\"misses\":{}}}",
+        "\"litho_bank_cache\":{{\"entries\":{},\"estimated_bytes\":{},\"hits\":{},\"misses\":{}}}",
         litho_banks,
+        litho_bank_bytes,
         counter("litho.bank_cache.hit"),
         counter("litho.bank_cache.miss")
     ));
     out.push_str(&format!(
-        ",\"fft_plan_cache\":{{\"entries\":{},\"hits\":{},\"misses\":{}}}",
+        ",\"fft_plan_cache\":{{\"entries\":{},\"estimated_bytes\":{},\"hits\":{},\"misses\":{}}}",
         fft_plans,
+        fft_plan_bytes,
         counter("fft.plan_cache.hit"),
         counter("fft.plan_cache.miss")
     ));
@@ -134,6 +139,127 @@ pub(crate) fn obs_prometheus() -> String {
     out
 }
 
+/// Profiling footer for `/metrics`: process RSS gauges (when readable)
+/// plus the tracking allocator's live/allocated byte counters.
+pub(crate) fn prof_prometheus() -> String {
+    let mut out = String::new();
+    if let Some(rss) = ilt_prof::rss::read() {
+        out.push_str("# TYPE ilt_process_rss_bytes gauge\n");
+        out.push_str(&format!("ilt_process_rss_bytes {}\n", rss.current_bytes));
+        out.push_str("# TYPE ilt_process_peak_rss_bytes gauge\n");
+        out.push_str(&format!("ilt_process_peak_rss_bytes {}\n", rss.peak_bytes));
+    }
+    let alloc = ilt_prof::alloc::stats();
+    if alloc.enabled {
+        out.push_str("# TYPE ilt_alloc_live_bytes gauge\n");
+        out.push_str(&format!("ilt_alloc_live_bytes {}\n", alloc.live_bytes));
+        out.push_str("# TYPE ilt_alloc_allocated_bytes_total counter\n");
+        out.push_str(&format!(
+            "ilt_alloc_allocated_bytes_total {}\n",
+            alloc.allocated_bytes
+        ));
+        out.push_str("# TYPE ilt_alloc_freed_bytes_total counter\n");
+        out.push_str(&format!(
+            "ilt_alloc_freed_bytes_total {}\n",
+            alloc.freed_bytes
+        ));
+    }
+    out
+}
+
+/// `GET /debug/profile`: the sampler's state plus the accumulated profile
+/// — collapsed-stack text (flamegraph-ready, embedded as one JSON string)
+/// and the top-N self-time leaves.
+pub(crate) fn render_profile() -> String {
+    let (samples, ticks) = ilt_prof::cpu::sample_counts();
+    let mut out = String::from("{");
+    out.push_str(&format!(
+        "\"sampler_running\":{},\"sampler_hz\":{},\"samples\":{samples},\"ticks\":{ticks}",
+        ilt_prof::sampler_running(),
+        ilt_prof::sampler_hz()
+    ));
+    out.push_str(",\"top_self\":[");
+    for (i, (leaf, count)) in ilt_prof::cpu::top_self(10).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"frame\":");
+        push_str_literal(&mut out, leaf);
+        out.push_str(&format!(",\"samples\":{count}}}"));
+    }
+    out.push_str("],\"samples_per_stage\":{");
+    for (i, (stage, count)) in ilt_prof::cpu::samples_per_stage().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str_literal(&mut out, stage);
+        out.push_str(&format!(":{count}"));
+    }
+    out.push_str("},\"collapsed\":");
+    push_str_literal(&mut out, &ilt_prof::collapsed());
+    out.push('}');
+    out
+}
+
+/// `GET /debug/memory`: current/peak RSS, the tracking allocator's
+/// global and per-stage counters, and the heaviest-allocating traces
+/// (job ids are resolved by the route handler and passed in as
+/// `(trace, job_id)` pairs; unresolved traces render without a job).
+pub(crate) fn render_memory(trace_jobs: &[(u64, Option<u64>)]) -> String {
+    let mut out = String::from("{");
+    match ilt_prof::rss::read() {
+        Some(rss) => out.push_str(&format!(
+            "\"rss\":{{\"current_bytes\":{},\"peak_bytes\":{},\"window_peak_bytes\":{}}}",
+            rss.current_bytes,
+            rss.peak_bytes,
+            ilt_prof::rss::window_peak()
+        )),
+        None => out.push_str("\"rss\":null"),
+    }
+    let alloc = ilt_prof::alloc::stats();
+    out.push_str(&format!(
+        ",\"alloc\":{{\"enabled\":{},\"allocated_bytes\":{},\"allocation_calls\":{},\
+         \"freed_bytes\":{},\"free_calls\":{},\"live_bytes\":{},\"peak_live_bytes\":{}",
+        alloc.enabled,
+        alloc.allocated_bytes,
+        alloc.allocation_calls,
+        alloc.freed_bytes,
+        alloc.free_calls,
+        alloc.live_bytes,
+        alloc.peak_live_bytes
+    ));
+    out.push_str(",\"stages\":{");
+    for (i, stage) in alloc.stages.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str_literal(&mut out, stage.stage.name());
+        out.push_str(&format!(
+            ":{{\"bytes\":{},\"calls\":{}}}",
+            stage.bytes, stage.calls
+        ));
+    }
+    out.push_str("}}");
+    out.push_str(",\"top_traces\":[");
+    for (i, (trace, job)) in trace_jobs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let (bytes, calls) = ilt_prof::alloc::trace_bytes(*trace);
+        out.push_str(&format!("{{\"trace\":{trace},\"job\":"));
+        match job {
+            Some(id) => out.push_str(&format!("\"{id}\"")),
+            None => out.push_str("null"),
+        }
+        out.push_str(&format!(",\"bytes\":{bytes},\"calls\":{calls}}}"));
+    }
+    out.push_str(&format!(
+        "],\"trace_attribution_dropped\":{}}}",
+        ilt_prof::alloc::trace_attribution_dropped()
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,7 +297,7 @@ mod tests {
         counters.insert("litho.bank_cache.hit".to_string(), 4u64);
         let mut gauges = BTreeMap::new();
         gauges.insert("serve.session_cache.entries".to_string(), 2.0);
-        let body = render_caches(1, 3, &counters, &gauges);
+        let body = render_caches(1, 65536, 3, 4096, &counters, &gauges);
         let parsed = Json::parse(&body).expect("valid JSON");
         assert_eq!(
             parsed
@@ -181,11 +307,51 @@ mod tests {
         );
         assert_eq!(
             parsed
+                .path(&["litho_bank_cache", "estimated_bytes"])
+                .and_then(|v| v.as_u64()),
+            Some(65536)
+        );
+        assert_eq!(
+            parsed
                 .path(&["fft_plan_cache", "entries"])
                 .and_then(|v| v.as_u64()),
             Some(3)
         );
+        assert_eq!(
+            parsed
+                .path(&["fft_plan_cache", "estimated_bytes"])
+                .and_then(|v| v.as_u64()),
+            Some(4096)
+        );
         assert!(body.contains("\"session_cache\":{\"entries\":2"));
+    }
+
+    #[test]
+    fn profile_render_is_well_formed() {
+        let body = render_profile();
+        let parsed = Json::parse(&body).expect("valid JSON");
+        assert!(parsed.path(&["sampler_running"]).is_some());
+        assert!(parsed.path(&["collapsed"]).is_some());
+        assert!(parsed
+            .path(&["top_self"])
+            .and_then(|v| v.as_arr())
+            .is_some());
+    }
+
+    #[test]
+    fn memory_render_is_well_formed() {
+        let body = render_memory(&[(42, Some(7)), (99, None)]);
+        let parsed = Json::parse(&body).expect("valid JSON");
+        // Linux always reads an RSS; elsewhere the field is null.
+        assert!(body.contains("\"rss\":"));
+        assert!(parsed.path(&["alloc", "stages", "fine"]).is_some());
+        let traces = parsed
+            .path(&["top_traces"])
+            .and_then(|v| v.as_arr())
+            .expect("trace array");
+        assert_eq!(traces.len(), 2);
+        assert!(body.contains("\"job\":\"7\""));
+        assert!(body.contains("\"job\":null"));
     }
 
     #[test]

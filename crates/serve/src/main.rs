@@ -12,9 +12,17 @@
 //! (deterministic fault-injection profile for drills, see `ilt-fault`),
 //! `ILT_OBS_RING` (flight-recorder capacity per shard, or `off`),
 //! `ILT_SLO` / `ILT_SLO_WINDOWS` (burn-rate objectives, see
-//! `ilt_telemetry::slo`).
+//! `ilt_telemetry::slo`), `ILT_PROF_HZ` (CPU sampler rate; on by default
+//! for the service, `0`/`off` disables) and `ILT_PROF_ALLOC` (allocation
+//! counting for `/debug/memory`).
 
 use ilt_serve::ServeConfig;
+
+// Install the tracking allocator so `ILT_PROF_ALLOC=1` can attribute
+// allocations per stage and per trace. Off (the default) it adds one
+// relaxed load per allocation.
+#[global_allocator]
+static GLOBAL: ilt_prof::TrackingAlloc = ilt_prof::TrackingAlloc::new();
 
 fn main() {
     // Opposite default from the batch binaries: a service should expose
@@ -23,6 +31,9 @@ fn main() {
         ilt_telemetry::set_enabled(true);
     }
     ilt_telemetry::flight::init_from_env();
+    // A service profiles by default: the sampler feeds /debug/profile and
+    // the RSS window, at ~1% overhead (gated by the microbench A/B).
+    ilt_prof::init_from_env(true);
     ilt_fault::configure_from_env();
     let config = ServeConfig::from_env();
     let handle = match ilt_serve::start(config.clone()) {

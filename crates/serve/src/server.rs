@@ -388,11 +388,13 @@ fn route(shared: &Shared, request: &Request) -> Response {
         ("GET", "/debug/queue") => debug_queue(shared),
         ("GET", "/debug/caches") => debug_caches(),
         ("GET", "/debug/slo") => Response::json(200, slo_engine().to_json()),
+        ("GET", "/debug/profile") => Response::json(200, debug::render_profile()),
+        ("GET", "/debug/memory") => debug_memory(shared),
         ("GET", path) if path.starts_with("/debug/jobs/") => debug_job_trace(shared, path),
         (
             _,
             "/healthz" | "/metrics" | "/v1/jobs" | "/admin/shutdown" | "/debug/queue"
-            | "/debug/caches" | "/debug/slo",
+            | "/debug/caches" | "/debug/slo" | "/debug/profile" | "/debug/memory",
         ) => Response::error(405, "method not allowed"),
         _ => Response::error(404, "no such resource"),
     }
@@ -405,6 +407,7 @@ fn metrics() -> Response {
     let mut body = tele::snapshot().to_prometheus();
     body.push_str(&slo_engine().to_prometheus());
     body.push_str(&debug::obs_prometheus());
+    body.push_str(&debug::prof_prometheus());
     Response::text(200, body)
 }
 
@@ -445,11 +448,33 @@ fn debug_caches() -> Response {
         200,
         debug::render_caches(
             ilt_litho::cached_bank_count(),
+            ilt_litho::cached_bank_bytes(),
             ilt_fft::cached_plan_count(),
+            ilt_fft::cached_plan_bytes(),
             &snapshot.counters,
             &snapshot.gauges,
         ),
     )
+}
+
+/// `GET /debug/memory`: RSS, allocator counters, and the heaviest
+/// allocating traces with their job ids resolved through one short
+/// registry lock.
+fn debug_memory(shared: &Shared) -> Response {
+    let top = ilt_prof::alloc::trace_top(10);
+    let trace_jobs: Vec<(u64, Option<u64>)> = {
+        let jobs = shared.lock_jobs();
+        top.iter()
+            .map(|(trace, _, _)| {
+                let job = jobs
+                    .iter()
+                    .find(|t| t.record.trace == *trace)
+                    .map(|t| t.record.id);
+                (*trace, job)
+            })
+            .collect()
+    };
+    Response::json(200, debug::render_memory(&trace_jobs))
 }
 
 /// `GET /debug/jobs/{id}/trace`: the job's span tree from the flight

@@ -1,11 +1,13 @@
 //! Live-introspection test: two concurrent jobs through a real server,
-//! then the four `/debug` endpoints. Asserts the per-job trace trees are
+//! then the `/debug` endpoints. Asserts the per-job trace trees are
 //! complete (queue → session → flow → tiles → assembly), disjoint, and
 //! consistently tagged with each job's trace id, and that every debug
-//! body is well-formed non-empty JSON.
+//! body is well-formed non-empty JSON. With the tracking allocator
+//! installed and the CPU sampler running, also exercises
+//! `/debug/profile` and `/debug/memory` against real jobs.
 //!
-//! One test function: telemetry and the flight recorder are
-//! process-global, so phases share one server.
+//! One test function: telemetry, the flight recorder, and the profiler
+//! are process-global, so phases share one server.
 
 use std::collections::BTreeSet;
 use std::io::{Read, Write};
@@ -15,6 +17,11 @@ use std::time::{Duration, Instant};
 use ilt_json::Json;
 use ilt_serve::{start, ServeConfig};
 use ilt_telemetry as tele;
+
+// The server binary installs the tracking allocator; this test binary
+// does the same so /debug/memory sees real attribution.
+#[global_allocator]
+static GLOBAL: ilt_prof::TrackingAlloc = ilt_prof::TrackingAlloc::new();
 
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
 const POLL_BUDGET: Duration = Duration::from_secs(120);
@@ -135,6 +142,8 @@ fn job_spans(addr: SocketAddr, id: &str) -> (u64, Vec<(u64, u64, String)>) {
 #[test]
 fn debug_endpoints_and_disjoint_job_traces() {
     tele::set_enabled(true);
+    ilt_prof::alloc::set_enabled(true);
+    assert!(ilt_prof::start_sampler(250.0), "sampler starts");
     let handle = start(ServeConfig {
         addr: "127.0.0.1:0".to_string(),
         queue_depth: 8,
@@ -211,7 +220,8 @@ fn debug_endpoints_and_disjoint_job_traces() {
         );
     }
 
-    // /debug/caches shows the kernel bank the two jobs shared.
+    // /debug/caches shows the kernel bank the two jobs shared, with a
+    // nonzero resident-byte estimate.
     let caches = request(addr, "GET", "/debug/caches", None);
     assert_eq!(caches.status, 200);
     let caches = caches.json();
@@ -221,6 +231,20 @@ fn debug_endpoints_and_disjoint_job_traces() {
             .and_then(Json::as_u64)
             .is_some_and(|n| n >= 1),
         "bank cache holds the shared bank: {caches:?}"
+    );
+    assert!(
+        caches
+            .path(&["litho_bank_cache", "estimated_bytes"])
+            .and_then(Json::as_u64)
+            .is_some_and(|b| b > 0),
+        "bank cache estimates resident bytes: {caches:?}"
+    );
+    assert!(
+        caches
+            .path(&["fft_plan_cache", "estimated_bytes"])
+            .and_then(Json::as_u64)
+            .is_some_and(|b| b > 0),
+        "plan cache estimates resident bytes: {caches:?}"
     );
 
     // /debug/slo reports every objective with a burn rate per window; two
@@ -250,12 +274,95 @@ fn debug_endpoints_and_disjoint_job_traces() {
         );
     }
 
-    // /metrics carries the SLO series and the recorder drop counter next
-    // to the ordinary exposition.
+    // /metrics carries the SLO series, the recorder drop counter, and
+    // the profiling gauges next to the ordinary exposition.
     let metrics = request(addr, "GET", "/metrics", None);
     assert_eq!(metrics.status, 200);
     assert!(metrics.body.contains("ilt_slo_burn_rate{"));
     assert!(metrics.body.contains("ilt_obs_spans_dropped_total"));
+    assert!(metrics.body.contains("ilt_alloc_live_bytes"));
+    #[cfg(target_os = "linux")]
+    assert!(metrics.body.contains("ilt_process_rss_bytes"));
 
+    // /debug/profile: sampler state plus a collapsed-stack body. One
+    // deterministic in-process sample under a named span guarantees a
+    // non-empty profile regardless of sampler timing.
+    {
+        let mut span = tele::span(tele::names::FLOW);
+        span.add_field("name", "obs test");
+        ilt_prof::sample_now();
+    }
+    let profile = request(addr, "GET", "/debug/profile", None);
+    assert_eq!(profile.status, 200);
+    let profile = profile.json();
+    assert_eq!(
+        profile.get("sampler_running").and_then(Json::as_bool),
+        Some(true)
+    );
+    let collapsed = profile
+        .get("collapsed")
+        .and_then(Json::as_str)
+        .expect("collapsed-stack text");
+    assert!(!collapsed.is_empty(), "profile captured samples");
+    for line in collapsed.lines() {
+        let (path, count) = line.rsplit_once(' ').expect("collapsed line `path count`");
+        assert!(!path.is_empty(), "empty path in {line:?}");
+        count
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("bad count in {line:?}"));
+    }
+    assert!(
+        collapsed.contains("flow:obs_test"),
+        "deterministic sample missing: {collapsed}"
+    );
+    assert!(
+        profile
+            .get("samples")
+            .and_then(Json::as_u64)
+            .is_some_and(|s| s > 0),
+        "sample counter advanced"
+    );
+
+    // /debug/memory: allocator totals, per-stage attribution, and the
+    // two jobs' traces among the heaviest allocators.
+    let memory = request(addr, "GET", "/debug/memory", None);
+    assert_eq!(memory.status, 200);
+    let memory = memory.json();
+    assert!(
+        memory
+            .path(&["alloc", "allocated_bytes"])
+            .and_then(Json::as_u64)
+            .is_some_and(|b| b > 0),
+        "jobs allocated while counting was on: {memory:?}"
+    );
+    assert!(memory.path(&["alloc", "stages", "fine"]).is_some());
+    #[cfg(target_os = "linux")]
+    assert!(
+        memory
+            .path(&["rss", "current_bytes"])
+            .and_then(Json::as_u64)
+            .is_some_and(|b| b > 0),
+        "linux RSS readable: {memory:?}"
+    );
+    let top = memory
+        .get("top_traces")
+        .and_then(Json::as_arr)
+        .expect("top_traces array");
+    for trace in [trace_a, trace_b] {
+        let entry = top
+            .iter()
+            .find(|t| t.get("trace").and_then(Json::as_u64) == Some(trace))
+            .unwrap_or_else(|| panic!("trace {trace} missing from top_traces: {memory:?}"));
+        assert!(
+            entry
+                .get("bytes")
+                .and_then(Json::as_u64)
+                .is_some_and(|b| b > 0),
+            "job trace {trace} attributed no bytes: {entry:?}"
+        );
+    }
+
+    ilt_prof::stop_sampler();
+    ilt_prof::alloc::set_enabled(false);
     handle.shutdown();
 }

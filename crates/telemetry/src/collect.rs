@@ -7,8 +7,9 @@
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
+use crate::live::LiveStack;
 use crate::metrics::Histogram;
 use crate::span::FieldValue;
 
@@ -103,6 +104,10 @@ pub(crate) struct LocalBuf {
     /// Stack of open span ids (innermost last); adopted parents from
     /// [`crate::parent_scope`] are pushed here too.
     pub stack: Vec<u64>,
+    /// Shared copy of the open-span stack, readable by the sampling
+    /// profiler (see [`crate::live`]). Unlike `stack`, adopted parents
+    /// are not mirrored here.
+    pub live: Arc<LiveStack>,
     pub events: Vec<SpanEvent>,
     pub counters: HashMap<&'static str, u64>,
     /// Counter increments attributed to an ambient trace, keyed
@@ -113,9 +118,11 @@ pub(crate) struct LocalBuf {
 
 impl LocalBuf {
     fn new() -> Self {
+        let thread = THREAD_SEQ.fetch_add(1, Ordering::Relaxed);
         LocalBuf {
-            thread: THREAD_SEQ.fetch_add(1, Ordering::Relaxed),
+            thread,
             stack: Vec::new(),
+            live: LiveStack::register(thread),
             events: Vec::new(),
             counters: HashMap::new(),
             trace_counters: HashMap::new(),

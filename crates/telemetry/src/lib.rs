@@ -66,6 +66,7 @@ mod collect;
 mod export;
 pub mod flight;
 pub mod json;
+pub mod live;
 mod metrics;
 pub mod slo;
 mod span;
@@ -73,11 +74,15 @@ mod trace;
 
 pub use collect::{drain, flush_thread, snapshot, trace_counters, SpanEvent, Telemetry};
 pub use export::{span_forest_json, FlowSummary, LatencyBudget, StageSummary};
+pub use live::{sample_stacks, LiveFrame};
 pub use metrics::{counter_add, gauge_add, gauge_set, record_value, Histogram};
 pub use span::{
     current_span, parent_scope, record_span_at, span, FieldValue, ParentScope, SpanGuard, SpanRef,
 };
-pub use trace::{current_trace, new_trace_scope, next_trace_id, trace_scope, TraceId, TraceScope};
+pub use trace::{
+    current_trace, current_trace_raw, new_trace_scope, next_trace_id, trace_scope, TraceId,
+    TraceScope,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

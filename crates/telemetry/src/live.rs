@@ -1,0 +1,188 @@
+//! Live (still-open) span stacks, published for out-of-thread sampling.
+//!
+//! The flight recorder only sees *closed* spans, which is useless for a
+//! sampling CPU profiler: a sample must attribute the instant it fires to
+//! the spans that are open right now. This module gives every recording
+//! thread a shared copy of its open-span stack — pushed in
+//! [`crate::span`], popped when the guard records — behind one short,
+//! normally uncontended mutex hold per push/pop. A sampler thread
+//! (`ilt-prof`) walks the registry of all live stacks and clones each one
+//! under the same short hold.
+//!
+//! Frames carry the span name plus an optional *detail* string set from
+//! the first identifying string field attached to the span (`label`,
+//! `name`, `what`, `method`), so collapsed stacks read
+//! `flow:multigrid_schwarz;stage:coarse_s=4;tile;solve` rather than an
+//! undifferentiated `flow;stage;tile;solve`. Numeric fields (tile and job
+//! indices) are deliberately ignored so frames from different tiles
+//! collapse into one flamegraph node.
+//!
+//! Stacks are registered when a thread's telemetry buffer is first used
+//! and unregistered (lazily, via `Weak` upgrade failure) when the thread
+//! exits. Adopted parents ([`crate::parent_scope`]) are *not* mirrored
+//! here: each thread's live stack stands alone, so worker threads root at
+//! their `job` span — which is what a per-thread CPU profile should show.
+
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+/// One open span on a live stack.
+#[derive(Debug, Clone)]
+pub struct LiveFrame {
+    /// Span id (matches the eventual [`crate::SpanEvent::id`]).
+    pub id: u64,
+    /// Span name (one of [`crate::names`] for workspace spans).
+    pub name: &'static str,
+    /// First identifying string field (`label`/`name`/`what`/`method`),
+    /// if one was attached.
+    pub detail: Option<String>,
+}
+
+/// A thread's shared open-span stack. Owned by the thread's telemetry
+/// buffer; the registry holds a `Weak`.
+#[derive(Debug)]
+pub(crate) struct LiveStack {
+    thread: u64,
+    frames: Mutex<Vec<LiveFrame>>,
+}
+
+static REGISTRY: OnceLock<Mutex<Vec<Weak<LiveStack>>>> = OnceLock::new();
+
+fn registry() -> &'static Mutex<Vec<Weak<LiveStack>>> {
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+impl LiveStack {
+    /// Creates and registers a stack for the thread with ordinal
+    /// `thread`. Called once per thread from the telemetry buffer's
+    /// constructor.
+    pub(crate) fn register(thread: u64) -> Arc<LiveStack> {
+        let stack = Arc::new(LiveStack {
+            thread,
+            frames: Mutex::new(Vec::new()),
+        });
+        let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        // Prune entries from exited threads while we hold the lock anyway.
+        reg.retain(|w| w.strong_count() > 0);
+        reg.push(Arc::downgrade(&stack));
+        stack
+    }
+
+    /// Pushes an open span.
+    pub(crate) fn push(&self, id: u64, name: &'static str) {
+        self.frames
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(LiveFrame {
+                id,
+                name,
+                detail: None,
+            });
+    }
+
+    /// Pops back to (and including) the frame with `id`. Mirrors the
+    /// span-stack truncation in [`crate::SpanGuard`]: a guard dropped out
+    /// of order also closes everything opened above it.
+    pub(crate) fn pop(&self, id: u64) {
+        let mut frames = self.frames.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(pos) = frames.iter().rposition(|f| f.id == id) {
+            frames.truncate(pos);
+        }
+    }
+
+    /// Sets the detail string of the open frame with `id` (innermost
+    /// match), if it has none yet — first identifying field wins.
+    pub(crate) fn set_detail(&self, id: u64, detail: &str) {
+        let mut frames = self.frames.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(frame) = frames.iter_mut().rev().find(|f| f.id == id) {
+            if frame.detail.is_none() {
+                frame.detail = Some(detail.to_string());
+            }
+        }
+    }
+}
+
+/// Snapshot of every live thread's open-span stack, as
+/// `(thread ordinal, frames outermost-first)`. Threads with no open spans
+/// are omitted. This is the sampling profiler's read side; each stack is
+/// cloned under one short per-thread mutex hold.
+pub fn sample_stacks() -> Vec<(u64, Vec<LiveFrame>)> {
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    let mut out = Vec::with_capacity(reg.len());
+    for weak in reg.iter() {
+        if let Some(stack) = weak.upgrade() {
+            let frames = stack
+                .frames
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone();
+            if !frames.is_empty() {
+                out.push((stack.thread, frames));
+            }
+        }
+    }
+    out.sort_by_key(|(thread, _)| *thread);
+    out
+}
+
+/// Number of registered live stacks (threads that have recorded telemetry
+/// and are still running). For tests.
+pub fn live_thread_count() -> usize {
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    reg.iter().filter(|w| w.strong_count() > 0).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_spans_are_visible_and_popped() {
+        let outer_id;
+        {
+            let mut outer = crate::span(crate::names::FLOW);
+            outer.add_field("name", "live_test_flow");
+            outer_id = outer.span_ref().unwrap().0;
+            let _inner = crate::span(crate::names::STAGE);
+            let me = crate::collect::with_local(|l| l.thread).unwrap();
+            let stacks = sample_stacks();
+            let mine = stacks
+                .iter()
+                .find(|(t, _)| *t == me)
+                .expect("own stack visible");
+            assert_eq!(mine.1.len(), 2);
+            assert_eq!(mine.1[0].name, crate::names::FLOW);
+            assert_eq!(mine.1[0].detail.as_deref(), Some("live_test_flow"));
+            assert_eq!(mine.1[1].name, crate::names::STAGE);
+            assert_eq!(mine.1[1].detail, None);
+        }
+        let me = crate::collect::with_local(|l| l.thread).unwrap();
+        let stacks = sample_stacks();
+        let mine = stacks.iter().find(|(t, _)| *t == me);
+        assert!(
+            mine.is_none() || mine.unwrap().1.iter().all(|f| f.id != outer_id),
+            "closed spans must leave the live stack"
+        );
+    }
+
+    #[test]
+    fn worker_stacks_stand_alone() {
+        let span = crate::span(crate::names::JOB);
+        let parent = span.span_ref();
+        std::thread::spawn(move || {
+            let _adopted = crate::parent_scope(parent);
+            let _tile = crate::span(crate::names::TILE);
+            let me = crate::collect::with_local(|l| l.thread).unwrap();
+            let stacks = sample_stacks();
+            let mine = stacks
+                .iter()
+                .find(|(t, _)| *t == me)
+                .expect("worker stack visible");
+            // The adopted parent is span-stack state, not a live frame:
+            // the worker's profile roots at its own tile span.
+            assert_eq!(mine.1.len(), 1);
+            assert_eq!(mine.1[0].name, crate::names::TILE);
+        })
+        .join()
+        .unwrap();
+    }
+}

@@ -122,6 +122,7 @@ pub fn span(name: &'static str) -> SpanGuard {
     let parent = collect::with_local(|l| {
         let parent = l.stack.last().copied();
         l.stack.push(id);
+        l.live.push(id, name);
         parent
     })
     .flatten();
@@ -156,10 +157,20 @@ impl SpanGuard {
         self.start.elapsed().as_secs_f64()
     }
 
-    /// Attaches a structured field.
+    /// Attaches a structured field. The first *identifying* string field
+    /// (`label`, `name`, `what`, or `method`) also becomes the span's
+    /// frame detail on the live stack the sampling profiler reads, so
+    /// flamegraph frames read `stage:coarse s=4` rather than `stage`.
     pub fn add_field(&mut self, key: &'static str, value: impl Into<FieldValue>) {
         if let Some(rec) = &mut self.rec {
-            rec.fields.push((key, value.into()));
+            let value = value.into();
+            if matches!(key, "label" | "name" | "what" | "method") {
+                if let FieldValue::Str(s) = &value {
+                    let id = rec.id;
+                    collect::with_local(|l| l.live.set_detail(id, s));
+                }
+            }
+            rec.fields.push((key, value));
         }
     }
 
@@ -202,6 +213,7 @@ impl SpanGuard {
             if let Some(pos) = l.stack.iter().rposition(|&x| x == rec.id) {
                 l.stack.truncate(pos);
             }
+            l.live.pop(rec.id);
             let event = SpanEvent {
                 id: rec.id,
                 parent: rec.parent,

@@ -48,6 +48,17 @@ pub(crate) fn current_raw() -> u64 {
     CURRENT.with(Cell::get)
 }
 
+/// Non-panicking raw accessor (`0` means "no trace"), safe to call from
+/// contexts where thread-local state may be mid-teardown — notably a
+/// global allocator hook (`ilt-prof`'s tracking allocator attributes
+/// bytes to the ambient trace on every allocation). Reads one `Cell`,
+/// never allocates, returns `0` during TLS destruction instead of
+/// panicking like [`current_trace`] would.
+#[inline]
+pub fn current_trace_raw() -> u64 {
+    CURRENT.try_with(Cell::get).unwrap_or(0)
+}
+
 /// Raw setter for the span layer's root-span auto-trace (which installs a
 /// fresh id when a root opens and clears it when the root closes, without
 /// a guard object).

@@ -183,10 +183,13 @@ impl TileExecutor {
         // Capture the caller's active span so per-job spans recorded on
         // worker threads attach to it instead of becoming roots, the
         // caller's ambient trace so those spans stay attributable to the
-        // job/request that submitted them, and the caller's ambient
-        // deadline so jobs keep honouring it off-thread.
+        // job/request that submitted them, the caller's profiling stage so
+        // worker allocations keep billing to the stage that spawned them,
+        // and the caller's ambient deadline so jobs keep honouring it
+        // off-thread.
         let parent = tele::current_span();
         let trace = tele::current_trace();
+        let stage = ilt_prof::current_stage();
         let deadline = fault::deadline::current();
         let next = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
@@ -203,6 +206,7 @@ impl TileExecutor {
                 scope.spawn(move || {
                     let _adopted = tele::parent_scope(parent);
                     let _trace = tele::trace_scope(trace);
+                    let _stage = ilt_prof::stage_scope(stage);
                     let _deadline = fault::deadline::scope(deadline);
                     loop {
                         if stop.load(Ordering::Relaxed) {
@@ -508,5 +512,15 @@ mod tests {
         let (id, _scope) = tele::new_trace_scope();
         let seen = TileExecutor::new(4).run(8, |_| tele::current_trace());
         assert!(seen.iter().all(|t| *t == Some(id)), "{seen:?}");
+    }
+
+    #[test]
+    fn stage_propagates_to_worker_threads() {
+        let _scope = ilt_prof::stage_scope(ilt_prof::Stage::Refine);
+        let seen = TileExecutor::new(4).run(8, |_| ilt_prof::current_stage());
+        assert!(
+            seen.iter().all(|s| *s == ilt_prof::Stage::Refine),
+            "{seen:?}"
+        );
     }
 }
