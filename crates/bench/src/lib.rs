@@ -183,6 +183,36 @@ impl HarnessOptions {
     }
 }
 
+/// Extra top-level report sections registered by the running binary before
+/// [`HarnessOptions::finish_run`], keyed by section name. The ECO smoke
+/// drill uses this to attach its `incremental` section (reuse accounting,
+/// cold-vs-warm timing, quality deltas) to the standard `ilt-report/v2`
+/// document, where `report_diff` gates it alongside latency and quality.
+static EXTRA_SECTIONS: std::sync::Mutex<Vec<(String, String)>> = std::sync::Mutex::new(Vec::new());
+
+/// Registers (or replaces) an extra top-level `report.json` section. The
+/// value must be a complete JSON document; it is embedded verbatim under
+/// the given key by the next [`HarnessOptions::finish_run`]. Section names
+/// must not collide with the standard `ilt-report/v2` keys — consumers
+/// treat unknown sections as optional, so a report with extras stays
+/// backwards-compatible.
+pub fn set_report_section(name: &str, json: String) {
+    let mut sections = EXTRA_SECTIONS.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(slot) = sections.iter_mut().find(|(n, _)| n == name) {
+        slot.1 = json;
+    } else {
+        sections.push((name.to_string(), json));
+    }
+}
+
+/// Snapshot of the registered extra sections, in registration order.
+fn extra_sections() -> Vec<(String, String)> {
+    EXTRA_SECTIONS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
+}
+
 /// Replaces every non-alphanumeric character with `_` so case and method
 /// labels (which may contain spaces, colons, or slashes) form safe
 /// filenames.
@@ -400,6 +430,12 @@ fn render_report(
         json::push_f64(&mut out, *v);
     }
     out.push('}');
+    for (name, section) in extra_sections() {
+        out.push(',');
+        json::push_str_literal(&mut out, &name);
+        out.push(':');
+        out.push_str(&section);
+    }
     push_profile_section(&mut out);
     push_memory_section(&mut out);
     out.push_str(",\"latency_budget\":");
@@ -646,6 +682,36 @@ mod tests {
             profile.get("samples_per_stage").is_some(),
             "samples_per_stage present"
         );
+    }
+
+    #[test]
+    fn extra_sections_land_in_the_report() {
+        let opts = HarnessOptions {
+            config: ExperimentConfig::test_tiny(),
+            scale: "tiny".to_string(),
+            cases: 1,
+            workers: 1,
+            inner_threads: 1,
+            out_dir: PathBuf::from("results"),
+        };
+        set_report_section("extra_section_test", "{\"speedup\":3.5}".to_string());
+        // Replacement by name, not duplication.
+        set_report_section("extra_section_test", "{\"speedup\":4.0}".to_string());
+        let report = render_report(
+            "smoke",
+            &opts,
+            &Telemetry::default(),
+            false,
+            &ilt_diag::RunDiagnostics::default(),
+            &[],
+        );
+        let json = ilt_diag::Json::parse(&report).expect("report parses");
+        assert_eq!(
+            json.path(&["extra_section_test", "speedup"])
+                .and_then(|v| v.as_f64()),
+            Some(4.0)
+        );
+        assert_eq!(report.matches("extra_section_test").count(), 1);
     }
 
     #[test]

@@ -78,9 +78,28 @@ impl Schedule {
 
     /// Fine iterations per stage (last stage absorbs the remainder).
     pub fn fine_per_stage(&self, stage: usize) -> usize {
-        let base = self.fine_iterations / self.fine_stages;
-        if stage + 1 == self.fine_stages {
-            self.fine_iterations - base * (self.fine_stages - 1)
+        Self::split(self.fine_iterations, self.fine_stages, stage)
+    }
+
+    /// Total fine-grid iterations for a warm-started (incremental) re-solve:
+    /// half the cold budget, floored at one iteration per stage. Warm starts
+    /// begin at the base layout's *final* mask rather than a coarse-grid
+    /// promotion, so they sit far closer to the optimum — the observation
+    /// ILILT (Yang & Ren 2024) makes systematic.
+    pub fn warm_fine_iterations(&self) -> usize {
+        (self.fine_iterations / 2).max(self.fine_stages)
+    }
+
+    /// Warm fine iterations for one stage (last stage absorbs the
+    /// remainder), mirroring [`Schedule::fine_per_stage`].
+    pub fn warm_per_stage(&self, stage: usize) -> usize {
+        Self::split(self.warm_fine_iterations(), self.fine_stages, stage)
+    }
+
+    fn split(total: usize, stages: usize, stage: usize) -> usize {
+        let base = total / stages;
+        if stage + 1 == stages {
+            total - base * (stages - 1)
         } else {
             base
         }
@@ -243,6 +262,24 @@ impl ExperimentConfig {
     pub fn inspection_scale(&self) -> usize {
         self.clip / self.optics.base_n
     }
+
+    /// Litho-config fingerprint for the mask store (`ilt-store`): a stable
+    /// digest of every field that shapes a solved tile mask. Two configs
+    /// with the same fingerprint produce interchangeable tile masks, so a
+    /// store entry keyed under one may warm-start the other. `workers` is
+    /// excluded — the executor width changes scheduling, never values.
+    /// Over-keying (hashing fields like the generator that don't influence
+    /// a solve given its target) only costs reuse, never correctness, so
+    /// the digest conservatively covers the whole config via its `Debug`
+    /// rendering.
+    pub fn fingerprint(&self) -> u64 {
+        let mut canonical = self.clone();
+        canonical.workers = 1;
+        let mut fp = ilt_store::Fingerprint::new();
+        fp.write_str("ilt-experiment-config-v1");
+        fp.write_str(&format!("{canonical:?}"));
+        fp.finish()
+    }
 }
 
 impl Default for ExperimentConfig {
@@ -286,6 +323,43 @@ mod tests {
             7
         );
         assert_eq!(odd.fine_per_stage(2), 3);
+    }
+
+    #[test]
+    fn warm_schedule_halves_the_fine_budget() {
+        let paper = Schedule::paper_default();
+        assert_eq!(paper.warm_fine_iterations(), 20);
+        assert_eq!(paper.warm_per_stage(0) + paper.warm_per_stage(1), 20);
+        let tiny = Schedule::test_tiny();
+        assert_eq!(tiny.warm_fine_iterations(), 2);
+        assert_eq!(tiny.warm_per_stage(0), 1);
+        assert_eq!(tiny.warm_per_stage(1), 1);
+        // The floor: never fewer than one iteration per stage.
+        let minimal = Schedule {
+            fine_iterations: 3,
+            fine_stages: 3,
+            ..Schedule::paper_default()
+        };
+        assert_eq!(minimal.warm_fine_iterations(), 3);
+    }
+
+    #[test]
+    fn fingerprint_tracks_solve_shaping_fields_only() {
+        let base = ExperimentConfig::test_tiny();
+        assert_eq!(
+            base.fingerprint(),
+            ExperimentConfig::test_tiny().fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            ExperimentConfig::paper_default().fingerprint()
+        );
+        let mut retuned = ExperimentConfig::test_tiny();
+        retuned.schedule.fine_iterations += 2;
+        assert_ne!(base.fingerprint(), retuned.fingerprint());
+        let mut wider = ExperimentConfig::test_tiny();
+        wider.workers = 8;
+        assert_eq!(base.fingerprint(), wider.fingerprint());
     }
 
     #[test]

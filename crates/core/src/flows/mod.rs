@@ -6,11 +6,12 @@ mod full_chip;
 mod multigrid;
 mod overlap_select;
 mod stitch_heal;
-mod trace;
+pub(crate) mod trace;
 
 pub use divide_and_conquer::divide_and_conquer;
 pub use full_chip::full_chip;
 pub use multigrid::multigrid_schwarz;
+pub(crate) use multigrid::{apply_weighted_update, recover_stage};
 pub use overlap_select::overlap_select;
 pub use stitch_heal::{stitch_and_heal, HealOutcome};
 

@@ -43,7 +43,7 @@ type RecoveredTile = Result<Result<(RealGrid, f64), CoreError>, TileFailure>;
 /// exception is [`ilt_opt::OptError::DeadlineExceeded`]: the job's budget is
 /// already blown, so the whole flow aborts with the typed error instead of
 /// burning the remaining stages.
-fn recover_stage(
+pub(crate) fn recover_stage(
     flow: &str,
     label: &str,
     results: Vec<RecoveredTile>,
@@ -276,7 +276,7 @@ pub fn multigrid_schwarz(
 /// contribution in `layout` with `new_mask`, leaving every other tile's
 /// contribution untouched:
 /// `M <- M + W_j (M_j_new - R_j M)`.
-fn apply_weighted_update(
+pub(crate) fn apply_weighted_update(
     layout: &mut RealGrid,
     partition: &Partition,
     index: usize,

@@ -1,0 +1,532 @@
+//! Incremental re-ILT: dirty-tile propagation and warm-started re-solve
+//! (the ECO workflow).
+//!
+//! The Schwarz decomposition is local by construction: a layout edit can
+//! only change the optimal mask inside the tiles it intersects and — through
+//! the overlap boundary exchange of Eq. (11) — their overlap neighbours.
+//! [`diff_layouts`] computes exactly that frontier: the *edited* set (tiles
+//! whose rect contains a changed target pixel) and the *dirty* set (edited ∪
+//! their [`Partition::neighbors`]). Everything else is *clean* and its final
+//! mask from the base solve is still optimal, so [`run_incremental_in`]
+//! reuses it verbatim from the mask store and re-solves only the dirty set,
+//! warm-started from the base masks:
+//!
+//! 1. **Reuse**: every tile's slice of the *edited* target is hashed
+//!    ([`ilt_store::tile_content_hash`]) and looked up. Clean tiles hit (the
+//!    content is unchanged, so the key is the base key) and their stored
+//!    masks are reassembled by the same weighted seam assembly the cold flow
+//!    uses — overlapping crops of one layout agree exactly, so clean regions
+//!    reproduce the base mask bit-for-bit.
+//! 2. **Warm fine stages**: dirty tiles (plus any clean tile that missed,
+//!    e.g. after eviction with no spill directory) re-solve, re-cropping
+//!    from the assembled layout between stages exactly like the cold flow.
+//!    Overlap-only neighbours — same target, just moved boundary conditions
+//!    — run the warm schedule, half the cold fine budget
+//!    ([`Schedule::warm_fine_iterations`]), warm-started from the base
+//!    final mask. Tiles whose *target* changed (and any tile whose lookup
+//!    missed, whose init is a cold target crop) keep the full cold budget:
+//!    the base mask optimises a different geometry there, so halving their
+//!    iterations trades real quality for little time.
+//! 3. **Warm refine**: the multi-colour multiplicative polish runs over the
+//!    re-solved tiles only; clean tiles are never touched (no global
+//!    threshold — the reused masks are already post-refine).
+//!
+//! Finally the re-solved tiles' crops are stored under their new
+//! content keys, so a follow-up edit warm-starts from *this* result.
+//!
+//! [`Schedule::warm_fine_iterations`]: crate::Schedule::warm_fine_iterations
+
+use std::collections::BTreeSet;
+
+use ilt_grid::{BitGrid, RealGrid};
+use ilt_litho::LithoBank;
+use ilt_opt::{SolveContext, SolveRequest, TileSolver};
+use ilt_store::{tile_content_hash, MaskStore, StoreKey};
+use ilt_telemetry as tele;
+use ilt_tile::{
+    assemble, multi_coloring, restrict, AssemblyMode, Partition, RetryPolicy, Tile, TileExecutor,
+};
+
+use crate::config::ExperimentConfig;
+use crate::error::CoreError;
+use crate::flows::{
+    apply_weighted_update, multigrid_schwarz, recover_stage, trace, DegradedTile, FlowResult,
+};
+
+/// Store method tag for masks produced by the multigrid-Schwarz flow with
+/// the pixel solver — the only flow the incremental path re-solves with.
+pub const METHOD_OURS_PIXEL: &str = "ours:pixel";
+
+/// The dirty-tile frontier of one layout edit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayoutDiff {
+    /// Number of target pixels that differ between base and edited layout.
+    pub changed_pixels: usize,
+    /// Tiles whose rect contains at least one changed pixel, ascending.
+    pub edited: Vec<usize>,
+    /// Edited tiles plus their Schwarz-overlap neighbours (Eq. (11) `N_j`),
+    /// ascending — the set whose masks the edit can invalidate.
+    pub dirty: Vec<usize>,
+}
+
+/// Diffs two same-sized target layouts against a partition.
+///
+/// # Panics
+///
+/// Panics if the layouts' dimensions differ or do not cover the partition.
+pub fn diff_layouts(partition: &Partition, base: &BitGrid, edited: &BitGrid) -> LayoutDiff {
+    assert_eq!(
+        (base.width(), base.height()),
+        (edited.width(), edited.height()),
+        "base and edited layouts must have identical dimensions"
+    );
+    let mut changed_pixels = 0usize;
+    for (a, b) in base.as_slice().iter().zip(edited.as_slice()) {
+        if a != b {
+            changed_pixels += 1;
+        }
+    }
+    let mut edited_tiles = Vec::new();
+    if changed_pixels > 0 {
+        'tiles: for (i, tile) in partition.tiles().iter().enumerate() {
+            for y in tile.rect.y0..tile.rect.y1 {
+                for x in tile.rect.x0..tile.rect.x1 {
+                    let (x, y) = (x as usize, y as usize);
+                    if base.get(x, y) != edited.get(x, y) {
+                        edited_tiles.push(i);
+                        continue 'tiles;
+                    }
+                }
+            }
+        }
+    }
+    let mut dirty: BTreeSet<usize> = edited_tiles.iter().copied().collect();
+    for &i in &edited_tiles {
+        dirty.extend(partition.neighbors(i));
+    }
+    LayoutDiff {
+        changed_pixels,
+        edited: edited_tiles,
+        dirty: dirty.into_iter().collect(),
+    }
+}
+
+/// Result of an incremental re-solve: the flow output plus the reuse
+/// accounting the report and serve layers surface.
+#[derive(Debug, Clone)]
+pub struct IncrementalOutcome {
+    /// The warm flow: final mask, stage timings, wall clock, degradations.
+    pub flow: FlowResult,
+    /// The dirty frontier that drove the re-solve.
+    pub diff: LayoutDiff,
+    /// Tiles whose stored mask was reused verbatim.
+    pub tiles_reused: usize,
+    /// Tiles re-solved (the dirty set plus any clean store miss).
+    pub tiles_resolved: usize,
+    /// Store lookups that hit during this run (reuse + warm-start).
+    pub store_hits: usize,
+    /// Store lookups that missed during this run.
+    pub store_misses: usize,
+}
+
+impl IncrementalOutcome {
+    /// Fraction of the layout served from the store:
+    /// `tiles_reused / total tiles`. This is the locality headline — with a
+    /// single-tile edit on a 3×3 partition it is 5/9 (4 dirty, 5 reused).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.tiles_reused + self.tiles_resolved;
+        if total == 0 {
+            0.0
+        } else {
+            self.tiles_reused as f64 / total as f64
+        }
+    }
+}
+
+/// Per-tile store key over `target`'s content.
+fn tile_key(target: &BitGrid, partition: &Partition, index: usize, config_fp: u64) -> StoreKey {
+    StoreKey::new(
+        tile_content_hash(target, partition.tile(index).rect),
+        config_fp,
+        METHOD_OURS_PIXEL,
+    )
+}
+
+/// Patches an edited tile's warm-start mask: pixels whose target changed
+/// are snapped to their *new* target value. The base mask is near-optimal
+/// everywhere the targets agree, so after the patch the warm solver only
+/// has to smooth the seam of the edit instead of discovering it by
+/// gradient descent from a stale geometry.
+fn patch_changed_pixels(mask: &mut RealGrid, tile: &Tile, base: &BitGrid, edited: &BitGrid) {
+    let rect = tile.rect;
+    for y in rect.y0..rect.y1 {
+        for x in rect.x0..rect.x1 {
+            let (xu, yu) = (x as usize, y as usize);
+            let new = edited.get(xu, yu);
+            if base.get(xu, yu) != new {
+                mask.set(
+                    (x - rect.x0) as usize,
+                    (y - rect.y0) as usize,
+                    f64::from(new),
+                );
+            }
+        }
+    }
+}
+
+/// Stores every tile's crop of a solved full-clip mask under the target's
+/// content keys. Returns the number of tiles stored.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] on partitioning failure.
+pub fn store_tiles(
+    store: &MaskStore,
+    config: &ExperimentConfig,
+    target: &BitGrid,
+    mask: &RealGrid,
+) -> Result<usize, CoreError> {
+    let partition = Partition::new(target.width(), target.height(), config.partition)?;
+    let config_fp = config.fingerprint();
+    for i in 0..partition.tiles().len() {
+        let key = tile_key(target, &partition, i, config_fp);
+        store.put(key, restrict(mask, partition.tile(i)));
+    }
+    Ok(partition.tiles().len())
+}
+
+/// Runs the cold multigrid-Schwarz flow and populates the store with the
+/// final mask's tile crops, making the result warm-startable.
+///
+/// # Errors
+///
+/// Propagates flow failures.
+pub fn run_and_store(
+    config: &ExperimentConfig,
+    bank: &LithoBank,
+    store: &MaskStore,
+    target: &BitGrid,
+    solver: &dyn TileSolver,
+    executor: &TileExecutor,
+) -> Result<FlowResult, CoreError> {
+    let flow = multigrid_schwarz(config, bank, target, solver, executor)?;
+    store_tiles(store, config, target, &flow.mask)?;
+    Ok(flow)
+}
+
+/// Incremental re-solve of `edited` given that `base` was previously solved
+/// (and stored) under the same config. See the module docs for the
+/// three-phase structure.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] on partitioning, solver, or assembly failure.
+///
+/// # Panics
+///
+/// Panics if `config` is inconsistent or the layouts' dimensions differ.
+pub fn run_incremental_in(
+    config: &ExperimentConfig,
+    bank: &LithoBank,
+    store: &MaskStore,
+    base: &BitGrid,
+    edited: &BitGrid,
+    solver: &dyn TileSolver,
+    executor: &TileExecutor,
+) -> Result<IncrementalOutcome, CoreError> {
+    config.validate();
+    let name = format!("ours-eco:{}", solver.name());
+    let fspan = trace::flow_span(&name);
+    let n = config.partition.tile;
+    let partition = Partition::new(edited.width(), edited.height(), config.partition)?;
+    let config_fp = config.fingerprint();
+    let target_real = edited.to_real();
+    let tile_count = partition.tiles().len();
+    let policy = RetryPolicy::from_env();
+    let mut stages = Vec::new();
+    let mut degraded: Vec<DegradedTile> = Vec::new();
+    let mut store_hits = 0usize;
+    let mut store_misses = 0usize;
+
+    let diff = diff_layouts(&partition, base, edited);
+    let dirty: BTreeSet<usize> = diff.dirty.iter().copied().collect();
+
+    // Phase 1: reuse. Look up every tile under its *edited* content key;
+    // clean hits are reused verbatim, everything else joins the re-solve
+    // set. Dirty tiles warm-start from the *base* content key (the mask the
+    // base solve stored for the geometry they used to contain); a miss
+    // falls back to the edited target crop.
+    let reuse_stage = trace::stage("eco reuse".to_string());
+    let mut resolve: Vec<usize> = Vec::new();
+    // Tiles that need the *full* fine budget: their target changed (the
+    // base mask optimises a different geometry there) or their lookup
+    // missed (the init is a cold target crop, not a converged mask).
+    // Overlap-only neighbours keep the halved warm budget — their targets
+    // are identical, only the boundary conditions moved.
+    let edited_tiles: BTreeSet<usize> = diff.edited.iter().copied().collect();
+    let mut cold_budget: BTreeSet<usize> = edited_tiles.clone();
+    let mut looked_up: Vec<(RealGrid, f64)> = Vec::with_capacity(tile_count);
+    for i in 0..tile_count {
+        let crop = trace::timed_tile(i, || {
+            if dirty.contains(&i) {
+                resolve.push(i);
+                let warm_key = tile_key(base, &partition, i, config_fp);
+                match store.get(&warm_key) {
+                    Some(mut mask) => {
+                        store_hits += 1;
+                        if edited_tiles.contains(&i) {
+                            patch_changed_pixels(&mut mask, partition.tile(i), base, edited);
+                        }
+                        Ok::<_, CoreError>(mask)
+                    }
+                    None => {
+                        store_misses += 1;
+                        cold_budget.insert(i);
+                        Ok(restrict(&target_real, partition.tile(i)))
+                    }
+                }
+            } else {
+                match store.get(&tile_key(edited, &partition, i, config_fp)) {
+                    Some(mask) => {
+                        store_hits += 1;
+                        Ok(mask)
+                    }
+                    None => {
+                        store_misses += 1;
+                        resolve.push(i);
+                        cold_budget.insert(i);
+                        Ok(restrict(&target_real, partition.tile(i)))
+                    }
+                }
+            }
+        })?;
+        looked_up.push(crop);
+    }
+    resolve.sort_unstable();
+    let tiles_resolved = resolve.len();
+    let tiles_reused = tile_count - tiles_resolved;
+    let blend = if config.blend_band == 0 {
+        AssemblyMode::weighted_default(&partition)
+    } else {
+        AssemblyMode::Weighted {
+            band: config.blend_band,
+        }
+    };
+    let (assembled, timing) = reuse_stage.finish(looked_up, |masks| {
+        assemble(&partition, &masks, blend).map_err(CoreError::from)
+    })?;
+    let mut mask = assembled;
+    stages.push(timing);
+
+    tele::counter_add("incremental.tiles_reused", tiles_reused as u64);
+    tele::counter_add("incremental.tiles_resolved", tiles_resolved as u64);
+
+    // Phase 2: warm fine stages over the re-solve set, with the same
+    // assemble-and-re-crop boundary exchange as the cold flow (clean tiles
+    // contribute their current crops, so assembly is the identity there).
+    for fine_stage in 0..config.schedule.fine_stages {
+        let label = format!("eco fine stage {}", fine_stage + 1);
+        let stage = trace::stage(label.clone());
+        let results = executor.run_recoverable(resolve.len(), policy, |k| {
+            let tile = partition.tile(resolve[k]);
+            let iterations = if cold_budget.contains(&resolve[k]) {
+                config.schedule.fine_per_stage(fine_stage)
+            } else {
+                config.schedule.warm_per_stage(fine_stage)
+            };
+            let tile_target = restrict(&target_real, tile);
+            let tile_init = restrict(&mask, tile);
+            let ctx = SolveContext { bank, n, scale: 1 };
+            let request = SolveRequest {
+                target: &tile_target,
+                initial: &tile_init,
+                iterations,
+                lr_scale: config.schedule.fine_lr_scale,
+                gentle: false,
+                warm: true,
+            };
+            let (outcome, elapsed) = trace::timed_tile(resolve[k], || {
+                Ok::<_, CoreError>(solver.solve(&ctx, &request)?)
+            })?;
+            ilt_diag::observe_solve(&name, &label, resolve[k], &outcome.loss_history);
+            Ok::<_, CoreError>((outcome.mask, elapsed))
+        });
+        let solved = recover_stage(
+            &name,
+            &label,
+            results,
+            |k| resolve[k],
+            |k| restrict(&mask, partition.tile(resolve[k])),
+            &mut degraded,
+        )?;
+        let (assembled, timing) = stage.finish(solved, |new_masks| {
+            let mut all: Vec<RealGrid> = (0..tile_count)
+                .map(|i| restrict(&mask, partition.tile(i)))
+                .collect();
+            for (k, new_mask) in new_masks.into_iter().enumerate() {
+                all[resolve[k]] = new_mask;
+            }
+            assemble(&partition, &all, blend).map_err(CoreError::from)
+        })?;
+        mask = assembled;
+        stages.push(timing);
+    }
+
+    // Phase 3: warm multi-colour refine over the re-solve set only. No
+    // global threshold first: the reused masks are post-refine already, and
+    // re-thresholding would perturb clean tiles the edit never touched.
+    let coloring = multi_coloring(&partition);
+    for (color, group) in coloring.groups().into_iter().enumerate() {
+        let group: Vec<usize> = group.into_iter().filter(|i| resolve.contains(i)).collect();
+        if group.is_empty() {
+            continue;
+        }
+        let label = format!("eco refine color {}", color + 1);
+        let stage = trace::stage(label.clone());
+        let results = executor.run_recoverable(group.len(), policy, |k| {
+            let tile = partition.tile(group[k]);
+            let tile_target = restrict(&target_real, tile);
+            let tile_init = restrict(&mask, tile);
+            let ctx = SolveContext { bank, n, scale: 1 };
+            let request = SolveRequest {
+                target: &tile_target,
+                initial: &tile_init,
+                iterations: config.schedule.refine_iterations,
+                lr_scale: config.schedule.refine_lr_scale,
+                gentle: true,
+                warm: true,
+            };
+            let (outcome, elapsed) = trace::timed_tile(group[k], || {
+                Ok::<_, CoreError>(solver.solve(&ctx, &request)?)
+            })?;
+            ilt_diag::observe_solve(&name, &label, group[k], &outcome.loss_history);
+            Ok::<_, CoreError>((outcome.mask, elapsed))
+        });
+        let solved = recover_stage(
+            &name,
+            &label,
+            results,
+            |k| group[k],
+            |k| restrict(&mask, partition.tile(group[k])),
+            &mut degraded,
+        )?;
+        let replace = AssemblyMode::ExtendedCore {
+            margin: match blend {
+                AssemblyMode::Weighted { band } => band,
+                _ => config.partition.overlap / 4,
+            },
+        };
+        let ((), timing) = stage.finish(solved, |masks| {
+            for (k, new_mask) in masks.iter().enumerate() {
+                apply_weighted_update(&mut mask, &partition, group[k], new_mask, replace);
+            }
+            Ok::<_, CoreError>(())
+        })?;
+        stages.push(timing);
+    }
+
+    // Store the re-solved tiles under their edited content keys, so the
+    // next edit on top of this layout warm-starts from here.
+    for &i in &resolve {
+        let key = tile_key(edited, &partition, i, config_fp);
+        store.put(key, restrict(&mask, partition.tile(i)));
+    }
+
+    let wall_seconds = fspan.end();
+    Ok(IncrementalOutcome {
+        flow: FlowResult {
+            name,
+            mask,
+            stages,
+            wall_seconds,
+            degraded,
+        },
+        diff,
+        tiles_reused,
+        tiles_resolved,
+        store_hits,
+        store_misses,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilt_grid::Rect;
+    use ilt_tile::PartitionConfig;
+
+    fn partition_3x3() -> Partition {
+        Partition::new(
+            128,
+            128,
+            PartitionConfig {
+                tile: 64,
+                overlap: 32,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_layouts_have_empty_diff() {
+        let partition = partition_3x3();
+        let layout = BitGrid::from_fn(128, 128, |x, y| u8::from((x + y) % 3 == 0));
+        let diff = diff_layouts(&partition, &layout, &layout);
+        assert_eq!(diff.changed_pixels, 0);
+        assert!(diff.edited.is_empty());
+        assert!(diff.dirty.is_empty());
+    }
+
+    #[test]
+    fn corner_edit_marks_tile_and_overlap_neighbors_dirty() {
+        // Pixel (5,5) lies only in tile 0 (tiles are 64 wide at stride 32).
+        let partition = partition_3x3();
+        let base = BitGrid::new(128, 128, 0);
+        let mut edited = base.clone();
+        edited.set(5, 5, 1);
+        let diff = diff_layouts(&partition, &base, &edited);
+        assert_eq!(diff.changed_pixels, 1);
+        assert_eq!(diff.edited, vec![0]);
+        // Dirty = edited ∪ overlap neighbours of tile 0 = {0, 1, 3, 4}.
+        let mut expected = vec![0usize];
+        expected.extend(partition.neighbors(0));
+        expected.sort_unstable();
+        assert_eq!(diff.dirty, expected);
+        assert_eq!(diff.dirty, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn center_edit_dirties_every_tile() {
+        // The centre pixel lies in the overlap of several tiles; its tile's
+        // neighbour set covers the whole 3×3 grid.
+        let partition = partition_3x3();
+        let base = BitGrid::new(128, 128, 0);
+        let mut edited = base.clone();
+        edited.fill_rect(Rect::new(60, 60, 68, 68), 1);
+        let diff = diff_layouts(&partition, &base, &edited);
+        assert_eq!(diff.dirty, (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn edit_in_exclusive_core_of_edge_tile() {
+        // Pixel (64, 5): x=64 lies in tiles at columns 1 and 2... columns
+        // with x0 <= 64 < x0+64 → x0 ∈ {32, 64} (cols 1, 2); y=5 → row 0.
+        let partition = partition_3x3();
+        let base = BitGrid::new(128, 128, 0);
+        let mut edited = base.clone();
+        edited.set(64, 5, 1);
+        let diff = diff_layouts(&partition, &base, &edited);
+        assert_eq!(diff.edited, vec![1, 2]);
+        // Neighbours of 1 and 2 span all of rows 0-1.
+        assert_eq!(diff.dirty, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical dimensions")]
+    fn dimension_mismatch_rejected() {
+        let partition = partition_3x3();
+        let base = BitGrid::new(128, 128, 0);
+        let edited = BitGrid::new(64, 64, 0);
+        diff_layouts(&partition, &base, &edited);
+    }
+}

@@ -14,7 +14,10 @@
 //!   including the new seams it creates (Fig. 7);
 //! * [`experiment`] — the Table 1 engine (run, inspect, average, ratio);
 //! * [`speedup`] — the measured-runtime scheduling model for the 4-GPU
-//!   speedup experiment.
+//!   speedup experiment;
+//! * [`incremental`] — the ECO workflow: dirty-tile propagation over the
+//!   Schwarz overlap structure and warm-started re-solve of only the dirty
+//!   set, reusing clean tiles verbatim from the `ilt-store` mask store.
 //!
 //! # Examples
 //!
@@ -50,9 +53,11 @@ mod config;
 mod error;
 pub mod experiment;
 pub mod flows;
+pub mod incremental;
 mod session;
 pub mod speedup;
 
 pub use config::{ExperimentConfig, Schedule};
 pub use error::CoreError;
+pub use incremental::{diff_layouts, IncrementalOutcome, LayoutDiff};
 pub use session::Session;

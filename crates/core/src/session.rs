@@ -104,6 +104,70 @@ impl Session {
         run_method(method, &self.config, &self.bank, target, executor)
     }
 
+    /// Runs the multigrid-Schwarz flow and stores the final mask's tile
+    /// crops in the shared mask store (`ilt-store`), making the result
+    /// warm-startable by [`Session::run_incremental`]. When the store is
+    /// disabled (`ILT_STORE=0`) this is plain [`Session::run_method`] with
+    /// [`Method::Ours`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates flow failures.
+    pub fn run_and_store(
+        &self,
+        target: &BitGrid,
+        executor: &TileExecutor,
+    ) -> Result<FlowResult, CoreError> {
+        let mut span = ilt_telemetry::span(ilt_telemetry::names::SESSION);
+        span.add_field("method", "ours+store");
+        if !ilt_store::MaskStore::enabled() {
+            return crate::flows::multigrid_schwarz(
+                &self.config,
+                &self.bank,
+                target,
+                &ilt_opt::PixelIlt::new(),
+                executor,
+            );
+        }
+        crate::incremental::run_and_store(
+            &self.config,
+            &self.bank,
+            ilt_store::shared_store(),
+            target,
+            &ilt_opt::PixelIlt::new(),
+            executor,
+        )
+    }
+
+    /// Incremental (ECO) re-solve: diffs `edited` against `base`, reuses
+    /// clean tiles verbatim from the shared mask store, and re-solves only
+    /// the dirty set warm-started from the base masks. The base layout must
+    /// have been solved with [`Session::run_and_store`] under this
+    /// session's config for warm starts to hit; on a cold store every tile
+    /// re-solves (correct, just not fast).
+    ///
+    /// # Errors
+    ///
+    /// Propagates flow failures.
+    pub fn run_incremental(
+        &self,
+        base: &BitGrid,
+        edited: &BitGrid,
+        executor: &TileExecutor,
+    ) -> Result<crate::incremental::IncrementalOutcome, CoreError> {
+        let mut span = ilt_telemetry::span(ilt_telemetry::names::SESSION);
+        span.add_field("method", "ours-eco");
+        crate::incremental::run_incremental_in(
+            &self.config,
+            &self.bank,
+            ilt_store::shared_store(),
+            base,
+            edited,
+            &ilt_opt::PixelIlt::new(),
+            executor,
+        )
+    }
+
     /// Runs all four methods on one clip (one Table 1 row), reusing the
     /// session's bank and inspection system.
     ///

@@ -1,0 +1,162 @@
+//! End-to-end contract of the incremental (ECO) re-solve: a single-tile
+//! edit re-solves exactly the dirty set (edited tile ∪ overlap neighbours),
+//! reuses every clean tile verbatim, and leaves clean cores bit-identical
+//! to the base solve.
+
+use ilt_core::incremental::{run_and_store, run_incremental_in};
+use ilt_core::ExperimentConfig;
+use ilt_grid::{BitGrid, Rect};
+use ilt_layout::generate_clip;
+use ilt_litho::{LithoBank, ResistModel};
+use ilt_opt::PixelIlt;
+use ilt_store::MaskStore;
+use ilt_tile::{Partition, TileExecutor};
+
+fn flip_rect(layout: &BitGrid, rect: Rect) -> BitGrid {
+    let mut edited = layout.clone();
+    for y in rect.y0..rect.y1 {
+        for x in rect.x0..rect.x1 {
+            let (x, y) = (x as usize, y as usize);
+            edited.set(x, y, 1 - layout.get(x, y));
+        }
+    }
+    edited
+}
+
+struct Eco {
+    base_mask: ilt_grid::RealGrid,
+    outcome: ilt_core::IncrementalOutcome,
+    partition: Partition,
+}
+
+fn run_single_tile_edit() -> Eco {
+    let config = ExperimentConfig::test_tiny();
+    let bank = LithoBank::new(config.optics, ResistModel::m1_default()).unwrap();
+    let store = MaskStore::new(64 * 1024 * 1024, None);
+    let executor = TileExecutor::sequential();
+    let solver = PixelIlt::new();
+    let base = generate_clip(&config.generator, 1);
+    // An 8×8 flip deep inside tile 0's exclusive region (x, y < 32 belongs
+    // to tile 0 only: tile 1 starts at x = 32).
+    let edited = flip_rect(&base, Rect::new(10, 10, 18, 18));
+
+    let base_flow = run_and_store(&config, &bank, &store, &base, &solver, &executor).unwrap();
+    let outcome =
+        run_incremental_in(&config, &bank, &store, &base, &edited, &solver, &executor).unwrap();
+    let partition = Partition::new(config.clip, config.clip, config.partition).unwrap();
+    Eco {
+        base_mask: base_flow.mask,
+        outcome,
+        partition,
+    }
+}
+
+#[test]
+fn single_tile_edit_resolves_only_the_dirty_set() {
+    let eco = run_single_tile_edit();
+    let outcome = &eco.outcome;
+
+    // Dirty set = edited tile 0 ∪ its overlap neighbours {1, 3, 4}.
+    assert_eq!(outcome.diff.edited, vec![0]);
+    let mut expected = vec![0usize];
+    expected.extend(eco.partition.neighbors(0));
+    expected.sort_unstable();
+    assert_eq!(outcome.diff.dirty, expected);
+    assert_eq!(outcome.diff.dirty, vec![0, 1, 3, 4]);
+
+    // Exactly the dirty set re-solves; the other five tiles are reused.
+    assert_eq!(outcome.tiles_resolved, 4);
+    assert_eq!(outcome.tiles_reused, 5);
+    assert!((outcome.hit_ratio() - 5.0 / 9.0).abs() < 1e-12);
+
+    // Every store lookup hit: clean tiles under their unchanged content
+    // keys, dirty tiles warm-started under their base keys.
+    assert_eq!(outcome.store_hits, 9);
+    assert_eq!(outcome.store_misses, 0);
+
+    // The warm stages ran tile solves for the dirty set only.
+    for label in ["eco fine stage 1", "eco fine stage 2"] {
+        let stage = outcome
+            .flow
+            .stages
+            .iter()
+            .find(|s| s.label == label)
+            .unwrap_or_else(|| panic!("missing stage {label}"));
+        assert_eq!(stage.tile_seconds.len(), 4, "{label}");
+    }
+    let refined: usize = outcome
+        .flow
+        .stages
+        .iter()
+        .filter(|s| s.label.starts_with("eco refine"))
+        .map(|s| s.tile_seconds.len())
+        .sum();
+    assert_eq!(refined, 4, "refine covers each dirty tile exactly once");
+    assert!(outcome.flow.name.starts_with("ours-eco:"));
+    assert!(outcome.flow.degraded.is_empty());
+}
+
+#[test]
+fn clean_cores_are_bit_identical_to_the_base_solve() {
+    let eco = run_single_tile_edit();
+    // Tile 8 (bottom-right) is clean and none of the dirty tiles' rects
+    // reach its exclusive region (dirty rects end at x,y = 96... tile 4's
+    // rect is 32..96 in both axes; tile 8's exclusive pixels at >= 96+8
+    // stay clear of every dirty extended core).
+    let mask = &eco.outcome.flow.mask;
+    for y in 104..128 {
+        for x in 104..128 {
+            assert_eq!(
+                mask.get(x, y),
+                eco.base_mask.get(x, y),
+                "clean pixel ({x},{y}) drifted from the base solve"
+            );
+        }
+    }
+}
+
+#[test]
+fn no_change_edit_reuses_everything() {
+    let config = ExperimentConfig::test_tiny();
+    let bank = LithoBank::new(config.optics, ResistModel::m1_default()).unwrap();
+    let store = MaskStore::new(64 * 1024 * 1024, None);
+    let executor = TileExecutor::sequential();
+    let solver = PixelIlt::new();
+    let base = generate_clip(&config.generator, 1);
+    let base_flow = run_and_store(&config, &bank, &store, &base, &solver, &executor).unwrap();
+    let outcome =
+        run_incremental_in(&config, &bank, &store, &base, &base, &solver, &executor).unwrap();
+    assert_eq!(outcome.tiles_resolved, 0);
+    assert_eq!(outcome.tiles_reused, 9);
+    assert_eq!(outcome.diff.changed_pixels, 0);
+    // Reassembling the reused crops reproduces the base mask (exactly in
+    // exclusive cores, to rounding in the partition-of-unity blend bands).
+    for (a, b) in outcome
+        .flow
+        .mask
+        .as_slice()
+        .iter()
+        .zip(base_flow.mask.as_slice())
+    {
+        assert!((a - b).abs() < 1e-12, "reassembled {a} vs base {b}");
+    }
+}
+
+#[test]
+fn cold_store_still_produces_a_full_solve() {
+    // With an empty store, every tile misses and re-solves: slower, but the
+    // flow still completes and covers the full clip.
+    let config = ExperimentConfig::test_tiny();
+    let bank = LithoBank::new(config.optics, ResistModel::m1_default()).unwrap();
+    let store = MaskStore::new(64 * 1024 * 1024, None);
+    let executor = TileExecutor::sequential();
+    let solver = PixelIlt::new();
+    let base = generate_clip(&config.generator, 1);
+    let edited = flip_rect(&base, Rect::new(10, 10, 18, 18));
+    let outcome =
+        run_incremental_in(&config, &bank, &store, &base, &edited, &solver, &executor).unwrap();
+    assert_eq!(outcome.tiles_resolved, 9, "all tiles miss on a cold store");
+    assert_eq!(outcome.tiles_reused, 0);
+    assert_eq!(outcome.store_misses, 9);
+    assert_eq!(outcome.flow.mask.width(), config.clip);
+}

@@ -132,6 +132,24 @@ fn peak_rss_bytes(report: &Json) -> Option<f64> {
         .filter(|v| *v > 0.0)
 }
 
+/// The reuse accounting of the optional `incremental` (ECO drill) section.
+struct IncrementalNumbers {
+    tiles_resolved: f64,
+    hit_ratio: f64,
+    speedup: f64,
+}
+
+/// Reads the optional `incremental` section (`None` for reports written
+/// by binaries that do not run the ECO drill).
+fn incremental_numbers(report: &Json) -> Option<IncrementalNumbers> {
+    let section = report.get("incremental")?;
+    Some(IncrementalNumbers {
+        tiles_resolved: section.get("tiles_resolved")?.as_f64()?,
+        hit_ratio: section.get("hit_ratio")?.as_f64()?,
+        speedup: section.get("speedup")?.as_f64()?,
+    })
+}
+
 /// Compares a candidate report against a baseline.
 ///
 /// Latency gates on per-flow wall seconds (ratio, with a 5 ms floor on the
@@ -141,7 +159,9 @@ fn peak_rss_bytes(report: &Json) -> Option<f64> {
 /// regression, as is a (case, method) or flow present in the baseline but
 /// missing from the candidate. A baseline without diagnostics skips
 /// quality gating. Peak RSS gates on the optional `memory.peak_rss_bytes`
-/// field when both reports carry it.
+/// field when both reports carry it, and the ECO drill's `incremental`
+/// section (dirty-set size, store hit ratio, warm/cold speedup) gates the
+/// same way.
 ///
 /// # Errors
 ///
@@ -202,6 +222,39 @@ pub fn compare_reports(
                 what: "peak_rss_bytes".to_string(),
                 baseline: base_rss,
                 candidate: cand_rss,
+            });
+        }
+    }
+
+    // The ECO drill gates on its reuse accounting: re-solving more tiles
+    // than the baseline means the dirty frontier grew (edit locality
+    // eroded), a hit-ratio drop means store reuse broke, and the warm/cold
+    // speedup shrinking past the latency ratio means the warm path lost
+    // its edge. Skipped unless both reports carry the section, like the
+    // other optional sections.
+    if let (Some(base), Some(cand)) = (
+        incremental_numbers(baseline),
+        incremental_numbers(candidate),
+    ) {
+        if cand.tiles_resolved > base.tiles_resolved {
+            regressions.push(Regression {
+                what: "incremental tiles_resolved".to_string(),
+                baseline: base.tiles_resolved,
+                candidate: cand.tiles_resolved,
+            });
+        }
+        if cand.hit_ratio < base.hit_ratio - 1e-9 {
+            regressions.push(Regression {
+                what: "incremental hit_ratio".to_string(),
+                baseline: base.hit_ratio,
+                candidate: cand.hit_ratio,
+            });
+        }
+        if thresholds.check_latency && cand.speedup < base.speedup / thresholds.max_latency_ratio {
+            regressions.push(Regression {
+                what: "incremental speedup".to_string(),
+                baseline: base.speedup,
+                candidate: cand.speedup,
             });
         }
     }
@@ -483,6 +536,69 @@ mod tests {
                 .unwrap()
                 .is_empty()
         );
+    }
+
+    fn report_with_incremental(tiles_resolved: u64, hit_ratio: f64, speedup: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{"schema":"ilt-report/v2","flows":[{{"name":"ours:pgd","seconds":1.0}}],
+                 "incremental":{{"tiles_reused":5,"tiles_resolved":{tiles_resolved},
+                   "hit_ratio":{hit_ratio},"speedup":{speedup}}}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn growing_the_dirty_set_or_losing_reuse_is_a_regression() {
+        let base = report_with_incremental(4, 0.556, 3.5);
+        let same = compare_reports(&base, &base, &DiffThresholds::default());
+        assert!(same.unwrap().is_empty());
+        // Re-solving fewer tiles or reusing more is an improvement.
+        let better = report_with_incremental(3, 0.667, 4.0);
+        assert!(compare_reports(&base, &better, &DiffThresholds::default())
+            .unwrap()
+            .is_empty());
+        let more_resolved = report_with_incremental(6, 0.556, 3.5);
+        let found = compare_reports(&base, &more_resolved, &DiffThresholds::default()).unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].what, "incremental tiles_resolved");
+        let less_reuse = report_with_incremental(4, 0.333, 3.5);
+        let found = compare_reports(&base, &less_reuse, &DiffThresholds::default()).unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].what, "incremental hit_ratio");
+    }
+
+    #[test]
+    fn eco_speedup_collapse_gates_with_latency() {
+        let base = report_with_incremental(4, 0.556, 4.0);
+        // Within the 2x latency ratio: 4.0 -> 2.5 passes.
+        let slower = report_with_incremental(4, 0.556, 2.5);
+        assert!(compare_reports(&base, &slower, &DiffThresholds::default())
+            .unwrap()
+            .is_empty());
+        let collapsed = report_with_incremental(4, 0.556, 1.5);
+        let found = compare_reports(&base, &collapsed, &DiffThresholds::default()).unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].what, "incremental speedup");
+        // --ignore-latency also waives the speedup gate (cross-machine runs).
+        let relaxed = DiffThresholds {
+            check_latency: false,
+            ..DiffThresholds::default()
+        };
+        assert!(compare_reports(&base, &collapsed, &relaxed)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn missing_incremental_section_skips_eco_gating() {
+        let plain = report(1.0, 2.0);
+        let with_eco = report_with_incremental(4, 0.556, 3.5);
+        for (a, b) in [(&plain, &with_eco), (&with_eco, &plain)] {
+            assert!(compare_reports(a, b, &DiffThresholds::default())
+                .unwrap()
+                .iter()
+                .all(|r| !r.what.starts_with("incremental")));
+        }
     }
 
     #[test]

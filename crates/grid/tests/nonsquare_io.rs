@@ -1,0 +1,78 @@
+//! Round-trip IO for non-square M×N grids. The incremental (ECO) subsystem
+//! hashes and spills rectangular tile crops, so width≠height must survive
+//! every serialisation path bit-for-bit (CSV) or value-for-value (PGM).
+
+use ilt_grid::io::{read_csv, read_pgm_from, write_csv, write_pgm_to};
+use ilt_grid::{Grid, RealGrid};
+
+fn nonsquare(width: usize, height: usize) -> RealGrid {
+    // Values already in [0, 255] with both endpoints present, so the PGM
+    // range mapping is the identity and the round-trip is exact.
+    Grid::from_fn(width, height, |x, y| {
+        if (x, y) == (0, 0) {
+            0.0
+        } else if (x, y) == (1, 0) {
+            255.0
+        } else {
+            ((x * 37 + y * 101) % 256) as f64
+        }
+    })
+}
+
+#[test]
+fn wide_pgm_round_trips_exactly() {
+    let img = nonsquare(13, 5);
+    let mut buf = Vec::new();
+    write_pgm_to(&mut buf, &img).unwrap();
+    let back = read_pgm_from(buf.as_slice()).unwrap();
+    assert_eq!(back.width(), 13);
+    assert_eq!(back.height(), 5);
+    assert_eq!(back.as_slice(), img.as_slice());
+}
+
+#[test]
+fn tall_pgm_round_trips_exactly() {
+    let img = nonsquare(3, 17);
+    let mut buf = Vec::new();
+    write_pgm_to(&mut buf, &img).unwrap();
+    let back = read_pgm_from(buf.as_slice()).unwrap();
+    assert_eq!((back.width(), back.height()), (3, 17));
+    assert_eq!(back.as_slice(), img.as_slice());
+}
+
+#[test]
+fn pgm_header_dimensions_are_width_then_height() {
+    // A transposition bug would swap these for any non-square grid.
+    let img = nonsquare(7, 2);
+    let mut buf = Vec::new();
+    write_pgm_to(&mut buf, &img).unwrap();
+    let text = String::from_utf8_lossy(&buf[..12]);
+    assert!(text.contains("7 2"), "header: {text:?}");
+}
+
+#[test]
+fn nonsquare_csv_round_trips() {
+    let img = nonsquare(6, 4);
+    let header: Vec<&str> = (0..img.width()).map(|_| "c").collect();
+    let rows: Vec<Vec<String>> = (0..img.height())
+        .map(|y| {
+            (0..img.width())
+                .map(|x| img.get(x, y).to_string())
+                .collect()
+        })
+        .collect();
+    let dir = std::env::temp_dir().join(format!("ilt-grid-nonsquare-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("grid.csv");
+    write_csv(&path, &header, &rows).unwrap();
+    let (got_header, got_rows) = read_csv(&path).unwrap();
+    assert_eq!(got_header.len(), 6);
+    assert_eq!(got_rows.len(), 4);
+    for (y, row) in got_rows.iter().enumerate() {
+        assert_eq!(row.len(), 6, "row {y}");
+        for (x, cell) in row.iter().enumerate() {
+            assert_eq!(cell.parse::<f64>().unwrap(), img.get(x, y));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

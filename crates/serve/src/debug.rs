@@ -8,8 +8,9 @@
 
 use std::collections::BTreeMap;
 
+use ilt_store::{EntryView, StoreStats};
 use ilt_telemetry as tele;
-use ilt_telemetry::json::push_str_literal;
+use ilt_telemetry::json::{push_f64, push_str_literal};
 
 /// One job's debug-view row (a cheap excerpt of the tracked record).
 #[derive(Debug, Clone)]
@@ -64,6 +65,7 @@ pub(crate) fn render_caches(
     litho_bank_bytes: u64,
     fft_plans: usize,
     fft_plan_bytes: u64,
+    mask_store: &StoreStats,
     counters: &BTreeMap<String, u64>,
     gauges: &BTreeMap<String, f64>,
 ) -> String {
@@ -84,6 +86,15 @@ pub(crate) fn render_caches(
         counter("fft.plan_cache.miss")
     ));
     out.push_str(&format!(
+        ",\"mask_store\":{{\"entries\":{},\"bytes\":{},\"hits\":{},\"misses\":{},\
+         \"evictions\":{}}}",
+        mask_store.entries,
+        mask_store.bytes,
+        mask_store.hits,
+        mask_store.misses,
+        mask_store.evictions
+    ));
+    out.push_str(&format!(
         ",\"session_cache\":{{\"entries\":{},\"hits\":{},\"misses\":{}}}",
         gauges
             .get("serve.session_cache.entries")
@@ -93,6 +104,46 @@ pub(crate) fn render_caches(
         counter("serve.session_cache.miss")
     ));
     out.push('}');
+    out
+}
+
+/// `GET /debug/store`: the shared mask store's occupancy and hit/miss
+/// statistics plus its most recently touched entries (newest first).
+/// Digests and fingerprints render as fixed-width hex strings — they are
+/// opaque 64-bit hashes, not quantities.
+pub(crate) fn render_store(enabled: bool, stats: &StoreStats, entries: &[EntryView]) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!("\"enabled\":{enabled},\"stats\":{{"));
+    out.push_str(&format!(
+        "\"hits\":{},\"misses\":{},\"puts\":{},\"evictions\":{},\"spills\":{},\
+         \"disk_hits\":{},\"bytes\":{},\"entries\":{},\"hit_ratio\":",
+        stats.hits,
+        stats.misses,
+        stats.puts,
+        stats.evictions,
+        stats.spills,
+        stats.disk_hits,
+        stats.bytes,
+        stats.entries
+    ));
+    push_f64(&mut out, stats.hit_ratio());
+    out.push_str("},\"entries\":[");
+    for (i, entry) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"digest\":\"{:016x}\",\"geometry\":\"{:016x}\",\"config\":\"{:016x}\",\
+             \"method\":",
+            entry.digest, entry.geometry, entry.config
+        ));
+        push_str_literal(&mut out, entry.method);
+        out.push_str(&format!(
+            ",\"bytes\":{},\"version\":{}}}",
+            entry.bytes, entry.version
+        ));
+    }
+    out.push_str("]}");
     out
 }
 
@@ -297,7 +348,17 @@ mod tests {
         counters.insert("litho.bank_cache.hit".to_string(), 4u64);
         let mut gauges = BTreeMap::new();
         gauges.insert("serve.session_cache.entries".to_string(), 2.0);
-        let body = render_caches(1, 65536, 3, 4096, &counters, &gauges);
+        let store = StoreStats {
+            hits: 9,
+            misses: 1,
+            puts: 10,
+            evictions: 0,
+            spills: 0,
+            disk_hits: 0,
+            bytes: 320000,
+            entries: 9,
+        };
+        let body = render_caches(1, 65536, 3, 4096, &store, &counters, &gauges);
         let parsed = Json::parse(&body).expect("valid JSON");
         assert_eq!(
             parsed
@@ -324,6 +385,60 @@ mod tests {
             Some(4096)
         );
         assert!(body.contains("\"session_cache\":{\"entries\":2"));
+        assert_eq!(
+            parsed
+                .path(&["mask_store", "entries"])
+                .and_then(|v| v.as_u64()),
+            Some(9)
+        );
+        assert_eq!(
+            parsed
+                .path(&["mask_store", "hits"])
+                .and_then(|v| v.as_u64()),
+            Some(9)
+        );
+    }
+
+    #[test]
+    fn store_render_is_well_formed() {
+        let stats = StoreStats {
+            hits: 3,
+            misses: 1,
+            puts: 4,
+            evictions: 1,
+            spills: 1,
+            disk_hits: 1,
+            bytes: 1024,
+            entries: 2,
+        };
+        let entries = vec![EntryView {
+            digest: 0xdead_beef,
+            geometry: 7,
+            config: 9,
+            method: "ours:pixel",
+            bytes: 512,
+            version: 2,
+        }];
+        let body = render_store(true, &stats, &entries);
+        let parsed = Json::parse(&body).expect("valid JSON");
+        assert_eq!(
+            parsed.path(&["stats", "hits"]).and_then(|v| v.as_u64()),
+            Some(3)
+        );
+        assert_eq!(
+            parsed
+                .path(&["stats", "hit_ratio"])
+                .and_then(|v| v.as_f64()),
+            Some(0.75)
+        );
+        let listed = parsed
+            .path(&["entries"])
+            .and_then(|v| v.as_arr())
+            .expect("entry array");
+        assert_eq!(listed.len(), 1);
+        assert!(body.contains("\"digest\":\"00000000deadbeef\""));
+        assert!(body.contains("\"method\":\"ours:pixel\""));
+        assert!(body.contains("\"version\":2"));
     }
 
     #[test]

@@ -22,6 +22,32 @@ pub enum CaseSource {
     /// An inline layout spec: a seeded generator run at the scale's clip
     /// size with optional geometry overrides.
     Inline(InlineLayout),
+    /// An incremental (ECO) re-solve: the layout of a previously submitted
+    /// job with a rectangular edit applied. The worker diffs the edited
+    /// layout against the base, reuses clean tiles from the mask store,
+    /// and re-solves only the dirty set.
+    Eco {
+        /// Id of the base job whose target the edit applies to.
+        base_job: u64,
+        /// The rectangular edit.
+        edit: EcoEdit,
+    },
+}
+
+/// A rectangular layout edit: pixels in `[x0, x1) x [y0, y1)` are set to
+/// `fill` (1 draws metal, 0 clears it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EcoEdit {
+    /// Left edge (inclusive).
+    pub x0: usize,
+    /// Top edge (inclusive).
+    pub y0: usize,
+    /// Right edge (exclusive).
+    pub x1: usize,
+    /// Bottom edge (exclusive).
+    pub y1: usize,
+    /// Value written into the rectangle (0 or 1).
+    pub fill: u8,
 }
 
 /// Geometry overrides for an inline layout. Unset fields keep the scale's
@@ -57,10 +83,12 @@ impl JobSpec {
     ///
     /// Accepted fields: `case` (integer 1..=20) **or** `layout` (object
     /// with `seed` and optional `wire_width` / `wire_space` /
-    /// `track_fill`), `method` (`"ours"`, `"gls-dnc"`,
-    /// `"multi-level-dnc"`, `"full-chip"`; default `"ours"`), `scale`
-    /// (`"tiny"` or `"default"`; default `"tiny"`), `timeout_ms`
-    /// (positive integer).
+    /// `track_fill`) **or** `base_job` + `edit` (incremental ECO re-solve:
+    /// `base_job` names a prior job id, `edit` is
+    /// `{"rect": [x0, y0, x1, y1], "fill": 0|1}`), `method` (`"ours"`,
+    /// `"gls-dnc"`, `"multi-level-dnc"`, `"full-chip"`; default `"ours"`;
+    /// ECO jobs accept only `"ours"`), `scale` (`"tiny"` or `"default"`;
+    /// default `"tiny"`), `timeout_ms` (positive integer).
     ///
     /// # Errors
     ///
@@ -72,25 +100,51 @@ impl JobSpec {
         };
         let case = json.get("case");
         let layout = json.get("layout");
-        let source = match (case, layout) {
-            (Some(_), Some(_)) => {
-                return Err("give either \"case\" or \"layout\", not both".to_string())
+        let base_job = json.get("base_job");
+        let edit = json.get("edit");
+        let source = match (case, layout, base_job) {
+            (Some(_), Some(_), _) | (Some(_), _, Some(_)) | (_, Some(_), Some(_)) => {
+                return Err("give exactly one of \"case\", \"layout\", or \"base_job\"".to_string())
             }
-            (None, None) => return Err("job spec needs a \"case\" or a \"layout\"".to_string()),
-            (Some(c), None) => {
+            (None, None, None) => {
+                return Err("job spec needs a \"case\", a \"layout\", or a \"base_job\"".to_string())
+            }
+            (Some(c), None, None) => {
+                if edit.is_some() {
+                    return Err("\"edit\" requires a \"base_job\"".to_string());
+                }
                 let id = c
                     .as_u64()
                     .filter(|id| (1..=20).contains(id))
                     .ok_or_else(|| "\"case\" must be an integer in 1..=20".to_string())?;
                 CaseSource::Suite(id as usize)
             }
-            (None, Some(spec)) => CaseSource::Inline(parse_layout(spec)?),
+            (None, Some(spec), None) => {
+                if edit.is_some() {
+                    return Err("\"edit\" requires a \"base_job\"".to_string());
+                }
+                CaseSource::Inline(parse_layout(spec)?)
+            }
+            (None, None, Some(base)) => {
+                let base_job = base
+                    .as_u64()
+                    .or_else(|| base.as_str().and_then(|s| s.parse().ok()))
+                    .ok_or_else(|| "\"base_job\" must be a job id".to_string())?;
+                let edit = edit.ok_or_else(|| "\"base_job\" needs an \"edit\"".to_string())?;
+                CaseSource::Eco {
+                    base_job,
+                    edit: parse_edit(edit)?,
+                }
+            }
         };
         let method = match json.get("method").map(|m| m.as_str()) {
             None => Method::Ours,
             Some(Some(name)) => parse_method(name)?,
             Some(None) => return Err("\"method\" must be a string".to_string()),
         };
+        if method != Method::Ours && matches!(source, CaseSource::Eco { .. }) {
+            return Err("incremental jobs support only method \"ours\"".to_string());
+        }
         let scale = match json.get("scale").map(|s| s.as_str()) {
             None => "tiny".to_string(),
             Some(Some(s)) if s == "tiny" || s == "default" => s.to_string(),
@@ -112,14 +166,52 @@ impl JobSpec {
         })
     }
 
-    /// A short human label for the job's target (`"case3"` or
-    /// `"inline:seed=7"`).
+    /// A short human label for the job's target (`"case3"`,
+    /// `"inline:seed=7"`, or `"eco:base=4"`).
     pub fn target_label(&self) -> String {
         match &self.source {
             CaseSource::Suite(id) => format!("case{id}"),
             CaseSource::Inline(l) => format!("inline:seed={}", l.seed),
+            CaseSource::Eco { base_job, .. } => format!("eco:base={base_job}"),
         }
     }
+}
+
+fn parse_edit(edit: &Json) -> Result<EcoEdit, String> {
+    let Json::Obj(_) = edit else {
+        return Err("\"edit\" must be a JSON object".to_string());
+    };
+    let rect = edit
+        .get("rect")
+        .ok_or_else(|| "\"edit\" needs a \"rect\"".to_string())?
+        .as_arr()
+        .filter(|a| a.len() == 4)
+        .ok_or_else(|| "\"edit.rect\" must be [x0, y0, x1, y1]".to_string())?;
+    let mut coords = [0usize; 4];
+    for (slot, value) in coords.iter_mut().zip(rect) {
+        *slot =
+            value.as_u64().filter(|c| *c <= 1 << 20).ok_or_else(|| {
+                "\"edit.rect\" coordinates must be non-negative integers".to_string()
+            })? as usize;
+    }
+    let [x0, y0, x1, y1] = coords;
+    if x0 >= x1 || y0 >= y1 {
+        return Err("\"edit.rect\" must be non-empty (x0 < x1 and y0 < y1)".to_string());
+    }
+    let fill = match edit.get("fill") {
+        None => 1,
+        Some(v) => v
+            .as_u64()
+            .filter(|f| *f <= 1)
+            .ok_or_else(|| "\"edit.fill\" must be 0 or 1".to_string())? as u8,
+    };
+    Ok(EcoEdit {
+        x0,
+        y0,
+        x1,
+        y1,
+        fill,
+    })
 }
 
 fn parse_layout(spec: &Json) -> Result<InlineLayout, String> {
@@ -206,6 +298,17 @@ pub struct MaskSummary {
     pub coverage: f64,
 }
 
+/// Reuse accounting of an incremental (ECO) job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IncrementalStats {
+    /// Clean tiles served verbatim from the mask store.
+    pub tiles_reused: usize,
+    /// Dirty tiles that re-solved (warm-started when the base was stored).
+    pub tiles_resolved: usize,
+    /// `tiles_reused / (tiles_reused + tiles_resolved)`.
+    pub hit_ratio: f64,
+}
+
 /// Everything a successful job reports back.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobOutcome {
@@ -213,6 +316,8 @@ pub struct JobOutcome {
     pub metrics: JobMetrics,
     /// Optimised-mask summary.
     pub mask: MaskSummary,
+    /// Reuse accounting; present only on incremental (ECO) jobs.
+    pub incremental: Option<IncrementalStats>,
     /// Tiles that fell back to their coarse-grid mask after fine-stage
     /// failures. Zero on a healthy run; non-zero means the mask is
     /// complete but locally at coarse quality — check the run report's
@@ -306,6 +411,16 @@ impl JobRecord {
                 );
                 push_f64(&mut out, k.coverage);
                 let _ = write!(out, "}},\"tiles_degraded\":{}", outcome.tiles_degraded);
+                if let Some(inc) = &outcome.incremental {
+                    let _ = write!(
+                        out,
+                        ",\"incremental\":{{\"tiles_reused\":{},\"tiles_resolved\":{},\
+                         \"hit_ratio\":",
+                        inc.tiles_reused, inc.tiles_resolved
+                    );
+                    push_f64(&mut out, inc.hit_ratio);
+                    out.push('}');
+                }
                 out.push_str(",\"queue_seconds\":");
                 push_f64(&mut out, outcome.queue_seconds);
             }
@@ -357,11 +472,65 @@ mod tests {
     }
 
     #[test]
+    fn parses_an_eco_job() {
+        let spec = JobSpec::parse(
+            r#"{"base_job": 4, "edit": {"rect": [10, 10, 18, 18], "fill": 0}, "scale": "tiny"}"#,
+        )
+        .unwrap();
+        let CaseSource::Eco { base_job, edit } = spec.source else {
+            panic!("expected eco source");
+        };
+        assert_eq!(base_job, 4);
+        assert_eq!((edit.x0, edit.y0, edit.x1, edit.y1), (10, 10, 18, 18));
+        assert_eq!(edit.fill, 0);
+        assert_eq!(spec.method, Method::Ours);
+        assert_eq!(spec.target_label(), "eco:base=4");
+    }
+
+    #[test]
+    fn eco_base_job_accepts_the_string_ids_the_server_hands_out() {
+        // `POST /v1/jobs` responds with `"id":"4"`, so clients echo strings.
+        let spec = JobSpec::parse(r#"{"base_job": "4", "edit": {"rect": [0, 0, 8, 8]}}"#).unwrap();
+        let CaseSource::Eco { base_job, edit } = spec.source else {
+            panic!("expected eco source");
+        };
+        assert_eq!(base_job, 4);
+        assert_eq!(edit.fill, 1, "fill defaults to drawing metal");
+    }
+
+    #[test]
     fn rejects_bad_specs() {
         for (body, needle) in [
             ("[]", "object"),
             ("{}", "needs"),
-            (r#"{"case": 1, "layout": {"seed": 1}}"#, "not both"),
+            (r#"{"case": 1, "layout": {"seed": 1}}"#, "exactly one"),
+            (
+                r#"{"case": 1, "base_job": 2, "edit": {"rect": [0,0,1,1]}}"#,
+                "exactly one",
+            ),
+            (
+                r#"{"case": 1, "edit": {"rect": [0,0,1,1]}}"#,
+                "requires a \"base_job\"",
+            ),
+            (r#"{"base_job": 2}"#, "needs an \"edit\""),
+            (r#"{"base_job": 2, "edit": {}}"#, "needs a \"rect\""),
+            (
+                r#"{"base_job": 2, "edit": {"rect": [0,0,1]}}"#,
+                "[x0, y0, x1, y1]",
+            ),
+            (
+                r#"{"base_job": 2, "edit": {"rect": [5,0,5,8]}}"#,
+                "non-empty",
+            ),
+            (
+                r#"{"base_job": 2, "edit": {"rect": [0,0,8,8], "fill": 2}}"#,
+                "0 or 1",
+            ),
+            (
+                r#"{"base_job": 2, "edit": {"rect": [0,0,8,8]}, "method": "full-chip"}"#,
+                "only method",
+            ),
+            (r#"{"base_job": -1, "edit": {"rect": [0,0,8,8]}}"#, "job id"),
             (r#"{"case": 0}"#, "1..=20"),
             (r#"{"case": 21}"#, "1..=20"),
             (r#"{"case": 1.5}"#, "1..=20"),
@@ -412,6 +581,7 @@ mod tests {
                 on_pixels: 4096,
                 coverage: 0.25,
             },
+            incremental: None,
             tiles_degraded: 2,
             queue_seconds: 0.1,
         });
@@ -431,5 +601,54 @@ mod tests {
         record.status = JobStatus::Failed("deadline exceeded".into());
         let failed = record.to_json();
         assert!(failed.contains("\"error\":\"deadline exceeded\""));
+    }
+
+    #[test]
+    fn incremental_stats_render_only_when_present() {
+        let spec = JobSpec::parse(r#"{"base_job": 1, "edit": {"rect": [0, 0, 8, 8]}}"#).unwrap();
+        let mut outcome = JobOutcome {
+            metrics: JobMetrics {
+                l2: 10,
+                pvband: 5,
+                stitch: 0.5,
+                tat_seconds: 0.1,
+            },
+            mask: MaskSummary {
+                width: 128,
+                height: 128,
+                on_pixels: 64,
+                coverage: 0.004,
+            },
+            incremental: Some(IncrementalStats {
+                tiles_reused: 5,
+                tiles_resolved: 4,
+                hit_ratio: 5.0 / 9.0,
+            }),
+            tiles_degraded: 0,
+            queue_seconds: 0.0,
+        };
+        let record = |outcome: &JobOutcome| JobRecord {
+            id: 9,
+            trace: 1,
+            spec: spec.clone(),
+            status: JobStatus::Done(outcome.clone()),
+        };
+        let body = record(&outcome).to_json();
+        let parsed = Json::parse(&body).expect("well-formed eco job JSON");
+        assert_eq!(
+            parsed
+                .path(&["incremental", "tiles_reused"])
+                .and_then(|v| v.as_u64()),
+            Some(5)
+        );
+        assert_eq!(
+            parsed
+                .path(&["incremental", "tiles_resolved"])
+                .and_then(|v| v.as_u64()),
+            Some(4)
+        );
+        assert!(body.contains("\"target\":\"eco:base=1\""));
+        outcome.incremental = None;
+        assert!(!record(&outcome).to_json().contains("incremental"));
     }
 }

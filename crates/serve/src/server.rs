@@ -30,11 +30,15 @@ use ilt_telemetry as tele;
 use ilt_telemetry::slo::{SloConfig, SloEngine};
 use ilt_tile::{Partition, TileExecutor};
 
+use ilt_core::experiment::Method;
+use ilt_core::Session;
+
 use crate::cache::SessionCache;
 use crate::debug::{self, JobDebug};
 use crate::http::{Request, Response};
 use crate::job::{
-    method_name, CaseSource, JobMetrics, JobOutcome, JobRecord, JobSpec, JobStatus, MaskSummary,
+    method_name, CaseSource, EcoEdit, IncrementalStats, JobMetrics, JobOutcome, JobRecord, JobSpec,
+    JobStatus, MaskSummary,
 };
 use crate::queue::{JobQueue, PushError, RETRY_AFTER_SECONDS};
 
@@ -387,6 +391,7 @@ fn route(shared: &Shared, request: &Request) -> Response {
         ("GET", path) if path.starts_with("/v1/jobs/") => job_status(shared, path),
         ("GET", "/debug/queue") => debug_queue(shared),
         ("GET", "/debug/caches") => debug_caches(),
+        ("GET", "/debug/store") => debug_store(),
         ("GET", "/debug/slo") => Response::json(200, slo_engine().to_json()),
         ("GET", "/debug/profile") => Response::json(200, debug::render_profile()),
         ("GET", "/debug/memory") => debug_memory(shared),
@@ -394,7 +399,7 @@ fn route(shared: &Shared, request: &Request) -> Response {
         (
             _,
             "/healthz" | "/metrics" | "/v1/jobs" | "/admin/shutdown" | "/debug/queue"
-            | "/debug/caches" | "/debug/slo" | "/debug/profile" | "/debug/memory",
+            | "/debug/caches" | "/debug/store" | "/debug/slo" | "/debug/profile" | "/debug/memory",
         ) => Response::error(405, "method not allowed"),
         _ => Response::error(404, "no such resource"),
     }
@@ -451,8 +456,23 @@ fn debug_caches() -> Response {
             ilt_litho::cached_bank_bytes(),
             ilt_fft::cached_plan_count(),
             ilt_fft::cached_plan_bytes(),
+            &ilt_store::shared_store().stats(),
             &snapshot.counters,
             &snapshot.gauges,
+        ),
+    )
+}
+
+/// `GET /debug/store`: occupancy and hit/miss statistics of the shared
+/// mask store, plus its most recently touched entries.
+fn debug_store() -> Response {
+    let store = ilt_store::shared_store();
+    Response::json(
+        200,
+        debug::render_store(
+            ilt_store::MaskStore::enabled(),
+            &store.stats(),
+            &store.entries(32),
         ),
     )
 }
@@ -659,6 +679,19 @@ fn run_job(shared: &Shared, cache: &mut SessionCache, executor: &TileExecutor, i
         )));
         return;
     }
+    // Incremental jobs name a prior job as their base; resolve its spec
+    // through the registry (the only place job ids mean anything) so the
+    // worker can re-derive the base target deterministically.
+    let base_spec = match &spec.source {
+        CaseSource::Eco { base_job, .. } => match resolve_base(shared, *base_job, &spec) {
+            Ok(base) => Some(base),
+            Err(message) => {
+                finish(JobStatus::Failed(message));
+                return;
+            }
+        },
+        _ => None,
+    };
     // `serve.deadline` simulates a budget that expires mid-solve: the job
     // passed admission, but the solver's in-loop deadline checks trip on
     // the first iteration.
@@ -674,7 +707,9 @@ fn run_job(shared: &Shared, cache: &mut SessionCache, executor: &TileExecutor, i
         // executor, to every tile worker, so iteration loops deep in the
         // solvers can stop instead of burning a blown budget.
         let _scope = ilt_fault::deadline::scope(solve_deadline);
-        catch_unwind(AssertUnwindSafe(|| execute(&spec, cache, executor)))
+        catch_unwind(AssertUnwindSafe(|| {
+            execute(&spec, base_spec.as_ref(), cache, executor)
+        }))
     };
     tele::record_value(
         "serve.job.run_us",
@@ -706,31 +741,113 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
         .unwrap_or("opaque panic payload")
 }
 
+/// Validates and resolves the base job of an incremental submission.
+fn resolve_base(shared: &Shared, base_job: u64, spec: &JobSpec) -> Result<JobSpec, String> {
+    let Some(base) = shared.with_job(base_job, |t| t.record.spec.clone()) else {
+        return Err(format!("base job {base_job} not found"));
+    };
+    if matches!(base.source, CaseSource::Eco { .. }) {
+        return Err(format!(
+            "base job {base_job} is itself incremental; chain from a \"case\" or \"layout\" job"
+        ));
+    }
+    if base.method != Method::Ours {
+        return Err(format!(
+            "base job {base_job} ran method {:?}; incremental re-solves need an \"ours\" base",
+            method_name(base.method)
+        ));
+    }
+    if base.scale != spec.scale {
+        return Err(format!(
+            "scale mismatch: this job is {:?} but base job {base_job} ran at {:?}",
+            spec.scale, base.scale
+        ));
+    }
+    Ok(base)
+}
+
+/// Applies a rectangular edit to a base layout.
+fn apply_edit(base: &BitGrid, edit: &EcoEdit) -> Result<BitGrid, String> {
+    if edit.x1 > base.width() || edit.y1 > base.height() {
+        return Err(format!(
+            "edit rect [{}, {}, {}, {}] exceeds the {}x{} clip",
+            edit.x0,
+            edit.y0,
+            edit.x1,
+            edit.y1,
+            base.width(),
+            base.height()
+        ));
+    }
+    let mut edited = base.clone();
+    for y in edit.y0..edit.y1 {
+        for x in edit.x0..edit.x1 {
+            edited.set(x, y, edit.fill);
+        }
+    }
+    Ok(edited)
+}
+
 /// Runs one job on this worker's session: resolve the target layout, run
-/// the requested flow, inspect the result over the whole clip.
+/// the requested flow, inspect the result over the whole clip. Incremental
+/// jobs re-derive their base job's target (resolved by the caller),
+/// apply the edit, and warm-start from the shared mask store; plain
+/// `ours` jobs populate the store so later edits can warm-start from them.
 fn execute(
     spec: &JobSpec,
+    base: Option<&JobSpec>,
     cache: &mut SessionCache,
     executor: &TileExecutor,
 ) -> Result<JobOutcome, String> {
     let session = cache
         .session(&spec.scale)
         .map_err(|e| format!("session setup failed: {e}"))?;
+    if let CaseSource::Eco { edit, .. } = &spec.source {
+        let base = base.expect("eco jobs resolve their base before execution");
+        let base_target = resolve_target(base, session.config());
+        let edited = apply_edit(&base_target, edit)?;
+        let outcome = session
+            .run_incremental(&base_target, &edited, executor)
+            .map_err(flow_error)?;
+        tele::record_value("serve.job.tiles_reused", outcome.tiles_reused as u64);
+        tele::record_value("serve.job.tiles_resolved", outcome.tiles_resolved as u64);
+        let stats = IncrementalStats {
+            tiles_reused: outcome.tiles_reused,
+            tiles_resolved: outcome.tiles_resolved,
+            hit_ratio: outcome.hit_ratio(),
+        };
+        return summarize(session, &edited, &outcome.flow, Some(stats));
+    }
     let target = resolve_target(spec, session.config());
-    let flow = session
-        .run_method(spec.method, &target, executor)
-        .map_err(|e| {
-            if e.is_deadline_exceeded() {
-                "deadline exceeded while solving".to_string()
-            } else {
-                format!("flow failed: {e}")
-            }
-        })?;
+    let flow = if spec.method == Method::Ours {
+        session.run_and_store(&target, executor)
+    } else {
+        session.run_method(spec.method, &target, executor)
+    }
+    .map_err(flow_error)?;
+    summarize(session, &target, &flow, None)
+}
+
+fn flow_error(e: ilt_core::CoreError) -> String {
+    if e.is_deadline_exceeded() {
+        "deadline exceeded while solving".to_string()
+    } else {
+        format!("flow failed: {e}")
+    }
+}
+
+/// Inspects a finished flow over the whole clip and assembles the outcome.
+fn summarize(
+    session: &Session,
+    target: &BitGrid,
+    flow: &ilt_core::flows::FlowResult,
+    incremental: Option<IncrementalStats>,
+) -> Result<JobOutcome, String> {
     let partition = Partition::new(target.width(), target.height(), session.config().partition)
         .map_err(|e| format!("partitioning failed: {e}"))?;
     let lines = partition.stitch_lines();
     let (quality, stitch) = session
-        .inspect_mask(&lines, &target, &flow.mask)
+        .inspect_mask(&lines, target, &flow.mask)
         .map_err(|e| format!("inspection failed: {e}"))?;
     let binary = flow.mask.threshold(0.5);
     let on_pixels = binary.count_ones();
@@ -747,6 +864,7 @@ fn execute(
             on_pixels,
             coverage: on_pixels as f64 / binary.len() as f64,
         },
+        incremental,
         tiles_degraded: flow.degraded.len(),
         queue_seconds: 0.0, // filled in by the caller, which knows the wait
     })
@@ -773,6 +891,9 @@ fn resolve_target(spec: &JobSpec, config: &ilt_core::ExperimentConfig) -> BitGri
             generator.validate();
             generate_clip(&generator, layout.seed)
         }
+        // Eco targets resolve through their base job's spec; `execute`
+        // never passes an eco source here.
+        CaseSource::Eco { .. } => unreachable!("eco targets resolve through their base job"),
     }
 }
 

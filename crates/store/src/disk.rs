@@ -1,0 +1,238 @@
+//! On-disk spill format for evicted masks.
+//!
+//! Hand-rolled binary layout, little-endian throughout:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"ILTMASK1"
+//! 8       8     key digest (sanity check against filename collisions)
+//! 16      8     version
+//! 24      8     width
+//! 32      8     height
+//! 40      8wh   pixels, row-major f64 bit patterns
+//! 40+8wh  8     FNV-1a checksum of bytes [0, 40+8wh)
+//! ```
+//!
+//! Writes go through a temp file + rename so a crash mid-spill never leaves a
+//! truncated file under the final name; reads verify magic, digest,
+//! dimensions, and checksum and refuse anything that does not line up.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use ilt_grid::RealGrid;
+
+use crate::key::Fingerprint;
+
+const MAGIC: &[u8; 8] = b"ILTMASK1";
+const HEADER_LEN: usize = 40;
+/// Refuse to load absurd dimensions before allocating (64M pixels = 512 MiB).
+const MAX_PIXELS: u64 = 64 * 1024 * 1024;
+
+#[derive(Debug)]
+pub enum DiskError {
+    Io(io::Error),
+    BadMagic,
+    DigestMismatch { expected: u64, found: u64 },
+    BadDimensions { width: u64, height: u64 },
+    Truncated { expected: usize, found: usize },
+    ChecksumMismatch { expected: u64, found: u64 },
+}
+
+impl fmt::Display for DiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskError::Io(err) => write!(f, "spill io error: {err}"),
+            DiskError::BadMagic => write!(f, "spill file has wrong magic"),
+            DiskError::DigestMismatch { expected, found } => write!(
+                f,
+                "spill file key digest mismatch: expected {expected:#x}, found {found:#x}"
+            ),
+            DiskError::BadDimensions { width, height } => {
+                write!(f, "spill file dimensions out of range: {width}x{height}")
+            }
+            DiskError::Truncated { expected, found } => {
+                write!(
+                    f,
+                    "spill file truncated: expected {expected} bytes, found {found}"
+                )
+            }
+            DiskError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "spill file checksum mismatch: expected {expected:#x}, found {found:#x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+impl From<io::Error> for DiskError {
+    fn from(err: io::Error) -> Self {
+        DiskError::Io(err)
+    }
+}
+
+/// Path of the spill file for a key digest inside `dir`.
+pub fn spill_path(dir: &Path, digest: u64) -> PathBuf {
+    dir.join(format!("{digest:016x}.iltmask"))
+}
+
+/// Serialize a mask with its version and key digest.
+pub fn encode(digest: u64, version: u64, mask: &RealGrid) -> Vec<u8> {
+    let pixels = mask.len();
+    let mut buf = Vec::with_capacity(HEADER_LEN + pixels * 8 + 8);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&digest.to_le_bytes());
+    buf.extend_from_slice(&version.to_le_bytes());
+    buf.extend_from_slice(&(mask.width() as u64).to_le_bytes());
+    buf.extend_from_slice(&(mask.height() as u64).to_le_bytes());
+    for value in mask.as_slice() {
+        buf.extend_from_slice(&value.to_bits().to_le_bytes());
+    }
+    let mut fp = Fingerprint::new();
+    fp.write_bytes(&buf);
+    buf.extend_from_slice(&fp.finish().to_le_bytes());
+    buf
+}
+
+/// Parse a spill buffer, verifying magic, digest, dimensions, and checksum.
+pub fn decode(bytes: &[u8], digest: u64) -> Result<(u64, RealGrid), DiskError> {
+    if bytes.len() < HEADER_LEN + 8 {
+        return Err(DiskError::Truncated {
+            expected: HEADER_LEN + 8,
+            found: bytes.len(),
+        });
+    }
+    if &bytes[0..8] != MAGIC {
+        return Err(DiskError::BadMagic);
+    }
+    let read_u64 = |offset: usize| {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&bytes[offset..offset + 8]);
+        u64::from_le_bytes(raw)
+    };
+    let found_digest = read_u64(8);
+    if found_digest != digest {
+        return Err(DiskError::DigestMismatch {
+            expected: digest,
+            found: found_digest,
+        });
+    }
+    let version = read_u64(16);
+    let width = read_u64(24);
+    let height = read_u64(32);
+    if width == 0 || height == 0 || width.saturating_mul(height) > MAX_PIXELS {
+        return Err(DiskError::BadDimensions { width, height });
+    }
+    let pixels = (width * height) as usize;
+    let expected_len = HEADER_LEN + pixels * 8 + 8;
+    if bytes.len() != expected_len {
+        return Err(DiskError::Truncated {
+            expected: expected_len,
+            found: bytes.len(),
+        });
+    }
+    let body_end = expected_len - 8;
+    let mut fp = Fingerprint::new();
+    fp.write_bytes(&bytes[..body_end]);
+    let expected_sum = fp.finish();
+    let found_sum = read_u64(body_end);
+    if expected_sum != found_sum {
+        return Err(DiskError::ChecksumMismatch {
+            expected: expected_sum,
+            found: found_sum,
+        });
+    }
+    let mut data = Vec::with_capacity(pixels);
+    for i in 0..pixels {
+        data.push(f64::from_bits(read_u64(HEADER_LEN + i * 8)));
+    }
+    Ok((
+        version,
+        RealGrid::from_vec(width as usize, height as usize, data),
+    ))
+}
+
+/// Atomically write a spill file for `digest` under `dir`.
+pub fn write_spill(
+    dir: &Path,
+    digest: u64,
+    version: u64,
+    mask: &RealGrid,
+) -> Result<(), DiskError> {
+    fs::create_dir_all(dir)?;
+    let bytes = encode(digest, version, mask);
+    let tmp = dir.join(format!("{digest:016x}.tmp"));
+    {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(&bytes)?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, spill_path(dir, digest))?;
+    Ok(())
+}
+
+/// Load and verify the spill file for `digest`, if present.
+pub fn read_spill(dir: &Path, digest: u64) -> Result<Option<(u64, RealGrid)>, DiskError> {
+    let path = spill_path(dir, digest);
+    let mut file = match fs::File::open(&path) {
+        Ok(file) => file,
+        Err(err) if err.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(err) => return Err(err.into()),
+    };
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    decode(&bytes, digest).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_mask() -> RealGrid {
+        RealGrid::from_fn(5, 3, |x, y| (x as f64) * 0.25 + (y as f64) * 0.125)
+    }
+
+    #[test]
+    fn encode_decode_round_trip_nonsquare() {
+        let mask = sample_mask();
+        let bytes = encode(0xdead_beef, 7, &mask);
+        let (version, loaded) = decode(&bytes, 0xdead_beef).unwrap();
+        assert_eq!(version, 7);
+        assert_eq!(loaded.width(), 5);
+        assert_eq!(loaded.height(), 3);
+        assert_eq!(loaded.as_slice(), mask.as_slice());
+    }
+
+    #[test]
+    fn decode_rejects_flipped_bit() {
+        let mask = sample_mask();
+        let mut bytes = encode(1, 1, &mask);
+        let mid = HEADER_LEN + 9;
+        bytes[mid] ^= 0x40;
+        match decode(&bytes, 1) {
+            Err(DiskError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_rejects_wrong_digest_and_truncation() {
+        let mask = sample_mask();
+        let bytes = encode(2, 1, &mask);
+        assert!(matches!(
+            decode(&bytes, 3),
+            Err(DiskError::DigestMismatch { .. })
+        ));
+        assert!(matches!(
+            decode(&bytes[..bytes.len() - 4], 2),
+            Err(DiskError::Truncated { .. })
+        ));
+        let mut garbage = bytes.clone();
+        garbage[0] = b'X';
+        assert!(matches!(decode(&garbage, 2), Err(DiskError::BadMagic)));
+    }
+}

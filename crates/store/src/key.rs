@@ -1,0 +1,191 @@
+//! Cache keys for stored tile masks.
+//!
+//! A mask is only reusable when three things line up: the tile sees the same
+//! target geometry ([`tile_content_hash`]), the litho model and solver
+//! schedule are unchanged (the config fingerprint), and the mask was produced
+//! by the same solver method. [`StoreKey`] carries all three. Hashing the
+//! *content* of the tile (not just its coordinates) is what makes incremental
+//! re-ILT fall out for free: after a layout edit, untouched tiles hash to the
+//! same key and hit the store, while edited tiles miss and are re-solved.
+
+use ilt_grid::{BitGrid, Rect};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64-bit hasher.
+///
+/// Deliberately not `std::hash::Hasher`: the default `Hasher` impls are not
+/// guaranteed stable across rust versions, and these digests name files under
+/// `ILT_STORE_DIR` that outlive the process.
+#[derive(Debug, Clone)]
+pub struct Fingerprint {
+    state: u64,
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fingerprint {
+    pub fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    pub fn write_u64(&mut self, value: u64) -> &mut Self {
+        self.write_bytes(&value.to_le_bytes())
+    }
+
+    pub fn write_i64(&mut self, value: i64) -> &mut Self {
+        self.write_bytes(&value.to_le_bytes())
+    }
+
+    pub fn write_f64(&mut self, value: f64) -> &mut Self {
+        self.write_bytes(&value.to_bits().to_le_bytes())
+    }
+
+    pub fn write_str(&mut self, value: &str) -> &mut Self {
+        // Length prefix keeps ("ab","c") distinct from ("a","bc").
+        self.write_u64(value.len() as u64);
+        self.write_bytes(value.as_bytes())
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Hash of one tile's slice of the target layout: the tile rect (position and
+/// extent) plus every target pixel inside it. Two tiles collide only when
+/// they cover the same region of an identical layout.
+pub fn tile_content_hash(target: &BitGrid, rect: Rect) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.write_i64(rect.x0)
+        .write_i64(rect.y0)
+        .write_i64(rect.x1)
+        .write_i64(rect.y1)
+        .write_u64(target.width() as u64)
+        .write_u64(target.height() as u64);
+    let clipped = rect
+        .intersect(target.bounds())
+        .unwrap_or(Rect::new(0, 0, 0, 0));
+    for y in clipped.y0..clipped.y1 {
+        for x in clipped.x0..clipped.x1 {
+            fp.write_bytes(&[target.get(x as usize, y as usize)]);
+        }
+    }
+    fp.finish()
+}
+
+/// Identity of a stored mask: `(tile geometry hash, litho-config fingerprint,
+/// solver method)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StoreKey {
+    /// [`tile_content_hash`] of the tile over the target layout.
+    pub geometry: u64,
+    /// Fingerprint of the full experiment config (optics, resist, partition,
+    /// schedule) — any model change invalidates every stored mask.
+    pub config: u64,
+    /// Solver method that produced the mask, e.g. `"ours:pixel"`.
+    pub method: &'static str,
+}
+
+impl StoreKey {
+    pub fn new(geometry: u64, config: u64, method: &'static str) -> Self {
+        Self {
+            geometry,
+            config,
+            method,
+        }
+    }
+
+    /// Single stable digest of all three components; names spill files.
+    pub fn digest(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.write_u64(self.geometry)
+            .write_u64(self.config)
+            .write_str(self.method);
+        fp.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_order_sensitive() {
+        let mut a = Fingerprint::new();
+        a.write_u64(1).write_u64(2);
+        let mut b = Fingerprint::new();
+        b.write_u64(2).write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn fingerprint_str_length_prefix_disambiguates() {
+        let mut a = Fingerprint::new();
+        a.write_str("ab").write_str("c");
+        let mut b = Fingerprint::new();
+        b.write_str("a").write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn content_hash_stable_for_identical_nonsquare_layouts() {
+        // M×N geometry: a 96×48 layout carved into 64-wide, 32-tall rects.
+        let make = || BitGrid::from_fn(96, 48, |x, y| u8::from((x / 7 + y / 5) % 2 == 0));
+        let a = make();
+        let b = make();
+        for rect in [
+            Rect::new(0, 0, 64, 32),
+            Rect::new(32, 16, 96, 48),
+            Rect::new(32, 0, 96, 32),
+        ] {
+            assert_eq!(tile_content_hash(&a, rect), tile_content_hash(&b, rect));
+        }
+    }
+
+    #[test]
+    fn content_hash_sees_single_pixel_change() {
+        let a = BitGrid::new(64, 32, 0);
+        let mut b = a.clone();
+        b.set(10, 10, 1);
+        let rect = Rect::new(0, 0, 64, 32);
+        assert_ne!(tile_content_hash(&a, rect), tile_content_hash(&b, rect));
+        // ... but a change outside the rect is invisible to it.
+        let far = Rect::new(32, 0, 64, 32);
+        assert_eq!(tile_content_hash(&a, far), tile_content_hash(&b, far));
+    }
+
+    #[test]
+    fn content_hash_distinguishes_rect_position() {
+        // Uniform layout: pixel content identical everywhere, so only the
+        // rect coordinates can tell two tiles apart.
+        let g = BitGrid::new(96, 96, 1);
+        let a = tile_content_hash(&g, Rect::new(0, 0, 32, 32));
+        let b = tile_content_hash(&g, Rect::new(32, 0, 64, 32));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn store_key_digest_covers_every_component() {
+        let base = StoreKey::new(1, 2, "ours:pixel");
+        assert_ne!(base.digest(), StoreKey::new(3, 2, "ours:pixel").digest());
+        assert_ne!(base.digest(), StoreKey::new(1, 3, "ours:pixel").digest());
+        assert_ne!(
+            base.digest(),
+            StoreKey::new(1, 2, "ours:level-set").digest()
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! # ilt-store — persistent mask store for incremental re-ILT
+//!
+//! Solved tile masks are expensive; layout edits are local. This crate keeps
+//! finished per-tile masks addressable by what they *are* — the tile's target
+//! content, the litho-config fingerprint, and the solver method — so that an
+//! edited layout can reuse every untouched tile verbatim and warm-start the
+//! dirty ones (ROADMAP item 4, the ECO workflow).
+//!
+//! Three layers:
+//!
+//! - [`key`]: stable FNV-1a [`Fingerprint`] hashing and the
+//!   [`StoreKey`] = (tile geometry hash, config fingerprint, method) triple.
+//!   Content-addressing is the load-bearing trick: after an edit, clean tiles
+//!   hash to their old keys and hit; dirty tiles miss and are re-solved.
+//! - [`store`]: [`MaskStore`], an in-memory LRU bounded by
+//!   `ILT_STORE_BUDGET_MB` (default 64), versioned on overwrite, with a
+//!   process-wide [`shared_store`] that mirrors occupancy into the telemetry
+//!   gauges `store.bytes` / `store.entries`.
+//! - [`disk`]: optional spill under `ILT_STORE_DIR` — a hand-rolled binary
+//!   format with a checksum; evictions spill, misses fall back to disk, and
+//!   anything corrupt is refused.
+//!
+//! Everything is std-only, in keeping with the workspace's no-dependency
+//! policy.
+
+pub mod disk;
+pub mod key;
+pub mod store;
+
+pub use disk::DiskError;
+pub use key::{tile_content_hash, Fingerprint, StoreKey};
+pub use store::{shared_store, EntryView, MaskStore, StoreStats};

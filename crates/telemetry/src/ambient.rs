@@ -1,0 +1,192 @@
+//! One-stop capture/install of ambient thread-local context.
+//!
+//! Several crates keep per-thread ambient state that worker pools must carry
+//! from the submitting thread onto each worker: the active span parent and
+//! trace id (this crate), the profiling stage (`ilt-prof`), and the job
+//! deadline (`ilt-fault`). Before this module existed, every pool re-applied
+//! each of those by hand — four parallel scope guards that had to be kept in
+//! sync whenever a new ambient was added.
+//!
+//! [`AmbientContext::capture`] snapshots all of them at once: the span parent
+//! and trace natively, plus every [`Propagator`] registered by higher-level
+//! crates. [`AmbientContext::install`] re-applies the snapshot on the current
+//! thread and returns a guard bundle that restores the previous state on
+//! drop. Telemetry sits at the bottom of the dependency graph, so it cannot
+//! name `ilt-prof` or `ilt-fault` types directly; those crates register their
+//! slots through the type-erased [`register`] hook instead (see
+//! `ilt-tile`, which registers both and uses the context in its executor).
+
+use std::any::Any;
+use std::sync::{Arc, OnceLock, RwLock};
+
+use crate::span::{current_span, parent_scope, ParentScope, SpanRef};
+use crate::trace::{current_trace, trace_scope, TraceId, TraceScope};
+
+/// A captured ambient value, type-erased so the registry can hold slots from
+/// crates this one cannot name. `Send + Sync` because one capture is shared
+/// by every worker thread of a pool.
+pub type CapturedValue = Arc<dyn Any + Send + Sync>;
+
+/// A scope guard returned by a propagator's `install`; dropping it restores
+/// the thread's previous ambient state. Deliberately `!Send`: guards live and
+/// die on the worker thread that installed them.
+pub type SlotGuard = Box<dyn Any>;
+
+/// One ambient slot a higher-level crate wants carried to worker threads.
+pub struct Propagator {
+    /// Unique slot name; a second registration under the same name is
+    /// ignored, which makes registration idempotent.
+    pub name: &'static str,
+    /// Snapshots the slot's current value on the capturing thread.
+    pub capture: fn() -> CapturedValue,
+    /// Re-applies a snapshot on the installing thread, returning the scope
+    /// guard that undoes it. Implementations should tolerate a foreign value
+    /// (failed downcast) by returning an inert guard.
+    pub install: fn(&CapturedValue) -> SlotGuard,
+}
+
+fn registry() -> &'static RwLock<Vec<Propagator>> {
+    static REGISTRY: OnceLock<RwLock<Vec<Propagator>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| RwLock::new(Vec::new()))
+}
+
+/// Registers an ambient slot. Idempotent by `name`: registering the same
+/// slot twice (e.g. from two executors racing through their `Once`) keeps
+/// the first registration.
+pub fn register(propagator: Propagator) {
+    let mut slots = registry().write().unwrap_or_else(|e| e.into_inner());
+    if slots.iter().any(|slot| slot.name == propagator.name) {
+        return;
+    }
+    slots.push(propagator);
+}
+
+/// Names of the currently registered slots, in registration order (the
+/// built-in span-parent and trace slots are implicit and always present).
+pub fn registered_slots() -> Vec<&'static str> {
+    registry()
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|slot| slot.name)
+        .collect()
+}
+
+/// An install function paired with the value it will re-apply.
+type CapturedSlot = (fn(&CapturedValue) -> SlotGuard, CapturedValue);
+
+/// A snapshot of every ambient slot on the capturing thread. `Sync` so a
+/// worker pool can capture once and install from each worker.
+pub struct AmbientContext {
+    parent: Option<SpanRef>,
+    trace: Option<TraceId>,
+    extras: Vec<CapturedSlot>,
+}
+
+impl AmbientContext {
+    /// Snapshots the current thread's span parent, trace id, and every
+    /// registered propagator slot.
+    pub fn capture() -> Self {
+        let extras = registry()
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|slot| (slot.install, (slot.capture)()))
+            .collect();
+        AmbientContext {
+            parent: current_span(),
+            trace: current_trace(),
+            extras,
+        }
+    }
+
+    /// Re-applies the snapshot on the current thread. Keep the returned
+    /// guard alive for as long as the thread works on the captured context;
+    /// dropping it restores the previous ambient state (and flushes this
+    /// thread's telemetry, via the parent scope).
+    pub fn install(&self) -> AmbientGuards {
+        AmbientGuards {
+            _extras: self
+                .extras
+                .iter()
+                .map(|(install, value)| install(value))
+                .collect(),
+            _trace: trace_scope(self.trace),
+            _parent: parent_scope(self.parent),
+        }
+    }
+}
+
+/// Guard bundle returned by [`AmbientContext::install`].
+pub struct AmbientGuards {
+    _parent: ParentScope,
+    _trace: TraceScope,
+    _extras: Vec<SlotGuard>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_and_install_carry_trace_across_threads() {
+        let (id, _scope) = crate::new_trace_scope();
+        let ambient = AmbientContext::capture();
+        let seen = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _guards = ambient.install();
+                    crate::current_trace()
+                })
+                .join()
+                .unwrap()
+        });
+        assert_eq!(seen, Some(id));
+    }
+
+    #[test]
+    fn registration_is_idempotent_by_name() {
+        fn capture() -> CapturedValue {
+            Arc::new(7u32)
+        }
+        fn install(_: &CapturedValue) -> SlotGuard {
+            Box::new(())
+        }
+        let slot = || Propagator {
+            name: "test.ambient.idempotent",
+            capture,
+            install,
+        };
+        register(slot());
+        register(slot());
+        let names = registered_slots();
+        let count = names
+            .iter()
+            .filter(|n| **n == "test.ambient.idempotent")
+            .count();
+        assert_eq!(count, 1, "{names:?}");
+    }
+
+    #[test]
+    fn registered_slot_value_reaches_installing_thread() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static LAST_INSTALLED: AtomicU32 = AtomicU32::new(0);
+        fn capture() -> CapturedValue {
+            Arc::new(41u32)
+        }
+        fn install(value: &CapturedValue) -> SlotGuard {
+            if let Some(n) = value.downcast_ref::<u32>() {
+                LAST_INSTALLED.store(*n + 1, Ordering::SeqCst);
+            }
+            Box::new(())
+        }
+        register(Propagator {
+            name: "test.ambient.value",
+            capture,
+            install,
+        });
+        let ambient = AmbientContext::capture();
+        let _guards = ambient.install();
+        assert_eq!(LAST_INSTALLED.load(Ordering::SeqCst), 42);
+    }
+}

@@ -62,6 +62,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ambient;
 mod collect;
 mod export;
 pub mod flight;
@@ -72,6 +73,7 @@ pub mod slo;
 mod span;
 mod trace;
 
+pub use ambient::{AmbientContext, AmbientGuards};
 pub use collect::{drain, flush_thread, snapshot, trace_counters, SpanEvent, Telemetry};
 pub use export::{span_forest_json, FlowSummary, LatencyBudget, StageSummary};
 pub use live::{sample_stacks, LiveFrame};

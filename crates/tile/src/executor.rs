@@ -128,6 +128,42 @@ fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Registers the ambient slots this crate's dependency position can see —
+/// the profiling stage (`ilt-prof`) and the job deadline (`ilt-fault`) —
+/// with `ilt-telemetry`'s ambient-context registry. Telemetry carries its
+/// own span parent and trace id natively; after this call a single
+/// [`tele::AmbientContext::capture`]/`install` pair propagates all four to
+/// worker threads. Idempotent and cheap, so every capture site can call it.
+pub fn register_ambient_slots() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        tele::ambient::register(tele::ambient::Propagator {
+            name: "prof.stage",
+            capture: || std::sync::Arc::new(ilt_prof::current_stage()),
+            install: |value| match value.downcast_ref::<ilt_prof::Stage>() {
+                Some(stage) => Box::new(ilt_prof::stage_scope(*stage)),
+                None => Box::new(()),
+            },
+        });
+        tele::ambient::register(tele::ambient::Propagator {
+            name: "fault.deadline",
+            capture: || std::sync::Arc::new(fault::deadline::current()),
+            install: |value| match value.downcast_ref::<Option<std::time::Instant>>() {
+                Some(deadline) => Box::new(fault::deadline::scope(*deadline)),
+                None => Box::new(()),
+            },
+        });
+    });
+}
+
+/// Captures the full ambient context (span parent, trace id, profiling
+/// stage, deadline) for hand-off to worker threads, registering this
+/// crate's slots first. Prefer this over assembling individual scopes.
+pub fn ambient_context() -> tele::AmbientContext {
+    register_ambient_slots();
+    tele::AmbientContext::capture()
+}
+
 /// Runs per-index jobs across a fixed number of worker threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TileExecutor {
@@ -180,17 +216,13 @@ impl TileExecutor {
         if self.workers == 1 || count <= 1 {
             return (0..count).map(|i| traced_job(&job, i, 0)).collect();
         }
-        // Capture the caller's active span so per-job spans recorded on
-        // worker threads attach to it instead of becoming roots, the
-        // caller's ambient trace so those spans stay attributable to the
-        // job/request that submitted them, the caller's profiling stage so
-        // worker allocations keep billing to the stage that spawned them,
-        // and the caller's ambient deadline so jobs keep honouring it
-        // off-thread.
-        let parent = tele::current_span();
-        let trace = tele::current_trace();
-        let stage = ilt_prof::current_stage();
-        let deadline = fault::deadline::current();
+        // Capture the caller's full ambient context — active span (so
+        // per-job spans attach to it instead of becoming roots), trace id
+        // (so spans stay attributable to the submitting job/request),
+        // profiling stage (so worker allocations keep billing to the stage
+        // that spawned them), and deadline (so jobs keep honouring it
+        // off-thread) — in one snapshot each worker re-installs.
+        let ambient = ambient_context();
         let next = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
         // First panic payload wins; it is re-raised after the pool drains.
@@ -203,11 +235,9 @@ impl TileExecutor {
                 let stop = &stop;
                 let panicked = &panicked;
                 let job = &job;
+                let ambient = &ambient;
                 scope.spawn(move || {
-                    let _adopted = tele::parent_scope(parent);
-                    let _trace = tele::trace_scope(trace);
-                    let _stage = ilt_prof::stage_scope(stage);
-                    let _deadline = fault::deadline::scope(deadline);
+                    let _ambient = ambient.install();
                     loop {
                         if stop.load(Ordering::Relaxed) {
                             break;

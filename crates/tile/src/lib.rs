@@ -41,5 +41,7 @@ mod partition;
 pub use assemble::{assemble, restrict, weight_map, AssemblyMode};
 pub use color::{multi_coloring, Coloring};
 pub use error::TileError;
-pub use executor::{RetryPolicy, TileExecutor, TileFailure};
+pub use executor::{
+    ambient_context, register_ambient_slots, RetryPolicy, TileExecutor, TileFailure,
+};
 pub use partition::{Orientation, Partition, PartitionConfig, StitchLine, Tile};

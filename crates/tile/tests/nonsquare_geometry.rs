@@ -1,0 +1,124 @@
+//! Non-square M×N partition geometry: overlap-neighbour enumeration at grid
+//! corners, edges, and interior — the frontier the incremental (ECO)
+//! dirty-tile propagation in `ilt-core` walks, and the rects the `ilt-store`
+//! cache keys hash.
+
+use ilt_tile::{Partition, PartitionConfig};
+
+/// A 4×2 tile grid: 224×96 layout, 64-pixel tiles, 32-pixel overlap
+/// (stride 32 → nx = (224-64)/32+1 = 6... keep it simple: stride 64-32=32).
+fn partition_4x2() -> Partition {
+    // width 160, height 96, tile 64, overlap 32 → stride 32,
+    // nx = (160-64)/32+1 = 4, ny = (96-64)/32+1 = 2.
+    Partition::new(
+        160,
+        96,
+        PartitionConfig {
+            tile: 64,
+            overlap: 32,
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn grid_dimensions_are_rectangular() {
+    let p = partition_4x2();
+    assert_eq!(p.tiles_x(), 4);
+    assert_eq!(p.tiles_y(), 2);
+    assert_eq!(p.tiles().len(), 8);
+}
+
+#[test]
+fn corner_tiles_have_three_neighbors() {
+    let p = partition_4x2();
+    // Indices: row-major, row * nx + col.
+    for corner in [0, 3, 4, 7] {
+        let mut n = p.neighbors(corner);
+        n.sort_unstable();
+        assert_eq!(n.len(), 3, "corner {corner}: {n:?}");
+    }
+    // Spot-check the exact sets.
+    let mut n0 = p.neighbors(0);
+    n0.sort_unstable();
+    assert_eq!(n0, vec![1, 4, 5]);
+    let mut n3 = p.neighbors(3);
+    n3.sort_unstable();
+    assert_eq!(n3, vec![2, 6, 7]);
+}
+
+#[test]
+fn edge_tiles_have_five_neighbors() {
+    let p = partition_4x2();
+    // Tiles 1, 2 (top edge) and 5, 6 (bottom edge) are edge-but-not-corner
+    // in a 4×2 grid.
+    for edge in [1, 2, 5, 6] {
+        let n = p.neighbors(edge);
+        assert_eq!(n.len(), 5, "edge {edge}: {n:?}");
+    }
+    let mut n1 = p.neighbors(1);
+    n1.sort_unstable();
+    assert_eq!(n1, vec![0, 2, 4, 5, 6]);
+}
+
+#[test]
+fn interior_tile_of_3x3_has_eight_neighbors() {
+    // The square case for contrast: the centre tile overlaps everything.
+    let p = Partition::new(
+        128,
+        128,
+        PartitionConfig {
+            tile: 64,
+            overlap: 32,
+        },
+    )
+    .unwrap();
+    let mut n4 = p.neighbors(4);
+    n4.sort_unstable();
+    assert_eq!(n4, vec![0, 1, 2, 3, 5, 6, 7, 8]);
+}
+
+#[test]
+fn neighbor_relation_is_symmetric() {
+    let p = partition_4x2();
+    for i in 0..p.tiles().len() {
+        for j in p.neighbors(i) {
+            assert!(
+                p.neighbors(j).contains(&i),
+                "tile {j} does not list {i} back"
+            );
+        }
+    }
+}
+
+#[test]
+fn cores_partition_the_nonsquare_layout() {
+    let p = partition_4x2();
+    // Every pixel belongs to exactly one core.
+    let mut covered = vec![0u8; 160 * 96];
+    for tile in p.tiles() {
+        for y in tile.core.y0..tile.core.y1 {
+            for x in tile.core.x0..tile.core.x1 {
+                covered[y as usize * 160 + x as usize] += 1;
+            }
+        }
+    }
+    assert!(
+        covered.iter().all(|&c| c == 1),
+        "cores overlap or leave gaps"
+    );
+}
+
+#[test]
+fn stitch_lines_follow_the_rectangular_core_grid() {
+    let p = partition_4x2();
+    // 3 vertical interior boundaries and 1 horizontal.
+    let lines = p.stitch_lines();
+    let vertical = lines
+        .iter()
+        .filter(|l| matches!(l.orientation, ilt_tile::Orientation::Vertical))
+        .count();
+    let horizontal = lines.len() - vertical;
+    assert_eq!(vertical, 3);
+    assert_eq!(horizontal, 1);
+}
