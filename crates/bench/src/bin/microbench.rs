@@ -1,15 +1,21 @@
 //! `microbench`: fast-path micro-benchmarks for the litho hot loop.
 //!
 //! Times the building blocks the solvers spend their iterations in — 2-D
-//! FFT forward/inverse passes (dense and sparse-support), the Hopkins
-//! forward/adjoint simulator passes, and a full pixel-ILT iteration — at
-//! the grid sizes of the configured experiment scale (`base_n` for the
-//! simulator benches, plus the full `clip` edge for the large FFT).
+//! FFT forward/inverse passes (dense and sparse-support), their real-input
+//! half-spectrum counterparts (`rfft_*`), the Hopkins forward/adjoint
+//! simulator passes (including the Hermitian path pinned explicitly), and
+//! a full pixel-ILT iteration — at the grid sizes of the configured
+//! experiment scale (`base_n` for the simulator benches, plus the full
+//! `clip` edge for the large FFTs).
 //!
 //! The full-iteration bench runs twice: once through the historical
-//! allocate-per-call API (`simulate`/`gradient`, serial) and once through
-//! the workspace fast path (`simulate_into`/`gradient_into` with the
-//! `ILT_INNER_THREADS` budget), and prints the speedup between them. A
+//! allocate-per-call API (`simulate`/`gradient`, serial, dense complex
+//! transforms) and once through the workspace fast path
+//! (`simulate_into`/`gradient_into` on the real-input path with the
+//! `ILT_INNER_THREADS` budget), and prints the speedup between them; the
+//! `microbench` report section carries that speedup (gated by
+//! `report_diff --min-iteration-speedup` in CI) together with the
+//! autotuned FFT plan parameters. A
 //! final three-way A/B re-runs the fast-path iteration with a span per
 //! iteration: recorder off, recorder on, and recorder + full `ilt-prof`
 //! layer (CPU sampler plus allocation tracking). The summary carries
@@ -32,9 +38,10 @@
 use std::fmt::Write as _;
 
 use ilt_bench::HarnessOptions;
-use ilt_fft::{spectral, Complex, Fft2d};
+use ilt_fft::{spectral, Complex, Fft2d, Rfft2d};
 use ilt_grid::Grid;
-use ilt_opt::evaluate_loss;
+use ilt_litho::SpectralPath;
+use ilt_opt::{evaluate_loss, evaluate_loss_into, LossEval};
 use ilt_par::InnerPool;
 use ilt_telemetry as tele;
 
@@ -160,6 +167,49 @@ fn main() {
         || clip_fft.forward(&mut clip_buf).unwrap(),
     );
 
+    // Real-input transforms at the same sizes: the half-spectrum path the
+    // simulator runs on by default. Serial pools, like the complex FFT
+    // benches above, so the numbers compare transform work, not threading.
+    let serial = InnerPool::serial();
+    let rfft = Rfft2d::new(base_n).unwrap();
+    let real_src: Vec<f64> = (0..base_n * base_n).map(|_| rng.next()).collect();
+    let mut half = vec![Complex::ZERO; rfft.spectrum_len()];
+    let mut rscratch = vec![Complex::ZERO; rfft.spectrum_len()];
+    bench(
+        &mut points,
+        format!("rfft_forward_{base_n}"),
+        fft_iters,
+        || rfft.forward(&real_src, &mut half, &mut rscratch, &serial).unwrap(),
+    );
+    let clip_rfft = Rfft2d::new(clip).unwrap();
+    let clip_src: Vec<f64> = (0..clip * clip).map(|_| rng.next()).collect();
+    let mut clip_half = vec![Complex::ZERO; clip_rfft.spectrum_len()];
+    let mut clip_rscratch = vec![Complex::ZERO; clip_rfft.spectrum_len()];
+    bench(
+        &mut points,
+        format!("rfft_forward_{clip}"),
+        fft_iters / 8,
+        || {
+            clip_rfft
+                .forward(&clip_src, &mut clip_half, &mut clip_rscratch, &serial)
+                .unwrap()
+        },
+    );
+    // The inverse destroys its spectrum, so each iteration restores it.
+    let pristine_half = half.clone();
+    let mut inv_half = half.clone();
+    let mut real_dst = vec![0.0f64; base_n * base_n];
+    bench(
+        &mut points,
+        format!("rfft_inverse_{base_n}"),
+        fft_iters,
+        || {
+            inv_half.copy_from_slice(&pristine_half);
+            rfft.inverse(&mut inv_half, &mut real_dst, &mut rscratch, &serial)
+                .unwrap();
+        },
+    );
+
     // Simulator passes at the tile grid size, through the workspace arena.
     let bank = opts.bank();
     let system = bank.system(base_n, 1).expect("system construction failed");
@@ -196,11 +246,25 @@ fn main() {
         system.gradient_into(&mut ws, &dldi).unwrap();
     });
 
+    // The Hermitian forward pass, pinned explicitly (so this point keeps
+    // measuring the half-spectrum path even if the default ever changes).
+    let mut hermitian_system = bank.system(base_n, 1).expect("system construction failed");
+    hermitian_system.set_spectral_path(SpectralPath::RealHermitian);
+    let mut hermitian_ws = hermitian_system.workspace();
+    bench(
+        &mut points,
+        format!("hermitian_simulate_{base_n}"),
+        sim_iters,
+        || hermitian_system.simulate_into(&mask, &mut hermitian_ws).unwrap(),
+    );
+
     // Full solver iteration, pre-fast-path shape: allocate-per-call
-    // simulate/gradient on a serial pool (what the solvers did before the
-    // workspace arena and inner-thread budget existed).
+    // simulate/gradient on a serial pool with dense complex transforms
+    // (what the solvers did before the workspace arena, inner-thread
+    // budget, and real-input path existed).
     let mut alloc_system = bank.system(base_n, 1).expect("system construction failed");
     alloc_system.set_inner_pool(InnerPool::serial());
+    alloc_system.set_spectral_path(SpectralPath::Complex);
     bench(
         &mut points,
         format!("ilt_iteration_alloc_{base_n}"),
@@ -211,15 +275,21 @@ fn main() {
             let _ = alloc_system.gradient(&state, &eval.dldi).unwrap();
         },
     );
-    // Full solver iteration, fast path: workspace arena + inner pool.
+    // Full solver iteration, fast path: workspace arena + inner pool +
+    // reused loss buffers, exactly the shape of the solvers' inner loops.
+    let mut loss_eval = LossEval {
+        value: 0.0,
+        dldi: Grid::new(base_n, base_n, 0.0),
+        wafer: Grid::new(base_n, base_n, 0.0),
+    };
     bench(
         &mut points,
         format!("ilt_iteration_fast_{base_n}"),
         iter_iters,
         || {
             system.simulate_into(&mask, &mut ws).unwrap();
-            let eval = evaluate_loss(system.resist(), ws.intensity(), &target);
-            let _ = system.gradient_into(&mut ws, &eval.dldi).unwrap();
+            evaluate_loss_into(system.resist(), ws.intensity(), &target, &mut loss_eval);
+            let _ = system.gradient_into(&mut ws, &loss_eval.dldi).unwrap();
         },
     );
 
@@ -245,8 +315,8 @@ fn main() {
         for _ in 0..iter_iters {
             let _span = tele::span(tele::names::SOLVE);
             system.simulate_into(&mask, &mut ws).unwrap();
-            let eval = evaluate_loss(system.resist(), ws.intensity(), &target);
-            let _ = system.gradient_into(&mut ws, &eval.dldi).unwrap();
+            evaluate_loss_into(system.resist(), ws.intensity(), &target, &mut loss_eval);
+            let _ = system.gradient_into(&mut ws, &loss_eval.dldi).unwrap();
         }
         started.elapsed().as_secs_f64()
     };
@@ -291,7 +361,45 @@ fn main() {
     .expect("cannot write summary");
     println!("wrote {}", path.display());
 
+    // The `microbench` report section carries the iteration timings and
+    // in-run speedup (gated by `report_diff --min-iteration-speedup` in CI
+    // against the baseline's recorded pre-fast-path reference cost) and
+    // the transpose/row-batch parameters the plan cache autotuned for this
+    // machine.
+    let alloc_us = points[points.len() - 2].us_per_iter();
+    let fast_us = points[points.len() - 1].us_per_iter();
+    ilt_bench::set_report_section(
+        "microbench",
+        render_microbench_section(speedup, alloc_us, fast_us),
+    );
     opts.finish_run("microbench");
+}
+
+/// Renders the `microbench` report section: the per-iteration timings of
+/// the alloc and fast arms, the in-run speedup between them, plus every
+/// (size, threads) -> (block, row_batch) choice the FFT plan cache
+/// autotuned during the run.
+fn render_microbench_section(speedup: f64, alloc_us: f64, fast_us: f64) -> String {
+    use tele::json;
+    let mut out = String::from("{\"iteration_speedup\":");
+    json::push_f64(&mut out, speedup);
+    out.push_str(",\"iteration_alloc_us\":");
+    json::push_f64(&mut out, alloc_us);
+    out.push_str(",\"iteration_fast_us\":");
+    json::push_f64(&mut out, fast_us);
+    out.push_str(",\"autotune\":[");
+    for (i, (n, threads, params)) in ilt_fft::tuned_summary().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"n\":{n},\"threads\":{threads},\"block\":{},\"row_batch\":{}}}",
+            params.block, params.row_batch
+        );
+    }
+    out.push_str("]}");
+    out
 }
 
 /// Renders the single-point `ilt-bench-trajectory/v1` summary.

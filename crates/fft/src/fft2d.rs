@@ -18,15 +18,19 @@ use std::sync::Arc;
 
 use ilt_par::InnerPool;
 
-use crate::cache::shared_plan;
+use crate::cache::{shared_plan, tuned_params};
 use crate::complex::Complex;
 use crate::error::FftError;
 use crate::plan::{Direction, FftPlan};
 
-/// Edge length of the blocked-transpose tiles. 32 complex values per row of
-/// a block is 512 bytes — two blocks fit comfortably in L1 alongside the
-/// twiddle tables.
-const TRANSPOSE_BLOCK: usize = 32;
+/// Default edge length of the blocked-transpose tiles. 32 complex values
+/// per row of a block is 512 bytes — two blocks fit comfortably in L1
+/// alongside the twiddle tables. [`crate::cache::tuned_params`] may pick a
+/// different edge per transform size.
+pub(crate) const DEFAULT_TRANSPOSE_BLOCK: usize = 32;
+
+/// Default number of rows per pooled work item in batched row passes.
+pub(crate) const DEFAULT_ROW_BATCH: usize = 1;
 
 /// A reusable 2-D FFT for row-major `rows x cols` buffers.
 ///
@@ -59,6 +63,10 @@ pub struct Fft2d {
     /// `Fft2d` of a given shape shares one set of twiddle tables.
     row_plan: Arc<FftPlan>,
     col_plan: Arc<FftPlan>,
+    /// Transpose tile edge, autotuned per size (square shapes only).
+    block: usize,
+    /// Rows per pooled work item, autotuned per (size, thread budget).
+    row_batch: usize,
 }
 
 impl Fft2d {
@@ -71,11 +79,20 @@ impl Fft2d {
     pub fn new(rows: usize, cols: usize) -> Result<Self, FftError> {
         let row_plan = shared_plan(cols)?;
         let col_plan = shared_plan(rows)?;
+        // Layout knobs are autotuned for the square hot-path shape; the
+        // rectangular diagnostic shapes just take the defaults.
+        let params = if rows == cols {
+            tuned_params(rows, ilt_par::configured_inner_threads())
+        } else {
+            crate::cache::TunedParams::default()
+        };
         Ok(Fft2d {
             rows,
             cols,
             row_plan,
             col_plan,
+            block: params.block,
+            row_batch: params.row_batch,
         })
     }
 
@@ -262,32 +279,38 @@ impl Fft2d {
             }
             None => {
                 let plan = &self.row_plan;
-                pool.for_each_chunk_mut(data, self.cols, |_, row| {
-                    plan.transform(row, dir)
-                        .expect("row length matches plan by construction");
+                let batch = self.row_batch.min(self.rows);
+                pool.for_each_chunk_mut(data, self.cols * batch, |_, rows| {
+                    for row in rows.chunks_exact_mut(self.cols) {
+                        plan.transform(row, dir)
+                            .expect("row length matches plan by construction");
+                    }
                 });
             }
         }
         if self.rows == self.cols {
             // Square: transpose in place, no scratch at all.
-            transpose_square(data, self.rows);
+            transpose_square_block(data, self.rows, self.block);
             let plan = &self.col_plan;
-            pool.for_each_chunk_mut(data, self.rows, |_, row| {
-                plan.transform(row, dir)
-                    .expect("column length matches plan by construction");
+            let batch = self.row_batch.min(self.cols);
+            pool.for_each_chunk_mut(data, self.rows * batch, |_, rows| {
+                for row in rows.chunks_exact_mut(self.rows) {
+                    plan.transform(row, dir)
+                        .expect("column length matches plan by construction");
+                }
             });
-            transpose_square_scaled(data, self.rows, scale);
+            transpose_square_scaled(data, self.rows, scale, self.block);
         } else {
             // Rectangular (test/diagnostic shapes only — the litho hot path
             // is square): transpose through a temporary.
             let mut t = vec![Complex::ZERO; data.len()];
-            transpose_into(data, self.rows, self.cols, &mut t);
+            transpose_into_block(data, self.rows, self.cols, &mut t, self.block);
             let plan = &self.col_plan;
             pool.for_each_chunk_mut(&mut t, self.rows, |_, row| {
                 plan.transform(row, dir)
                     .expect("column length matches plan by construction");
             });
-            transpose_into(&t, self.cols, self.rows, data);
+            transpose_into_block(&t, self.cols, self.rows, data, self.block);
             if let Some(s) = scale {
                 for z in data.iter_mut() {
                     *z = z.scale(s);
@@ -296,14 +319,74 @@ impl Fft2d {
         }
         Ok(())
     }
+
+    /// Forward 2-D FFT of a **square** buffer where only the listed output
+    /// columns will be read, leaving the result *transposed*.
+    ///
+    /// The full row pass runs as usual, then only the `support_cols` column
+    /// transforms run and the final transpose-back is skipped entirely: on
+    /// return, spectrum bin `(r, c)` sits at `data[c * n + r]` for every
+    /// `c` in `support_cols`, and every other position is unspecified. For
+    /// the paper's per-kernel gradient forward, where only the centered
+    /// `P x P` support is sampled afterwards, this removes `n - P` of the
+    /// `n` column transforms *and* one full transpose sweep. The skipped
+    /// count feeds the `fft.rows_skipped` telemetry counter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::ShapeMismatch`] if the plan is not square or
+    /// `data.len() != rows * cols`, or [`FftError::LengthMismatch`] if a
+    /// support column index is out of range.
+    pub fn forward_support_transposed(
+        &self,
+        data: &mut [Complex],
+        support_cols: &[usize],
+        pool: &InnerPool,
+    ) -> Result<(), FftError> {
+        if self.rows != self.cols || data.len() != self.len() {
+            return Err(FftError::ShapeMismatch {
+                expected: self.len(),
+                actual: data.len(),
+            });
+        }
+        if let Some(&bad) = support_cols.iter().find(|&&c| c >= self.cols) {
+            return Err(FftError::LengthMismatch {
+                expected: self.cols,
+                actual: bad,
+            });
+        }
+        ilt_telemetry::counter_add("fft.forward", 1);
+        ilt_telemetry::counter_add(
+            "fft.rows_skipped",
+            (self.cols - support_cols.len().min(self.cols)) as u64,
+        );
+        let n = self.rows;
+        let plan = &self.row_plan;
+        let batch = self.row_batch.min(n);
+        pool.for_each_chunk_mut(data, n * batch, |_, rows| {
+            for row in rows.chunks_exact_mut(n) {
+                plan.transform(row, Direction::Forward)
+                    .expect("row length matches plan by construction");
+            }
+        });
+        transpose_square_block(data, n, self.block);
+        for &c in support_cols {
+            self.col_plan
+                .transform(&mut data[c * n..(c + 1) * n], Direction::Forward)
+                .expect("column length matches plan by construction");
+        }
+        Ok(())
+    }
 }
 
-/// In-place blocked transpose of a square `n x n` row-major buffer.
-fn transpose_square(data: &mut [Complex], n: usize) {
-    for bi in (0..n).step_by(TRANSPOSE_BLOCK) {
-        for bj in (bi..n).step_by(TRANSPOSE_BLOCK) {
-            let i_end = (bi + TRANSPOSE_BLOCK).min(n);
-            let j_end = (bj + TRANSPOSE_BLOCK).min(n);
+/// In-place blocked transpose of a square `n x n` row-major buffer with a
+/// `block x block` tile walk.
+pub(crate) fn transpose_square_block(data: &mut [Complex], n: usize, block: usize) {
+    let block = block.max(1);
+    for bi in (0..n).step_by(block) {
+        for bj in (bi..n).step_by(block) {
+            let i_end = (bi + block).min(n);
+            let j_end = (bj + block).min(n);
             for i in bi..i_end {
                 let j_start = if bi == bj { i + 1 } else { bj };
                 for j in j_start..j_end {
@@ -314,17 +397,18 @@ fn transpose_square(data: &mut [Complex], n: usize) {
     }
 }
 
-/// [`transpose_square`] with an optional per-element scale fused into the
-/// swap (each element is scaled exactly once).
-fn transpose_square_scaled(data: &mut [Complex], n: usize, scale: Option<f64>) {
+/// [`transpose_square_block`] with an optional per-element scale fused
+/// into the swap (each element is scaled exactly once).
+fn transpose_square_scaled(data: &mut [Complex], n: usize, scale: Option<f64>, block: usize) {
     let Some(s) = scale else {
-        transpose_square(data, n);
+        transpose_square_block(data, n, block);
         return;
     };
-    for bi in (0..n).step_by(TRANSPOSE_BLOCK) {
-        for bj in (bi..n).step_by(TRANSPOSE_BLOCK) {
-            let i_end = (bi + TRANSPOSE_BLOCK).min(n);
-            let j_end = (bj + TRANSPOSE_BLOCK).min(n);
+    let block = block.max(1);
+    for bi in (0..n).step_by(block) {
+        for bj in (bi..n).step_by(block) {
+            let i_end = (bi + block).min(n);
+            let j_end = (bj + block).min(n);
             for i in bi..i_end {
                 if bi == bj {
                     let d = i * n + i;
@@ -345,13 +429,20 @@ fn transpose_square_scaled(data: &mut [Complex], n: usize, scale: Option<f64>) {
 
 /// Blocked out-of-place transpose: `src` is `rows x cols`, `dst` becomes
 /// `cols x rows`.
-fn transpose_into(src: &[Complex], rows: usize, cols: usize, dst: &mut [Complex]) {
+pub(crate) fn transpose_into_block(
+    src: &[Complex],
+    rows: usize,
+    cols: usize,
+    dst: &mut [Complex],
+    block: usize,
+) {
     debug_assert_eq!(src.len(), rows * cols);
     debug_assert_eq!(dst.len(), rows * cols);
-    for bi in (0..rows).step_by(TRANSPOSE_BLOCK) {
-        for bj in (0..cols).step_by(TRANSPOSE_BLOCK) {
-            for i in bi..(bi + TRANSPOSE_BLOCK).min(rows) {
-                for j in bj..(bj + TRANSPOSE_BLOCK).min(cols) {
+    let block = block.max(1);
+    for bi in (0..rows).step_by(block) {
+        for bj in (0..cols).step_by(block) {
+            for i in bi..(bi + block).min(rows) {
+                for j in bj..(bj + block).min(cols) {
                     dst[j * rows + i] = src[i * cols + j];
                 }
             }
@@ -554,16 +645,18 @@ mod tests {
     #[test]
     fn transpose_square_roundtrip() {
         for n in [1usize, 2, 31, 32, 33, 64] {
-            let data: Vec<Complex> = (0..n * n).map(|i| Complex::from_re(i as f64)).collect();
-            let mut t = data.clone();
-            transpose_square(&mut t, n);
-            for i in 0..n {
-                for j in 0..n {
-                    assert_eq!(t[j * n + i], data[i * n + j]);
+            for block in [8usize, 32, 64] {
+                let data: Vec<Complex> = (0..n * n).map(|i| Complex::from_re(i as f64)).collect();
+                let mut t = data.clone();
+                transpose_square_block(&mut t, n, block);
+                for i in 0..n {
+                    for j in 0..n {
+                        assert_eq!(t[j * n + i], data[i * n + j]);
+                    }
                 }
+                transpose_square_block(&mut t, n, block);
+                assert_eq!(t, data);
             }
-            transpose_square(&mut t, n);
-            assert_eq!(t, data);
         }
     }
 
@@ -574,11 +667,47 @@ mod tests {
             .map(|i| Complex::from_re(i as f64 + 1.0))
             .collect();
         let mut t = data.clone();
-        transpose_square_scaled(&mut t, n, Some(0.5));
+        transpose_square_scaled(&mut t, n, Some(0.5), 32);
         for i in 0..n {
             for j in 0..n {
                 assert_eq!(t[j * n + i], data[i * n + j].scale(0.5));
             }
         }
+    }
+
+    #[test]
+    fn forward_support_matches_dense_forward_on_kept_columns() {
+        let n = 32;
+        let support = [30usize, 31, 0, 1, 2]; // wrapped centered support
+        let fft = Fft2d::new(n, n).unwrap();
+        let data = ramp(n, n);
+        let mut dense = data.clone();
+        fft.forward(&mut dense).unwrap();
+        for pool in [InnerPool::serial(), InnerPool::new(4)] {
+            let mut sparse = data.clone();
+            fft.forward_support_transposed(&mut sparse, &support, &pool)
+                .unwrap();
+            for &c in &support {
+                for r in 0..n {
+                    assert_eq!(sparse[c * n + r], dense[r * n + c], "bin ({r},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_support_rejects_bad_inputs() {
+        let fft = Fft2d::new(8, 8).unwrap();
+        let mut data = vec![Complex::ZERO; 64];
+        assert!(matches!(
+            fft.forward_support_transposed(&mut data, &[8], &InnerPool::serial()),
+            Err(FftError::LengthMismatch { .. })
+        ));
+        let rect = Fft2d::new(8, 4).unwrap();
+        let mut rdata = vec![Complex::ZERO; 32];
+        assert!(matches!(
+            rect.forward_support_transposed(&mut rdata, &[0], &InnerPool::serial()),
+            Err(FftError::ShapeMismatch { .. })
+        ));
     }
 }

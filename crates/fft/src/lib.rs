@@ -35,7 +35,7 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
@@ -44,11 +44,18 @@ mod dft;
 mod error;
 mod fft2d;
 mod plan;
+mod rfft;
+#[allow(unsafe_code)]
+mod simd;
 pub mod spectral;
 
-pub use cache::{cached_plan_bytes, cached_plan_count, shared_plan};
+pub use cache::{
+    cached_plan_bytes, cached_plan_count, shared_plan, shared_rplan, tuned_params, tuned_summary,
+    TunedParams,
+};
 pub use complex::Complex;
 pub use dft::{dft2_reference, dft_reference};
 pub use error::FftError;
 pub use fft2d::Fft2d;
 pub use plan::{Direction, FftPlan};
+pub use rfft::{Rfft2d, RfftPlan};

@@ -1,0 +1,695 @@
+//! Real-input FFTs: half the butterfly work, half the spectrum.
+//!
+//! Every mask, target, and aerial image in the Hopkins/SOCS pipeline is
+//! real-valued, and the spectrum of a real signal is conjugate-symmetric:
+//! `X[n-k] = conj(X[k])`. [`RfftPlan`] exploits this by packing the `n`
+//! real samples into `n/2` complex values, running a *half-length* complex
+//! FFT, and untangling the even/odd interleave with one `O(n)`
+//! post-processing pass — the classic "pack two reals per complex" scheme.
+//! Only the `n/2 + 1` non-redundant bins are ever materialised.
+//!
+//! [`Rfft2d`] lifts this to square `n x n` real grids. The half-spectrum
+//! is stored **transposed** as `(n/2 + 1) x n`: stored column `c` of the
+//! logical spectrum occupies the contiguous run `spec[c*n .. (c+1)*n]`,
+//! so the second (column-direction) pass transforms contiguous memory with
+//! no transpose-back. Values in the missing half follow from symmetry:
+//!
+//! ```text
+//! X(r, c) = spec[c*n + r]                          for c <= n/2
+//! X(r, c) = conj(spec[(n-c)*n + (n-r) % n])        otherwise
+//! ```
+//!
+//! The inverse accepts the same layout, skips all-zero stored columns the
+//! caller vouches for (feeding the `fft.rows_skipped` counter exactly like
+//! [`crate::Fft2d::inverse_support`]), and fuses an arbitrary extra scale
+//! into the final real unpacking, so Hermitian-symmetrised adjoint sums
+//! come back as real grids in one pass.
+
+use std::sync::Arc;
+
+use ilt_par::InnerPool;
+
+use crate::cache::{shared_plan, shared_rplan, tuned_params};
+use crate::complex::Complex;
+use crate::error::FftError;
+use crate::fft2d::transpose_into_block;
+use crate::plan::{Direction, FftPlan};
+
+/// A reusable real-input FFT plan for one power-of-two length `n >= 2`.
+///
+/// The forward transform maps `n` reals to the `n/2 + 1` non-redundant
+/// spectrum bins; the inverse maps them back. Internally the plan wraps
+/// the shared half-length complex [`FftPlan`] plus an `n/4 + 1`-entry
+/// post-processing twiddle table, so a real transform costs a complex
+/// transform of *half* the length plus one linear pass.
+///
+/// # Examples
+///
+/// ```
+/// use ilt_fft::{Complex, RfftPlan};
+///
+/// # fn main() -> Result<(), ilt_fft::FftError> {
+/// let plan = RfftPlan::new(8)?;
+/// let x = [1.0, 2.0, 0.5, -1.0, 0.0, 3.0, -2.0, 0.25];
+/// let mut spec = [Complex::ZERO; 5]; // n/2 + 1 bins
+/// plan.forward(&x, &mut spec)?;
+/// let mut back = [0.0; 8];
+/// plan.inverse(&mut spec, &mut back)?;
+/// assert!((back[5] - 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct RfftPlan {
+    len: usize,
+    /// Shared complex plan of length `len / 2`.
+    half: Arc<FftPlan>,
+    /// Untangle twiddles `e^{-2 pi i k / len}` for `k in 0..=len/4`.
+    post: Vec<Complex>,
+}
+
+impl RfftPlan {
+    /// Creates a real-input plan for transforms of length `len`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::NonPowerOfTwo`] unless `len` is a power of two
+    /// of at least 2 (the two-reals-per-complex packing needs an even
+    /// length).
+    pub fn new(len: usize) -> Result<Self, FftError> {
+        if len < 2 || !len.is_power_of_two() {
+            return Err(FftError::NonPowerOfTwo { len });
+        }
+        let m = len / 2;
+        let half = shared_plan(m)?;
+        let step = -2.0 * std::f64::consts::PI / len as f64;
+        let post = (0..=m / 2)
+            .map(|k| Complex::from_polar(1.0, step * k as f64))
+            .collect();
+        Ok(RfftPlan { len, half, post })
+    }
+
+    /// Real transform length this plan was built for.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the plan length is zero (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of non-redundant spectrum bins: `len / 2 + 1`.
+    #[inline]
+    pub fn spectrum_len(&self) -> usize {
+        self.len / 2 + 1
+    }
+
+    /// Estimated resident bytes of this plan's *own* tables (the untangle
+    /// twiddles). The embedded half-length complex plan is shared through
+    /// the plan cache and accounted there, not here.
+    pub fn estimated_bytes(&self) -> u64 {
+        (self.post.len() * std::mem::size_of::<Complex>()) as u64
+    }
+
+    /// Forward real FFT: `src` holds `len` reals, `dst` receives the
+    /// `len/2 + 1` non-redundant bins (`dst[k] = X[k]` for `k <= len/2`;
+    /// the rest follow from `X[len-k] = conj(X[k])`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if either buffer has the wrong
+    /// length.
+    pub fn forward(&self, src: &[f64], dst: &mut [Complex]) -> Result<(), FftError> {
+        let n = self.len;
+        if src.len() != n {
+            return Err(FftError::LengthMismatch {
+                expected: n,
+                actual: src.len(),
+            });
+        }
+        let m = n / 2;
+        if dst.len() != m + 1 {
+            return Err(FftError::LengthMismatch {
+                expected: m + 1,
+                actual: dst.len(),
+            });
+        }
+        if m == 1 {
+            dst[0] = Complex::from_re(src[0] + src[1]);
+            dst[1] = Complex::from_re(src[0] - src[1]);
+            return Ok(());
+        }
+        // Pack two reals per complex and run the half-length FFT.
+        for (z, pair) in dst[..m].iter_mut().zip(src.chunks_exact(2)) {
+            *z = Complex::new(pair[0], pair[1]);
+        }
+        self.half
+            .transform(&mut dst[..m], Direction::Forward)
+            .expect("half plan length matches by construction");
+        // Untangle: with E/O the spectra of the even/odd subsequences,
+        // E[k] = (Z[k] + conj(Z[m-k]))/2, O[k] = -i (Z[k] - conj(Z[m-k]))/2
+        // and X[k] = E[k] + w^k O[k] with w = e^{-2 pi i / n}.
+        let z0 = dst[0];
+        dst[0] = Complex::from_re(z0.re + z0.im);
+        dst[m] = Complex::from_re(z0.re - z0.im);
+        let h = m / 2;
+        for k in 1..h {
+            let zk = dst[k];
+            let zmk = dst[m - k];
+            let e = Complex::new(0.5 * (zk.re + zmk.re), 0.5 * (zk.im - zmk.im));
+            let d = Complex::new(0.5 * (zk.re - zmk.re), 0.5 * (zk.im + zmk.im));
+            let o = Complex::new(d.im, -d.re); // -i * d
+            let wo = self.post[k] * o;
+            dst[k] = e + wo;
+            dst[m - k] = (e - wo).conj();
+        }
+        // k = m/2 pairs with itself: E = Re Z, O = Im Z, w^{m/2} = -i
+        // exactly, so X[m/2] = conj(Z[m/2]).
+        dst[h] = dst[h].conj();
+        Ok(())
+    }
+
+    /// Inverse real FFT with the full `1/len` normalisation, so that
+    /// `inverse(forward(x)) == x`. **Destroys `spec`** (the untangle runs
+    /// in place).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if either buffer has the wrong
+    /// length.
+    pub fn inverse(&self, spec: &mut [Complex], dst: &mut [f64]) -> Result<(), FftError> {
+        self.inverse_scaled(spec, dst, 1.0 / self.len as f64)
+    }
+
+    /// Inverse real FFT scaled so that `dst = scale * S`, where `S` is the
+    /// *unnormalised* inverse DFT of the Hermitian extension of `spec`
+    /// (pass `scale = 1/len` for the true inverse). **Destroys `spec`.**
+    ///
+    /// The scale is folded into the untangle pass, so composed transforms
+    /// (e.g. the 2-D inverse) pay no extra sweep for normalisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if either buffer has the wrong
+    /// length.
+    pub fn inverse_scaled(
+        &self,
+        spec: &mut [Complex],
+        dst: &mut [f64],
+        scale: f64,
+    ) -> Result<(), FftError> {
+        let n = self.len;
+        let m = n / 2;
+        if spec.len() != m + 1 {
+            return Err(FftError::LengthMismatch {
+                expected: m + 1,
+                actual: spec.len(),
+            });
+        }
+        if dst.len() != n {
+            return Err(FftError::LengthMismatch {
+                expected: n,
+                actual: dst.len(),
+            });
+        }
+        if m == 1 {
+            dst[0] = scale * (spec[0].re + spec[1].re);
+            dst[1] = scale * (spec[0].re - spec[1].re);
+            return Ok(());
+        }
+        // Re-tangle in place: rebuild the half-length spectrum
+        // Z[k] = E[k] + i O[k], folding `2 * scale` into every bin so the
+        // unpacking below is a plain copy. (The half inverse is run
+        // unnormalised; the forward packing identity contributes the
+        // factor 2 = n/m.)
+        let c2 = 2.0 * scale;
+        let x0 = spec[0];
+        let xm = spec[m];
+        spec[0] = Complex::new(
+            scale * ((x0.re + xm.re) - (x0.im - xm.im)),
+            scale * ((x0.im + xm.im) + (x0.re - xm.re)),
+        );
+        let h = m / 2;
+        for k in 1..h {
+            let a = spec[k];
+            let b = spec[m - k].conj();
+            let eh = Complex::new(scale * (a.re + b.re), scale * (a.im + b.im));
+            let dh = Complex::new(scale * (a.re - b.re), scale * (a.im - b.im));
+            let oh = self.post[k].conj() * dh;
+            spec[k] = Complex::new(eh.re - oh.im, eh.im + oh.re);
+            spec[m - k] = Complex::new(eh.re + oh.im, oh.re - eh.im);
+        }
+        spec[h] = spec[h].conj().scale(c2);
+        self.half
+            .transform(&mut spec[..m], Direction::Inverse)
+            .expect("half plan length matches by construction");
+        for (pair, z) in dst.chunks_exact_mut(2).zip(spec[..m].iter()) {
+            pair[0] = z.re;
+            pair[1] = z.im;
+        }
+        Ok(())
+    }
+}
+
+/// A reusable real-input 2-D FFT for square `n x n` real grids, storing
+/// only the `n/2 + 1` non-redundant spectrum columns (transposed layout —
+/// see the module docs).
+///
+/// Plans come from the process-wide cache, and the layout knobs (transpose
+/// tile edge, pooled row batch) are autotuned per size through
+/// [`crate::cache::tuned_params`].
+#[derive(Debug)]
+pub struct Rfft2d {
+    n: usize,
+    row: Arc<RfftPlan>,
+    col_plan: Arc<FftPlan>,
+    block: usize,
+    row_batch: usize,
+}
+
+impl Rfft2d {
+    /// Creates a real 2-D plan for `n x n` grids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::NonPowerOfTwo`] unless `n` is a power of two of
+    /// at least 2.
+    pub fn new(n: usize) -> Result<Self, FftError> {
+        let row = shared_rplan(n)?;
+        let col_plan = shared_plan(n)?;
+        let params = tuned_params(n, ilt_par::configured_inner_threads());
+        Ok(Rfft2d {
+            n,
+            row,
+            col_plan,
+            block: params.block,
+            row_batch: params.row_batch,
+        })
+    }
+
+    /// Grid edge length.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored spectrum columns: `n/2 + 1`.
+    #[inline]
+    pub fn half_cols(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// Elements in a half-spectrum (or scratch) buffer:
+    /// `(n/2 + 1) * n`.
+    #[inline]
+    pub fn spectrum_len(&self) -> usize {
+        self.half_cols() * self.n
+    }
+
+    /// Forward real 2-D FFT: `src` is the `n x n` row-major real grid,
+    /// `spec` receives the half-spectrum in transposed `(n/2+1) x n`
+    /// layout (`spec[c*n + r] = X(r, c)` for `c <= n/2`), and `scratch`
+    /// is a caller-owned buffer of the same size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::ShapeMismatch`] if any buffer has the wrong
+    /// length.
+    pub fn forward(
+        &self,
+        src: &[f64],
+        spec: &mut [Complex],
+        scratch: &mut [Complex],
+        pool: &InnerPool,
+    ) -> Result<(), FftError> {
+        let n = self.n;
+        let hw = self.half_cols();
+        if src.len() != n * n {
+            return Err(FftError::ShapeMismatch {
+                expected: n * n,
+                actual: src.len(),
+            });
+        }
+        self.check_spectral(spec.len())?;
+        self.check_spectral(scratch.len())?;
+        ilt_telemetry::counter_add("fft.rfft_forward", 1);
+        // Row pass: each real row becomes hw bins in row-major scratch.
+        let row = &*self.row;
+        let batch = self.row_batch.min(n);
+        pool.for_each_chunk_mut(scratch, hw * batch, |ci, rows| {
+            for (j, out_row) in rows.chunks_exact_mut(hw).enumerate() {
+                let r = ci * batch + j;
+                row.forward(&src[r * n..(r + 1) * n], out_row)
+                    .expect("row length matches plan by construction");
+            }
+        });
+        // Transpose n x hw -> hw x n, then transform the hw stored columns
+        // as contiguous rows. No transpose back: the half-spectrum layout
+        // *is* transposed.
+        transpose_into_block(scratch, n, hw, spec, self.block);
+        let plan = &self.col_plan;
+        pool.for_each_chunk_mut(spec, n, |_, col| {
+            plan.transform(col, Direction::Forward)
+                .expect("column length matches plan by construction");
+        });
+        Ok(())
+    }
+
+    /// Inverse real 2-D FFT with the full `1/n^2` normalisation.
+    /// **Destroys `spec`.**
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::ShapeMismatch`] if any buffer has the wrong
+    /// length.
+    pub fn inverse(
+        &self,
+        spec: &mut [Complex],
+        dst: &mut [f64],
+        scratch: &mut [Complex],
+        pool: &InnerPool,
+    ) -> Result<(), FftError> {
+        self.inverse_support_scaled(spec, dst, scratch, None, 1.0, pool)
+    }
+
+    /// Inverse real 2-D FFT of a half-spectrum known to be zero outside
+    /// the listed stored columns, with an extra output scale fused in.
+    /// **Destroys `spec`.**
+    ///
+    /// `support_cols` are stored-column indices (`0..=n/2`); every other
+    /// stored column **must** already be zero in `spec` — its transform is
+    /// skipped outright, and the skipped count feeds the
+    /// `fft.rows_skipped` telemetry counter, exactly like
+    /// [`crate::Fft2d::inverse_support`]. The output is
+    /// `extra * ifft2(spec)` (pass `extra = 1.0` for the plain inverse);
+    /// the scale costs nothing, it rides the untangle pass of the final
+    /// real row transforms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::ShapeMismatch`] if any buffer has the wrong
+    /// length, or [`FftError::LengthMismatch`] if a support column index
+    /// is out of range.
+    pub fn inverse_support_scaled(
+        &self,
+        spec: &mut [Complex],
+        dst: &mut [f64],
+        scratch: &mut [Complex],
+        support_cols: Option<&[usize]>,
+        extra: f64,
+        pool: &InnerPool,
+    ) -> Result<(), FftError> {
+        let n = self.n;
+        let hw = self.half_cols();
+        self.check_spectral(spec.len())?;
+        self.check_spectral(scratch.len())?;
+        if dst.len() != n * n {
+            return Err(FftError::ShapeMismatch {
+                expected: n * n,
+                actual: dst.len(),
+            });
+        }
+        if let Some(cols) = support_cols {
+            if let Some(&bad) = cols.iter().find(|&&c| c >= hw) {
+                return Err(FftError::LengthMismatch {
+                    expected: hw,
+                    actual: bad,
+                });
+            }
+        }
+        ilt_telemetry::counter_add("fft.rfft_inverse", 1);
+        // Column pass (stored columns are contiguous rows of `spec`).
+        let plan = &self.col_plan;
+        match support_cols {
+            Some(cols) => {
+                ilt_telemetry::counter_add(
+                    "fft.rows_skipped",
+                    (hw - cols.len().min(hw)) as u64,
+                );
+                for &c in cols {
+                    plan.transform(&mut spec[c * n..(c + 1) * n], Direction::Inverse)
+                        .expect("column length matches plan by construction");
+                }
+            }
+            None => {
+                pool.for_each_chunk_mut(spec, n, |_, col| {
+                    plan.transform(col, Direction::Inverse)
+                        .expect("column length matches plan by construction");
+                });
+            }
+        }
+        // Transpose hw x n -> n x hw, then untangle each row back to
+        // reals. The whole 2-D normalisation (and the caller's extra
+        // scale) is fused into the row untangle.
+        transpose_into_block(spec, hw, n, scratch, self.block);
+        let row = &*self.row;
+        let scale = extra / (n * n) as f64;
+        let batch = self.row_batch.min(n);
+        pool.for_each_chunk_zip_mut(scratch, hw * batch, dst, n * batch, |_, srows, drows| {
+            for (srow, drow) in srows
+                .chunks_exact_mut(hw)
+                .zip(drows.chunks_exact_mut(n))
+            {
+                row.inverse_scaled(srow, drow, scale)
+                    .expect("row length matches plan by construction");
+            }
+        });
+        Ok(())
+    }
+
+    fn check_spectral(&self, len: usize) -> Result<(), FftError> {
+        if len != self.spectrum_len() {
+            return Err(FftError::ShapeMismatch {
+                expected: self.spectrum_len(),
+                actual: len,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::{dft2_reference, dft_reference};
+    use crate::fft2d::Fft2d;
+
+    fn reals(n: usize, seed: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.37 + seed).sin() + 0.25 * (i as f64 * 1.91 + seed).cos())
+            .collect()
+    }
+
+    #[test]
+    fn rejects_bad_lengths() {
+        assert!(RfftPlan::new(0).is_err());
+        assert!(RfftPlan::new(1).is_err());
+        assert!(RfftPlan::new(12).is_err());
+        assert!(Rfft2d::new(6).is_err());
+        let plan = RfftPlan::new(8).unwrap();
+        assert!(!plan.is_empty());
+        assert_eq!(plan.spectrum_len(), 5);
+        assert!(plan.estimated_bytes() > 0);
+        let mut spec = vec![Complex::ZERO; 4];
+        assert!(plan.forward(&[0.0; 8], &mut spec).is_err());
+        assert!(plan.forward(&[0.0; 7], &mut vec![Complex::ZERO; 5]).is_err());
+        let mut out = [0.0; 7];
+        assert!(plan.inverse(&mut vec![Complex::ZERO; 5], &mut out).is_err());
+    }
+
+    #[test]
+    fn forward_matches_complex_dft_over_sizes() {
+        for n in [2usize, 4, 8, 16, 64, 256, 512] {
+            let plan = RfftPlan::new(n).unwrap();
+            for (case, x) in [
+                ("impulse", {
+                    let mut v = vec![0.0; n];
+                    v[n / 2 - 1] = 1.0;
+                    v
+                }),
+                ("dc", vec![1.0; n]),
+                ("random", reals(n, 0.3)),
+            ] {
+                let data: Vec<Complex> = x.iter().map(|&r| Complex::from_re(r)).collect();
+                let reference = dft_reference(&data, Direction::Forward);
+                let mut spec = vec![Complex::ZERO; n / 2 + 1];
+                plan.forward(&x, &mut spec).unwrap();
+                for (k, z) in spec.iter().enumerate() {
+                    assert!(
+                        (*z - reference[k]).abs() < 1e-9 * (n as f64),
+                        "{case} n={n} bin {k}: {z:?} vs {:?}",
+                        reference[k]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_tight() {
+        for n in [2usize, 8, 32, 128, 512] {
+            let plan = RfftPlan::new(n).unwrap();
+            let x = reals(n, 1.7);
+            let mut spec = vec![Complex::ZERO; n / 2 + 1];
+            plan.forward(&x, &mut spec).unwrap();
+            let mut back = vec![0.0; n];
+            plan.inverse(&mut spec, &mut back).unwrap();
+            for (a, b) in x.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-12, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_scaled_folds_the_scale() {
+        let n = 16;
+        let plan = RfftPlan::new(n).unwrap();
+        let x = reals(n, 0.9);
+        let mut spec = vec![Complex::ZERO; n / 2 + 1];
+        plan.forward(&x, &mut spec).unwrap();
+        let mut spec2 = spec.clone();
+        let mut a = vec![0.0; n];
+        let mut b = vec![0.0; n];
+        plan.inverse(&mut spec, &mut a).unwrap();
+        plan.inverse_scaled(&mut spec2, &mut b, 3.0 / n as f64).unwrap();
+        for (u, v) in a.iter().zip(&b) {
+            assert!((3.0 * u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rfft2_matches_complex_fft2_on_stored_half() {
+        for n in [4usize, 8, 32] {
+            let rfft = Rfft2d::new(n).unwrap();
+            let hw = rfft.half_cols();
+            let x: Vec<f64> = reals(n * n, 0.11);
+            let data: Vec<Complex> = x.iter().map(|&r| Complex::from_re(r)).collect();
+            let reference = dft2_reference(&data, n, n, Direction::Forward);
+            let mut spec = vec![Complex::ZERO; rfft.spectrum_len()];
+            let mut scratch = vec![Complex::ZERO; rfft.spectrum_len()];
+            rfft.forward(&x, &mut spec, &mut scratch, &InnerPool::serial())
+                .unwrap();
+            for c in 0..hw {
+                for r in 0..n {
+                    assert!(
+                        (spec[c * n + r] - reference[r * n + c]).abs() < 1e-9 * (n as f64),
+                        "n={n} bin ({r},{c})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rfft2_roundtrip_and_pool_bit_identity() {
+        let n = 64;
+        let rfft = Rfft2d::new(n).unwrap();
+        let x: Vec<f64> = reals(n * n, 2.3);
+        let run = |pool: &InnerPool| {
+            let mut spec = vec![Complex::ZERO; rfft.spectrum_len()];
+            let mut scratch = vec![Complex::ZERO; rfft.spectrum_len()];
+            rfft.forward(&x, &mut spec, &mut scratch, pool).unwrap();
+            let mut back = vec![0.0; n * n];
+            rfft.inverse(&mut spec, &mut back, &mut scratch, pool).unwrap();
+            back
+        };
+        let serial = run(&InnerPool::serial());
+        let pooled = run(&InnerPool::new(4));
+        assert_eq!(serial, pooled, "pooled rfft2 must be bit-identical");
+        for (a, b) in x.iter().zip(&serial) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rfft2_sparse_support_matches_dense_inverse() {
+        // A Hermitian half-spectrum nonzero only on a few stored columns:
+        // the sparse entry point must agree with the dense inverse bit for
+        // bit, and with the full complex transform to tolerance.
+        let n = 32;
+        let rfft = Rfft2d::new(n).unwrap();
+        let hw = rfft.half_cols();
+        // Build a valid half-spectrum by transforming a real image whose
+        // spectrum we then crop to the support columns.
+        let x: Vec<f64> = reals(n * n, 4.2);
+        let mut spec = vec![Complex::ZERO; rfft.spectrum_len()];
+        let mut scratch = vec![Complex::ZERO; rfft.spectrum_len()];
+        rfft.forward(&x, &mut spec, &mut scratch, &InnerPool::serial())
+            .unwrap();
+        let support = [0usize, 1, 2]; // low stored columns only
+        let mut cropped = vec![Complex::ZERO; rfft.spectrum_len()];
+        for &c in &support {
+            cropped[c * n..(c + 1) * n].copy_from_slice(&spec[c * n..(c + 1) * n]);
+        }
+        // To keep the implied full spectrum Hermitian, the mirrored
+        // columns n-1, n-2 are implied by stored columns 1, 2 — the
+        // reference complex spectrum must crop those too.
+        let mut dense = cropped.clone();
+        let mut sparse = cropped;
+        let mut out_dense = vec![0.0; n * n];
+        let mut out_sparse = vec![0.0; n * n];
+        rfft.inverse(&mut dense, &mut out_dense, &mut scratch, &InnerPool::serial())
+            .unwrap();
+        rfft.inverse_support_scaled(
+            &mut sparse,
+            &mut out_sparse,
+            &mut scratch,
+            Some(&support),
+            1.0,
+            &InnerPool::serial(),
+        )
+        .unwrap();
+        assert_eq!(out_dense, out_sparse);
+        // And against the dense complex reference of the same crop: keep a
+        // full-spectrum column if its stored image is in the support.
+        let full = Fft2d::new(n, n).unwrap();
+        let mut cf = vec![Complex::ZERO; n * n];
+        for c in 0..n {
+            let stored = if c < hw { c } else { n - c };
+            if !support.contains(&stored) {
+                continue;
+            }
+            for r in 0..n {
+                cf[r * n + c] = spec_at(&spec, n, r, c);
+            }
+        }
+        full.inverse(&mut cf).unwrap();
+        for (i, z) in cf.iter().enumerate() {
+            assert!((z.re - out_sparse[i]).abs() < 1e-10);
+            assert!(z.im.abs() < 1e-10);
+        }
+    }
+
+    /// Full-spectrum lookup through the Hermitian symmetry of the stored
+    /// transposed half-spectrum.
+    fn spec_at(spec: &[Complex], n: usize, r: usize, c: usize) -> Complex {
+        if c <= n / 2 {
+            spec[c * n + r]
+        } else {
+            spec[(n - c) * n + (n - r) % n].conj()
+        }
+    }
+
+    #[test]
+    fn rfft2_support_rejects_out_of_range_columns() {
+        let n = 8;
+        let rfft = Rfft2d::new(n).unwrap();
+        let mut spec = vec![Complex::ZERO; rfft.spectrum_len()];
+        let mut scratch = vec![Complex::ZERO; rfft.spectrum_len()];
+        let mut out = vec![0.0; n * n];
+        assert!(matches!(
+            rfft.inverse_support_scaled(
+                &mut spec,
+                &mut out,
+                &mut scratch,
+                Some(&[5]),
+                1.0,
+                &InnerPool::serial()
+            ),
+            Err(FftError::LengthMismatch { .. })
+        ));
+    }
+}

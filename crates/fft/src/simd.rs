@@ -1,0 +1,125 @@
+//! Runtime-gated x86_64 vector kernels for the butterfly inner loop.
+//!
+//! The portable butterfly in [`crate::plan`] is written over explicit
+//! two-complex lanes so the autovectorizer can lower it to 128/256-bit ops,
+//! but the complex multiply still costs it a shuffle-heavy dance. On
+//! x86_64 with AVX2+FMA the whole two-lane butterfly is five vector
+//! instructions (`movedup`/`permute` to splat the twiddle components,
+//! `fmaddsub` for the complex product, one add and one sub), so this module
+//! provides that kernel behind a one-time `is_x86_feature_detected!` check.
+//!
+//! The dispatch decision is made once per process and never changes, so
+//! every transform in a process runs the same code path — the property the
+//! serial-vs-parallel and workspace-reuse bit-identity suites rely on.
+//! (FMA contraction rounds differently from the two-step scalar product,
+//! so results may differ across *machines* in the last ulp; all
+//! cross-machine comparisons in the workspace are tolerance-based.)
+//!
+//! This is the only module in the crate allowed to use `unsafe`: the
+//! intrinsics themselves are safe for any input once the CPU supports
+//! them (verified at runtime before the function pointer is published),
+//! and all loads/stores stay inside the slices' bounds by construction
+//! (`lo`, `hi` and `tw` share one length, a multiple of two).
+
+use crate::complex::Complex;
+
+/// Returns `true` if the AVX2+FMA butterfly kernel is available on this
+/// CPU (always `false` off x86_64). The answer is computed once and cached.
+#[cfg(target_arch = "x86_64")]
+pub fn butterfly_kernel_available() -> bool {
+    use std::sync::OnceLock;
+    static AVAILABLE: OnceLock<bool> = OnceLock::new();
+    *AVAILABLE.get_or_init(|| {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    })
+}
+
+/// Returns `true` if the AVX2+FMA butterfly kernel is available on this
+/// CPU (always `false` off x86_64).
+#[cfg(not(target_arch = "x86_64"))]
+pub fn butterfly_kernel_available() -> bool {
+    false
+}
+
+/// AVX2+FMA butterfly block: `lo[k], hi[k] <- lo[k] ± w[k]*hi[k]`, two
+/// complex lanes per iteration.
+///
+/// # Panics
+///
+/// Panics (debug) unless the three slices share one even length. Callers
+/// must only reach this after [`butterfly_kernel_available`] returned
+/// `true`.
+#[cfg(target_arch = "x86_64")]
+pub fn butterfly_block_x86(lo: &mut [Complex], hi: &mut [Complex], tw: &[Complex]) {
+    debug_assert_eq!(lo.len(), hi.len());
+    debug_assert_eq!(lo.len(), tw.len());
+    debug_assert!(lo.len().is_multiple_of(2));
+    // SAFETY: the caller checked `butterfly_kernel_available()`, which
+    // verified avx2+fma at runtime; the kernel only dereferences within
+    // the equal-length input slices.
+    unsafe { butterfly_block_avx(lo, hi, tw) }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn butterfly_block_avx(lo: &mut [Complex], hi: &mut [Complex], tw: &[Complex]) {
+    use core::arch::x86_64::*;
+    let doubles = lo.len() * 2;
+    let lp = lo.as_mut_ptr().cast::<f64>();
+    let hp = hi.as_mut_ptr().cast::<f64>();
+    let wp = tw.as_ptr().cast::<f64>();
+    let mut k = 0;
+    while k < doubles {
+        // SAFETY: k + 3 < doubles because the length is a multiple of four
+        // doubles (two complex values) and k advances by four.
+        unsafe {
+            let u = _mm256_loadu_pd(lp.add(k));
+            let v = _mm256_loadu_pd(hp.add(k));
+            let w = _mm256_loadu_pd(wp.add(k));
+            // Splat twiddle components: wr = [re0, re0, re1, re1],
+            // wi = [im0, im0, im1, im1]; vs swaps each lane's re/im.
+            let wr = _mm256_movedup_pd(w);
+            let wi = _mm256_permute_pd(w, 0b1111);
+            let vs = _mm256_permute_pd(v, 0b0101);
+            // fmaddsub: even lanes wr*v - wi*vs, odd lanes wr*v + wi*vs —
+            // exactly the interleaved complex product w * v.
+            let t = _mm256_fmaddsub_pd(wr, v, _mm256_mul_pd(wi, vs));
+            _mm256_storeu_pd(lp.add(k), _mm256_add_pd(u, t));
+            _mm256_storeu_pd(hp.add(k), _mm256_sub_pd(u, t));
+        }
+        k += 4;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn availability_is_stable() {
+        assert_eq!(butterfly_kernel_available(), butterfly_kernel_available());
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn kernel_matches_scalar_butterfly() {
+        if !butterfly_kernel_available() {
+            return;
+        }
+        let n = 8;
+        let mk = |s: f64| -> Vec<Complex> {
+            (0..n)
+                .map(|i| Complex::new((i as f64 * s).sin(), (i as f64 * s + 0.3).cos()))
+                .collect()
+        };
+        let (lo0, hi0, tw) = (mk(0.7), mk(1.3), mk(2.1));
+        let mut lo = lo0.clone();
+        let mut hi = hi0.clone();
+        butterfly_block_x86(&mut lo, &mut hi, &tw);
+        for k in 0..n {
+            let t = tw[k] * hi0[k];
+            assert!((lo[k] - (lo0[k] + t)).abs() < 1e-12);
+            assert!((hi[k] - (lo0[k] - t)).abs() < 1e-12);
+        }
+    }
+}

@@ -131,12 +131,12 @@ mod tests {
         let b = shared_bank(&config, ResistModel::m1_default()).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         assert!(cached_bank_count() >= 1);
-        // Spectra dominate: kernels x support^2 complex values each for
-        // the nominal and defocused sets.
-        let per_set = (a.config().kernel_count * a.config().base_n.pow(2) * 16) as u64;
+        // Each kernel stores its P x P spectrum plus a same-size precomputed
+        // adjoint table; a bank holds the nominal and defocused sets.
+        let p = a.config().kernel_support();
+        let per_set = (a.config().kernel_count * p * p * 16 * 2) as u64;
         assert!(cached_bank_bytes() >= a.estimated_bytes());
-        assert!(a.estimated_bytes() <= 2 * per_set);
-        assert!(a.estimated_bytes() > 0);
+        assert_eq!(a.estimated_bytes(), 2 * per_set);
     }
 
     #[test]

@@ -28,9 +28,22 @@ use crate::optics::OpticsConfig;
 pub struct Kernel {
     weight: f64,
     spectrum: Vec<Complex>,
+    /// Precomputed adjoint tabulation `w_i conj(H_i)`, same layout as
+    /// `spectrum` — the constant every gradient pass multiplies by per
+    /// support bin, hoisted out of the hot loop.
+    adjoint: Vec<Complex>,
 }
 
 impl Kernel {
+    fn new(weight: f64, spectrum: Vec<Complex>) -> Self {
+        let adjoint = spectrum.iter().map(|h| h.conj().scale(weight)).collect();
+        Kernel {
+            weight,
+            spectrum,
+            adjoint,
+        }
+    }
+
     /// SOCS weight `w_i`.
     #[inline]
     pub fn weight(&self) -> f64 {
@@ -41,6 +54,13 @@ impl Kernel {
     #[inline]
     pub fn spectrum(&self) -> &[Complex] {
         &self.spectrum
+    }
+
+    /// Centered adjoint tabulation `w_i conj(H_i)`, row-major
+    /// `support x support`.
+    #[inline]
+    pub fn adjoint_spectrum(&self) -> &[Complex] {
+        &self.adjoint
     }
 }
 
@@ -143,10 +163,7 @@ impl KernelSet {
                     *out = out.mul_add(*pv, coeff);
                 }
             }
-            kernels.push(Kernel {
-                weight: lambda,
-                spectrum,
-            });
+            kernels.push(Kernel::new(lambda, spectrum));
         }
         if kernels.is_empty() {
             return Err(LithoError::KernelConstruction {
@@ -173,7 +190,9 @@ impl KernelSet {
             });
         }
         for k in &mut self.kernels {
-            k.weight /= dc;
+            // Rebuild rather than rescale so the adjoint table is always
+            // exactly `weight * conj(spectrum)` bit for bit.
+            *k = Kernel::new(k.weight / dc, std::mem::take(&mut k.spectrum));
         }
         Ok(())
     }
@@ -218,13 +237,14 @@ impl KernelSet {
         self.scale
     }
 
-    /// Estimated resident bytes of this set's kernel spectra (the
-    /// `support x support` complex tables dominate; per-kernel headers are
-    /// ignored). Used by cache introspection (`/debug/caches`).
+    /// Estimated resident bytes of this set's kernel tables — the
+    /// `support x support` complex spectrum *and* the same-size precomputed
+    /// adjoint table per kernel (per-kernel headers are ignored). Used by
+    /// cache introspection (`/debug/caches`) and store budget math.
     pub fn estimated_bytes(&self) -> u64 {
         self.kernels
             .iter()
-            .map(|k| (k.spectrum.len() * std::mem::size_of::<Complex>()) as u64)
+            .map(|k| ((k.spectrum.len() + k.adjoint.len()) * std::mem::size_of::<Complex>()) as u64)
             .sum()
     }
 
@@ -265,10 +285,7 @@ impl KernelSet {
                         reason: format!("kernel resampling failed: {source}"),
                     }
                 })?;
-            kernels.push(Kernel {
-                weight: k.weight,
-                spectrum,
-            });
+            kernels.push(Kernel::new(k.weight, spectrum));
         }
         Ok(KernelSet {
             base_n: self.base_n,
@@ -304,6 +321,17 @@ mod tests {
         let w: Vec<f64> = set.iter().map(|k| k.weight()).collect();
         assert!(w.iter().all(|&x| x > 0.0));
         assert!(w.windows(2).all(|p| p[0] >= p[1]));
+    }
+
+    #[test]
+    fn adjoint_table_is_weighted_conjugate() {
+        let set = small();
+        for k in set.iter() {
+            assert_eq!(k.adjoint_spectrum().len(), k.spectrum().len());
+            for (a, h) in k.adjoint_spectrum().iter().zip(k.spectrum()) {
+                assert_eq!(*a, h.conj().scale(k.weight()));
+            }
+        }
     }
 
     #[test]

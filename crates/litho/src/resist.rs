@@ -75,7 +75,15 @@ impl ResistModel {
     /// [`ResistModel::sigmoid_derivative`]).
     #[inline]
     pub fn sigmoid_derivative_at(&self, intensity: f64) -> f64 {
-        let z = self.sigmoid_at(intensity);
+        self.sigmoid_derivative_from(self.sigmoid_at(intensity))
+    }
+
+    /// Derivative `dZ/dI = k Z (1 - Z)` given an already-computed sigmoid
+    /// value `z`. Loops that need both `Z` and `dZ/dI` per pixel should
+    /// call [`ResistModel::sigmoid_at`] once and feed the result here,
+    /// halving the `exp` work.
+    #[inline]
+    pub fn sigmoid_derivative_from(&self, z: f64) -> f64 {
         self.steepness * z * (1.0 - z)
     }
 

@@ -30,22 +30,52 @@
 //!   `n - P` first-pass transforms of rows that the `P x P` crop-multiply
 //!   left zero.
 
-use ilt_fft::{spectral, Complex, Fft2d};
+use ilt_fft::{spectral, Complex, Fft2d, Rfft2d};
 use ilt_grid::{Grid, RealGrid};
 use ilt_par::InnerPool;
 
 use crate::error::LithoError;
 use crate::kernels::KernelSet;
 
+/// Which spectral representation the simulate/gradient pair runs on.
+///
+/// Masks and loss derivatives are real, so their spectra are conjugate
+/// symmetric; [`SpectralPath::RealHermitian`] (the default) exploits that
+/// with real-input transforms and half-spectrum storage, roughly halving
+/// the transform work of the mask forward, the per-kernel gradient
+/// forwards, and the final adjoint inverse. [`SpectralPath::Complex`] keeps
+/// the dense complex pipeline — useful as a reference, and as the
+/// historical-cost baseline in the microbenchmarks.
+///
+/// Both paths satisfy the same guarantees (allocation-free steady state,
+/// serial-vs-parallel bit-identity); their outputs agree to floating-point
+/// tolerance, not bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpectralPath {
+    /// Dense complex transforms end to end (the historical path).
+    Complex,
+    /// Real-input transforms and Hermitian half-spectrum storage.
+    #[default]
+    RealHermitian,
+}
+
 /// A reusable aerial-image simulator for square `n x n` masks.
 #[derive(Debug)]
 pub struct LithoSimulator {
     n: usize,
     fft: Fft2d,
+    /// Real-input 2-D plan for the Hermitian path (`None` only for grids
+    /// too small to pack, which fall back to the complex path).
+    rfft: Option<Rfft2d>,
     kernels: KernelSet,
     /// `bin[i]` is the unshifted spectrum index of centered support row or
     /// column `i`.
     bin: Vec<usize>,
+    /// Stored half-spectrum columns (`0..=n/2`) the Hermitianised adjoint
+    /// accumulator can touch: the support columns and their reflections.
+    rbin_cols: Vec<usize>,
+    /// Which spectral representation to run on.
+    path: SpectralPath,
     /// Worker pool for per-kernel and per-row-batch parallelism. Serial by
     /// default; see [`LithoSimulator::with_inner_pool`].
     pool: InnerPool,
@@ -72,8 +102,16 @@ pub struct SimulationState {
 #[derive(Debug)]
 pub struct SimWorkspace {
     n: usize,
-    /// Mask spectrum `FFT(M)`, `n^2`.
+    /// Mask spectrum `FFT(M)`, `n^2` (complex path only; empty otherwise).
     spectrum: Vec<Complex>,
+    /// Mask half-spectrum in transposed `(n/2+1) x n` layout (Hermitian
+    /// path only; empty otherwise).
+    half_spectrum: Vec<Complex>,
+    /// Real-transform scratch, `(n/2+1) * n` (Hermitian path only).
+    rscratch: Vec<Complex>,
+    /// Hermitianised adjoint half-spectrum accumulator, `(n/2+1) * n`
+    /// (Hermitian path only).
+    raccum: Vec<Complex>,
     /// Per-kernel fields `A_i`, each `n^2`.
     fields: Vec<Vec<Complex>>,
     /// Per-kernel adjoint support products, each `P^2`.
@@ -81,7 +119,7 @@ pub struct SimWorkspace {
     /// Per-worker dense scratch for the adjoint forward transforms, each
     /// `n^2`.
     scratch: Vec<Vec<Complex>>,
-    /// Adjoint spectral accumulator, `n^2`.
+    /// Adjoint spectral accumulator, `n^2` (complex path only).
     accum: Vec<Complex>,
     /// The aerial image written by the forward pass.
     intensity: RealGrid,
@@ -90,11 +128,16 @@ pub struct SimWorkspace {
 }
 
 impl SimWorkspace {
-    fn new(n: usize, kernel_count: usize, support: usize, workers: usize) -> Self {
+    fn new(n: usize, kernel_count: usize, support: usize, workers: usize, real: bool) -> Self {
         let cells = n * n;
+        let half_len = if real { (n / 2 + 1) * n } else { 0 };
+        let dense_len = if real { 0 } else { cells };
         SimWorkspace {
             n,
-            spectrum: vec![Complex::ZERO; cells],
+            spectrum: vec![Complex::ZERO; dense_len],
+            half_spectrum: vec![Complex::ZERO; half_len],
+            rscratch: vec![Complex::ZERO; half_len],
+            raccum: vec![Complex::ZERO; half_len],
             fields: (0..kernel_count)
                 .map(|_| vec![Complex::ZERO; cells])
                 .collect(),
@@ -104,7 +147,7 @@ impl SimWorkspace {
             scratch: (0..workers.max(1))
                 .map(|_| vec![Complex::ZERO; cells])
                 .collect(),
-            accum: vec![Complex::ZERO; cells],
+            accum: vec![Complex::ZERO; dense_len],
             intensity: Grid::new(n, n, 0.0),
             grad: Grid::new(n, n, 0.0),
         }
@@ -148,26 +191,31 @@ impl SimWorkspace {
 
     /// Resizes any buffer that does not match the requested shape.
     /// Steady-state calls compare a handful of lengths and touch nothing.
-    fn ensure(&mut self, n: usize, kernel_count: usize, support: usize, workers: usize) {
+    fn ensure(&mut self, n: usize, kernel_count: usize, support: usize, workers: usize, real: bool) {
         let cells = n * n;
         let p2 = support * support;
         let workers = workers.max(1);
+        let half_len = if real { (n / 2 + 1) * n } else { 0 };
+        let dense_len = if real { 0 } else { cells };
         let shape_ok = self.n == n
-            && self.spectrum.len() == cells
+            && self.spectrum.len() == dense_len
+            && self.half_spectrum.len() == half_len
+            && self.rscratch.len() == half_len
+            && self.raccum.len() == half_len
             && self.fields.len() == kernel_count
             && self.fields.iter().all(|f| f.len() == cells)
             && self.partials.len() == kernel_count
             && self.partials.iter().all(|p| p.len() == p2)
             && self.scratch.len() >= workers
             && self.scratch.iter().all(|s| s.len() == cells)
-            && self.accum.len() == cells
+            && self.accum.len() == dense_len
             && self.intensity.width() == n
             && self.intensity.height() == n
             && self.grad.width() == n
             && self.grad.height() == n;
         if !shape_ok {
             ilt_telemetry::counter_add("litho.workspace.realloc", 1);
-            *self = SimWorkspace::new(n, kernel_count, support, workers);
+            *self = SimWorkspace::new(n, kernel_count, support, workers, real);
         }
     }
 }
@@ -192,16 +240,37 @@ impl LithoSimulator {
             });
         }
         let fft = Fft2d::new(n, n)?;
+        let rfft = Rfft2d::new(n).ok();
         let p = kernels.support();
         let half = p as i64 / 2;
-        let bin = (0..p)
+        let bin: Vec<usize> = (0..p)
             .map(|i| spectral::wrap_index(i as i64 - half, n))
             .collect();
+        // Stored columns the Hermitianised adjoint accumulator can touch:
+        // every support column that lands in the stored half, plus the
+        // stored image of every support column's reflection.
+        let hw = n / 2 + 1;
+        let mut rbin_cols: Vec<usize> = bin
+            .iter()
+            .flat_map(|&c| {
+                let refl = (n - c) % n;
+                [
+                    (c < hw).then_some(c),
+                    (refl < hw).then_some(refl),
+                ]
+            })
+            .flatten()
+            .collect();
+        rbin_cols.sort_unstable();
+        rbin_cols.dedup();
         Ok(LithoSimulator {
             n,
             fft,
+            rfft,
             kernels,
             bin,
+            rbin_cols,
+            path: SpectralPath::default(),
             pool: InnerPool::current(),
         })
     }
@@ -211,6 +280,32 @@ impl LithoSimulator {
     pub fn with_inner_pool(mut self, pool: InnerPool) -> Self {
         self.pool = pool;
         self
+    }
+
+    /// Returns `self` running on the given spectral path (builder style).
+    #[must_use]
+    pub fn with_spectral_path(mut self, path: SpectralPath) -> Self {
+        self.path = path;
+        self
+    }
+
+    /// Replaces the spectral path used by simulate/gradient.
+    pub fn set_spectral_path(&mut self, path: SpectralPath) {
+        self.path = path;
+    }
+
+    /// The spectral path currently configured.
+    #[inline]
+    pub fn spectral_path(&self) -> SpectralPath {
+        self.path
+    }
+
+    /// Whether this simulator will actually run the Hermitian path (the
+    /// configured path, downgraded to complex if no real plan exists for
+    /// this grid size).
+    #[inline]
+    fn real_path(&self) -> bool {
+        self.path == SpectralPath::RealHermitian && self.rfft.is_some()
     }
 
     /// Replaces the inner pool used for per-kernel parallelism.
@@ -243,6 +338,7 @@ impl LithoSimulator {
             self.kernels.len(),
             self.kernels.support(),
             self.pool.threads(),
+            self.real_path(),
         )
     }
 
@@ -274,32 +370,70 @@ impl LithoSimulator {
         self.check_shape(mask)?;
         let n = self.n;
         let p = self.kernels.support();
-        ws.ensure(n, self.kernels.len(), p, self.pool.threads());
+        let real = self.real_path();
+        ws.ensure(n, self.kernels.len(), p, self.pool.threads(), real);
 
-        for (dst, &v) in ws.spectrum.iter_mut().zip(mask.as_slice()) {
-            *dst = Complex::from_re(v);
-        }
-        self.fft.forward_with_pool(&mut ws.spectrum, &self.pool)?;
-
-        // Per-kernel crop-multiply + sparse inverse, one kernel per buffer:
-        // disjoint writes, so the pool changes nothing about the result.
         let kernels = self.kernels.iter().as_slice();
-        let spectrum = &ws.spectrum;
         let bin = &self.bin;
         let fft = &self.fft;
-        self.pool.for_each_mut(&mut ws.fields, |k, field| {
-            let h = kernels[k].spectrum();
-            field.fill(Complex::ZERO);
-            for r in 0..p {
-                let row = bin[r] * n;
-                for c in 0..p {
-                    let idx = row + bin[c];
-                    field[idx] = spectrum[idx] * h[r * p + c];
+        if real {
+            // The mask is real: a half-length rfft produces the stored half
+            // of its conjugate-symmetric spectrum; the crop-multiply reads
+            // the missing half through the symmetry.
+            let rfft = self.rfft.as_ref().expect("real path implies a plan");
+            rfft.forward(
+                mask.as_slice(),
+                &mut ws.half_spectrum,
+                &mut ws.rscratch,
+                &self.pool,
+            )?;
+            let hw = n / 2 + 1;
+            let half = &ws.half_spectrum;
+            self.pool.for_each_mut(&mut ws.fields, |k, field| {
+                let h = kernels[k].spectrum();
+                field.fill(Complex::ZERO);
+                for r in 0..p {
+                    let rr = bin[r];
+                    let row = rr * n;
+                    for c in 0..p {
+                        let cc = bin[c];
+                        // Hermitian lookup: stored columns are transposed
+                        // (column-contiguous), mirrored columns conjugate.
+                        let m = if cc < hw {
+                            half[cc * n + rr]
+                        } else {
+                            half[(n - cc) * n + (n - rr) % n].conj()
+                        };
+                        field[row + cc] = m * h[r * p + c];
+                    }
                 }
+                fft.inverse_support(field, bin)
+                    .expect("field buffer matches plan by construction");
+            });
+        } else {
+            for (dst, &v) in ws.spectrum.iter_mut().zip(mask.as_slice()) {
+                *dst = Complex::from_re(v);
             }
-            fft.inverse_support(field, bin)
-                .expect("field buffer matches plan by construction");
-        });
+            self.fft.forward_with_pool(&mut ws.spectrum, &self.pool)?;
+
+            // Per-kernel crop-multiply + sparse inverse, one kernel per
+            // buffer: disjoint writes, so the pool changes nothing about
+            // the result.
+            let spectrum = &ws.spectrum;
+            self.pool.for_each_mut(&mut ws.fields, |k, field| {
+                let h = kernels[k].spectrum();
+                field.fill(Complex::ZERO);
+                for r in 0..p {
+                    let row = bin[r] * n;
+                    for c in 0..p {
+                        let idx = row + bin[c];
+                        field[idx] = spectrum[idx] * h[r * p + c];
+                    }
+                }
+                fft.inverse_support(field, bin)
+                    .expect("field buffer matches plan by construction");
+            });
+        }
 
         // Intensity reduction stays serial and in kernel order so the sum
         // is bit-identical regardless of the pool.
@@ -367,6 +501,7 @@ impl LithoSimulator {
             self.kernels.len(),
             self.kernels.support(),
             self.pool.threads(),
+            self.real_path(),
         );
         let fields = std::mem::take(&mut ws.fields);
         let result = self.gradient_core(&fields, dldi, ws);
@@ -400,6 +535,7 @@ impl LithoSimulator {
         // Per-kernel: scratch = A_i . dL/dI, forward transform, then record
         // the weighted conjugate-kernel product on the P x P support only.
         // Each kernel owns its partial buffer; workers never share scratch.
+        let real = self.real_path();
         let kernels = self.kernels.iter().as_slice();
         let bin = &self.bin;
         let fft = &self.fft;
@@ -411,39 +547,89 @@ impl LithoSimulator {
                 for ((dst, a), &g) in scratch.iter_mut().zip(&fields[k]).zip(dldi_slice) {
                     *dst = a.scale(g);
                 }
-                fft.forward(scratch)
-                    .expect("scratch buffer matches plan by construction");
-                let h = kernels[k].spectrum();
-                let w = kernels[k].weight();
-                for r in 0..p {
-                    let row = bin[r] * n;
-                    for c in 0..p {
-                        let idx = row + bin[c];
-                        partial[r * p + c] =
-                            Complex::ZERO.mul_add(scratch[idx], h[r * p + c].conj().scale(w));
+                let adj = kernels[k].adjoint_spectrum();
+                if real {
+                    // Only the P support columns of the spectrum are read
+                    // below, so the forward can skip the other column
+                    // transforms. The result is transposed; the pool slot is
+                    // already a worker, so the column pass stays serial.
+                    fft.forward_support_transposed(scratch, bin, &InnerPool::serial())
+                        .expect("scratch buffer matches plan by construction");
+                    for r in 0..p {
+                        for c in 0..p {
+                            let idx = bin[c] * n + bin[r];
+                            partial[r * p + c] = scratch[idx] * adj[r * p + c];
+                        }
+                    }
+                } else {
+                    fft.forward(scratch)
+                        .expect("scratch buffer matches plan by construction");
+                    for r in 0..p {
+                        let row = bin[r] * n;
+                        for c in 0..p {
+                            let idx = row + bin[c];
+                            partial[r * p + c] = scratch[idx] * adj[r * p + c];
+                        }
                     }
                 }
             },
         );
 
-        // Fixed-order reduction over the P x P support keeps the sum
-        // bit-identical for any pool size.
-        ws.accum.fill(Complex::ZERO);
-        for partial in &ws.partials {
-            for r in 0..p {
-                let row = bin[r] * n;
-                for c in 0..p {
-                    let idx = row + bin[c];
-                    ws.accum[idx] += partial[r * p + c];
+        if real {
+            // Fixed-order Hermitianised reduction: accumulate S + R(S) where
+            // R(S)(r,c) = conj(S((n-r)%n, (n-c)%n)), so the inverse rfft of
+            // the half-spectrum yields 2.Re(IFFT(S)) = dL/dM directly (the
+            // trailing x2 of the complex path is absorbed here).
+            let hw = n / 2 + 1;
+            ws.raccum.fill(Complex::ZERO);
+            for partial in &ws.partials {
+                for r in 0..p {
+                    let rr = bin[r];
+                    let r2 = (n - rr) % n;
+                    for c in 0..p {
+                        let cc = bin[c];
+                        let v = partial[r * p + c];
+                        if cc < hw {
+                            ws.raccum[cc * n + rr] += v;
+                        }
+                        let c2 = (n - cc) % n;
+                        if c2 < hw {
+                            ws.raccum[c2 * n + r2] += v.conj();
+                        }
+                    }
                 }
             }
-        }
-        // The accumulator is zero outside the support rows, so the inverse
-        // can skip the remaining first-pass transforms.
-        self.fft
-            .inverse_support_with_pool(&mut ws.accum, bin, &self.pool)?;
-        for (dst, z) in ws.grad.as_mut_slice().iter_mut().zip(&ws.accum) {
-            *dst = 2.0 * z.re;
+            // Only the support columns (and their reflections) are nonzero,
+            // so the inverse skips the rest of the first-pass transforms.
+            let rfft = self.rfft.as_ref().expect("real path implies a plan");
+            rfft.inverse_support_scaled(
+                &mut ws.raccum,
+                ws.grad.as_mut_slice(),
+                &mut ws.rscratch,
+                Some(&self.rbin_cols),
+                1.0,
+                &self.pool,
+            )?;
+        } else {
+            // Fixed-order reduction over the P x P support keeps the sum
+            // bit-identical for any pool size.
+            ws.accum.fill(Complex::ZERO);
+            for partial in &ws.partials {
+                for r in 0..p {
+                    let row = bin[r] * n;
+                    for c in 0..p {
+                        let idx = row + bin[c];
+                        ws.accum[idx] += partial[r * p + c];
+                    }
+                }
+            }
+            // The accumulator is zero outside the support rows, so the
+            // inverse can skip the remaining first-pass transforms.
+            self.fft
+                .inverse_support_with_pool(&mut ws.accum, bin, &self.pool)?;
+            for (dst, z) in ws.grad.as_mut_slice().iter_mut().zip(&ws.accum) {
+                *dst = 2.0 * z.re;
+            }
         }
         Ok(())
     }
@@ -688,6 +874,61 @@ mod tests {
         assert_eq!(ws_s.grad().as_slice(), ws_p.grad().as_slice());
         for (a, b) in ws_s.fields().iter().zip(ws_p.fields()) {
             assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn real_and_complex_paths_agree() {
+        let cfg = OpticsConfig::test_small();
+        let kernels = KernelSet::build(&cfg, false).unwrap();
+        let real = LithoSimulator::new(cfg.base_n, kernels.clone()).unwrap();
+        assert_eq!(real.spectral_path(), SpectralPath::RealHermitian);
+        let complex = LithoSimulator::new(cfg.base_n, kernels)
+            .unwrap()
+            .with_spectral_path(SpectralPath::Complex);
+        let n = real.n();
+        let mask = wavy_mask(n);
+        let dldi = Grid::from_fn(n, n, |x, y| ((x as f64 - y as f64) * 0.01).tanh());
+
+        let mut ws_r = real.workspace();
+        real.simulate_into(&mask, &mut ws_r).unwrap();
+        real.gradient_into(&mut ws_r, &dldi).unwrap();
+        let mut ws_c = complex.workspace();
+        complex.simulate_into(&mask, &mut ws_c).unwrap();
+        complex.gradient_into(&mut ws_c, &dldi).unwrap();
+
+        // Different transform orders: equal to floating-point tolerance,
+        // not bit for bit.
+        for (a, b) in ws_r
+            .intensity()
+            .as_slice()
+            .iter()
+            .zip(ws_c.intensity().as_slice())
+        {
+            assert!((a - b).abs() < 1e-10, "intensity {a} vs {b}");
+        }
+        for (a, b) in ws_r.grad().as_slice().iter().zip(ws_c.grad().as_slice()) {
+            assert!((a - b).abs() < 1e-9, "grad {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn one_workspace_survives_a_path_switch() {
+        let cfg = OpticsConfig::test_small();
+        let kernels = KernelSet::build(&cfg, false).unwrap();
+        let mut sim = LithoSimulator::new(cfg.base_n, kernels).unwrap();
+        let mask = wavy_mask(sim.n());
+        let mut ws = sim.workspace();
+        sim.simulate_into(&mask, &mut ws).unwrap();
+        let real_intensity = ws.intensity().clone();
+        sim.set_spectral_path(SpectralPath::Complex);
+        sim.simulate_into(&mask, &mut ws).unwrap();
+        for (a, b) in real_intensity
+            .as_slice()
+            .iter()
+            .zip(ws.intensity().as_slice())
+        {
+            assert!((a - b).abs() < 1e-10);
         }
     }
 

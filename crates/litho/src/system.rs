@@ -210,6 +210,13 @@ impl LithoSystem {
         self.defocused.set_inner_pool(pool);
     }
 
+    /// Replaces the spectral path on both optical paths (see
+    /// [`crate::SpectralPath`]).
+    pub fn set_spectral_path(&mut self, path: crate::SpectralPath) {
+        self.nominal.set_spectral_path(path);
+        self.defocused.set_spectral_path(path);
+    }
+
     /// Prints the wafer at a process corner.
     ///
     /// # Errors

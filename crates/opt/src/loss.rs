@@ -83,7 +83,9 @@ pub fn evaluate_loss_into(
         let z = resist.sigmoid_at(*i);
         let e = z - zt;
         value += e * e;
-        *dldi = 2.0 * e * resist.sigmoid_derivative_at(*i);
+        // One logistic evaluation per pixel: the derivative reuses `z`
+        // instead of re-evaluating the sigmoid.
+        *dldi = 2.0 * e * resist.sigmoid_derivative_from(z);
         *wafer = z;
     }
     out.value = value;

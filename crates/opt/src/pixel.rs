@@ -12,7 +12,7 @@ use ilt_grid::{resample, RealGrid};
 use ilt_litho::{LithoError, LithoSystem};
 
 use crate::error::OptError;
-use crate::loss::evaluate_loss;
+use crate::loss::{evaluate_loss_into, LossEval};
 use crate::optimizer::Optimizer;
 use crate::solver::{IltOutcome, SolveContext, SolveRequest, TileSolver};
 
@@ -246,6 +246,12 @@ fn run_loop(
     // forward/adjoint passes without heap allocation.
     let mut ws = system.workspace();
     let mut coarse_mask: Option<RealGrid> = None;
+    let sim_n = system.n();
+    let mut eval = LossEval {
+        value: 0.0,
+        dldi: RealGrid::new(sim_n, sim_n, 0.0),
+        wafer: RealGrid::new(sim_n, sim_n, 0.0),
+    };
     for _ in 0..iterations {
         if ilt_fault::deadline::exceeded() {
             return Err(OptError::DeadlineExceeded {
@@ -259,7 +265,7 @@ fn run_loop(
             &mask
         };
         system.simulate_into(sim_mask, &mut ws)?;
-        let eval = evaluate_loss(system.resist(), ws.intensity(), target);
+        evaluate_loss_into(system.resist(), ws.intensity(), target, &mut eval);
         history.push(eval.value);
         let grad_sim = system.gradient_into(&mut ws, &eval.dldi)?;
         // Adjoint of s x s block averaging: each fine pixel receives its

@@ -201,6 +201,89 @@ impl InnerPool {
         });
     }
 
+    /// Splits `a` and `b` into the same number of equally sized chunks and
+    /// calls `f(chunk_index, a_chunk, b_chunk)` for each pair, pairs
+    /// statically split into contiguous runs across the workers.
+    ///
+    /// This is the primitive for transforms whose input and output rows
+    /// live in *different* buffers with different element types — e.g. the
+    /// real-input FFT row pass, which reads a half-spectrum row and writes
+    /// a real row. Writes are disjoint per pair, so the result is identical
+    /// to the serial loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either chunk length is 0 or does not divide its buffer
+    /// length, or if the two buffers split into different chunk counts.
+    pub fn for_each_chunk_zip_mut<A, B, F>(
+        &self,
+        a: &mut [A],
+        chunk_a: usize,
+        b: &mut [B],
+        chunk_b: usize,
+        f: F,
+    ) where
+        A: Send,
+        B: Send,
+        F: Fn(usize, &mut [A], &mut [B]) + Sync,
+    {
+        assert!(
+            chunk_a > 0 && chunk_b > 0,
+            "chunk lengths must be nonzero"
+        );
+        assert!(
+            a.len().is_multiple_of(chunk_a),
+            "first buffer length {} not divisible by chunk length {}",
+            a.len(),
+            chunk_a
+        );
+        assert!(
+            b.len().is_multiple_of(chunk_b),
+            "second buffer length {} not divisible by chunk length {}",
+            b.len(),
+            chunk_b
+        );
+        let chunks = a.len() / chunk_a;
+        assert!(
+            chunks == b.len() / chunk_b,
+            "buffers split into {} vs {} chunks",
+            chunks,
+            b.len() / chunk_b
+        );
+        let workers = self.workers_for(chunks);
+        if workers <= 1 {
+            for (i, (ca, cb)) in a.chunks_mut(chunk_a).zip(b.chunks_mut(chunk_b)).enumerate() {
+                f(i, ca, cb);
+            }
+            return;
+        }
+        let per_worker = chunks.div_ceil(workers);
+        std::thread::scope(|scope| {
+            let f = &f;
+            let mut rest_a = a;
+            let mut rest_b = b;
+            let mut base = 0usize;
+            while !rest_a.is_empty() {
+                let take = per_worker.min(rest_a.len() / chunk_a);
+                let (head_a, tail_a) = rest_a.split_at_mut(take * chunk_a);
+                let (head_b, tail_b) = rest_b.split_at_mut(take * chunk_b);
+                rest_a = tail_a;
+                rest_b = tail_b;
+                let start = base;
+                base += take;
+                scope.spawn(move || {
+                    for (i, (ca, cb)) in head_a
+                        .chunks_mut(chunk_a)
+                        .zip(head_b.chunks_mut(chunk_b))
+                        .enumerate()
+                    {
+                        f(start + i, ca, cb);
+                    }
+                });
+            }
+        });
+    }
+
     /// Like [`for_each_mut`](Self::for_each_mut), but each worker is also
     /// handed exclusive access to one scratch slot for the duration of its
     /// contiguous run — the pattern for per-kernel transforms that need a
@@ -308,6 +391,39 @@ mod tests {
         for (i, v) in data.iter().enumerate() {
             assert_eq!(*v, (i / 8) * 100 + i % 8);
         }
+    }
+
+    #[test]
+    fn zipped_chunks_pair_rows_across_buffers() {
+        // 8 spectrum rows of 5 paired with 8 output rows of 3; serial and
+        // 4-worker runs must agree element for element.
+        let src: Vec<usize> = (0..40).collect();
+        let run = |threads: usize| {
+            let mut a = src.clone();
+            let mut b = vec![0usize; 24];
+            InnerPool::new(threads).for_each_chunk_zip_mut(&mut a, 5, &mut b, 3, |r, ca, cb| {
+                for v in ca.iter_mut() {
+                    *v += 1;
+                }
+                for (c, v) in cb.iter_mut().enumerate() {
+                    *v = r * 10 + c + ca[0];
+                }
+            });
+            (a, b)
+        };
+        let (a1, b1) = run(1);
+        let (a4, b4) = run(4);
+        assert_eq!(a1, a4);
+        assert_eq!(b1, b4);
+        assert_eq!(b1[0], 1); // row 0: 0*10 + 0 + (0+1)
+    }
+
+    #[test]
+    #[should_panic(expected = "vs")]
+    fn zipped_chunk_counts_must_match() {
+        let mut a = vec![0u8; 10];
+        let mut b = vec![0u8; 9];
+        InnerPool::serial().for_each_chunk_zip_mut(&mut a, 5, &mut b, 3, |_, _, _| {});
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Property-based cross-crate invariants (proptest).
 
-use multigrid_schwarz_ilt::fft::{spectral, Complex, Fft2d, FftPlan};
+use multigrid_schwarz_ilt::fft::{spectral, Complex, Fft2d, FftPlan, RfftPlan};
 use multigrid_schwarz_ilt::grid::{Grid, RealGrid};
 use multigrid_schwarz_ilt::tile::{
     assemble, restrict, weight_map, AssemblyMode, Partition, PartitionConfig,
@@ -32,6 +32,46 @@ proptest! {
         plan.inverse(&mut buf).expect("ifft");
         for (a, b) in data.iter().zip(&buf) {
             prop_assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rfft_matches_complex_fft(e in 3u32..=9, seed in 0u64..1000) {
+        // Sizes 8..=512: the real-input plan must agree with the complex
+        // plan on the stored half-spectrum for impulse, DC, and random
+        // inputs alike (the random stream covers the first two in spirit;
+        // dedicated impulse/DC cases live in `ilt-fft`'s unit tests).
+        let n = 1usize << e;
+        let x: Vec<f64> = (0..n)
+            .map(|i| {
+                let v = (i as u64).wrapping_mul(seed.wrapping_add(11)).wrapping_add(3);
+                (v % 2000) as f64 / 1000.0 - 1.0
+            })
+            .collect();
+        let rplan = RfftPlan::new(n).expect("rplan");
+        let mut half = vec![Complex::ZERO; rplan.spectrum_len()];
+        rplan.forward(&x, &mut half).expect("rfft");
+
+        let plan = FftPlan::new(n).expect("plan");
+        let mut full: Vec<Complex> = x.iter().map(|&v| Complex::from_re(v)).collect();
+        plan.forward(&mut full).expect("fft");
+
+        // Parity on the stored half, and the implied Hermitian symmetry on
+        // the rest. Tolerance scales with the spectrum magnitude (sums of
+        // up to n unit-sized terms).
+        let tol = 1e-12 * (1.0 + n as f64);
+        for k in 0..=n / 2 {
+            prop_assert!((half[k] - full[k]).abs() < tol, "bin {} of {}", k, n);
+        }
+        for k in n / 2 + 1..n {
+            prop_assert!((half[n - k].conj() - full[k]).abs() < tol);
+        }
+
+        // And the inverse recovers the signal.
+        let mut back = vec![0.0f64; n];
+        rplan.inverse(&mut half, &mut back).expect("irfft");
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((a - b).abs() < tol);
         }
     }
 
