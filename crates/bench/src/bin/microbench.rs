@@ -179,7 +179,10 @@ fn main() {
         &mut points,
         format!("rfft_forward_{base_n}"),
         fft_iters,
-        || rfft.forward(&real_src, &mut half, &mut rscratch, &serial).unwrap(),
+        || {
+            rfft.forward(&real_src, &mut half, &mut rscratch, &serial)
+                .unwrap()
+        },
     );
     let clip_rfft = Rfft2d::new(clip).unwrap();
     let clip_src: Vec<f64> = (0..clip * clip).map(|_| rng.next()).collect();
@@ -255,7 +258,11 @@ fn main() {
         &mut points,
         format!("hermitian_simulate_{base_n}"),
         sim_iters,
-        || hermitian_system.simulate_into(&mask, &mut hermitian_ws).unwrap(),
+        || {
+            hermitian_system
+                .simulate_into(&mask, &mut hermitian_ws)
+                .unwrap()
+        },
     );
 
     // Full solver iteration, pre-fast-path shape: allocate-per-call

@@ -133,8 +133,18 @@ pub struct ExperimentConfig {
     /// Weighted-smoothing blend band `D` in pixels (0 selects the default,
     /// a quarter of the overlap).
     pub blend_band: usize,
-    /// Largest multigrid scale factor `s_max` (paper: 2).
+    /// Largest multigrid scale factor `s_max` (paper: 2). The coarse
+    /// hierarchy has `log2(s_max) + 1` levels: scales `s_max, s_max/2, …, 2`
+    /// then the fine level; the coarsest level is solved directly (it is a
+    /// single tile whenever `clip <= s_max * tile`).
     pub s_max: usize,
+    /// Stream tile assembly: solve tiles one colour band at a time and fold
+    /// each band into the output immediately, bounding peak resident fine
+    /// tiles at one colour band instead of the whole grid. `false` holds
+    /// every tile until the stage ends (the pre-streaming behaviour, kept
+    /// for memory-comparison benches). Both paths fold in the same
+    /// canonical order and are bit-identical.
+    pub stream_tiles: bool,
     /// Worker threads for per-tile execution.
     pub workers: usize,
 }
@@ -166,6 +176,7 @@ impl ExperimentConfig {
             stitch: StitchConfig::paper_default(),
             blend_band: 0,
             s_max: 2,
+            stream_tiles: true,
             workers: 1,
         }
     }
@@ -218,6 +229,7 @@ impl ExperimentConfig {
             },
             blend_band: 0,
             s_max: 2,
+            stream_tiles: true,
             workers: 1,
         }
     }
@@ -248,9 +260,9 @@ impl ExperimentConfig {
             "s_max must be a power of two (Algorithm 1 halves it)"
         );
         assert!(
-            self.clip.is_multiple_of(self.s_max * self.optics.base_n)
-                || self.clip == self.s_max * self.optics.base_n,
-            "coarsest tiles (s_max * N = {}) must tile the clip ({})",
+            self.clip >= self.s_max * self.optics.base_n,
+            "coarsest tiles (s_max * N = {}) must fit in the clip ({}); \
+             non-divisible clips clamp the last row/column",
             self.s_max * self.optics.base_n,
             self.clip
         );
@@ -275,6 +287,10 @@ impl ExperimentConfig {
     pub fn fingerprint(&self) -> u64 {
         let mut canonical = self.clone();
         canonical.workers = 1;
+        // Streaming changes when contributions fold, never their values
+        // (streamed and batch assembly are bit-identical), so it is
+        // canonicalized out like `workers`.
+        canonical.stream_tiles = true;
         let mut fp = ilt_store::Fingerprint::new();
         fp.write_str("ilt-experiment-config-v1");
         fp.write_str(&format!("{canonical:?}"));
@@ -360,6 +376,29 @@ mod tests {
         let mut wider = ExperimentConfig::test_tiny();
         wider.workers = 8;
         assert_eq!(base.fingerprint(), wider.fingerprint());
+        let mut held = ExperimentConfig::test_tiny();
+        held.stream_tiles = false;
+        assert_eq!(base.fingerprint(), held.fingerprint());
+    }
+
+    #[test]
+    fn clamped_clips_validate() {
+        // 160 = 2.5 tiles: valid now that the partition clamps; the coarse
+        // hierarchy requirement is only that one coarsest tile fits.
+        let mut cfg = ExperimentConfig::test_tiny();
+        cfg.clip = 160;
+        cfg.generator.size = 160;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit in the clip")]
+    fn coarsest_level_must_fit() {
+        let mut cfg = ExperimentConfig::test_tiny();
+        cfg.clip = 96;
+        cfg.generator.size = 96;
+        cfg.s_max = 2; // coarsest tile 128 > clip 96
+        cfg.validate();
     }
 
     #[test]

@@ -8,7 +8,7 @@ use ilt_metrics::{
     check_mask, edge_placement_error, mask_quality, stitch_loss, EpeConfig, MrcRules, StitchReport,
 };
 use ilt_opt::{LevelSetIlt, PixelIlt};
-use ilt_tile::{Partition, StitchLine, TileExecutor};
+use ilt_tile::{restrict, Partition, StitchLine, TileExecutor};
 
 use crate::config::ExperimentConfig;
 use crate::error::CoreError;
@@ -101,6 +101,75 @@ pub fn inspect_detailed(
     let quality = mask_quality(inspection, &binary.to_real(), target)?;
     let report = stitch_loss(&binary, lines, &config.stitch);
     Ok((quality, report))
+}
+
+/// L2 loss (Definition 2) measured tile by tile instead of through one
+/// full-clip print: binarises the mask, prints each tile of the clip's
+/// partition through a `tile`-sized system (tile sides are always powers
+/// of two, so the system always builds), and counts wafer/target
+/// mismatches over each tile's **core** pixels. Cores are disjoint and
+/// cover the clip, so every pixel is counted exactly once.
+///
+/// This is the quality measurement for the paper-scale sweep, whose
+/// `M x N` clip sides (e.g. `3 x tile/2`) are not powers of two and
+/// therefore cannot feed `bank.system(clip, ..)` for [`inspect`]. The
+/// absolute value differs slightly from the full-clip print (each tile's
+/// print window cuts off optical influence from outside its halo), but it
+/// is consistent across clip sizes, which is what the convergence-flatness
+/// gate compares.
+///
+/// # Errors
+///
+/// Propagates partition and lithography failures.
+pub fn tiled_print_loss(
+    config: &ExperimentConfig,
+    bank: &LithoBank,
+    target: &BitGrid,
+    mask: &RealGrid,
+) -> Result<usize, CoreError> {
+    let window = ilt_grid::Rect::new(0, 0, target.width() as i64, target.height() as i64);
+    tiled_print_loss_in(config, bank, target, mask, window)
+}
+
+/// Like [`tiled_print_loss`], but counts mismatches only inside `window`
+/// (chip coordinates). Tiles are still printed with their full halo, so
+/// the window restricts *where* loss is counted, not the optical context
+/// it is measured with. The convergence-flatness test uses this to
+/// compare chip sizes on their interiors: the outermost ring of any chip
+/// prints against missing off-chip context, so its loss density depends
+/// on the perimeter-to-area ratio rather than on how well the tile
+/// hierarchy converged.
+///
+/// # Errors
+///
+/// Propagates partition and lithography failures.
+pub fn tiled_print_loss_in(
+    config: &ExperimentConfig,
+    bank: &LithoBank,
+    target: &BitGrid,
+    mask: &RealGrid,
+    window: ilt_grid::Rect,
+) -> Result<usize, CoreError> {
+    let _stage = ilt_prof::stage_scope(ilt_prof::Stage::Inspect);
+    let partition = Partition::new(target.width(), target.height(), config.partition)?;
+    let system = bank.system(config.partition.tile, 1)?;
+    let binary = mask.threshold(0.5).to_real();
+    let mut loss = 0usize;
+    for tile in partition.tiles() {
+        let Some(count) = tile.core.intersect(window) else {
+            continue;
+        };
+        let printed = system.print(&restrict(&binary, tile), Corner::Nominal)?;
+        for y in count.y0..count.y1 {
+            for x in count.x0..count.x1 {
+                let wafer = printed.get((x - tile.rect.x0) as usize, (y - tile.rect.y0) as usize);
+                if wafer != target.get(x as usize, y as usize) {
+                    loss += 1;
+                }
+            }
+        }
+    }
+    Ok(loss)
 }
 
 /// The standard four methods of Table 1.
@@ -413,5 +482,28 @@ mod tests {
     #[should_panic(expected = "no cases")]
     fn empty_average_panics() {
         let _ = averages(&[]);
+    }
+
+    #[test]
+    fn tiled_print_loss_counts_every_core_pixel_once() {
+        // An all-dark mask prints nothing, so the tiled loss must equal
+        // the target's drawn area exactly — every core pixel counted once,
+        // none twice (cores are disjoint and covering).
+        let config = ExperimentConfig::test_tiny();
+        let bank = LithoBank::new(config.optics, ResistModel::m1_default()).unwrap();
+        let clip = suite_of_size(&config.generator, 1).remove(0);
+        let dark = RealGrid::new(config.clip, config.clip, 0.0);
+        let loss = tiled_print_loss(&config, &bank, &clip.target, &dark).unwrap();
+        assert_eq!(loss, clip.area);
+
+        // A non-power-of-two clip (the paper-scale case) also measures:
+        // regenerate the suite at 3/2 tile so the full-clip system could
+        // not even be built, and check the same identity.
+        let mut wide = config.clone();
+        wide.generator.size = 3 * wide.partition.tile / 2;
+        let clip = suite_of_size(&wide.generator, 1).remove(0);
+        let dark = RealGrid::new(wide.generator.size, wide.generator.size, 0.0);
+        let loss = tiled_print_loss(&wide, &bank, &clip.target, &dark).unwrap();
+        assert_eq!(loss, clip.area);
     }
 }

@@ -2,11 +2,14 @@
 //!
 //! Three phases, exactly as Section 3 describes:
 //!
-//! 1. **Coarse-grid ILT** (Algorithm 1): for `s = s_max, s_max/2, ..., 2`,
-//!    partition the clip into `sN`-sized tiles, downsample each tile by `s`,
-//!    solve with `s`-scaled kernels (Eq. (9)), and assemble with the hard
-//!    RAS interpolation of Eq. (6) — stitching errors are deliberately left
-//!    for the fine grid.
+//! 1. **Multi-level coarse-grid ILT** (Algorithm 1): for
+//!    `s = s_max, s_max/2, ..., 2`, partition the clip into `sN`-sized
+//!    tiles (clamped M×N grids when the clip is not lattice-divisible),
+//!    downsample each tile by `s`, solve with `s`-scaled kernels (Eq. (9)),
+//!    and assemble with the hard RAS interpolation of Eq. (6) — stitching
+//!    errors are deliberately left for the fine grid. The coarsest level is
+//!    solved directly (a single tile whenever `clip <= s_max * N`); every
+//!    finer level warm-starts from the prolongated coarse mask.
 //! 2. **Staged fine-grid ILT** (modified additive Schwarz): the fine
 //!    iteration budget is split into stages; after each stage the tiles are
 //!    assembled with the weighted interpolation of Eq. (14) and the next
@@ -16,19 +19,26 @@
 //!    colour by colour with a small learning rate; same-colour tiles never
 //!    overlap and run in parallel, and the layout is updated between
 //!    colours so later colours see earlier results.
+//!
+//! With `stream_tiles` (the default) the coarse and fine stages solve one
+//! colour band at a time and fold each band into a
+//! [`StreamingAssembler`] immediately, so peak resident tile masks are one
+//! colour band instead of the whole M×N grid; `stream_tiles: false` keeps
+//! the hold-everything path. Both fold in the assembler's canonical order
+//! and produce bit-identical layouts.
 
 use ilt_grid::{resample, BitGrid, RealGrid};
 use ilt_litho::LithoBank;
 use ilt_opt::{SolveContext, SolveRequest, TileSolver};
 use ilt_telemetry as tele;
 use ilt_tile::{
-    assemble, multi_coloring, restrict, weight_map, AssemblyMode, Partition, PartitionConfig,
-    RetryPolicy, TileExecutor, TileFailure,
+    assemble, multi_coloring, normalized_weight_map, restrict, AssemblyMode, Partition,
+    PartitionConfig, RetryPolicy, StreamingAssembler, TileExecutor, TileFailure,
 };
 
 use crate::config::ExperimentConfig;
 use crate::error::CoreError;
-use crate::flows::{trace, DegradedTile, FlowResult};
+use crate::flows::{trace, DegradedTile, FlowResult, StageTiming};
 
 /// What [`TileExecutor::run_recoverable`] hands back per tile: the outer
 /// layer is panic-vs-completed, the inner the solver's own result.
@@ -79,6 +89,96 @@ pub(crate) fn recover_stage(
     Ok(solved)
 }
 
+/// Bytes one solved tile mask keeps resident, for the
+/// [`ilt_prof::residency`] high-water accounting around assembly.
+fn grid_bytes(mask: &RealGrid) -> usize {
+    mask.width() * mask.height() * std::mem::size_of::<f64>()
+}
+
+/// Solves one additive stage's tiles and assembles them into a layout.
+///
+/// With `stream: true`, tiles are solved one colour band at a time (in the
+/// streaming assembler's canonical order) and each band is folded into the
+/// output as soon as it is recovered, so at most one colour band of tile
+/// masks is resident at once. With `stream: false`, every tile is solved
+/// first (index order, the pre-streaming behaviour) and the batch
+/// [`assemble`] folds them at the end. Both paths fold contributions in
+/// the same canonical order and return bit-identical layouts.
+///
+/// `solve` and `fallback` both take **tile indices**; `tile_seconds` in the
+/// returned timing is indexed by tile.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_banded_stage(
+    flow_name: &str,
+    label: String,
+    partition: &Partition,
+    mode: AssemblyMode,
+    stream: bool,
+    executor: &TileExecutor,
+    policy: RetryPolicy,
+    solve: impl Fn(usize) -> Result<(RealGrid, f64), CoreError> + Sync,
+    fallback: impl Fn(usize) -> RealGrid,
+    degraded: &mut Vec<DegradedTile>,
+) -> Result<(RealGrid, StageTiming), CoreError> {
+    let stage = trace::stage(label.clone());
+    let total = partition.tiles().len();
+    if !stream {
+        let results = executor.run_recoverable(total, policy, &solve);
+        let solved = recover_stage(flow_name, &label, results, |k| k, &fallback, degraded)?;
+        let resident: usize = solved.iter().map(|(m, _)| grid_bytes(m)).sum();
+        ilt_prof::residency::acquire(resident);
+        let out = stage.finish(solved, |masks| {
+            assemble(partition, &masks, mode).map_err(CoreError::from)
+        });
+        ilt_prof::residency::release(resident);
+        return out;
+    }
+    let mut assembler = StreamingAssembler::new(partition, mode);
+    let mut tile_seconds = vec![0.0; total];
+    let mut assembly_seconds = 0.0;
+    for group in multi_coloring(partition).groups() {
+        if group.is_empty() {
+            continue;
+        }
+        let results = executor.run_recoverable_over(&group, policy, &solve);
+        let solved = recover_stage(
+            flow_name,
+            &label,
+            results,
+            |k| group[k],
+            |k| fallback(group[k]),
+            degraded,
+        )?;
+        let band: Vec<RealGrid> = solved
+            .into_iter()
+            .zip(&group)
+            .map(|((mask, seconds), &i)| {
+                tile_seconds[i] = seconds;
+                mask
+            })
+            .collect();
+        let band_bytes: usize = band.iter().map(grid_bytes).sum();
+        ilt_prof::residency::acquire(band_bytes);
+        let ((), fold_seconds) = trace::assembly_fold(|| {
+            for (mask, &i) in band.iter().zip(&group) {
+                assembler.push(i, mask)?;
+            }
+            Ok::<_, CoreError>(())
+        })?;
+        assembly_seconds += fold_seconds;
+        ilt_prof::residency::release(band_bytes);
+        // `band` drops here: the streamed path never holds more than one
+        // colour band of fine tiles.
+    }
+    let (layout, finish_seconds) =
+        trace::assembly_fold(|| assembler.finish().map_err(CoreError::from))?;
+    assembly_seconds += finish_seconds;
+    Ok((
+        layout,
+        stage.finish_streamed(tile_seconds, assembly_seconds),
+    ))
+}
+
 /// Runs the multigrid-Schwarz flow.
 ///
 /// # Errors
@@ -114,38 +214,41 @@ pub fn multigrid_schwarz(
         };
         let partition = Partition::new(clip_w, clip_h, coarse)?;
         let label = format!("coarse s={s}");
-        let stage = trace::stage(label.clone());
-        let results = executor.run_recoverable(partition.tiles().len(), policy, |i| {
-            let tile = partition.tile(i);
-            let tile_target = resample::downsample(&restrict(&target_real, tile), s);
-            let tile_init = resample::downsample(&restrict(&mask, tile), s);
-            let ctx = SolveContext { bank, n, scale: s };
-            let (outcome, elapsed) = trace::timed_tile(i, || {
-                Ok::<_, CoreError>(solver.solve(
-                    &ctx,
-                    &SolveRequest::new(&tile_target, &tile_init, config.schedule.coarse_iterations),
-                )?)
-            })?;
-            ilt_diag::observe_solve(&name, &label, i, &outcome.loss_history);
-            // Promote the coarse solution back to the fine grid with a
-            // band-limited interpolation: bilinear alone leaves blocky
-            // staircases that the fine stages (optically blind to them)
-            // would never remove.
-            let up = resample::upsample_bilinear(&outcome.mask, s);
-            let filter = ilt_grid::GaussianFilter::new(0.5 * s as f64);
-            Ok::<_, CoreError>((filter.apply(&up), elapsed))
-        });
-        let solved = recover_stage(
+        let (assembled, timing) = run_banded_stage(
             &name,
-            &label,
-            results,
-            |k| k,
-            |k| restrict(&mask, partition.tile(k)),
+            label.clone(),
+            &partition,
+            AssemblyMode::Restricted,
+            config.stream_tiles,
+            executor,
+            policy,
+            |i| {
+                let tile = partition.tile(i);
+                let tile_target = resample::downsample(&restrict(&target_real, tile), s);
+                let tile_init = resample::downsample(&restrict(&mask, tile), s);
+                let ctx = SolveContext { bank, n, scale: s };
+                let (outcome, elapsed) = trace::timed_tile(i, || {
+                    Ok::<_, CoreError>(solver.solve(
+                        &ctx,
+                        &SolveRequest::new(
+                            &tile_target,
+                            &tile_init,
+                            config.schedule.coarse_iterations,
+                        ),
+                    )?)
+                })?;
+                ilt_diag::observe_solve(&name, &label, i, &outcome.loss_history);
+                // Promote the coarse solution back to the fine grid with a
+                // band-limited interpolation: bilinear alone leaves blocky
+                // staircases that the fine stages (optically blind to them)
+                // would never remove.
+                let up = resample::upsample_bilinear(&outcome.mask, s);
+                let filter = ilt_grid::GaussianFilter::new(0.5 * s as f64);
+                Ok::<_, CoreError>((filter.apply(&up), elapsed))
+            },
+            |i| restrict(&mask, partition.tile(i)),
             &mut degraded,
         )?;
-        let (assembled, timing) = stage.finish(solved, |masks| {
-            assemble(&partition, &masks, AssemblyMode::Restricted).map_err(CoreError::from)
-        })?;
         mask = assembled;
         stages.push(timing);
         s /= 2;
@@ -163,38 +266,37 @@ pub fn multigrid_schwarz(
     for fine_stage in 0..config.schedule.fine_stages {
         let iterations = config.schedule.fine_per_stage(fine_stage);
         let label = format!("fine stage {}", fine_stage + 1);
-        let stage = trace::stage(label.clone());
-        let results = executor.run_recoverable(partition.tiles().len(), policy, |i| {
-            let tile = partition.tile(i);
-            let tile_target = restrict(&target_real, tile);
-            let tile_init = restrict(&mask, tile);
-            let ctx = SolveContext { bank, n, scale: 1 };
-            let request = SolveRequest {
-                target: &tile_target,
-                initial: &tile_init,
-                iterations,
-                lr_scale: config.schedule.fine_lr_scale,
-                gentle: false,
-                warm: true,
-            };
-            let (outcome, elapsed) =
-                trace::timed_tile(i, || Ok::<_, CoreError>(solver.solve(&ctx, &request)?))?;
-            ilt_diag::observe_solve(&name, &label, i, &outcome.loss_history);
-            Ok::<_, CoreError>((outcome.mask, elapsed))
-        });
         // A degraded fine tile keeps its coarse-grid mask (= its crop of
         // the assembled layout) and is stitched by the same weighted blend.
-        let solved = recover_stage(
+        let (assembled, timing) = run_banded_stage(
             &name,
-            &label,
-            results,
-            |k| k,
-            |k| restrict(&mask, partition.tile(k)),
+            label.clone(),
+            &partition,
+            blend,
+            config.stream_tiles,
+            executor,
+            policy,
+            |i| {
+                let tile = partition.tile(i);
+                let tile_target = restrict(&target_real, tile);
+                let tile_init = restrict(&mask, tile);
+                let ctx = SolveContext { bank, n, scale: 1 };
+                let request = SolveRequest {
+                    target: &tile_target,
+                    initial: &tile_init,
+                    iterations,
+                    lr_scale: config.schedule.fine_lr_scale,
+                    gentle: false,
+                    warm: true,
+                };
+                let (outcome, elapsed) =
+                    trace::timed_tile(i, || Ok::<_, CoreError>(solver.solve(&ctx, &request)?))?;
+                ilt_diag::observe_solve(&name, &label, i, &outcome.loss_history);
+                Ok::<_, CoreError>((outcome.mask, elapsed))
+            },
+            |i| restrict(&mask, partition.tile(i)),
             &mut degraded,
         )?;
-        let (assembled, timing) = stage.finish(solved, |masks| {
-            assemble(&partition, &masks, blend).map_err(CoreError::from)
-        })?;
         mask = assembled;
         stages.push(timing);
     }
@@ -284,7 +386,7 @@ pub(crate) fn apply_weighted_update(
     blend: AssemblyMode,
 ) {
     let tile = partition.tile(index);
-    let w = weight_map(partition, index, blend);
+    let w = normalized_weight_map(partition, index, blend);
     let t = partition.config().tile;
     for y in 0..t {
         let gy = tile.rect.y0 as usize + y;
@@ -371,6 +473,64 @@ mod tests {
         let (_, result, _) = run_tiny();
         assert!(result.mask.min() >= -1e-9);
         assert!(result.mask.max() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn streamed_flow_is_bit_identical_to_held() {
+        let mut streamed = ExperimentConfig::test_tiny();
+        streamed.stream_tiles = true;
+        let mut held = streamed.clone();
+        held.stream_tiles = false;
+        let bank = LithoBank::new(streamed.optics, ResistModel::m1_default()).unwrap();
+        let target = generate_clip(&streamed.generator, 7);
+        let executor = TileExecutor::sequential();
+        let solver = PixelIlt::new();
+        let a = multigrid_schwarz(&streamed, &bank, &target, &solver, &executor).unwrap();
+        let b = multigrid_schwarz(&held, &bank, &target, &solver, &executor).unwrap();
+        assert_eq!(
+            a.mask.as_slice(),
+            b.mask.as_slice(),
+            "streamed and hold-everything flows diverged"
+        );
+        // Same stages, same per-tile accounting shape.
+        assert_eq!(a.stages.len(), b.stages.len());
+        for (sa, sb) in a.stages.iter().zip(&b.stages) {
+            assert_eq!(sa.label, sb.label);
+            assert_eq!(sa.tile_seconds.len(), sb.tile_seconds.len());
+        }
+    }
+
+    #[test]
+    fn deeper_hierarchy_runs_every_coarse_level() {
+        // s_max = 4 at a 256-pixel clip: levels s = 4 (direct coarsest
+        // solve, a single 256-wide tile) and s = 2 (warm-started from the
+        // prolongated s = 4 mask), then the fine stages.
+        let mut config = ExperimentConfig::test_tiny();
+        config.clip = 256;
+        config.generator.size = 256;
+        config.s_max = 4;
+        config.validate();
+        let bank = LithoBank::new(config.optics, ResistModel::m1_default()).unwrap();
+        let target = generate_clip(&config.generator, 3);
+        let result = multigrid_schwarz(
+            &config,
+            &bank,
+            &target,
+            &PixelIlt::new(),
+            &TileExecutor::sequential(),
+        )
+        .unwrap();
+        let labels: Vec<&str> = result.stages.iter().map(|s| s.label.as_str()).collect();
+        let s4 = labels.iter().position(|l| *l == "coarse s=4").unwrap();
+        let s2 = labels.iter().position(|l| *l == "coarse s=2").unwrap();
+        assert!(s4 < s2, "coarsest level must run first: {labels:?}");
+        // The coarsest level covers the clip with one tile (256 = 4 * 64).
+        assert_eq!(result.stages[s4].tile_seconds.len(), 1);
+        // s = 2 tiles are 128 wide with 32 overlap on a 256 clip: clamped
+        // geometry still yields a proper multi-tile level.
+        assert!(result.stages[s2].tile_seconds.len() > 1);
+        assert_eq!(result.mask.width(), 256);
+        assert!(result.mask.min() >= -1e-9 && result.mask.max() <= 1.0 + 1e-9);
     }
 
     #[test]

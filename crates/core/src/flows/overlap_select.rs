@@ -9,7 +9,7 @@
 use ilt_grid::{BitGrid, RealGrid};
 use ilt_litho::{Corner, LithoBank};
 use ilt_opt::{SolveContext, SolveRequest, TileSolver};
-use ilt_tile::{restrict, Partition, TileExecutor};
+use ilt_tile::{multi_coloring, restrict, Partition, TileExecutor};
 
 use crate::config::ExperimentConfig;
 use crate::error::CoreError;
@@ -37,8 +37,7 @@ pub fn overlap_select(
 
     // Independent solves, exactly as divide-and-conquer, but each job also
     // returns the tile's per-pixel squared print error (its own view).
-    let stage = trace::stage("overlap-select".to_string());
-    let solved = executor.run_fallible(partition.tiles().len(), |i| {
+    let solve = |i: usize| {
         let tile = partition.tile(i);
         let tile_target = restrict(&target_real, tile);
         let ctx = SolveContext { bank, n, scale: 1 };
@@ -57,16 +56,22 @@ pub fn overlap_select(
             });
             Ok::<_, CoreError>((outcome.mask, error))
         })
-    })?;
+    };
 
-    let (mask, timing) = stage.finish(solved, |tiles| {
-        // Per-pixel selection: each pixel takes the value of the covering
-        // tile with the smallest local error (core owner wins ties by
-        // iteration order, which visits cores first through the partition
-        // layout).
-        let mut mask = RealGrid::new(partition.width(), partition.height(), 0.0);
-        let mut best = RealGrid::new(partition.width(), partition.height(), f64::INFINITY);
-        for (tile, (tile_mask, error)) in partition.tiles().iter().zip(&tiles) {
+    // Per-pixel selection: each pixel takes the value of the covering tile
+    // with the smallest local error. The strict `<` makes the fold order
+    // observable at exact ties, so both the streamed and the hold-everything
+    // paths visit tiles in the same canonical colour-band order — the first
+    // tile in that order wins ties and the two paths stay bit-identical.
+    let groups = multi_coloring(&partition).groups();
+    let mut mask = RealGrid::new(partition.width(), partition.height(), 0.0);
+    let mut best = RealGrid::new(partition.width(), partition.height(), f64::INFINITY);
+    let stage = trace::stage("overlap-select".to_string());
+    // The `select` closure borrows `mask` and `best` mutably; scoping it to
+    // the timing block releases the borrows once selection is done.
+    let timing = {
+        let mut select = |i: usize, tile_mask: &RealGrid, error: &RealGrid| {
+            let tile = partition.tile(i);
             for y in 0..n {
                 let gy = tile.rect.y0 as usize + y;
                 for x in 0..n {
@@ -78,9 +83,40 @@ pub fn overlap_select(
                     }
                 }
             }
+        };
+
+        if config.stream_tiles {
+            // One colour band of (mask, error) pairs resident at a time.
+            let mut tile_seconds = vec![0.0; partition.tiles().len()];
+            let mut assembly_seconds = 0.0;
+            for group in groups {
+                if group.is_empty() {
+                    continue;
+                }
+                let band = executor.run_fallible_over(&group, solve)?;
+                let ((), fold_seconds) = trace::assembly_fold(|| {
+                    for (((tile_mask, error), seconds), &i) in band.into_iter().zip(&group) {
+                        tile_seconds[i] = seconds;
+                        select(i, &tile_mask, &error);
+                    }
+                    Ok::<_, CoreError>(())
+                })?;
+                assembly_seconds += fold_seconds;
+            }
+            stage.finish_streamed(tile_seconds, assembly_seconds)
+        } else {
+            let order: Vec<usize> = groups.into_iter().flatten().collect();
+            let solved = executor.run_fallible(partition.tiles().len(), solve)?;
+            let ((), timing) = stage.finish(solved, |tiles| {
+                for &i in &order {
+                    let (tile_mask, error) = &tiles[i];
+                    select(i, tile_mask, error);
+                }
+                Ok::<_, CoreError>(())
+            })?;
+            timing
         }
-        Ok::<_, CoreError>(mask)
-    })?;
+    };
 
     let wall_seconds = fspan.end();
     Ok(FlowResult {
@@ -133,5 +169,21 @@ mod tests {
         let select = overlap_select(&config, &bank, &target, &solver, &executor).unwrap();
         let dnc = divide_and_conquer(&config, &bank, &target, &solver, &executor).unwrap();
         assert_ne!(select.mask, dnc.mask);
+    }
+
+    #[test]
+    fn streamed_matches_hold_everything() {
+        // Selection's tie-break makes fold order observable; both paths use
+        // the canonical colour-band order, so they must agree exactly.
+        let mut config = ExperimentConfig::test_tiny();
+        let bank = LithoBank::new(config.optics, ResistModel::m1_default()).unwrap();
+        let target = generate_clip(&config.generator, 6);
+        let solver = PixelIlt::new();
+        let executor = TileExecutor::sequential();
+        config.stream_tiles = true;
+        let streamed = overlap_select(&config, &bank, &target, &solver, &executor).unwrap();
+        config.stream_tiles = false;
+        let held = overlap_select(&config, &bank, &target, &solver, &executor).unwrap();
+        assert_eq!(streamed.mask, held.mask);
     }
 }

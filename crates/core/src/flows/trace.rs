@@ -81,6 +81,45 @@ impl StageGuard {
     }
 }
 
+impl StageGuard {
+    /// Ends a stage whose assembly happened *incrementally* (one colour
+    /// band at a time, via [`assembly_fold`]) while the guard was alive:
+    /// the caller supplies the per-tile durations it recorded and the sum
+    /// of the fold spans' durations. Counterpart of [`StageGuard::finish`]
+    /// for streamed stages, where solving and assembly interleave instead
+    /// of forming two sequential blocks.
+    pub(crate) fn finish_streamed(
+        self,
+        tile_seconds: Vec<f64>,
+        assembly_seconds: f64,
+    ) -> StageTiming {
+        let StageGuard {
+            label,
+            span,
+            stage_tag,
+        } = self;
+        drop(stage_tag);
+        drop(span);
+        StageTiming {
+            label,
+            tile_seconds,
+            assembly_seconds,
+        }
+    }
+}
+
+/// Runs one incremental assembly fold (a colour band pushed into a
+/// streaming assembler, or its final validation) inside an `assembly`
+/// span billed to the assembly profiling stage, and returns the body's
+/// result with the span's duration so streamed stages report the same
+/// `assembly_seconds` the trace records.
+pub(crate) fn assembly_fold<R, E>(body: impl FnOnce() -> Result<R, E>) -> Result<(R, f64), E> {
+    let _assembly_tag = ilt_prof::stage_scope(ilt_prof::Stage::Assembly);
+    let span = tele::span(tele::names::ASSEMBLY);
+    let out = body()?;
+    Ok((out, span.end()))
+}
+
 /// Runs one tile's compute inside a `tile` span tagged with its index and
 /// returns the payload together with the span's own duration, so the
 /// reported `tile_seconds` equal the traced span exactly.

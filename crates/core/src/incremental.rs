@@ -44,7 +44,8 @@ use ilt_opt::{SolveContext, SolveRequest, TileSolver};
 use ilt_store::{tile_content_hash, MaskStore, StoreKey};
 use ilt_telemetry as tele;
 use ilt_tile::{
-    assemble, multi_coloring, restrict, AssemblyMode, Partition, RetryPolicy, Tile, TileExecutor,
+    assemble, multi_coloring, restrict, AssemblyMode, Partition, RetryPolicy, StreamingAssembler,
+    Tile, TileExecutor,
 };
 
 use crate::config::ExperimentConfig;
@@ -131,8 +132,12 @@ pub struct IncrementalOutcome {
 
 impl IncrementalOutcome {
     /// Fraction of the layout served from the store:
-    /// `tiles_reused / total tiles`. This is the locality headline — with a
-    /// single-tile edit on a 3×3 partition it is 5/9 (4 dirty, 5 reused).
+    /// `tiles_reused / total tiles`. This is the locality headline — for an
+    /// edit confined to tile `j` of a `T`-tile M×N partition it is
+    /// `(T - 1 - |neighbors(j)|) / T` (the edited tile and its overlap
+    /// neighbours re-solve, everything else is reused). A corner edit on a
+    /// uniform 3×3 grid has 3 neighbours, hence the 5/9 of the ECO smoke
+    /// drill; larger grids reuse proportionally more.
     pub fn hit_ratio(&self) -> f64 {
         let total = self.tiles_reused + self.tiles_resolved;
         if total == 0 {
@@ -190,7 +195,7 @@ pub fn store_tiles(
     let config_fp = config.fingerprint();
     for i in 0..partition.tiles().len() {
         let key = tile_key(target, &partition, i, config_fp);
-        store.put(key, restrict(mask, partition.tile(i)));
+        store.put_crop(key, mask, partition.tile(i).rect);
     }
     Ok(partition.tiles().len())
 }
@@ -256,7 +261,6 @@ pub fn run_incremental_in(
     // set. Dirty tiles warm-start from the *base* content key (the mask the
     // base solve stored for the geometry they used to contain); a miss
     // falls back to the edited target crop.
-    let reuse_stage = trace::stage("eco reuse".to_string());
     let mut resolve: Vec<usize> = Vec::new();
     // Tiles that need the *full* fine budget: their target changed (the
     // base mask optimises a different geometry there) or their lookup
@@ -265,9 +269,19 @@ pub fn run_incremental_in(
     // are identical, only the boundary conditions moved.
     let edited_tiles: BTreeSet<usize> = diff.edited.iter().copied().collect();
     let mut cold_budget: BTreeSet<usize> = edited_tiles.clone();
-    let mut looked_up: Vec<(RealGrid, f64)> = Vec::with_capacity(tile_count);
-    for i in 0..tile_count {
-        let crop = trace::timed_tile(i, || {
+    let blend = if config.blend_band == 0 {
+        AssemblyMode::weighted_default(&partition)
+    } else {
+        AssemblyMode::Weighted {
+            band: config.blend_band,
+        }
+    };
+    let reuse_stage = trace::stage("eco reuse".to_string());
+    // The `lookup` closure borrows the reuse counters and the re-solve set
+    // mutably; scoping it to this block releases the borrows once every
+    // tile has been looked up.
+    let (mut mask, timing) = {
+        let mut lookup = |i: usize| {
             if dirty.contains(&i) {
                 resolve.push(i);
                 let warm_key = tile_key(base, &partition, i, config_fp);
@@ -299,23 +313,52 @@ pub fn run_incremental_in(
                     }
                 }
             }
-        })?;
-        looked_up.push(crop);
-    }
+        };
+        if config.stream_tiles {
+            // Stream the lookups straight into the assembler one colour band at
+            // a time: a reused crop is resident only while its band folds, so
+            // the reuse phase holds O(one band) masks instead of all T.
+            let mut assembler = StreamingAssembler::new(&partition, blend);
+            let mut tile_seconds = vec![0.0; tile_count];
+            let mut assembly_seconds = 0.0;
+            for group in multi_coloring(&partition).groups() {
+                if group.is_empty() {
+                    continue;
+                }
+                let mut band: Vec<RealGrid> = Vec::with_capacity(group.len());
+                for &i in &group {
+                    let (crop, seconds) = trace::timed_tile(i, || lookup(i))?;
+                    tile_seconds[i] = seconds;
+                    band.push(crop);
+                }
+                let ((), fold_seconds) = trace::assembly_fold(|| {
+                    for (crop, &i) in band.iter().zip(&group) {
+                        assembler.push(i, crop)?;
+                    }
+                    Ok::<_, CoreError>(())
+                })?;
+                assembly_seconds += fold_seconds;
+            }
+            let (out, finish_seconds) =
+                trace::assembly_fold(|| assembler.finish().map_err(CoreError::from))?;
+            assembly_seconds += finish_seconds;
+            (
+                out,
+                reuse_stage.finish_streamed(tile_seconds, assembly_seconds),
+            )
+        } else {
+            let mut looked_up: Vec<(RealGrid, f64)> = Vec::with_capacity(tile_count);
+            for i in 0..tile_count {
+                looked_up.push(trace::timed_tile(i, || lookup(i))?);
+            }
+            reuse_stage.finish(looked_up, |masks| {
+                assemble(&partition, &masks, blend).map_err(CoreError::from)
+            })?
+        }
+    };
     resolve.sort_unstable();
     let tiles_resolved = resolve.len();
     let tiles_reused = tile_count - tiles_resolved;
-    let blend = if config.blend_band == 0 {
-        AssemblyMode::weighted_default(&partition)
-    } else {
-        AssemblyMode::Weighted {
-            band: config.blend_band,
-        }
-    };
-    let (assembled, timing) = reuse_stage.finish(looked_up, |masks| {
-        assemble(&partition, &masks, blend).map_err(CoreError::from)
-    })?;
-    let mut mask = assembled;
     stages.push(timing);
 
     tele::counter_add("incremental.tiles_reused", tiles_reused as u64);
@@ -359,15 +402,39 @@ pub fn run_incremental_in(
             |k| restrict(&mask, partition.tile(resolve[k])),
             &mut degraded,
         )?;
-        let (assembled, timing) = stage.finish(solved, |new_masks| {
-            let mut all: Vec<RealGrid> = (0..tile_count)
-                .map(|i| restrict(&mask, partition.tile(i)))
-                .collect();
-            for (k, new_mask) in new_masks.into_iter().enumerate() {
-                all[resolve[k]] = new_mask;
-            }
-            assemble(&partition, &all, blend).map_err(CoreError::from)
-        })?;
+        let (assembled, timing) = if config.stream_tiles {
+            // Hold only the re-solved masks; every clean tile's crop is
+            // materialised lazily, pushed, and dropped — peak residency is
+            // O(dirty) plus one tile, not O(T).
+            let (new_masks, times): (Vec<RealGrid>, Vec<f64>) = solved.into_iter().unzip();
+            let held: std::collections::BTreeMap<usize, RealGrid> =
+                resolve.iter().copied().zip(new_masks).collect();
+            let mut assembler = StreamingAssembler::new(&partition, blend);
+            let order = assembler.canonical_order().to_vec();
+            let (out, assembly_seconds) = trace::assembly_fold(|| {
+                for &i in &order {
+                    match held.get(&i) {
+                        Some(new_mask) => assembler.push(i, new_mask)?,
+                        None => {
+                            let crop = restrict(&mask, partition.tile(i));
+                            assembler.push(i, &crop)?;
+                        }
+                    }
+                }
+                assembler.finish().map_err(CoreError::from)
+            })?;
+            (out, stage.finish_streamed(times, assembly_seconds))
+        } else {
+            stage.finish(solved, |new_masks| {
+                let mut all: Vec<RealGrid> = (0..tile_count)
+                    .map(|i| restrict(&mask, partition.tile(i)))
+                    .collect();
+                for (k, new_mask) in new_masks.into_iter().enumerate() {
+                    all[resolve[k]] = new_mask;
+                }
+                assemble(&partition, &all, blend).map_err(CoreError::from)
+            })?
+        };
         mask = assembled;
         stages.push(timing);
     }
@@ -429,7 +496,7 @@ pub fn run_incremental_in(
     // next edit on top of this layout warm-starts from here.
     for &i in &resolve {
         let key = tile_key(edited, &partition, i, config_fp);
-        store.put(key, restrict(&mask, partition.tile(i)));
+        store.put_crop(key, &mask, partition.tile(i).rect);
     }
 
     let wall_seconds = fspan.end();
@@ -519,6 +586,41 @@ mod tests {
         assert_eq!(diff.edited, vec![1, 2]);
         // Neighbours of 1 and 2 span all of rows 0-1.
         assert_eq!(diff.dirty, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn clamped_grid_frontier_uses_generalized_neighbors() {
+        // 184×120 at tile 64 / stride 32 clamps both axes (x origins end at
+        // 120, y origins at 56), yielding a non-square 5×3 grid whose last
+        // row/column overlap their predecessors by more than the nominal
+        // stride. A corner edit must dirty exactly the edited tile plus its
+        // generalized M×N overlap neighbours, not a hardcoded 3×3 pattern.
+        let partition = Partition::new(
+            184,
+            120,
+            PartitionConfig {
+                tile: 64,
+                overlap: 32,
+            },
+        )
+        .unwrap();
+        let base = BitGrid::new(184, 120, 0);
+        let mut edited = base.clone();
+        edited.set(2, 2, 1);
+        let diff = diff_layouts(&partition, &base, &edited);
+        assert_eq!(diff.edited, vec![0]);
+        let mut expected = vec![0usize];
+        expected.extend(partition.neighbors(0));
+        expected.sort_unstable();
+        assert_eq!(diff.dirty, expected);
+        // Clamped columns overlap more than the nominal stride, but the
+        // frontier is still "tiles whose rects overlap tile 0".
+        for &i in &diff.dirty {
+            assert!(
+                i == 0 || partition.tile(i).rect.overlaps(partition.tile(0).rect),
+                "tile {i} in the frontier without overlapping the edit"
+            );
+        }
     }
 
     #[test]

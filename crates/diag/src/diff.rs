@@ -661,9 +661,10 @@ mod tests {
 
     #[test]
     fn iteration_speedup_gate_is_absolute_and_opt_in() {
-        let base =
-            Json::parse(r#"{"schema":"ilt-report/v2","flows":[{"name":"ours:pgd","seconds":1.0}]}"#)
-                .unwrap();
+        let base = Json::parse(
+            r#"{"schema":"ilt-report/v2","flows":[{"name":"ours:pgd","seconds":1.0}]}"#,
+        )
+        .unwrap();
         // Disabled by default: a slow candidate passes.
         assert!(
             compare_reports(&base, &report_with_speedup(1.1), &DiffThresholds::default())

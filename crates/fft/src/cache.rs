@@ -150,7 +150,9 @@ impl Default for TunedParams {
 fn autotune_enabled() -> bool {
     static ENABLED: OnceLock<bool> = OnceLock::new();
     *ENABLED.get_or_init(|| {
-        std::env::var("ILT_FFT_AUTOTUNE").map(|v| v.trim() != "0").unwrap_or(true)
+        std::env::var("ILT_FFT_AUTOTUNE")
+            .map(|v| v.trim() != "0")
+            .unwrap_or(true)
     })
 }
 
@@ -336,9 +338,9 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.block >= 1 && a.block <= 64);
         assert!(a.row_batch >= 1);
-        assert!(tuned_summary().iter().any(|&(n, t, p)| {
-            n == 32 && t == 1 && p == a
-        }));
+        assert!(tuned_summary()
+            .iter()
+            .any(|&(n, t, p)| { n == 32 && t == 1 && p == a }));
     }
 
     #[test]

@@ -132,8 +132,7 @@ impl FftPlan {
     /// cache introspection (`/debug/caches`).
     pub fn estimated_bytes(&self) -> u64 {
         (self.rev.len() * std::mem::size_of::<u32>()
-            + (self.fwd.len() + self.inv.len()) * std::mem::size_of::<Complex>())
-            as u64
+            + (self.fwd.len() + self.inv.len()) * std::mem::size_of::<Complex>()) as u64
     }
 
     /// In-place forward FFT.

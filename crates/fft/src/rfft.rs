@@ -425,10 +425,7 @@ impl Rfft2d {
         let plan = &self.col_plan;
         match support_cols {
             Some(cols) => {
-                ilt_telemetry::counter_add(
-                    "fft.rows_skipped",
-                    (hw - cols.len().min(hw)) as u64,
-                );
+                ilt_telemetry::counter_add("fft.rows_skipped", (hw - cols.len().min(hw)) as u64);
                 for &c in cols {
                     plan.transform(&mut spec[c * n..(c + 1) * n], Direction::Inverse)
                         .expect("column length matches plan by construction");
@@ -449,10 +446,7 @@ impl Rfft2d {
         let scale = extra / (n * n) as f64;
         let batch = self.row_batch.min(n);
         pool.for_each_chunk_zip_mut(scratch, hw * batch, dst, n * batch, |_, srows, drows| {
-            for (srow, drow) in srows
-                .chunks_exact_mut(hw)
-                .zip(drows.chunks_exact_mut(n))
-            {
+            for (srow, drow) in srows.chunks_exact_mut(hw).zip(drows.chunks_exact_mut(n)) {
                 row.inverse_scaled(srow, drow, scale)
                     .expect("row length matches plan by construction");
             }
@@ -495,9 +489,9 @@ mod tests {
         assert!(plan.estimated_bytes() > 0);
         let mut spec = vec![Complex::ZERO; 4];
         assert!(plan.forward(&[0.0; 8], &mut spec).is_err());
-        assert!(plan.forward(&[0.0; 7], &mut vec![Complex::ZERO; 5]).is_err());
+        assert!(plan.forward(&[0.0; 7], &mut [Complex::ZERO; 5]).is_err());
         let mut out = [0.0; 7];
-        assert!(plan.inverse(&mut vec![Complex::ZERO; 5], &mut out).is_err());
+        assert!(plan.inverse(&mut [Complex::ZERO; 5], &mut out).is_err());
     }
 
     #[test]
@@ -554,7 +548,8 @@ mod tests {
         let mut a = vec![0.0; n];
         let mut b = vec![0.0; n];
         plan.inverse(&mut spec, &mut a).unwrap();
-        plan.inverse_scaled(&mut spec2, &mut b, 3.0 / n as f64).unwrap();
+        plan.inverse_scaled(&mut spec2, &mut b, 3.0 / n as f64)
+            .unwrap();
         for (u, v) in a.iter().zip(&b) {
             assert!((3.0 * u - v).abs() < 1e-12);
         }
@@ -593,7 +588,8 @@ mod tests {
             let mut scratch = vec![Complex::ZERO; rfft.spectrum_len()];
             rfft.forward(&x, &mut spec, &mut scratch, pool).unwrap();
             let mut back = vec![0.0; n * n];
-            rfft.inverse(&mut spec, &mut back, &mut scratch, pool).unwrap();
+            rfft.inverse(&mut spec, &mut back, &mut scratch, pool)
+                .unwrap();
             back
         };
         let serial = run(&InnerPool::serial());
@@ -631,8 +627,13 @@ mod tests {
         let mut sparse = cropped;
         let mut out_dense = vec![0.0; n * n];
         let mut out_sparse = vec![0.0; n * n];
-        rfft.inverse(&mut dense, &mut out_dense, &mut scratch, &InnerPool::serial())
-            .unwrap();
+        rfft.inverse(
+            &mut dense,
+            &mut out_dense,
+            &mut scratch,
+            &InnerPool::serial(),
+        )
+        .unwrap();
         rfft.inverse_support_scaled(
             &mut sparse,
             &mut out_sparse,

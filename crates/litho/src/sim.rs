@@ -191,7 +191,14 @@ impl SimWorkspace {
 
     /// Resizes any buffer that does not match the requested shape.
     /// Steady-state calls compare a handful of lengths and touch nothing.
-    fn ensure(&mut self, n: usize, kernel_count: usize, support: usize, workers: usize, real: bool) {
+    fn ensure(
+        &mut self,
+        n: usize,
+        kernel_count: usize,
+        support: usize,
+        workers: usize,
+        real: bool,
+    ) {
         let cells = n * n;
         let p2 = support * support;
         let workers = workers.max(1);
@@ -254,10 +261,7 @@ impl LithoSimulator {
             .iter()
             .flat_map(|&c| {
                 let refl = (n - c) % n;
-                [
-                    (c < hw).then_some(c),
-                    (refl < hw).then_some(refl),
-                ]
+                [(c < hw).then_some(c), (refl < hw).then_some(refl)]
             })
             .flatten()
             .collect();

@@ -227,10 +227,7 @@ impl InnerPool {
         B: Send,
         F: Fn(usize, &mut [A], &mut [B]) + Sync,
     {
-        assert!(
-            chunk_a > 0 && chunk_b > 0,
-            "chunk lengths must be nonzero"
-        );
+        assert!(chunk_a > 0 && chunk_b > 0, "chunk lengths must be nonzero");
         assert!(
             a.len().is_multiple_of(chunk_a),
             "first buffer length {} not divisible by chunk length {}",

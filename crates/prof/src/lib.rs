@@ -1,7 +1,7 @@
 //! # ilt-prof
 //!
 //! Continuous, in-process resource profiling for the multigrid-Schwarz
-//! ILT stack. Std-only, like `ilt-par` and `ilt-fault`. Three parts:
+//! ILT stack. Std-only, like `ilt-par` and `ilt-fault`. Four parts:
 //!
 //! * [`cpu`] — a sampling CPU profiler. A timer thread walks the live
 //!   open-span stacks every recording thread publishes through
@@ -16,6 +16,9 @@
 //! * [`rss`] — `/proc/self/status` `VmRSS`/`VmHWM` sampling with a
 //!   resettable window high-water mark for per-run peak-RSS
 //!   trajectories.
+//! * [`residency`] — a high-water counter of solved-tile-mask bytes a
+//!   flow holds between solve and assembly, the quantity streaming
+//!   assembly bounds (the `fullchip` bench gates on it).
 //!
 //! Results surface through `ilt-report/v2` `profile`/`memory` sections,
 //! `ilt-serve`'s `/debug/profile` and `/debug/memory`, and the
@@ -35,6 +38,7 @@
 
 pub mod alloc;
 pub mod cpu;
+pub mod residency;
 pub mod rss;
 
 pub use alloc::{

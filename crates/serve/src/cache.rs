@@ -32,10 +32,15 @@ pub fn config_for_scale(scale: &str) -> Option<ExperimentConfig> {
     }
 }
 
-/// Scale-keyed session memoisation for one worker thread.
+/// Session memoisation key: the scale plus the per-job config overrides
+/// that change the session's `ExperimentConfig`. Two jobs share a session
+/// exactly when they resolve to the same configuration.
+type SessionKey = (String, Option<usize>, Option<bool>);
+
+/// Config-keyed session memoisation for one worker thread.
 #[derive(Default)]
 pub struct SessionCache {
-    sessions: HashMap<String, Session>,
+    sessions: HashMap<SessionKey, Session>,
 }
 
 impl SessionCache {
@@ -54,7 +59,8 @@ impl SessionCache {
         self.sessions.is_empty()
     }
 
-    /// The session for a scale, building it on first use.
+    /// The session for a scale with the scale's default hierarchy depth and
+    /// streaming mode, building it on first use.
     ///
     /// # Errors
     ///
@@ -66,17 +72,49 @@ impl SessionCache {
     /// Panics on unknown scale names — callers must validate scales at
     /// admission (the job parser does).
     pub fn session(&mut self, scale: &str) -> Result<&Session, CoreError> {
-        if !self.sessions.contains_key(scale) {
+        self.session_with(scale, None, None)
+    }
+
+    /// The session for a scale with optional `s_max` / `stream_tiles`
+    /// overrides applied on top of the scale's defaults. Sessions are keyed
+    /// by the full override tuple, so jobs with different hierarchy depths
+    /// never share (their config fingerprints differ and the mask store
+    /// keys with them), while repeat jobs at the same overrides reuse.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Litho`] if kernel or system construction fails;
+    /// failures are not cached, so a later retry rebuilds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown scale names or override combinations the job
+    /// parser should have rejected (e.g. an `s_max` whose coarsest level
+    /// does not fit the clip) — callers must validate at admission.
+    pub fn session_with(
+        &mut self,
+        scale: &str,
+        s_max: Option<usize>,
+        stream: Option<bool>,
+    ) -> Result<&Session, CoreError> {
+        let key: SessionKey = (scale.to_string(), s_max, stream);
+        if !self.sessions.contains_key(&key) {
             ilt_telemetry::counter_add("serve.session_cache.miss", 1);
-            let config = config_for_scale(scale)
+            let mut config = config_for_scale(scale)
                 .unwrap_or_else(|| panic!("unvalidated scale {scale:?} reached the cache"));
+            if let Some(s) = s_max {
+                config.s_max = s;
+            }
+            if let Some(stream) = stream {
+                config.stream_tiles = stream;
+            }
             let session = Session::new(config)?;
-            self.sessions.insert(scale.to_string(), session);
+            self.sessions.insert(key.clone(), session);
             ilt_telemetry::gauge_add("serve.session_cache.entries", 1.0);
         } else {
             ilt_telemetry::counter_add("serve.session_cache.hit", 1);
         }
-        Ok(&self.sessions[scale])
+        Ok(&self.sessions[&key])
     }
 }
 
@@ -99,6 +137,26 @@ mod tests {
         let second = cache.session("tiny").unwrap().inspection() as *const _;
         assert_eq!(first, second, "same scale must reuse the same session");
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn overrides_get_their_own_sessions() {
+        let mut cache = SessionCache::new();
+        let default = cache.session("tiny").unwrap().config().clone();
+        assert!(default.stream_tiles, "streaming is the default");
+        let held = cache
+            .session_with("tiny", None, Some(false))
+            .unwrap()
+            .config()
+            .clone();
+        assert!(!held.stream_tiles);
+        assert_eq!(cache.len(), 2, "distinct overrides must not share");
+        // Same overrides reuse the existing session.
+        cache.session_with("tiny", None, Some(false)).unwrap();
+        assert_eq!(cache.len(), 2);
+        // stream_tiles is canonicalised out of the fingerprint (identical
+        // masks either way), so the store stays shareable across the two.
+        assert_eq!(default.fingerprint(), held.fingerprint());
     }
 
     #[test]

@@ -73,6 +73,14 @@ pub struct JobSpec {
     pub method: Method,
     /// Scale name: `"tiny"` or `"default"`.
     pub scale: String,
+    /// Optional coarse-hierarchy depth override: the coarsest Schwarz level
+    /// runs at scale `s_max` (power of two; the hierarchy then has
+    /// `log2(s_max) + 1` levels). Unset keeps the scale's default.
+    pub s_max: Option<usize>,
+    /// Optional override of streaming tile assembly. Unset keeps the
+    /// scale's default (streaming on); `false` forces the hold-everything
+    /// path. Results are bit-identical either way — this is a memory knob.
+    pub stream: Option<bool>,
     /// Optional deadline in milliseconds from admission. Jobs that exceed
     /// it — whether still queued or mid-solve — report `failed`.
     pub timeout_ms: Option<u64>,
@@ -88,7 +96,9 @@ impl JobSpec {
     /// `{"rect": [x0, y0, x1, y1], "fill": 0|1}`), `method` (`"ours"`,
     /// `"gls-dnc"`, `"multi-level-dnc"`, `"full-chip"`; default `"ours"`;
     /// ECO jobs accept only `"ours"`), `scale` (`"tiny"` or `"default"`;
-    /// default `"tiny"`), `timeout_ms` (positive integer).
+    /// default `"tiny"`), `s_max` (power of two whose coarsest level still
+    /// fits the scale's clip), `stream` (boolean), `timeout_ms` (positive
+    /// integer).
     ///
     /// # Errors
     ///
@@ -150,6 +160,35 @@ impl JobSpec {
             Some(Some(s)) if s == "tiny" || s == "default" => s.to_string(),
             Some(_) => return Err("\"scale\" must be \"tiny\" or \"default\"".to_string()),
         };
+        let s_max = match json.get("s_max") {
+            None => None,
+            Some(v) => {
+                let s = v
+                    .as_u64()
+                    .filter(|s| *s >= 1 && s.is_power_of_two())
+                    .ok_or_else(|| "\"s_max\" must be a power of two (1, 2, 4, ...)".to_string())?
+                    as usize;
+                let config =
+                    crate::cache::config_for_scale(&scale).expect("scale validated just above");
+                if s * config.partition.tile > config.clip {
+                    return Err(format!(
+                        "\"s_max\" {s} puts the coarsest level at {} pixels, larger than \
+                         the {} scale's {}-pixel clip",
+                        s * config.partition.tile,
+                        scale,
+                        config.clip
+                    ));
+                }
+                Some(s)
+            }
+        };
+        let stream = match json.get("stream") {
+            None => None,
+            Some(v) => Some(
+                v.as_bool()
+                    .ok_or_else(|| "\"stream\" must be a boolean".to_string())?,
+            ),
+        };
         let timeout_ms = match json.get("timeout_ms") {
             None => None,
             Some(v) => Some(
@@ -162,6 +201,8 @@ impl JobSpec {
             source,
             method,
             scale,
+            s_max,
+            stream,
             timeout_ms,
         })
     }
@@ -383,6 +424,12 @@ impl JobRecord {
         push_str_literal(&mut out, method_name(self.spec.method));
         out.push_str(",\"scale\":");
         push_str_literal(&mut out, &self.spec.scale);
+        if let Some(s) = self.spec.s_max {
+            let _ = write!(out, ",\"s_max\":{s}");
+        }
+        if let Some(stream) = self.spec.stream {
+            let _ = write!(out, ",\"stream\":{stream}");
+        }
         if let Some(ms) = self.spec.timeout_ms {
             let _ = write!(out, ",\"timeout_ms\":{ms}");
         }
@@ -451,7 +498,39 @@ mod tests {
         let spec = JobSpec::parse(r#"{"case": 1}"#).unwrap();
         assert_eq!(spec.method, Method::Ours);
         assert_eq!(spec.scale, "tiny");
+        assert_eq!(spec.s_max, None);
+        assert_eq!(spec.stream, None);
         assert_eq!(spec.timeout_ms, None);
+    }
+
+    #[test]
+    fn parses_hierarchy_and_streaming_overrides() {
+        // Tiny scale: clip 128, tile 64 — s_max 2 is the deepest that fits.
+        let spec = JobSpec::parse(r#"{"case": 1, "s_max": 2, "stream": false}"#).unwrap();
+        assert_eq!(spec.s_max, Some(2));
+        assert_eq!(spec.stream, Some(false));
+        let record = JobRecord {
+            id: 1,
+            trace: 1,
+            spec,
+            status: JobStatus::Queued,
+        };
+        let body = record.to_json();
+        assert!(body.contains("\"s_max\":2"));
+        assert!(body.contains("\"stream\":false"));
+    }
+
+    #[test]
+    fn rejects_hierarchies_that_overflow_the_clip() {
+        for (body, needle) in [
+            (r#"{"case": 1, "s_max": 3}"#, "power of two"),
+            (r#"{"case": 1, "s_max": 0}"#, "power of two"),
+            (r#"{"case": 1, "s_max": 4}"#, "larger than"),
+            (r#"{"case": 1, "stream": "yes"}"#, "boolean"),
+        ] {
+            let err = JobSpec::parse(body).unwrap_err();
+            assert!(err.contains(needle), "{body}: {err:?} missing {needle:?}");
+        }
     }
 
     #[test]

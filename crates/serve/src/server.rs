@@ -763,6 +763,17 @@ fn resolve_base(shared: &Shared, base_job: u64, spec: &JobSpec) -> Result<JobSpe
             spec.scale, base.scale
         ));
     }
+    // s_max feeds the config fingerprint the mask store keys on: a
+    // different hierarchy depth would silently miss every stored tile and
+    // run cold, so reject the mismatch instead. `stream` is canonicalised
+    // out of the fingerprint (bit-identical masks) and needs no check.
+    if base.s_max != spec.s_max {
+        return Err(format!(
+            "s_max mismatch: this job requests {:?} but base job {base_job} ran with {:?}; \
+             stored tiles would not warm-start",
+            spec.s_max, base.s_max
+        ));
+    }
     Ok(base)
 }
 
@@ -800,7 +811,7 @@ fn execute(
     executor: &TileExecutor,
 ) -> Result<JobOutcome, String> {
     let session = cache
-        .session(&spec.scale)
+        .session_with(&spec.scale, spec.s_max, spec.stream)
         .map_err(|e| format!("session setup failed: {e}"))?;
     if let CaseSource::Eco { edit, .. } = &spec.source {
         let base = base.expect("eco jobs resolve their base before execution");

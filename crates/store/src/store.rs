@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::{Mutex, OnceLock};
 
-use ilt_grid::RealGrid;
+use ilt_grid::{RealGrid, Rect};
 use ilt_telemetry as tele;
 
 use crate::disk;
@@ -204,6 +204,19 @@ impl MaskStore {
         version
     }
 
+    /// Insert a tile's crop of a full layout: crops `rect` out of `layout`
+    /// and stores it under `key`. The streaming flows store tiles straight
+    /// from the assembled layout, so only the single tile-sized crop is ever
+    /// materialised — never a second full-layout copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rect` escapes `layout` (same contract as
+    /// [`Grid::crop`](ilt_grid::Grid::crop)).
+    pub fn put_crop(&self, key: StoreKey, layout: &RealGrid, rect: Rect) -> u64 {
+        self.put(key, layout.crop(rect))
+    }
+
     /// Evict least-recently-touched entries until the budget holds. `keep`
     /// protects the entry just inserted so a single oversized mask is still
     /// usable for the current job (it goes when the next entry arrives).
@@ -298,6 +311,19 @@ mod tests {
 
     fn key(geometry: u64) -> StoreKey {
         StoreKey::new(geometry, 42, "ours:pixel")
+    }
+
+    #[test]
+    fn put_crop_stores_exactly_the_tile_slice() {
+        let store = MaskStore::new(1 << 20, None);
+        let layout = mask(32, 32, 0.25);
+        let rect = Rect::new(8, 4, 24, 20);
+        store.put_crop(key(7), &layout, rect);
+        let got = store.get(&key(7)).expect("hit");
+        assert_eq!((got.width(), got.height()), (16, 16));
+        assert_eq!(got.as_slice(), layout.crop(rect).as_slice());
+        // Only the crop's bytes are accounted, not the full layout's.
+        assert_eq!(store.stats().bytes, 16 * 16 * 8);
     }
 
     #[test]

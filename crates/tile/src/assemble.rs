@@ -3,6 +3,7 @@
 
 use ilt_grid::RealGrid;
 
+use crate::color::multi_coloring;
 use crate::error::TileError;
 use crate::partition::{Partition, Tile};
 
@@ -136,8 +137,219 @@ pub fn weight_map(partition: &Partition, tile_index: usize, mode: AssemblyMode) 
     }
 }
 
+/// The per-tile interpolation weights renormalized to an exact partition
+/// of unity.
+///
+/// [`weight_map`]'s ramps already sum to 1 wherever exactly the two tiles
+/// adjacent across a cut share a ramp zone — the uniform-lattice interior.
+/// At clamped last rows/columns of a non-divisible M×N grid (and for wide
+/// bands on narrow clamped cores) more than two tiles can be mid-ramp at a
+/// pixel, so this divides each raw weight by the pixelwise sum of all
+/// covering tiles' raw weights. The denominator is accumulated in ascending
+/// tile-index order so every tile sharing a pixel computes a bitwise
+/// identical sum. [`AssemblyMode::Restricted`] is already exact (disjoint
+/// cores) and [`AssemblyMode::ExtendedCore`] is intentionally not a
+/// partition of unity; both return the raw map unchanged.
+pub fn normalized_weight_map(
+    partition: &Partition,
+    tile_index: usize,
+    mode: AssemblyMode,
+) -> RealGrid {
+    let raw = weight_map(partition, tile_index, mode);
+    if !matches!(mode, AssemblyMode::Weighted { .. }) {
+        return raw;
+    }
+    let tile = *partition.tile(tile_index);
+    let t = partition.config().tile;
+    let mut contributors = partition.neighbors(tile_index);
+    contributors.push(tile_index);
+    contributors.sort_unstable();
+    let mut denom = RealGrid::new(t, t, 0.0);
+    for j in contributors {
+        let other = *partition.tile(j);
+        let w = if j == tile_index {
+            raw.clone()
+        } else {
+            weight_map(partition, j, mode)
+        };
+        let Some(shared) = tile.rect.intersect(other.rect) else {
+            continue;
+        };
+        for (gx, gy) in shared.pixels() {
+            let (x, y) = ((gx - tile.rect.x0) as usize, (gy - tile.rect.y0) as usize);
+            let (ox, oy) = ((gx - other.rect.x0) as usize, (gy - other.rect.y0) as usize);
+            let v = denom.get(x, y) + w.get(ox, oy);
+            denom.set(x, y, v);
+        }
+    }
+    RealGrid::from_fn(t, t, |x, y| {
+        let d = denom.get(x, y);
+        if d > 0.0 {
+            raw.get(x, y) / d
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Incremental (bounded-memory) assembly: tiles are folded into the output
+/// one at a time, in the canonical colour-band order, so a producer that
+/// solves tiles colour by colour only ever keeps one colour band of fine
+/// tiles resident instead of all `T`.
+///
+/// f64 addition is not associative, so streamed and batch assembly are only
+/// bit-identical if both fold in one fixed order; the assembler therefore
+/// enforces its [`canonical_order`](Self::canonical_order) on `push`, and
+/// the batch [`assemble`] delegates here pushing in the same order.
+///
+/// [`finish`](Self::finish) verifies the pixel-sum invariant: the
+/// normalized weights accumulated over all pushes must cover every pixel
+/// with total weight 1 (exact for [`AssemblyMode::Restricted`], to 1e-6
+/// for [`AssemblyMode::Weighted`]).
+#[derive(Debug, Clone)]
+pub struct StreamingAssembler<'a> {
+    partition: &'a Partition,
+    mode: AssemblyMode,
+    order: Vec<usize>,
+    cursor: usize,
+    out: RealGrid,
+    coverage: RealGrid,
+}
+
+impl<'a> StreamingAssembler<'a> {
+    /// Creates an assembler for one full pass over `partition`'s tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`AssemblyMode::ExtendedCore`], which is not a partition
+    /// of unity and only meaningful for sequential in-place replacement.
+    pub fn new(partition: &'a Partition, mode: AssemblyMode) -> Self {
+        assert!(
+            !matches!(mode, AssemblyMode::ExtendedCore { .. }),
+            "extended-core replacement is sequential, not an additive assembly"
+        );
+        let order: Vec<usize> = multi_coloring(partition)
+            .groups()
+            .into_iter()
+            .flatten()
+            .collect();
+        StreamingAssembler {
+            partition,
+            mode,
+            order,
+            cursor: 0,
+            out: RealGrid::new(partition.width(), partition.height(), 0.0),
+            coverage: RealGrid::new(partition.width(), partition.height(), 0.0),
+        }
+    }
+
+    /// The fold order `push` enforces: colour groups in colour order, tiles
+    /// in index order within each group.
+    #[inline]
+    pub fn canonical_order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Number of tiles folded so far.
+    #[inline]
+    pub fn pushed(&self) -> usize {
+        self.cursor
+    }
+
+    /// Folds one tile's contribution into the output. `data` can be dropped
+    /// immediately afterwards — nothing per-tile is retained.
+    ///
+    /// # Errors
+    ///
+    /// * [`TileError::StreamOrder`] if `tile_index` is not the next tile in
+    ///   [`canonical_order`](Self::canonical_order);
+    /// * [`TileError::AssemblyMismatch`] if `data` is not tile-sized or
+    ///   every tile was already pushed.
+    pub fn push(&mut self, tile_index: usize, data: &RealGrid) -> Result<(), TileError> {
+        let total = self.order.len();
+        let Some(&expected) = self.order.get(self.cursor) else {
+            return Err(TileError::AssemblyMismatch {
+                expected: total,
+                actual: total + 1,
+            });
+        };
+        if tile_index != expected {
+            return Err(TileError::StreamOrder {
+                expected,
+                actual: tile_index,
+            });
+        }
+        let t = self.partition.config().tile;
+        if data.width() != t || data.height() != t {
+            return Err(TileError::AssemblyMismatch {
+                expected: total,
+                actual: total,
+            });
+        }
+        let tile = *self.partition.tile(tile_index);
+        let w = normalized_weight_map(self.partition, tile_index, self.mode);
+        for y in 0..t {
+            let gy = tile.rect.y0 as usize + y;
+            for x in 0..t {
+                let weight = w.get(x, y);
+                if weight == 0.0 {
+                    continue;
+                }
+                let gx = tile.rect.x0 as usize + x;
+                self.out
+                    .set(gx, gy, self.out.get(gx, gy) + weight * data.get(x, y));
+                self.coverage
+                    .set(gx, gy, self.coverage.get(gx, gy) + weight);
+            }
+        }
+        self.cursor += 1;
+        Ok(())
+    }
+
+    /// Validates that every tile was pushed and the pixel-sum invariant
+    /// holds, then returns the assembled layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TileError::AssemblyMismatch`] if fewer tiles were pushed
+    /// than the partition has.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accumulated weights do not cover some pixel with total
+    /// weight 1 — a partition-of-unity bug, not a caller error.
+    pub fn finish(self) -> Result<RealGrid, TileError> {
+        if self.cursor != self.order.len() {
+            return Err(TileError::AssemblyMismatch {
+                expected: self.order.len(),
+                actual: self.cursor,
+            });
+        }
+        let tolerance = match self.mode {
+            AssemblyMode::Restricted => 0.0,
+            _ => 1e-6,
+        };
+        for (x, y, &c) in self.coverage.iter() {
+            assert!(
+                (c - 1.0).abs() <= tolerance,
+                "pixel-sum invariant violated at ({x}, {y}): total weight {c}"
+            );
+        }
+        ilt_telemetry::counter_add(
+            "tile.pixels_assembled",
+            (self.partition.width() * self.partition.height()) as u64,
+        );
+        Ok(self.out)
+    }
+}
+
 /// Assembles per-tile results into a full layout:
-/// `M = sum_j W_j . M_j` with `W_j` from [`weight_map`].
+/// `M = sum_j W_j . M_j` with `W_j` from [`normalized_weight_map`].
+///
+/// Delegates to [`StreamingAssembler`], pushing in the canonical
+/// colour-band order, so batch and streamed assembly are bit-identical.
+/// [`AssemblyMode::ExtendedCore`] (not a partition of unity) keeps a
+/// direct accumulation path in tile-index order.
 ///
 /// # Errors
 ///
@@ -163,27 +375,35 @@ pub fn assemble(
             });
         }
     }
-    let mut out = RealGrid::new(partition.width(), partition.height(), 0.0);
-    for (tile, data) in partition.tiles().iter().zip(tiles) {
-        let w = weight_map(partition, tile.index, mode);
-        for y in 0..t {
-            let gy = tile.rect.y0 as usize + y;
-            for x in 0..t {
-                let weight = w.get(x, y);
-                if weight == 0.0 {
-                    continue;
+    if let AssemblyMode::ExtendedCore { .. } = mode {
+        let mut out = RealGrid::new(partition.width(), partition.height(), 0.0);
+        for (tile, data) in partition.tiles().iter().zip(tiles) {
+            let w = weight_map(partition, tile.index, mode);
+            for y in 0..t {
+                let gy = tile.rect.y0 as usize + y;
+                for x in 0..t {
+                    let weight = w.get(x, y);
+                    if weight == 0.0 {
+                        continue;
+                    }
+                    let gx = tile.rect.x0 as usize + x;
+                    let v = out.get(gx, gy) + weight * data.get(x, y);
+                    out.set(gx, gy, v);
                 }
-                let gx = tile.rect.x0 as usize + x;
-                let v = out.get(gx, gy) + weight * data.get(x, y);
-                out.set(gx, gy, v);
             }
         }
+        ilt_telemetry::counter_add(
+            "tile.pixels_assembled",
+            (partition.width() * partition.height()) as u64,
+        );
+        return Ok(out);
     }
-    ilt_telemetry::counter_add(
-        "tile.pixels_assembled",
-        (partition.width() * partition.height()) as u64,
-    );
-    Ok(out)
+    let mut assembler = StreamingAssembler::new(partition, mode);
+    for i in 0..assembler.canonical_order().len() {
+        let index = assembler.canonical_order()[i];
+        assembler.push(index, &tiles[index])?;
+    }
+    assembler.finish()
 }
 
 #[cfg(test)]
@@ -398,6 +618,119 @@ mod tests {
         // Outside both extended cores... everything is covered here; the
         // early tile's exclusive region keeps its value.
         assert_eq!(layout.get(10, 64), 0.2);
+    }
+
+    #[test]
+    fn normalized_weights_form_partition_of_unity_on_clamped_grids() {
+        // 300x200: both axes clamp, so border/corner tiles see asymmetric
+        // neighbour counts and raw ramps alone would not always sum to 1.
+        let p = Partition::new(
+            300,
+            200,
+            PartitionConfig {
+                tile: 128,
+                overlap: 64,
+            },
+        )
+        .unwrap();
+        for mode in [
+            AssemblyMode::Restricted,
+            AssemblyMode::weighted_default(&p),
+            AssemblyMode::Weighted { band: 48 },
+        ] {
+            let mut total = Grid::new(300, 200, 0.0);
+            for tile in p.tiles() {
+                let w = normalized_weight_map(&p, tile.index, mode);
+                for y in 0..128 {
+                    for x in 0..128 {
+                        let gx = tile.rect.x0 as usize + x;
+                        let gy = tile.rect.y0 as usize + y;
+                        total.set(gx, gy, total.get(gx, gy) + w.get(x, y));
+                    }
+                }
+            }
+            for (x, y, &v) in total.iter() {
+                assert!(
+                    (v - 1.0).abs() < 1e-9,
+                    "{mode:?}: weight sum {v} at ({x}, {y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_assembly_is_bit_identical_to_batch() {
+        for (w, h) in [(256, 256), (300, 200)] {
+            let p = Partition::new(
+                w,
+                h,
+                PartitionConfig {
+                    tile: 128,
+                    overlap: 64,
+                },
+            )
+            .unwrap();
+            let tiles: Vec<RealGrid> = p
+                .tiles()
+                .iter()
+                .map(|t| {
+                    Grid::from_fn(128, 128, |x, y| {
+                        ((x * 13 + y * 29 + t.index * 7) % 17) as f64 / 17.0
+                    })
+                })
+                .collect();
+            for mode in [AssemblyMode::Restricted, AssemblyMode::weighted_default(&p)] {
+                let batch = assemble(&p, &tiles, mode).unwrap();
+                let mut streaming = StreamingAssembler::new(&p, mode);
+                for i in 0..streaming.canonical_order().len() {
+                    let idx = streaming.canonical_order()[i];
+                    streaming.push(idx, &tiles[idx]).unwrap();
+                }
+                let streamed = streaming.finish().unwrap();
+                assert_eq!(
+                    batch.as_slice(),
+                    streamed.as_slice(),
+                    "{mode:?} at {w}x{h}: streamed and batch must be bit-identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_assembler_enforces_canonical_order() {
+        let p = partition();
+        let data = Grid::new(128, 128, 0.5);
+        let mut asm = StreamingAssembler::new(&p, AssemblyMode::Restricted);
+        let first = asm.canonical_order()[0];
+        let second = asm.canonical_order()[1];
+        // Wrong tile first: rejected with the expected index.
+        assert_eq!(
+            asm.push(second, &data),
+            Err(TileError::StreamOrder {
+                expected: first,
+                actual: second
+            })
+        );
+        asm.push(first, &data).unwrap();
+        assert_eq!(asm.pushed(), 1);
+        // Pushing the same tile again is also out of order.
+        assert!(matches!(
+            asm.push(first, &data),
+            Err(TileError::StreamOrder { .. })
+        ));
+        // Wrong shape: rejected.
+        assert!(matches!(
+            asm.push(second, &Grid::new(64, 64, 0.0)),
+            Err(TileError::AssemblyMismatch { .. })
+        ));
+        // Finishing early: rejected with the push count.
+        assert_eq!(
+            asm.finish(),
+            Err(TileError::AssemblyMismatch {
+                expected: 9,
+                actual: 1
+            })
+        );
     }
 
     #[test]

@@ -45,16 +45,39 @@ impl Coloring {
     }
 }
 
-/// Builds the 2x2 block colouring. Because the overlap is strictly smaller
-/// than twice the stride, tiles two lattice steps apart never overlap, so
-/// four colours always suffice; fewer are used when the lattice is thin.
+/// Per-axis colour modulus: the smallest `m` such that tiles `m` lattice
+/// steps apart along the axis never overlap, read off the actual tile
+/// origins. For uniform stride-spaced origins this is 2 (overlap < twice
+/// the stride), but a clamped last column can reach back over an extra
+/// step, requiring 3 along that axis.
+fn axis_modulus(origins: &[usize], tile: usize) -> usize {
+    let mut m = 1;
+    for (i, &a) in origins.iter().enumerate() {
+        let reach = origins[i + 1..]
+            .iter()
+            .take_while(|&&b| b < a + tile)
+            .count();
+        m = m.max(reach + 1);
+    }
+    m
+}
+
+/// Builds the block colouring with per-axis moduli derived from the actual
+/// tile origins: for uniform lattices this is the classic 2x2 colouring
+/// (four colours, fewer on thin lattices); clamped last rows/columns widen
+/// the modulus along their axis so same-colour tiles still never overlap.
 pub fn multi_coloring(partition: &Partition) -> Coloring {
     let nx = partition.tiles_x();
     let ny = partition.tiles_y();
-    // When the lattice has a single row/column in an axis, that axis needs
-    // no alternation.
-    let cx = if nx > 1 { 2 } else { 1 };
-    let cy = if ny > 1 { 2 } else { 1 };
+    let tile = partition.config().tile;
+    let xs: Vec<usize> = (0..nx)
+        .map(|c| partition.tile(c).rect.x0 as usize)
+        .collect();
+    let ys: Vec<usize> = (0..ny)
+        .map(|r| partition.tile(r * nx).rect.y0 as usize)
+        .collect();
+    let cx = axis_modulus(&xs, tile);
+    let cy = axis_modulus(&ys, tile);
     let colors: Vec<usize> = partition
         .tiles()
         .iter()
@@ -120,6 +143,33 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn clamped_lattices_widen_the_modulus() {
+        // 300 = 128 + 2*64 + 44: the clamped fourth column (origin 172)
+        // still overlaps the second (origin 64), so the x-axis needs three
+        // colours for same-colour tiles to stay disjoint.
+        let p = Partition::new(
+            300,
+            128,
+            PartitionConfig {
+                tile: 128,
+                overlap: 64,
+            },
+        )
+        .unwrap();
+        assert_eq!(p.tiles_x(), 4);
+        let c = multi_coloring(&p);
+        assert_eq!(c.count(), 3);
+        assert_eq!(c.tiles_of(0), vec![0, 3]);
+        for group in c.groups() {
+            for (a_pos, &a) in group.iter().enumerate() {
+                for &b in group.iter().skip(a_pos + 1) {
+                    assert!(!p.tile(a).rect.overlaps(p.tile(b).rect));
+                }
+            }
+        }
     }
 
     #[test]

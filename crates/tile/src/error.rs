@@ -13,15 +13,14 @@ pub enum TileError {
         /// Requested tile edge.
         tile: usize,
     },
-    /// The layout cannot be tiled exactly with the requested stride; the
-    /// partition would need fractional tiles.
-    Indivisible {
-        /// Layout edge length that failed.
-        extent: usize,
-        /// Tile edge.
-        tile: usize,
-        /// Stride (`tile - overlap`).
-        stride: usize,
+    /// A streaming assembly push arrived out of canonical (colour-band)
+    /// order, or pushed a tile twice. Streamed and batch assembly are only
+    /// bit-identical when contributions fold in one fixed order.
+    StreamOrder {
+        /// Tile index the assembler expected next.
+        expected: usize,
+        /// Tile index that was pushed.
+        actual: usize,
     },
     /// The overlap is not compatible with the tile size.
     BadOverlap {
@@ -47,13 +46,9 @@ impl fmt::Display for TileError {
                 "layout {}x{} is smaller than one {tile}-pixel tile",
                 layout.0, layout.1
             ),
-            TileError::Indivisible {
-                extent,
-                tile,
-                stride,
-            } => write!(
+            TileError::StreamOrder { expected, actual } => write!(
                 f,
-                "extent {extent} is not tile {tile} plus a whole number of strides {stride}"
+                "streaming assembly expected tile {expected} next but received tile {actual}"
             ),
             TileError::BadOverlap { tile, overlap } => write!(
                 f,
@@ -81,13 +76,12 @@ mod tests {
         }
         .to_string()
         .contains("128"));
-        assert!(TileError::Indivisible {
-            extent: 200,
-            tile: 128,
-            stride: 64
+        assert!(TileError::StreamOrder {
+            expected: 2,
+            actual: 7
         }
         .to_string()
-        .contains("200"));
+        .contains("tile 7"));
         assert!(TileError::BadOverlap {
             tile: 128,
             overlap: 3

@@ -302,6 +302,48 @@ impl TileExecutor {
         results.into_iter().collect()
     }
 
+    /// Runs `job` over an explicit set of tile indices (e.g. one colour
+    /// band of a partition), passing each job its **tile index** rather
+    /// than its position in the slice. Results align with `indices`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the earliest (by slice position) failing job.
+    pub fn run_fallible_over<T, E, F>(&self, indices: &[usize], job: F) -> Result<Vec<T>, E>
+    where
+        T: Send,
+        E: Send,
+        F: Fn(usize) -> Result<T, E> + Sync,
+    {
+        self.run_fallible(indices.len(), |k| job(indices[k]))
+    }
+
+    /// Recoverable variant of [`run_fallible_over`](Self::run_fallible_over):
+    /// runs `job` over an explicit set of tile indices with per-tile retry
+    /// and degradation semantics (see [`run_recoverable`](Self::run_recoverable)).
+    /// The `tile` field of any [`TileFailure`] is the actual tile index,
+    /// not the slice position.
+    pub fn run_recoverable_over<T, F>(
+        &self,
+        indices: &[usize],
+        policy: RetryPolicy,
+        job: F,
+    ) -> Vec<Result<T, TileFailure>>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.run_recoverable(indices.len(), policy, |k| job(indices[k]))
+            .into_iter()
+            .map(|r| {
+                r.map_err(|mut f| {
+                    f.tile = indices[f.tile];
+                    f
+                })
+            })
+            .collect()
+    }
+
     /// Recoverable variant: each job attempt runs under `catch_unwind` and
     /// panicking attempts are retried per `policy` (exponential backoff
     /// between attempts). A job that panics on every attempt yields
@@ -527,6 +569,24 @@ mod tests {
                 .collect()
         };
         assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn over_variants_pass_tile_indices_and_remap_failures() {
+        ilt_fault::quiet_injected_panics();
+        let band = [4usize, 7, 11];
+        let ok: Result<Vec<usize>, String> =
+            TileExecutor::new(2).run_fallible_over(&band, |i| Ok(i * 10));
+        assert_eq!(ok.unwrap(), vec![40, 70, 110]);
+        let out = TileExecutor::new(2).run_recoverable_over(&band, RetryPolicy::no_retry(), |i| {
+            if i == 7 {
+                panic!("{} tile {i}", ilt_fault::INJECTED_PANIC_PREFIX);
+            }
+            i
+        });
+        assert_eq!(*out[0].as_ref().unwrap(), 4);
+        assert_eq!(out[1].as_ref().unwrap_err().tile, 7);
+        assert_eq!(*out[2].as_ref().unwrap(), 11);
     }
 
     #[test]

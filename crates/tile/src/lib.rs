@@ -7,7 +7,10 @@
 //!   disjoint core sections, stitch lines on shared core boundaries;
 //! * [`restrict`] / [`assemble`] — the `R_j`, `R~_j^T` (Eq. (6)) and
 //!   `R'_j^T` (Eq. (12)–(14)) operators; weighted assembly uses exact
-//!   partition-of-unity ramps across overlaps;
+//!   partition-of-unity ramps across overlaps (renormalized at clamped
+//!   borders by [`normalized_weight_map`]);
+//! * [`StreamingAssembler`] — bounded-memory assembly: tiles fold into the
+//!   layout one colour band at a time, bit-identical to [`assemble`];
 //! * [`multi_coloring`] — the colouring of Section 3.4 (no two overlapping
 //!   tiles share a colour), enabling the parallel multiplicative refine;
 //! * [`TileExecutor`] — a work-stealing thread pool standing in for the
@@ -38,7 +41,9 @@ mod error;
 mod executor;
 mod partition;
 
-pub use assemble::{assemble, restrict, weight_map, AssemblyMode};
+pub use assemble::{
+    assemble, normalized_weight_map, restrict, weight_map, AssemblyMode, StreamingAssembler,
+};
 pub use color::{multi_coloring, Coloring};
 pub use error::TileError;
 pub use executor::{

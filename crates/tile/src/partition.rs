@@ -84,17 +84,56 @@ pub struct Partition {
     tiles: Vec<Tile>,
 }
 
+/// Tile origins along one axis: stride-spaced, with the last origin clamped
+/// to `extent - tile` when the extent is not `tile + k * stride`. Origins
+/// are strictly increasing, so adjacent tiles always overlap by at least
+/// `overlap` (clamping only ever increases an overlap, never the stride).
+fn axis_origins(extent: usize, tile: usize, stride: usize) -> Vec<usize> {
+    if extent == tile {
+        return vec![0];
+    }
+    let n = (extent - tile).div_ceil(stride) + 1;
+    (0..n).map(|i| (i * stride).min(extent - tile)).collect()
+}
+
+/// Core cut positions along one axis: the midpoint `(a + b + tile) / 2`
+/// between consecutive tile origins `a < b`, so the two cores meet exactly
+/// (disjoint, covering) even when the last origin was clamped. For uniform
+/// stride this reduces to `a + tile - overlap/2`, i.e. the classic
+/// margin-`l` inset.
+fn axis_cuts(origins: &[usize], tile: usize, extent: usize) -> Vec<(usize, usize)> {
+    let mut bounds = Vec::with_capacity(origins.len());
+    for (i, &a) in origins.iter().enumerate() {
+        let lo = if i == 0 {
+            0
+        } else {
+            (origins[i - 1] + a + tile) / 2
+        };
+        let hi = if i + 1 == origins.len() {
+            extent
+        } else {
+            (a + origins[i + 1] + tile) / 2
+        };
+        bounds.push((lo, hi));
+    }
+    bounds
+}
+
 impl Partition {
     /// Builds the partition.
+    ///
+    /// Tile origins are stride-spaced; when a layout edge is not
+    /// `tile + k * stride`, the last row/column is clamped flush with the
+    /// layout boundary (all tiles stay full-size, which keeps every FFT
+    /// power-of-two). Core boundaries are the midpoints between adjacent
+    /// tile origins, so cores stay exactly disjoint and covering — clamped
+    /// tiles never double-cover seam pixels.
     ///
     /// # Errors
     ///
     /// * [`TileError::BadOverlap`] unless `0 < overlap < tile` and `overlap`
     ///   is even;
-    /// * [`TileError::LayoutTooSmall`] if the layout cannot hold one tile;
-    /// * [`TileError::Indivisible`] unless each layout edge equals
-    ///   `tile + k * stride` for an integer `k` (all tiles stay full-size,
-    ///   which keeps every FFT power-of-two).
+    /// * [`TileError::LayoutTooSmall`] if the layout cannot hold one tile.
     ///
     /// # Examples
     ///
@@ -121,39 +160,22 @@ impl Partition {
             });
         }
         let stride = config.stride();
-        for extent in [width, height] {
-            if !(extent - config.tile).is_multiple_of(stride) {
-                return Err(TileError::Indivisible {
-                    extent,
-                    tile: config.tile,
-                    stride,
-                });
-            }
-        }
-        let nx = (width - config.tile) / stride + 1;
-        let ny = (height - config.tile) / stride + 1;
-        let l = config.margin() as i64;
+        let xs = axis_origins(width, config.tile, stride);
+        let ys = axis_origins(height, config.tile, stride);
+        let x_cores = axis_cuts(&xs, config.tile, width);
+        let y_cores = axis_cuts(&ys, config.tile, height);
+        let nx = xs.len();
+        let ny = ys.len();
         let mut tiles = Vec::with_capacity(nx * ny);
-        for row in 0..ny {
-            for col in 0..nx {
-                let x0 = (col * stride) as i64;
-                let y0 = (row * stride) as i64;
-                let rect = Rect::from_origin_size(x0, y0, config.tile as i64, config.tile as i64);
-                // Core: inset by the margin on interior sides only.
-                let core = Rect::new(
-                    if col == 0 { 0 } else { x0 + l },
-                    if row == 0 { 0 } else { y0 + l },
-                    if col == nx - 1 {
-                        width as i64
-                    } else {
-                        x0 + config.tile as i64 - l
-                    },
-                    if row == ny - 1 {
-                        height as i64
-                    } else {
-                        y0 + config.tile as i64 - l
-                    },
+        for (row, (&y0, &(cy0, cy1))) in ys.iter().zip(&y_cores).enumerate() {
+            for (col, (&x0, &(cx0, cx1))) in xs.iter().zip(&x_cores).enumerate() {
+                let rect = Rect::from_origin_size(
+                    x0 as i64,
+                    y0 as i64,
+                    config.tile as i64,
+                    config.tile as i64,
                 );
+                let core = Rect::new(cx0 as i64, cy0 as i64, cx1 as i64, cy1 as i64);
                 tiles.push(Tile {
                     index: row * nx + col,
                     grid_pos: (col, row),
@@ -229,15 +251,14 @@ impl Partition {
             .collect()
     }
 
-    /// The stitch lines: all interior core boundaries.
+    /// The stitch lines: all interior core boundaries, read off the actual
+    /// core rects so they stay correct for clamped (non-divisible) layouts.
     pub fn stitch_lines(&self) -> Vec<StitchLine> {
         let mut lines = Vec::new();
-        let stride = self.config.stride();
-        let l = self.config.margin();
         for col in 1..self.nx {
             lines.push(StitchLine {
                 orientation: Orientation::Vertical,
-                position: col * stride + l,
+                position: self.tiles[col - 1].core.x1 as usize,
                 start: 0,
                 end: self.height,
             });
@@ -245,7 +266,7 @@ impl Partition {
         for row in 1..self.ny {
             lines.push(StitchLine {
                 orientation: Orientation::Horizontal,
-                position: row * stride + l,
+                position: self.tiles[(row - 1) * self.nx].core.y1 as usize,
                 start: 0,
                 end: self.width,
             });
@@ -380,17 +401,76 @@ mod tests {
             ),
             Err(TileError::LayoutTooSmall { .. })
         ));
-        assert!(matches!(
-            Partition::new(
-                300,
-                256,
-                PartitionConfig {
-                    tile: 128,
-                    overlap: 64
-                }
-            ),
-            Err(TileError::Indivisible { .. })
-        ));
+    }
+
+    #[test]
+    fn non_divisible_layout_clamps_last_column() {
+        // 300 is not 128 + k*64: the fourth column clamps to origin 172.
+        let p = Partition::new(
+            300,
+            256,
+            PartitionConfig {
+                tile: 128,
+                overlap: 64,
+            },
+        )
+        .unwrap();
+        assert_eq!(p.tiles_x(), 4);
+        assert_eq!(p.tiles_y(), 3);
+        let origins: Vec<i64> = (0..4).map(|c| p.tile(c).rect.x0).collect();
+        assert_eq!(origins, vec![0, 64, 128, 172]);
+        // Every tile stays full-size.
+        assert!(p
+            .tiles()
+            .iter()
+            .all(|t| t.rect.width() == 128 && t.rect.height() == 128));
+        // Cores stay exactly disjoint and covering despite the clamp: the
+        // cut between the clamped pair sits at the midpoint of their union.
+        let cuts: Vec<i64> = (0..3).map(|c| p.tile(c).core.x1).collect();
+        assert_eq!(cuts, vec![96, 160, 214]);
+        let mut count = vec![0u8; 300 * 256];
+        for t in p.tiles() {
+            assert!(t.rect.contains_rect(t.core), "core escapes tile");
+            for (x, y) in t.core.pixels() {
+                count[y as usize * 300 + x as usize] += 1;
+            }
+        }
+        assert!(count.iter().all(|&c| c == 1), "cores must tile the layout");
+        // Stitch lines follow the actual core boundaries.
+        let verticals: Vec<usize> = p
+            .stitch_lines()
+            .iter()
+            .filter(|l| l.orientation == Orientation::Vertical)
+            .map(|l| l.position)
+            .collect();
+        assert_eq!(verticals, vec![96, 160, 214]);
+    }
+
+    #[test]
+    fn clamped_neighbors_stay_symmetric_and_adjacent() {
+        // 184 = 128 + 56 < 128 + stride: two columns, the second clamped to
+        // origin 56, so their overlap grows from 64 to 72 pixels.
+        let p = Partition::new(
+            184,
+            184,
+            PartitionConfig {
+                tile: 128,
+                overlap: 64,
+            },
+        )
+        .unwrap();
+        assert_eq!(p.tiles_x(), 2);
+        assert_eq!(p.tiles_y(), 2);
+        for t in p.tiles() {
+            let n = p.neighbors(t.index);
+            assert_eq!(n.len(), 3, "2x2 grid: everyone touches everyone");
+            for &j in &n {
+                assert!(p.neighbors(j).contains(&t.index), "symmetry");
+            }
+        }
+        // Core cut at the union midpoint (0 + 56 + 128) / 2 = 92.
+        assert_eq!(p.tile(0).core, Rect::new(0, 0, 92, 92));
+        assert_eq!(p.tile(3).core, Rect::new(92, 92, 184, 184));
     }
 
     #[test]
